@@ -1,0 +1,62 @@
+// Command feedgen materializes the synthetic historical vulnerability
+// dataset as OSINT source documents — NVD JSON feeds (one per year), an
+// ExploitDB CSV index, and per-vendor advisory pages — in exactly the
+// formats the Lazarus crawler parses. Useful for serving a local "OSINT
+// internet" to a live controller:
+//
+//	feedgen -dir ./feeds -seed 1
+//	cd feeds && python3 -m http.server 8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lazarus/internal/feeds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "feedgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "feeds", "output directory")
+	seed := flag.Int64("seed", 1, "generator seed")
+	start := flag.String("start", "2014-01-01", "window start (YYYY-MM-DD)")
+	end := flag.String("end", "2018-08-31", "window end (YYYY-MM-DD)")
+	scale := flag.Float64("scale", 1, "background rate multiplier")
+	flag.Parse()
+
+	startT, err := time.Parse(time.DateOnly, *start)
+	if err != nil {
+		return fmt.Errorf("parsing -start: %w", err)
+	}
+	endT, err := time.Parse(time.DateOnly, *end)
+	if err != nil {
+		return fmt.Errorf("parsing -end: %w", err)
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{
+		Seed:  *seed,
+		Start: startT,
+		End:   endT,
+		Scale: *scale,
+	})
+	if err != nil {
+		return err
+	}
+	files, err := ds.WriteFixtures(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d vulnerability records (%s .. %s, seed %d)\n",
+		ds.Len(), *start, *end, *seed)
+	for _, f := range files {
+		fmt.Println(" ", f)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"lazarus/internal/catalog"
+	"lazarus/internal/perfmodel"
+)
+
+// table2 reproduces paper Table 2: the 17 deployable OS versions and the
+// resources of their VMs.
+func table2() error {
+	fmt.Println("== Table 2: OS versions and VM configurations ==")
+	fmt.Printf("%-5s %-18s %-6s %-7s\n", "ID", "Name", "Cores", "Memory")
+	for _, os := range catalog.Deployable() {
+		fmt.Printf("%-5s %-18s %-6d %dGB\n", os.ID, os.Name, os.VM.Cores, os.VM.MemoryGB)
+	}
+	return nil
+}
+
+// fig7 reproduces Figure 7: microbenchmark throughput of homogeneous
+// configurations, all 17 OSes plus the bare-metal baseline.
+func fig7() error {
+	fmt.Println("== Figure 7: homogeneous-configuration throughput (ops/sec) ==")
+	cm := perfmodel.DefaultCostModel()
+	fmt.Printf("%-5s %10s %12s\n", "OS", "0/0", "1024/1024")
+	ids := append([]string{"BM"}, catalog.IDs(catalog.Deployable())...)
+	bm := map[string]float64{}
+	for _, id := range ids {
+		os, err := catalog.ByID(id)
+		if err != nil {
+			return err
+		}
+		r00, err := perfmodel.HomogeneousThroughput(os, perfmodel.Microbench00, cm)
+		if err != nil {
+			return err
+		}
+		r1k, err := perfmodel.HomogeneousThroughput(os, perfmodel.Microbench1024, cm)
+		if err != nil {
+			return err
+		}
+		if id == "BM" {
+			bm["0/0"], bm["1024/1024"] = r00.Throughput, r1k.Throughput
+		}
+		fmt.Printf("%-5s %10.0f %12.0f   (%3.0f%% / %3.0f%% of BM)\n",
+			id, r00.Throughput, r1k.Throughput,
+			100*r00.Throughput/bm["0/0"], 100*r1k.Throughput/bm["1024/1024"])
+	}
+	return nil
+}
+
+// fig8 reproduces Figure 8: throughput of the three diverse
+// configurations.
+func fig8() error {
+	fmt.Println("== Figure 8: diverse-configuration throughput (ops/sec) ==")
+	cm := perfmodel.DefaultCostModel()
+	sets := []struct {
+		name string
+		ids  []string
+	}{
+		{"fastest", perfmodel.FastestSet},
+		{"mixed-families", perfmodel.MixedSet},
+		{"slowest", perfmodel.SlowestSet},
+	}
+	bmCfg, err := perfmodel.ConfigByIDs("BM", "BM", "BM", "BM")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-15s %-28s %10s %12s\n", "set", "members", "0/0", "1024/1024")
+	all := append([]struct {
+		name string
+		ids  []string
+	}{{name: "bare metal", ids: []string{"BM", "BM", "BM", "BM"}}}, sets...)
+	for _, s := range all {
+		cfg, err := perfmodel.ConfigByIDs(s.ids...)
+		if err != nil {
+			return err
+		}
+		r00, err := perfmodel.Throughput(cfg, perfmodel.Microbench00, cm)
+		if err != nil {
+			return err
+		}
+		r1k, err := perfmodel.Throughput(cfg, perfmodel.Microbench1024, cm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-15s %-28s %10.0f %12.0f\n",
+			s.name, strings.Join(s.ids, ","), r00.Throughput, r1k.Throughput)
+	}
+	_ = bmCfg
+	return nil
+}
+
+// fig9 reproduces Figure 9: KVS throughput during a reconfiguration, bare
+// metal vs the Lazarus diverse setup.
+func fig9() error {
+	fmt.Println("== Figure 9: throughput during reconfiguration (YCSB 50/50, 1 kB, 500 MB state) ==")
+	cm := perfmodel.DefaultCostModel()
+
+	run := func(label string, ids []string, joinerID string, swap int) error {
+		cfg, err := perfmodel.ConfigByIDs(ids...)
+		if err != nil {
+			return err
+		}
+		joiner, err := catalog.ByID(joinerID)
+		if err != nil {
+			return err
+		}
+		tl := perfmodel.DefaultTimeline(cfg, joiner, swap)
+		series, events, err := perfmodel.Timeline(tl, cm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n-- %s: %s, %s joins, %s leaves --\n", label,
+			strings.Join(ids, ","), joinerID, ids[swap])
+		for _, e := range events {
+			fmt.Printf("  t=%4.0fs  %s\n", e.T.Seconds(), e.Name)
+		}
+		fmt.Println("  time-series (10 s buckets, ops/sec):")
+		for i := 0; i < len(series); i += 10 {
+			end := i + 10
+			if end > len(series) {
+				end = len(series)
+			}
+			var sum float64
+			phases := map[string]bool{}
+			for _, p := range series[i:end] {
+				sum += p.Throughput
+				if p.Phase != "steady" {
+					phases[p.Phase] = true
+				}
+			}
+			var notes []string
+			for ph := range phases {
+				notes = append(notes, ph)
+			}
+			fmt.Printf("  %3d-%3ds %8.0f  %s\n", i, end, sum/float64(end-i), strings.Join(notes, "+"))
+		}
+		return nil
+	}
+	// Bare metal homogeneous (the paper swaps an Ubuntu 14.04 replica).
+	if err := run("bare metal", []string{"BM", "BM", "BM", "BM"}, "UB14", 1); err != nil {
+		return err
+	}
+	// Lazarus diverse (paper: DE8, OS42, FE26, SO11; UB16 joins, OS42
+	// leaves).
+	return run("Lazarus", []string{"DE8", "OS42", "FE26", "SO11"}, "UB16", 1)
+}
+
+// fig10 reproduces Figure 10: application throughput on bare metal and
+// the fastest/slowest diverse sets.
+func fig10() error {
+	fmt.Println("== Figure 10: application throughput (ops/sec) ==")
+	cm := perfmodel.DefaultCostModel()
+	apps := []perfmodel.Workload{perfmodel.KVS4k, perfmodel.SieveQ1k, perfmodel.Fabric1k}
+	sets := []struct {
+		name string
+		ids  []string
+	}{
+		{name: "BM", ids: []string{"BM", "BM", "BM", "BM"}},
+		{"fastest", perfmodel.FastestSet},
+		{"slowest", perfmodel.SlowestSet},
+	}
+	fmt.Printf("%-14s", "app")
+	for _, s := range sets {
+		fmt.Printf(" %12s", s.name)
+	}
+	fmt.Println()
+	for _, w := range apps {
+		fmt.Printf("%-14s", w.Name)
+		var bm float64
+		for i, s := range sets {
+			cfg, err := perfmodel.ConfigByIDs(s.ids...)
+			if err != nil {
+				return err
+			}
+			r, err := perfmodel.Throughput(cfg, w, cm)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				bm = r.Throughput
+			}
+			fmt.Printf(" %7.0f(%2.0f%%)", r.Throughput, 100*r.Throughput/bm)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// leader evaluates the paper's §9 discussion item — placing the BFT
+// leader on the fastest replica — for the Figure 8 configurations.
+func leaderPlacement() error {
+	fmt.Println("== Leader placement (paper §9 discussion) ==")
+	cm := perfmodel.DefaultCostModel()
+	sets := [][]string{
+		{"SO10", "UB16", "W10", "FE24"}, // slow leader, capable quorum
+		append([]string(nil), perfmodel.MixedSet...),
+		append([]string(nil), perfmodel.FastestSet...),
+	}
+	fmt.Printf("%-28s %12s %12s %-8s %s\n", "configuration", "default", "best", "leader", "gain")
+	for _, ids := range sets {
+		cfg, err := perfmodel.ConfigByIDs(ids...)
+		if err != nil {
+			return err
+		}
+		rep, err := perfmodel.BestLeaderPlacement(cfg, perfmodel.Microbench00, cm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %12.0f %12.0f %-8s %+.0f%%\n",
+			strings.Join(ids, ","), rep.Default.Throughput, rep.Best.Throughput,
+			rep.BestLeader, rep.Gain*100)
+	}
+	fmt.Println("(the gain vanishes when the quorum itself contains a single-core guest)")
+	return nil
+}

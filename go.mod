@@ -1,0 +1,3 @@
+module lazarus
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package kvs is the in-memory BFT key-value store used throughout the
+// paper's performance evaluation (§7.3–7.4): a consistent non-relational
+// database in the style of a coordination service, replicated with the
+// BFT library. Operations are serialized commands (PUT/GET/DELETE/SIZE)
+// executed deterministically on every replica.
+package kvs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lazarus/internal/bft"
+)
+
+// OpKind enumerates store operations.
+type OpKind byte
+
+// Operations.
+const (
+	OpPut OpKind = iota + 1
+	OpGet
+	OpDelete
+	OpSize
+)
+
+// Op is one key-value command.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte
+}
+
+// EncodeOp serializes a command for Client.Invoke.
+func EncodeOp(op Op) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return nil, fmt.Errorf("kvs: encoding op: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeOp parses a command.
+func DecodeOp(payload []byte) (Op, error) {
+	var op Op
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+		return Op{}, fmt.Errorf("kvs: decoding op: %w", err)
+	}
+	return op, nil
+}
+
+// Store is the replicated state machine. It implements bft.Application.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+var _ bft.Application = (*Store)(nil)
+
+// Execute implements bft.Application.
+func (s *Store) Execute(payload []byte) []byte {
+	op, err := DecodeOp(payload)
+	if err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op.Kind {
+	case OpPut:
+		s.data[op.Key] = append([]byte(nil), op.Value...)
+		return []byte("OK")
+	case OpGet:
+		v, ok := s.data[op.Key]
+		if !ok {
+			return []byte("NIL")
+		}
+		return append([]byte("VAL"), v...)
+	case OpDelete:
+		if _, ok := s.data[op.Key]; !ok {
+			return []byte("NIL")
+		}
+		delete(s.data, op.Key)
+		return []byte("OK")
+	case OpSize:
+		return []byte(fmt.Sprintf("SIZE %d", len(s.data)))
+	default:
+		return []byte(fmt.Sprintf("ERR unknown op %d", op.Kind))
+	}
+}
+
+// kvEntry flattens the map for deterministic snapshots.
+type kvEntry struct {
+	Key   string
+	Value []byte
+}
+
+// Snapshot implements bft.Application with a deterministic encoding.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := make([]kvEntry, 0, len(s.data))
+	for k, v := range s.data {
+		entries = append(entries, kvEntry{k, v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, fmt.Errorf("kvs: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements bft.Application.
+func (s *Store) Restore(snapshot []byte) error {
+	var entries []kvEntry
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&entries); err != nil {
+		return fmt.Errorf("kvs: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		s.data[e.Key] = e.Value
+	}
+	return nil
+}
+
+// Len returns the number of keys (local inspection, not replicated).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Get reads a key locally (not replicated; tests and monitoring).
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}

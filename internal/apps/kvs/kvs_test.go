@@ -1,0 +1,180 @@
+package kvs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lazarus/internal/bft"
+	"lazarus/internal/bft/bfttest"
+	"lazarus/internal/transport"
+)
+
+func TestExecuteSemantics(t *testing.T) {
+	s := New()
+	put := func(k, v string) []byte {
+		op, _ := EncodeOp(Op{Kind: OpPut, Key: k, Value: []byte(v)})
+		return s.Execute(op)
+	}
+	get := func(k string) []byte {
+		op, _ := EncodeOp(Op{Kind: OpGet, Key: k})
+		return s.Execute(op)
+	}
+	if got := put("a", "1"); string(got) != "OK" {
+		t.Errorf("put = %q", got)
+	}
+	if got := get("a"); string(got) != "VAL1" {
+		t.Errorf("get = %q", got)
+	}
+	if got := get("missing"); string(got) != "NIL" {
+		t.Errorf("get missing = %q", got)
+	}
+	del, _ := EncodeOp(Op{Kind: OpDelete, Key: "a"})
+	if got := s.Execute(del); string(got) != "OK" {
+		t.Errorf("delete = %q", got)
+	}
+	if got := s.Execute(del); string(got) != "NIL" {
+		t.Errorf("re-delete = %q", got)
+	}
+	size, _ := EncodeOp(Op{Kind: OpSize})
+	if got := s.Execute(size); string(got) != "SIZE 0" {
+		t.Errorf("size = %q", got)
+	}
+	if got := s.Execute([]byte("junk")); !bytes.HasPrefix(got, []byte("ERR")) {
+		t.Errorf("junk op = %q", got)
+	}
+	bad, _ := EncodeOp(Op{Kind: 99})
+	if got := s.Execute(bad); !bytes.HasPrefix(got, []byte("ERR")) {
+		t.Errorf("unknown op = %q", got)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		op, _ := EncodeOp(Op{Kind: OpPut, Key: fmt.Sprintf("k%d", i), Value: []byte{byte(i)}})
+		s.Execute(op)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 50 {
+		t.Fatalf("restored %d keys, want 50", restored.Len())
+	}
+	v, ok := restored.Get("k7")
+	if !ok || !bytes.Equal(v, []byte{7}) {
+		t.Errorf("restored k7 = %v %v", v, ok)
+	}
+	if err := restored.Restore([]byte("garbage")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	// Two stores with the same contents inserted in different orders must
+	// snapshot to identical bytes (checkpoint agreement hashes them).
+	a, b := New(), New()
+	keys := []string{"zebra", "alpha", "mid", "q"}
+	for _, k := range keys {
+		op, _ := EncodeOp(Op{Kind: OpPut, Key: k, Value: []byte(k)})
+		a.Execute(op)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		op, _ := EncodeOp(Op{Kind: OpPut, Key: keys[i], Value: []byte(keys[i])})
+		b.Execute(op)
+	}
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Error("snapshot bytes depend on insertion order")
+	}
+}
+
+// TestOpCodecProperty round-trips random ops.
+func TestOpCodecProperty(t *testing.T) {
+	f := func(kind uint8, key string, value []byte) bool {
+		op := Op{Kind: OpKind(kind%4 + 1), Key: key, Value: value}
+		payload, err := EncodeOp(op)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeOp(payload)
+		if err != nil {
+			return false
+		}
+		return got.Kind == op.Kind && got.Key == op.Key && bytes.Equal(got.Value, op.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReplicatedKVS runs the store over a real 4-replica BFT cluster.
+func TestReplicatedKVS(t *testing.T) {
+	cluster, err := bfttest.Launch(
+		func(transport.NodeID) bft.Application { return New() },
+		bfttest.Options{CheckpointInterval: 16},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	cl, err := cluster.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		op, _ := EncodeOp(Op{Kind: OpPut, Key: fmt.Sprintf("key%d", i), Value: []byte(fmt.Sprintf("val%d", i))})
+		res, err := cl.Invoke(ctx, op)
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if string(res) != "OK" {
+			t.Fatalf("put %d = %q", i, res)
+		}
+	}
+	op, _ := EncodeOp(Op{Kind: OpGet, Key: "key7"})
+	res, err := cl.Invoke(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "VALval7" {
+		t.Fatalf("replicated get = %q", res)
+	}
+	// All replicas converge.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		all := true
+		for _, app := range cluster.Apps {
+			if app.(*Store).Len() != 10 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replicas did not converge")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,243 @@
+// Package ordering reimplements the BFT ordering service for a
+// Hyperledger-Fabric-style permissioned blockchain (paper §7.4, citing
+// Sousa et al., DSN 2018): clients submit transactions, the BFT-replicated
+// state machine orders and groups them into blocks of a configured size,
+// and each block is chained to its predecessor by hash, forming the
+// ledger. Block receivers fetch signed blocks and verify the chain.
+package ordering
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"lazarus/internal/bft"
+)
+
+// Transaction is one opaque client transaction.
+type Transaction struct {
+	// Payload is the serialized transaction content.
+	Payload []byte
+}
+
+// Block is one ledger entry: an ordered group of transactions chained to
+// the previous block.
+type Block struct {
+	// Number is the block height, starting at 1.
+	Number uint64
+	// PrevHash chains to the previous block (zero for block 1).
+	PrevHash [sha256.Size]byte
+	// Transactions are the block contents, in ordered sequence.
+	Transactions []Transaction
+}
+
+// Hash computes the block's chaining hash.
+func (b *Block) Hash() [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "block|%d|", b.Number)
+	h.Write(b.PrevHash[:])
+	for _, tx := range b.Transactions {
+		sum := sha256.Sum256(tx.Payload)
+		h.Write(sum[:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// VerifyChain checks that blocks form a correctly chained ledger segment.
+func VerifyChain(blocks []*Block) error {
+	for i, b := range blocks {
+		if i == 0 {
+			continue
+		}
+		prev := blocks[i-1]
+		if b.Number != prev.Number+1 {
+			return fmt.Errorf("ordering: block %d follows block %d", b.Number, prev.Number)
+		}
+		if b.PrevHash != prev.Hash() {
+			return fmt.Errorf("ordering: block %d prev-hash mismatch", b.Number)
+		}
+	}
+	return nil
+}
+
+type opKind byte
+
+const (
+	opSubmit opKind = iota + 1
+	opFetch
+	opHeight
+)
+
+type orderOp struct {
+	Kind opKind
+	Tx   Transaction
+	From uint64 // opFetch: first block number wanted
+}
+
+func encodeOp(op orderOp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return nil, fmt.Errorf("ordering: encoding op: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SubmitOp serializes a transaction submission.
+func SubmitOp(tx Transaction) ([]byte, error) {
+	return encodeOp(orderOp{Kind: opSubmit, Tx: tx})
+}
+
+// FetchOp serializes a block fetch from the given height.
+func FetchOp(from uint64) ([]byte, error) {
+	return encodeOp(orderOp{Kind: opFetch, From: from})
+}
+
+// HeightOp serializes a chain-height query.
+func HeightOp() ([]byte, error) {
+	return encodeOp(orderOp{Kind: opHeight})
+}
+
+// Service is the replicated ordering state machine. It implements
+// bft.Application.
+type Service struct {
+	blockSize int
+
+	mu      sync.Mutex
+	pending []Transaction
+	chain   []*Block
+}
+
+// NewService builds an ordering service cutting blocks of blockSize
+// transactions (the paper's evaluation uses 10).
+func NewService(blockSize int) (*Service, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("ordering: block size %d must be positive", blockSize)
+	}
+	return &Service{blockSize: blockSize}, nil
+}
+
+var _ bft.Application = (*Service)(nil)
+
+// Execute implements bft.Application.
+func (s *Service) Execute(payload []byte) []byte {
+	var op orderOp
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op.Kind {
+	case opSubmit:
+		s.pending = append(s.pending, op.Tx)
+		var cut uint64
+		if len(s.pending) >= s.blockSize {
+			cut = s.cutBlockLocked()
+		}
+		return []byte(fmt.Sprintf("ACK pending=%d cut=%d", len(s.pending), cut))
+	case opFetch:
+		return s.fetchLocked(op.From)
+	case opHeight:
+		return []byte(fmt.Sprintf("HEIGHT %d", len(s.chain)))
+	default:
+		return []byte(fmt.Sprintf("ERR unknown op %d", op.Kind))
+	}
+}
+
+// cutBlockLocked forms the next block from pending transactions.
+func (s *Service) cutBlockLocked() uint64 {
+	b := &Block{
+		Number:       uint64(len(s.chain)) + 1,
+		Transactions: s.pending[:s.blockSize:s.blockSize],
+	}
+	s.pending = append([]Transaction(nil), s.pending[s.blockSize:]...)
+	if len(s.chain) > 0 {
+		b.PrevHash = s.chain[len(s.chain)-1].Hash()
+	}
+	s.chain = append(s.chain, b)
+	return b.Number
+}
+
+func (s *Service) fetchLocked(from uint64) []byte {
+	if from == 0 {
+		from = 1
+	}
+	if from > uint64(len(s.chain)) {
+		return []byte("NONE")
+	}
+	blocks := s.chain[from-1:]
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blocks); err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	return append([]byte("BLKS"), buf.Bytes()...)
+}
+
+// DecodeBlocks parses a fetch result.
+func DecodeBlocks(result []byte) ([]*Block, error) {
+	if bytes.Equal(result, []byte("NONE")) {
+		return nil, nil
+	}
+	if !bytes.HasPrefix(result, []byte("BLKS")) {
+		return nil, fmt.Errorf("ordering: result %q carries no blocks", result)
+	}
+	var blocks []*Block
+	if err := gob.NewDecoder(bytes.NewReader(result[4:])).Decode(&blocks); err != nil {
+		return nil, fmt.Errorf("ordering: decoding blocks: %w", err)
+	}
+	return blocks, nil
+}
+
+// ledgerSnapshot serializes the whole service state.
+type ledgerSnapshot struct {
+	BlockSize int
+	Pending   []Transaction
+	Chain     []*Block
+}
+
+// Snapshot implements bft.Application.
+func (s *Service) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ledgerSnapshot{
+		BlockSize: s.blockSize,
+		Pending:   s.pending,
+		Chain:     s.chain,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ordering: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements bft.Application.
+func (s *Service) Restore(snapshot []byte) error {
+	var snap ledgerSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&snap); err != nil {
+		return fmt.Errorf("ordering: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blockSize = snap.BlockSize
+	s.pending = snap.Pending
+	s.chain = snap.Chain
+	return nil
+}
+
+// Height reports the local chain height.
+func (s *Service) Height() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chain)
+}
+
+// Chain returns a copy of the local chain.
+func (s *Service) Chain() []*Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Block(nil), s.chain...)
+}

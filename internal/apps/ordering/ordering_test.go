@@ -1,0 +1,186 @@
+package ordering
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"lazarus/internal/bft"
+	"lazarus/internal/bft/bfttest"
+	"lazarus/internal/transport"
+)
+
+func submit(t *testing.T, s *Service, payload string) string {
+	t.Helper()
+	op, err := SubmitOp(Transaction{Payload: []byte(payload)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(s.Execute(op))
+}
+
+func TestBlockCutting(t *testing.T) {
+	s, err := NewService(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res := submit(t, s, fmt.Sprintf("tx%d", i))
+		if !strings.Contains(res, "cut=0") {
+			t.Errorf("tx%d cut a block early: %q", i, res)
+		}
+	}
+	res := submit(t, s, "tx2")
+	if !strings.Contains(res, "cut=1") {
+		t.Errorf("third tx should cut block 1: %q", res)
+	}
+	if s.Height() != 1 {
+		t.Errorf("height = %d, want 1", s.Height())
+	}
+	for i := 3; i < 6; i++ {
+		submit(t, s, fmt.Sprintf("tx%d", i))
+	}
+	if s.Height() != 2 {
+		t.Errorf("height = %d, want 2", s.Height())
+	}
+}
+
+func TestChainVerification(t *testing.T) {
+	s, _ := NewService(2)
+	for i := 0; i < 8; i++ {
+		submit(t, s, fmt.Sprintf("tx%d", i))
+	}
+	chain := s.Chain()
+	if len(chain) != 4 {
+		t.Fatalf("chain length %d, want 4", len(chain))
+	}
+	if err := VerifyChain(chain); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	// Tamper with a middle block.
+	tampered := append([]*Block(nil), chain...)
+	bad := *tampered[1]
+	bad.Transactions = append([]Transaction(nil), bad.Transactions...)
+	bad.Transactions[0].Payload = []byte("forged")
+	tampered[1] = &bad
+	if err := VerifyChain(tampered); err == nil {
+		t.Error("tampered chain verified")
+	}
+	// Break numbering.
+	gap := []*Block{chain[0], chain[2]}
+	if err := VerifyChain(gap); err == nil {
+		t.Error("chain with gap verified")
+	}
+}
+
+func TestFetchAndHeight(t *testing.T) {
+	s, _ := NewService(2)
+	for i := 0; i < 6; i++ {
+		submit(t, s, fmt.Sprintf("tx%d", i))
+	}
+	heightOp, _ := HeightOp()
+	if got := string(s.Execute(heightOp)); got != "HEIGHT 3" {
+		t.Errorf("height = %q", got)
+	}
+	fetchOp, _ := FetchOp(2)
+	blocks, err := DecodeBlocks(s.Execute(fetchOp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || blocks[0].Number != 2 {
+		t.Errorf("fetched %d blocks from %d", len(blocks), blocks[0].Number)
+	}
+	if err := VerifyChain(blocks); err != nil {
+		t.Errorf("fetched segment invalid: %v", err)
+	}
+	farOp, _ := FetchOp(100)
+	if blocks, err := DecodeBlocks(s.Execute(farOp)); err != nil || blocks != nil {
+		t.Errorf("fetch past end = %v, %v", blocks, err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s, _ := NewService(3)
+	for i := 0; i < 7; i++ { // 2 blocks + 1 pending
+		submit(t, s, fmt.Sprintf("tx%d", i))
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewService(99) // restore overrides block size
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Height() != 2 {
+		t.Fatalf("restored height %d, want 2", s2.Height())
+	}
+	// Two more txs cut the next block (1 pending + 2 = 3).
+	submit(t, s2, "tx7")
+	res := submit(t, s2, "tx8")
+	if !strings.Contains(res, "cut=3") {
+		t.Errorf("restored service block size wrong: %q", res)
+	}
+	if err := VerifyChain(s2.Chain()); err != nil {
+		t.Errorf("restored chain invalid: %v", err)
+	}
+	if err := s2.Restore([]byte("junk")); err == nil {
+		t.Error("junk snapshot accepted")
+	}
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService(0); err == nil {
+		t.Error("block size 0 accepted")
+	}
+}
+
+func TestReplicatedOrdering(t *testing.T) {
+	cluster, err := bfttest.Launch(
+		func(transport.NodeID) bft.Application {
+			s, _ := NewService(5)
+			return s
+		},
+		bfttest.Options{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	cl, err := cluster.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 20; i++ {
+		op, _ := SubmitOp(Transaction{Payload: []byte(fmt.Sprintf("tx-%03d", i))})
+		if _, err := cl.Invoke(ctx, op); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	fetchOp, _ := FetchOp(1)
+	res, err := cl.Invoke(ctx, fetchOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := DecodeBlocks(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("replicated chain has %d blocks, want 4", len(blocks))
+	}
+	if err := VerifyChain(blocks); err != nil {
+		t.Fatalf("replicated chain invalid: %v", err)
+	}
+	// Transactions appear in submission order inside the ledger.
+	if !bytes.Equal(blocks[0].Transactions[0].Payload, []byte("tx-000")) {
+		t.Errorf("first ledger tx = %q", blocks[0].Transactions[0].Payload)
+	}
+}

@@ -1,0 +1,144 @@
+package bft
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"lazarus/internal/transport"
+)
+
+// Application is the replicated service: a deterministic state machine.
+// Execute is called with totally-ordered operations on every correct
+// replica; Snapshot/Restore support checkpointing and state transfer.
+type Application interface {
+	// Execute applies one ordered operation and returns its result. It
+	// must be deterministic.
+	Execute(op []byte) []byte
+	// Snapshot serializes the full service state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the service state with a snapshot.
+	Restore(snapshot []byte) error
+}
+
+// Membership is one configuration epoch of the replica group: the ordered
+// replica ids and their public keys.
+type Membership struct {
+	// Epoch numbers configurations; reconfigurations increment it.
+	Epoch uint64
+	// Replicas lists the member ids in canonical (sorted) order.
+	Replicas []transport.NodeID
+	// Keys holds each member's public key.
+	Keys map[transport.NodeID]ed25519.PublicKey
+}
+
+// NewMembership builds an epoch-0 membership.
+func NewMembership(replicas []transport.NodeID, keys map[transport.NodeID]ed25519.PublicKey) (*Membership, error) {
+	if len(replicas) < 4 {
+		return nil, fmt.Errorf("bft: %d replicas cannot tolerate any fault (need >= 4)", len(replicas))
+	}
+	m := &Membership{
+		Replicas: append([]transport.NodeID(nil), replicas...),
+		Keys:     make(map[transport.NodeID]ed25519.PublicKey, len(replicas)),
+	}
+	sort.Slice(m.Replicas, func(i, j int) bool { return m.Replicas[i] < m.Replicas[j] })
+	for i := 1; i < len(m.Replicas); i++ {
+		if m.Replicas[i] == m.Replicas[i-1] {
+			return nil, fmt.Errorf("bft: duplicate replica %d", m.Replicas[i])
+		}
+	}
+	for _, id := range m.Replicas {
+		key, ok := keys[id]
+		if !ok {
+			return nil, fmt.Errorf("bft: no key for replica %d", id)
+		}
+		m.Keys[id] = key
+	}
+	return m, nil
+}
+
+// N returns the group size.
+func (m *Membership) N() int { return len(m.Replicas) }
+
+// F returns the fault threshold: the largest f with n >= 3f+1.
+func (m *Membership) F() int { return (m.N() - 1) / 3 }
+
+// Quorum returns the Byzantine quorum size 2f+1.
+func (m *Membership) Quorum() int { return 2*m.F() + 1 }
+
+// Contains reports whether the id is a member.
+func (m *Membership) Contains(id transport.NodeID) bool {
+	for _, r := range m.Replicas {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Primary returns the primary of a view: the view-th member, round-robin.
+func (m *Membership) Primary(view uint64) transport.NodeID {
+	return m.Replicas[int(view%uint64(len(m.Replicas)))]
+}
+
+// Clone deep-copies the membership.
+func (m *Membership) Clone() *Membership {
+	out := &Membership{
+		Epoch:    m.Epoch,
+		Replicas: append([]transport.NodeID(nil), m.Replicas...),
+		Keys:     make(map[transport.NodeID]ed25519.PublicKey, len(m.Keys)),
+	}
+	for id, k := range m.Keys {
+		out.Keys[id] = k
+	}
+	return out
+}
+
+// WithAdded returns a new membership with the replica added and the epoch
+// advanced.
+func (m *Membership) WithAdded(id transport.NodeID, key ed25519.PublicKey) (*Membership, error) {
+	if m.Contains(id) {
+		return nil, fmt.Errorf("bft: replica %d already a member", id)
+	}
+	out := m.Clone()
+	out.Epoch++
+	out.Replicas = append(out.Replicas, id)
+	sort.Slice(out.Replicas, func(i, j int) bool { return out.Replicas[i] < out.Replicas[j] })
+	out.Keys[id] = key
+	return out, nil
+}
+
+// WithRemoved returns a new membership with the replica removed and the
+// epoch advanced.
+func (m *Membership) WithRemoved(id transport.NodeID) (*Membership, error) {
+	if !m.Contains(id) {
+		return nil, fmt.Errorf("bft: replica %d not a member", id)
+	}
+	if m.N() <= 4 {
+		return nil, fmt.Errorf("bft: removing replica %d would leave %d replicas (minimum 4)", id, m.N()-1)
+	}
+	out := m.Clone()
+	out.Epoch++
+	for i, r := range out.Replicas {
+		if r == id {
+			out.Replicas = append(out.Replicas[:i], out.Replicas[i+1:]...)
+			break
+		}
+	}
+	delete(out.Keys, id)
+	return out, nil
+}
+
+// Digest hashes the membership (epoch, ids, keys) for state agreement.
+func (m *Membership) Digest() Digest {
+	h := sha256.New()
+	fmt.Fprintf(h, "epoch|%d|", m.Epoch)
+	for _, id := range m.Replicas {
+		fmt.Fprintf(h, "%d|", id)
+		h.Write(m.Keys[id])
+	}
+	var out Digest
+	h.Sum(out[:0])
+	return out
+}

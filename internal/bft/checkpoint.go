@@ -1,0 +1,111 @@
+package bft
+
+import (
+	"crypto/sha256"
+
+	"lazarus/internal/transport"
+)
+
+// ckpt returns (creating if needed) the checkpoint state at seq.
+func (r *Replica) ckpt(seq uint64) *checkpointState {
+	cs, ok := r.ckpts[seq]
+	if !ok {
+		cs = &checkpointState{votes: make(map[transport.NodeID]Digest)}
+		r.ckpts[seq] = cs
+	}
+	return cs
+}
+
+// takeCheckpoint snapshots the replica state at seq and broadcasts a
+// signed CHECKPOINT vote. Replicas checkpoint every CheckpointInterval
+// executions and immediately after a membership change.
+func (r *Replica) takeCheckpoint(seq uint64) {
+	snap, err := r.encodeSnapshot()
+	if err != nil {
+		r.cfg.Logf("replica %d: checkpoint at %d failed: %v", r.cfg.ID, seq, err)
+		return
+	}
+	digest := Digest(sha256.Sum256(snap))
+	cs := r.ckpt(seq)
+	cs.snapshot = snap
+	cs.digest = digest
+	cs.votes[r.cfg.ID] = digest
+	msg := &Message{
+		Type:        MsgCheckpoint,
+		SeqNo:       seq,
+		Epoch:       r.membership.Epoch,
+		StateDigest: digest,
+	}
+	msg.From = r.cfg.ID
+	msg.Sign(r.cfg.Key)
+	r.broadcast(msg)
+	r.updateStats(func(s *ReplicaStats) { s.Checkpoints++ })
+	r.checkStable(seq)
+}
+
+// onCheckpoint records a checkpoint vote.
+func (r *Replica) onCheckpoint(msg *Message) {
+	if !r.fromMember(msg) || !r.verifySigned(msg) {
+		return
+	}
+	if msg.SeqNo <= r.lowWater {
+		return // already stable
+	}
+	cs := r.ckpt(msg.SeqNo)
+	cs.votes[msg.From] = msg.StateDigest
+	r.checkStable(msg.SeqNo)
+}
+
+// checkStable declares a checkpoint stable on a quorum of matching votes,
+// truncates the log below it, and detects that this replica fell behind.
+func (r *Replica) checkStable(seq uint64) {
+	cs := r.ckpt(seq)
+	if cs.stable {
+		return
+	}
+	counts := make(map[Digest]int)
+	for _, d := range cs.votes {
+		counts[d]++
+	}
+	var winner Digest
+	for d, n := range counts {
+		if n >= r.membership.Quorum() {
+			winner = d
+			break
+		}
+	}
+	if winner.IsZero() {
+		return
+	}
+	cs.stable = true
+	if cs.snapshot == nil || cs.digest != winner {
+		// The group is provably at seq but this replica has no matching
+		// state: it fell behind (or diverged) and must transfer state.
+		r.cfg.Logf("replica %d: behind stable checkpoint %d; requesting state", r.cfg.ID, seq)
+		r.requestStateTransfer()
+		return
+	}
+	r.advanceLowWater(seq, cs.snapshot)
+}
+
+// advanceLowWater installs a new stable checkpoint and garbage-collects.
+func (r *Replica) advanceLowWater(seq uint64, snapshot []byte) {
+	if seq <= r.lowWater {
+		return
+	}
+	r.lowWater = seq
+	r.lastSnap = snapshot
+	for s := range r.log {
+		if s <= seq {
+			delete(r.log, s)
+		}
+	}
+	for s := range r.ckpts {
+		if s < seq {
+			delete(r.ckpts, s)
+		}
+	}
+	if r.seq < seq {
+		r.seq = seq
+	}
+}

@@ -1,0 +1,164 @@
+package bft
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"sync"
+	"time"
+
+	"lazarus/internal/transport"
+)
+
+// ClientConfig configures a BFT client.
+type ClientConfig struct {
+	// ID is the client's node id (>= transport.ClientIDBase).
+	ID transport.NodeID
+	// Key signs the client's requests.
+	Key ed25519.PrivateKey
+	// Replicas is the current replica set to talk to.
+	Replicas []transport.NodeID
+	// F is the fault threshold; f+1 matching replies accept a result.
+	F int
+	// Net provides the endpoint.
+	Net transport.Network
+	// RequestTimeout bounds one invocation attempt before retransmitting
+	// (default 500ms).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds retransmissions before giving up (default 8).
+	MaxAttempts int
+}
+
+// Client invokes operations on the replicated service and accepts a
+// result once f+1 replicas vouch for it. Safe for sequential use; one
+// outstanding invocation at a time (run several Clients for concurrency).
+type Client struct {
+	cfg ClientConfig
+	ep  transport.Endpoint
+
+	mu       sync.Mutex
+	replicas []transport.NodeID
+	seq      uint64
+}
+
+// NewClient validates the configuration and connects the endpoint.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	switch {
+	case !cfg.ID.IsClient():
+		return nil, fmt.Errorf("bft: client id %d below ClientIDBase", cfg.ID)
+	case len(cfg.Key) != ed25519.PrivateKeySize:
+		return nil, fmt.Errorf("bft: client %d: bad private key", cfg.ID)
+	case len(cfg.Replicas) == 0:
+		return nil, fmt.Errorf("bft: client %d: no replicas", cfg.ID)
+	case cfg.Net == nil:
+		return nil, fmt.Errorf("bft: client %d: nil network", cfg.ID)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 500 * time.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	ep, err := cfg.Net.Endpoint(cfg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("bft: client %d endpoint: %w", cfg.ID, err)
+	}
+	return &Client{
+		cfg:      cfg,
+		ep:       ep,
+		replicas: append([]transport.NodeID(nil), cfg.Replicas...),
+	}, nil
+}
+
+// UpdateReplicas installs a new replica set (after a Lazarus
+// reconfiguration; in a full deployment clients learn this from reply
+// epochs and a directory service).
+func (c *Client) UpdateReplicas(replicas []transport.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas = append([]transport.NodeID(nil), replicas...)
+}
+
+// Replicas returns the client's current replica set.
+func (c *Client) Replicas() []transport.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]transport.NodeID(nil), c.replicas...)
+}
+
+// Close releases the client's endpoint.
+func (c *Client) Close() error { return c.ep.Close() }
+
+// Invoke submits one operation and blocks until f+1 matching replies
+// arrive or the context/attempt budget is exhausted.
+func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	replicas := append([]transport.NodeID(nil), c.replicas...)
+	c.mu.Unlock()
+
+	req := Request{Client: c.cfg.ID, Seq: seq, Op: op}
+	req.Sign(c.cfg.Key)
+	msg := &Message{Type: MsgRequest, From: c.cfg.ID, Request: &req}
+	payload, err := Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+
+	votes := make(map[transport.NodeID][]byte)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, id := range replicas {
+			if err := c.ep.Send(id, payload); err != nil {
+				// Dead replicas are expected during reconfiguration.
+				continue
+			}
+		}
+		deadline := time.Now().Add(c.cfg.RequestTimeout)
+		for {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				break
+			}
+			rctx, cancel := context.WithTimeout(ctx, remaining)
+			env, err := c.ep.Recv(rctx)
+			cancel()
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				break // attempt timed out; retransmit
+			}
+			reply, err := Decode(env.Payload)
+			if err != nil || reply.Type != MsgReply || reply.ReplySeq != seq {
+				continue // stale or foreign message
+			}
+			votes[env.From] = reply.Result
+			if result, ok := tally(votes, c.cfg.F+1); ok {
+				return result, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("bft: client %d: no quorum for request %d after %d attempts",
+		c.cfg.ID, seq, c.cfg.MaxAttempts)
+}
+
+// tally looks for need matching results among the votes.
+func tally(votes map[transport.NodeID][]byte, need int) ([]byte, bool) {
+	for _, result := range votes {
+		count := 0
+		for _, other := range votes {
+			if bytes.Equal(result, other) {
+				count++
+			}
+		}
+		if count >= need {
+			return result, true
+		}
+	}
+	return nil, false
+}

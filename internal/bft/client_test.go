@@ -1,0 +1,152 @@
+package bft
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lazarus/internal/transport"
+)
+
+func TestNewClientValidation(t *testing.T) {
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer net.Close()
+	_, priv := keypair(t)
+	base := ClientConfig{
+		ID:       transport.ClientIDBase,
+		Key:      priv,
+		Replicas: []transport.NodeID{0, 1, 2, 3},
+		F:        1,
+		Net:      net,
+	}
+	if _, err := NewClient(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := base
+	bad.ID = 3 // replica-range id
+	if _, err := NewClient(bad); err == nil {
+		t.Error("replica-range client id accepted")
+	}
+	bad = base
+	bad.Key = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("missing key accepted")
+	}
+	bad = base
+	bad.Replicas = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("empty replica set accepted")
+	}
+	bad = base
+	bad.Net = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestClientGivesUpWithoutQuorum(t *testing.T) {
+	// No replicas running at all: the client must return an error after
+	// its attempt budget, not hang.
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer net.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := net.Endpoint(transport.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, priv := keypair(t)
+	cl, err := NewClient(ClientConfig{
+		ID:             transport.ClientIDBase,
+		Key:            priv,
+		Replicas:       []transport.NodeID{0, 1, 2, 3},
+		F:              1,
+		Net:            net,
+		RequestTimeout: 50 * time.Millisecond,
+		MaxAttempts:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	_, err = cl.Invoke(context.Background(), []byte("op"))
+	if err == nil {
+		t.Fatal("invoke without any replicas succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("gave up after %v, want prompt failure", elapsed)
+	}
+}
+
+func TestClientHonorsContext(t *testing.T) {
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer net.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := net.Endpoint(transport.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, priv := keypair(t)
+	cl, err := NewClient(ClientConfig{
+		ID:       transport.ClientIDBase,
+		Key:      priv,
+		Replicas: []transport.NodeID{0, 1, 2, 3},
+		F:        1,
+		Net:      net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl.Invoke(ctx, []byte("op")); err == nil {
+		t.Fatal("invoke with dead service succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("context deadline ignored for %v", elapsed)
+	}
+}
+
+func TestClientIgnoresForgedReplies(t *testing.T) {
+	// f forged replies must not reach the f+1 quorum: with f=1, a single
+	// lying node cannot convince the client.
+	c := newCluster(t, 4, 1, func(cfg *ReplicaConfig) {
+		if cfg.ID == 1 {
+			cfg.Fault = FaultCorruptReply
+		}
+	})
+	c.start()
+	defer c.stop()
+	cl := c.client(0)
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		res := invoke(t, cl, "add 1")
+		if decodeInt(res) != int64(i+1) {
+			t.Fatalf("result %d, want %d", decodeInt(res), i+1)
+		}
+	}
+}
+
+func TestUpdateReplicasVisible(t *testing.T) {
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer net.Close()
+	_, priv := keypair(t)
+	cl, err := NewClient(ClientConfig{
+		ID:       transport.ClientIDBase,
+		Key:      priv,
+		Replicas: []transport.NodeID{0, 1, 2, 3},
+		F:        1,
+		Net:      net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.UpdateReplicas([]transport.NodeID{1, 2, 3, 4})
+	got := cl.Replicas()
+	if len(got) != 4 || got[3] != 4 {
+		t.Errorf("Replicas() = %v", got)
+	}
+}

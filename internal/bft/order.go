@@ -1,0 +1,406 @@
+package bft
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/gob"
+	"fmt"
+
+	"lazarus/internal/transport"
+)
+
+// reconfigPrefix marks operations interpreted by the replication layer
+// itself rather than the application: membership changes issued by the
+// (trusted) Lazarus controller.
+var reconfigPrefix = []byte("\x00BFT-RECONFIG\x00")
+
+// ReconfigOp is a membership-change command ordered through consensus,
+// BFT-SMaRt style (paper §5.2: "first add a new replica and then remove
+// the old replica to be quarantined").
+type ReconfigOp struct {
+	// Add, when true, adds the replica; otherwise removes it.
+	Add bool
+	// Replica is the subject node.
+	Replica transport.NodeID
+	// PubKey is the subject's public key (required for Add).
+	PubKey []byte
+}
+
+// EncodeReconfigOp serializes a reconfiguration for submission as a
+// request payload. Only requests signed by the controller key execute.
+func EncodeReconfigOp(op ReconfigOp) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(reconfigPrefix)
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return nil, fmt.Errorf("bft: encoding reconfig op: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeReconfigOp(payload []byte) (ReconfigOp, bool) {
+	if !bytes.HasPrefix(payload, reconfigPrefix) {
+		return ReconfigOp{}, false
+	}
+	var op ReconfigOp
+	if err := gob.NewDecoder(bytes.NewReader(payload[len(reconfigPrefix):])).Decode(&op); err != nil {
+		return ReconfigOp{}, false
+	}
+	return op, true
+}
+
+// onRequest handles a client request: deduplicate, authenticate, queue
+// (primary) and arm the progress timer (all replicas).
+func (r *Replica) onRequest(msg *Message) {
+	if msg.Request == nil {
+		return
+	}
+	req := *msg.Request
+	rec, ok := r.clients[req.Client]
+	if ok && req.Seq <= rec.lastSeq {
+		// Retransmission of an executed request: resend the cached
+		// reply.
+		if rec.lastReply != nil && req.Seq == rec.lastSeq {
+			r.send(req.Client, rec.lastReply)
+		}
+		return
+	}
+	if !r.verifyRequest(&req) {
+		r.cfg.Logf("replica %d: rejecting unauthenticated request from %d", r.cfg.ID, req.Client)
+		return
+	}
+	d := req.Digest()
+	if !r.pendingSet[d] {
+		r.pendingSet[d] = true
+		r.pending = append(r.pending, req)
+	}
+	// Any replica holding unordered requests arms its progress timer:
+	// if the primary does not order them in time, a view change starts.
+	r.armProgressTimer()
+	r.updateStats(func(*ReplicaStats) {})
+}
+
+// verifyRequest authenticates a request against the client key registry
+// or, for reconfigurations, the controller key.
+func (r *Replica) verifyRequest(req *Request) bool {
+	if _, isReconfig := decodeReconfigOp(req.Op); isReconfig {
+		return len(r.cfg.ControllerKey) == ed25519.PublicKeySize && req.Verify(r.cfg.ControllerKey)
+	}
+	pub, ok := r.cfg.ClientKeys[req.Client]
+	if !ok {
+		return false
+	}
+	return req.Verify(pub)
+}
+
+// maybePropose lets the primary start consensus on the pending batch.
+func (r *Replica) maybePropose() {
+	if r.joining || r.inViewChange || !r.primary() || len(r.pending) == 0 {
+		return
+	}
+	if r.cfg.Fault == FaultSilent {
+		return
+	}
+	// Respect the window: do not run ahead of checkpointing.
+	if r.seq >= r.lowWater+r.cfg.WindowSize {
+		return
+	}
+	n := len(r.pending)
+	if n > r.cfg.BatchSize {
+		n = r.cfg.BatchSize
+	}
+	batch := &Batch{Requests: append([]Request(nil), r.pending[:n]...)}
+	r.pending = r.pending[n:]
+	for i := range batch.Requests {
+		delete(r.pendingSet, batch.Requests[i].Digest())
+	}
+	r.seq++
+	seq := r.seq
+
+	if r.cfg.Fault == FaultEquivocate {
+		r.proposeEquivocating(seq, batch)
+		return
+	}
+	pp := &Message{
+		Type:        MsgPrePrepare,
+		From:        r.cfg.ID,
+		View:        r.view,
+		SeqNo:       seq,
+		Epoch:       r.membership.Epoch,
+		Batch:       batch,
+		BatchDigest: batch.Digest(),
+	}
+	r.broadcast(pp)
+	r.acceptPrePrepare(pp) // the primary pre-prepares locally
+}
+
+// proposeEquivocating is the Byzantine primary: it sends batch A to half
+// the replicas and batch B to the other half. Correct replicas cannot
+// gather prepare quorums for either, progress stalls, and the view change
+// removes the primary — the behaviour the tests assert.
+func (r *Replica) proposeEquivocating(seq uint64, batch *Batch) {
+	alt := &Batch{} // conflicting empty proposal
+	ppA := &Message{Type: MsgPrePrepare, View: r.view, SeqNo: seq,
+		Epoch: r.membership.Epoch, Batch: batch, BatchDigest: batch.Digest()}
+	ppB := &Message{Type: MsgPrePrepare, View: r.view, SeqNo: seq,
+		Epoch: r.membership.Epoch, Batch: alt, BatchDigest: alt.Digest()}
+	for i, id := range r.membership.Replicas {
+		if id == r.cfg.ID {
+			continue
+		}
+		if i%2 == 0 {
+			r.send(id, ppA)
+		} else {
+			r.send(id, ppB)
+		}
+	}
+}
+
+// acceptPrePrepare validates and registers a proposal, then sends
+// PREPARE.
+func (r *Replica) acceptPrePrepare(pp *Message) {
+	in := r.inst(pp.SeqNo)
+	in.prePrepare = pp
+	in.batch = pp.Batch
+	in.digest = pp.BatchDigest
+	in.prepares[r.cfg.ID] = true
+	// The primary's pre-prepare stands in for its prepare (PBFT's
+	// prepared predicate: pre-prepare + 2f prepares from distinct
+	// replicas).
+	in.prepares[pp.From] = true
+	if !r.primary() {
+		prep := &Message{
+			Type:        MsgPrepare,
+			View:        pp.View,
+			SeqNo:       pp.SeqNo,
+			Epoch:       r.membership.Epoch,
+			BatchDigest: pp.BatchDigest,
+		}
+		r.broadcast(prep)
+	}
+	r.checkPrepared(pp.SeqNo)
+}
+
+// onPrePrepare handles the primary's proposal.
+func (r *Replica) onPrePrepare(msg *Message) {
+	if r.joining || r.inViewChange || !r.fromMember(msg) {
+		return
+	}
+	if msg.View != r.view || msg.From != r.membership.Primary(r.view) {
+		return
+	}
+	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
+		return
+	}
+	if msg.Batch == nil || msg.Batch.Digest() != msg.BatchDigest {
+		r.cfg.Logf("replica %d: pre-prepare digest mismatch at seq %d", r.cfg.ID, msg.SeqNo)
+		return
+	}
+	in := r.inst(msg.SeqNo)
+	if in.prePrepare != nil {
+		if in.digest != msg.BatchDigest {
+			// Conflicting proposal in the same view: Byzantine primary.
+			r.cfg.Logf("replica %d: conflicting pre-prepare at seq %d; starting view change", r.cfg.ID, msg.SeqNo)
+			r.startViewChange(r.view + 1)
+		}
+		return
+	}
+	// Authenticate every request in the batch: a Byzantine primary must
+	// not inject operations no client signed.
+	for i := range msg.Batch.Requests {
+		if !r.verifyRequest(&msg.Batch.Requests[i]) {
+			r.cfg.Logf("replica %d: batch at seq %d carries unauthenticated request", r.cfg.ID, msg.SeqNo)
+			return
+		}
+	}
+	r.acceptPrePrepare(msg)
+	// Ordered requests need no separate progress tracking.
+	r.armProgressTimer()
+}
+
+// onPrepare counts prepare votes.
+func (r *Replica) onPrepare(msg *Message) {
+	if r.joining || r.inViewChange || !r.fromMember(msg) {
+		return
+	}
+	if msg.View != r.view || msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
+		return
+	}
+	in := r.inst(msg.SeqNo)
+	if in.prePrepare != nil && msg.BatchDigest != in.digest {
+		return // vote for a different proposal
+	}
+	in.prepares[msg.From] = true
+	r.checkPrepared(msg.SeqNo)
+}
+
+// checkPrepared advances to the commit phase once 2f+1 replicas (self
+// included) prepared the same digest.
+func (r *Replica) checkPrepared(seq uint64) {
+	in := r.inst(seq)
+	if in.prepared || in.prePrepare == nil {
+		return
+	}
+	if len(in.prepares) < r.membership.Quorum() {
+		return
+	}
+	in.prepared = true
+	in.commits[r.cfg.ID] = true
+	cm := &Message{
+		Type:        MsgCommit,
+		View:        r.view,
+		SeqNo:       seq,
+		Epoch:       r.membership.Epoch,
+		BatchDigest: in.digest,
+	}
+	r.broadcast(cm)
+	r.checkCommitted(seq)
+}
+
+// onCommit counts commit votes.
+func (r *Replica) onCommit(msg *Message) {
+	if r.joining || r.inViewChange || !r.fromMember(msg) {
+		return
+	}
+	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
+		return
+	}
+	in := r.inst(msg.SeqNo)
+	if in.prePrepare != nil && msg.BatchDigest != in.digest {
+		return
+	}
+	in.commits[msg.From] = true
+	r.checkCommitted(msg.SeqNo)
+}
+
+// checkCommitted executes once 2f+1 commits arrive for a prepared batch.
+func (r *Replica) checkCommitted(seq uint64) {
+	in := r.inst(seq)
+	if in.committed || !in.prepared {
+		return
+	}
+	if len(in.commits) < r.membership.Quorum() {
+		return
+	}
+	in.committed = true
+	r.executeReady()
+}
+
+// executeReady applies committed batches in sequence order.
+func (r *Replica) executeReady() {
+	for {
+		next := r.lastExec + 1
+		in, ok := r.log[next]
+		if !ok || !in.committed || in.executed {
+			break
+		}
+		in.executed = true
+		r.lastExec = next
+		for i := range in.batch.Requests {
+			r.executeRequest(&in.batch.Requests[i])
+			// Executed requests leave every replica's pending queue
+			// (non-primaries hold them only to watch for progress).
+			delete(r.pendingSet, in.batch.Requests[i].Digest())
+		}
+		r.compactPending()
+		r.updateStats(func(s *ReplicaStats) { s.Executed++ })
+		if r.lastExec%r.cfg.CheckpointInterval == 0 {
+			r.takeCheckpoint(r.lastExec)
+		}
+	}
+	// Progress was made: disarm, and if work remains start a fresh
+	// timeout (PBFT resets the progress timer whenever execution
+	// advances; without the reset, sustained load turns the timer into
+	// a spurious view-change generator).
+	r.disarmProgressTimer()
+	if len(r.pending) > 0 {
+		r.armProgressTimer()
+	}
+}
+
+// compactPending drops pending entries that executed (their digest left
+// pendingSet) or were superseded by a later request from the same client.
+func (r *Replica) compactPending() {
+	kept := r.pending[:0]
+	for _, req := range r.pending {
+		if !r.pendingSet[req.Digest()] {
+			continue
+		}
+		if rec, ok := r.clients[req.Client]; ok && req.Seq <= rec.lastSeq {
+			delete(r.pendingSet, req.Digest())
+			continue
+		}
+		kept = append(kept, req)
+	}
+	r.pending = kept
+}
+
+// executeRequest applies one operation and replies to its client. A
+// request the replica already executed (retransmitted by the client and
+// re-ordered, or re-proposed across a view change) is not applied twice.
+func (r *Replica) executeRequest(req *Request) {
+	if rec, ok := r.clients[req.Client]; ok && req.Seq <= rec.lastSeq {
+		if rec.lastReply != nil && req.Seq == rec.lastSeq {
+			r.send(req.Client, rec.lastReply)
+		}
+		return
+	}
+	var result []byte
+	if op, isReconfig := decodeReconfigOp(req.Op); isReconfig {
+		result = r.applyReconfig(op)
+	} else {
+		result = r.cfg.App.Execute(req.Op)
+	}
+	if r.cfg.Fault == FaultCorruptReply {
+		result = append([]byte("CORRUPTED:"), result...)
+	}
+	reply := &Message{
+		Type:        MsgReply,
+		View:        r.view,
+		Epoch:       r.membership.Epoch,
+		ReplySeq:    req.Seq,
+		ReplyClient: req.Client,
+		Result:      result,
+	}
+	rec, ok := r.clients[req.Client]
+	if !ok {
+		rec = &clientRecord{}
+		r.clients[req.Client] = rec
+	}
+	rec.lastSeq = req.Seq
+	rec.lastReply = reply
+	r.send(req.Client, reply)
+}
+
+// applyReconfig executes an ordered membership change.
+func (r *Replica) applyReconfig(op ReconfigOp) []byte {
+	var (
+		next *Membership
+		err  error
+	)
+	if op.Add {
+		if len(op.PubKey) != ed25519.PublicKeySize {
+			return []byte("reconfig error: bad public key")
+		}
+		next, err = r.membership.WithAdded(op.Replica, ed25519.PublicKey(op.PubKey))
+	} else {
+		next, err = r.membership.WithRemoved(op.Replica)
+	}
+	if err != nil {
+		return []byte("reconfig error: " + err.Error())
+	}
+	r.membership = next
+	r.updateStats(func(s *ReplicaStats) { s.Reconfigs++ })
+	r.cfg.Logf("replica %d: epoch %d membership %v", r.cfg.ID, next.Epoch, next.Replicas)
+
+	if op.Add {
+		// Take an immediate checkpoint so the joiner can fetch a state
+		// that already includes the new membership.
+		r.takeCheckpoint(r.lastExec)
+	}
+	if !op.Add && op.Replica == r.cfg.ID {
+		// This replica was removed: it stops participating (the control
+		// plane will power it off). Entering joining mode silences it.
+		r.joining = true
+	}
+	return []byte(fmt.Sprintf("reconfig ok: epoch %d", next.Epoch))
+}

@@ -1,0 +1,493 @@
+package bft
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"encoding/gob"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"lazarus/internal/transport"
+)
+
+// FaultMode injects Byzantine behaviour into a replica, for testing the
+// protocol's fault tolerance.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultNone is a correct replica.
+	FaultNone FaultMode = iota
+	// FaultSilent stops sending any protocol message (crash-like).
+	FaultSilent
+	// FaultEquivocate makes a Byzantine primary propose different
+	// batches to different replicas.
+	FaultEquivocate
+	// FaultCorruptReply sends corrupted results to clients.
+	FaultCorruptReply
+)
+
+// ReplicaConfig configures one replica.
+type ReplicaConfig struct {
+	// ID is this replica's node id (must be in the initial membership
+	// unless Joining).
+	ID transport.NodeID
+	// Key is this replica's signing key.
+	Key ed25519.PrivateKey
+	// Membership is the initial configuration.
+	Membership *Membership
+	// App is the replicated service.
+	App Application
+	// Net provides the endpoint.
+	Net transport.Network
+	// ClientKeys authenticates client requests.
+	ClientKeys map[transport.NodeID]ed25519.PublicKey
+	// ControllerKey authenticates reconfiguration operations (the
+	// Lazarus control plane's key).
+	ControllerKey ed25519.PublicKey
+	// BatchSize caps requests per consensus instance (default 16).
+	BatchSize int
+	// BatchDelay is how long the primary waits to fill a batch
+	// (default 2ms).
+	BatchDelay time.Duration
+	// CheckpointInterval is K, the period of checkpoints (default 128).
+	CheckpointInterval uint64
+	// WindowSize is L, the log window (default 2K).
+	WindowSize uint64
+	// ViewChangeTimeout is the request-progress timer (default 300ms).
+	ViewChangeTimeout time.Duration
+	// Joining marks a replica that starts outside the group and must
+	// state-transfer in after a reconfiguration adds it.
+	Joining bool
+	// Fault selects Byzantine behaviour (tests only).
+	Fault FaultMode
+	// Logf receives debug logging (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *ReplicaConfig) fill() error {
+	switch {
+	case c.Membership == nil:
+		return fmt.Errorf("bft: replica %d: nil membership", c.ID)
+	case c.App == nil:
+		return fmt.Errorf("bft: replica %d: nil application", c.ID)
+	case c.Net == nil:
+		return fmt.Errorf("bft: replica %d: nil network", c.ID)
+	case len(c.Key) != ed25519.PrivateKeySize:
+		return fmt.Errorf("bft: replica %d: bad private key", c.ID)
+	case !c.Joining && !c.Membership.Contains(c.ID):
+		return fmt.Errorf("bft: replica %d not in initial membership", c.ID)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 128
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 2 * c.CheckpointInterval
+	}
+	if c.ViewChangeTimeout <= 0 {
+		c.ViewChangeTimeout = 300 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// instance is the per-sequence-number agreement state.
+type instance struct {
+	prePrepare *Message
+	batch      *Batch
+	digest     Digest
+	prepares   map[transport.NodeID]bool
+	commits    map[transport.NodeID]bool
+	prepared   bool
+	committed  bool
+	executed   bool
+}
+
+// clientRecord deduplicates client requests and caches the last reply.
+type clientRecord struct {
+	lastSeq   uint64
+	lastReply *Message
+}
+
+// checkpointState tracks checkpoint votes at one sequence number.
+type checkpointState struct {
+	votes    map[transport.NodeID]Digest
+	snapshot []byte // set on the replica's own checkpoint
+	digest   Digest
+	stable   bool
+}
+
+// Replica is one BFT state machine replica. Create with NewReplica, start
+// with Start, stop with Stop. All protocol state is confined to the event
+// loop goroutine.
+type Replica struct {
+	cfg ReplicaConfig
+	ep  transport.Endpoint
+
+	// Event-loop state (no locking; single goroutine).
+	membership *Membership
+	view       uint64
+	seq        uint64 // next sequence number to assign (primary)
+	lowWater   uint64
+	lastExec   uint64
+	log        map[uint64]*instance
+	clients    map[transport.NodeID]*clientRecord
+	pending    []Request
+	pendingSet map[Digest]bool
+	ckpts      map[uint64]*checkpointState
+	lastSnap   []byte // snapshot at lowWater, for state transfer
+	joining    bool
+
+	// View change state.
+	viewChanges  map[uint64]map[transport.NodeID]*Message
+	inViewChange bool
+	vcTarget     uint64 // highest view this replica volunteered for
+	vcTimer      *time.Timer
+	vcArmed      bool
+
+	// State transfer state.
+	stReplies map[transport.NodeID]*Message
+
+	// Lifecycle.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	inbox  chan *Message
+
+	// Observability (mutex-guarded; read from outside the loop).
+	statMu sync.Mutex
+	stats  ReplicaStats
+}
+
+// ReplicaStats exposes coarse counters for tests and monitoring.
+type ReplicaStats struct {
+	Executed        uint64
+	Checkpoints     uint64
+	ViewChanges     uint64
+	StateTransfers  uint64
+	Reconfigs       uint64
+	CurrentView     uint64
+	CurrentEpoch    uint64
+	LastExecuted    uint64
+	MembershipSize  int
+	PendingRequests int
+	// LogInstances and CheckpointStates size the in-memory protocol
+	// state; checkpoint garbage collection must keep both bounded.
+	LogInstances     int
+	CheckpointStates int
+}
+
+// NewReplica validates the configuration and builds a replica.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ep, err := cfg.Net.Endpoint(cfg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("bft: replica %d endpoint: %w", cfg.ID, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Replica{
+		cfg:         cfg,
+		ep:          ep,
+		membership:  cfg.Membership.Clone(),
+		log:         make(map[uint64]*instance),
+		clients:     make(map[transport.NodeID]*clientRecord),
+		pendingSet:  make(map[Digest]bool),
+		ckpts:       make(map[uint64]*checkpointState),
+		viewChanges: make(map[uint64]map[transport.NodeID]*Message),
+		stReplies:   make(map[transport.NodeID]*Message),
+		joining:     cfg.Joining,
+		ctx:         ctx,
+		cancel:      cancel,
+		inbox:       make(chan *Message, 1024),
+	}
+	r.vcTimer = time.NewTimer(time.Hour)
+	if !r.vcTimer.Stop() {
+		<-r.vcTimer.C
+	}
+	return r, nil
+}
+
+// ID returns the replica's node id.
+func (r *Replica) ID() transport.NodeID { return r.cfg.ID }
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() ReplicaStats {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return r.stats
+}
+
+func (r *Replica) updateStats(f func(*ReplicaStats)) {
+	r.statMu.Lock()
+	f(&r.stats)
+	r.stats.CurrentView = r.view
+	r.stats.CurrentEpoch = r.membership.Epoch
+	r.stats.LastExecuted = r.lastExec
+	r.stats.MembershipSize = r.membership.N()
+	r.stats.PendingRequests = len(r.pending)
+	r.stats.LogInstances = len(r.log)
+	r.stats.CheckpointStates = len(r.ckpts)
+	r.statMu.Unlock()
+}
+
+// Start launches the receive pump and the event loop.
+func (r *Replica) Start() {
+	r.wg.Add(2)
+	go r.pump()
+	go r.loop()
+	if r.joining {
+		// A joining replica bootstraps by asking the group for state.
+		r.requestStateTransfer()
+	}
+}
+
+// Stop terminates the replica and waits for its goroutines.
+func (r *Replica) Stop() {
+	r.cancel()
+	r.ep.Close()
+	r.wg.Wait()
+}
+
+// pump moves envelopes from the transport into the event loop.
+func (r *Replica) pump() {
+	defer r.wg.Done()
+	for {
+		env, err := r.ep.Recv(r.ctx)
+		if err != nil {
+			return
+		}
+		msg, err := Decode(env.Payload)
+		if err != nil {
+			r.cfg.Logf("replica %d: dropping undecodable message from %d: %v", r.cfg.ID, env.From, err)
+			continue
+		}
+		// The transport authenticates the envelope sender; the envelope
+		// origin overrides whatever the payload claims.
+		msg.From = env.From
+		select {
+		case r.inbox <- msg:
+		case <-r.ctx.Done():
+			return
+		}
+	}
+}
+
+// loop is the single-threaded protocol engine.
+func (r *Replica) loop() {
+	defer r.wg.Done()
+	batchTicker := time.NewTicker(r.cfg.BatchDelay)
+	defer batchTicker.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case msg := <-r.inbox:
+			r.dispatch(msg)
+		case <-batchTicker.C:
+			r.maybePropose()
+		case <-r.vcTimer.C:
+			r.vcArmed = false
+			r.onProgressTimeout()
+		}
+	}
+}
+
+func (r *Replica) dispatch(msg *Message) {
+	if r.cfg.Fault == FaultSilent {
+		// A silent replica still consumes messages but never responds;
+		// execution state freezes.
+		return
+	}
+	switch msg.Type {
+	case MsgRequest:
+		r.onRequest(msg)
+	case MsgPrePrepare:
+		r.onPrePrepare(msg)
+	case MsgPrepare:
+		r.onPrepare(msg)
+	case MsgCommit:
+		r.onCommit(msg)
+	case MsgCheckpoint:
+		r.onCheckpoint(msg)
+	case MsgViewChange:
+		r.onViewChange(msg)
+	case MsgNewView:
+		r.onNewView(msg)
+	case MsgStateRequest:
+		r.onStateRequest(msg)
+	case MsgStateReply:
+		r.onStateReply(msg)
+	default:
+		r.cfg.Logf("replica %d: unknown message type %v from %d", r.cfg.ID, msg.Type, msg.From)
+	}
+}
+
+// send serializes and sends one message.
+func (r *Replica) send(to transport.NodeID, msg *Message) {
+	msg.From = r.cfg.ID
+	payload, err := Encode(msg)
+	if err != nil {
+		r.cfg.Logf("replica %d: encode: %v", r.cfg.ID, err)
+		return
+	}
+	if err := r.ep.Send(to, payload); err != nil {
+		r.cfg.Logf("replica %d: send to %d: %v", r.cfg.ID, to, err)
+	}
+}
+
+// broadcast sends to every current member (except self).
+func (r *Replica) broadcast(msg *Message) {
+	for _, id := range r.membership.Replicas {
+		if id != r.cfg.ID {
+			r.send(id, msg)
+		}
+	}
+}
+
+// primary reports whether this replica leads the current view.
+func (r *Replica) primary() bool {
+	return r.membership.Primary(r.view) == r.cfg.ID
+}
+
+// inWindow checks the watermarks.
+func (r *Replica) inWindow(seq uint64) bool {
+	return seq > r.lowWater && seq <= r.lowWater+r.cfg.WindowSize
+}
+
+// inst returns (creating if needed) the agreement state for seq.
+func (r *Replica) inst(seq uint64) *instance {
+	in, ok := r.log[seq]
+	if !ok {
+		in = &instance{
+			prepares: make(map[transport.NodeID]bool),
+			commits:  make(map[transport.NodeID]bool),
+		}
+		r.log[seq] = in
+	}
+	return in
+}
+
+// fromMember checks the sender is a current group member.
+func (r *Replica) fromMember(msg *Message) bool {
+	return r.membership.Contains(msg.From)
+}
+
+// verifySigned checks a signed message's replica signature.
+func (r *Replica) verifySigned(msg *Message) bool {
+	pub, ok := r.membership.Keys[msg.From]
+	if !ok {
+		return false
+	}
+	return msg.VerifySig(pub)
+}
+
+// replicaSnapshot is the full serialized replica state used by
+// checkpoints and state transfer: the application state plus the
+// protocol metadata a joiner needs. Maps are flattened into sorted slices
+// because checkpoint agreement hashes these bytes — the encoding must be
+// deterministic across replicas.
+type replicaSnapshot struct {
+	AppState []byte
+	LastExec uint64
+	View     uint64
+	Epoch    uint64
+	Members  []memberEntry
+	Clients  []clientEntry
+}
+
+type memberEntry struct {
+	ID  transport.NodeID
+	Key []byte
+}
+
+type clientEntry struct {
+	ID      transport.NodeID
+	LastSeq uint64
+}
+
+func (r *Replica) encodeSnapshot() ([]byte, error) {
+	appState, err := r.cfg.App.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("bft: replica %d app snapshot: %w", r.cfg.ID, err)
+	}
+	snap := replicaSnapshot{
+		AppState: appState,
+		LastExec: r.lastExec,
+		View:     r.view,
+		Epoch:    r.membership.Epoch,
+	}
+	for _, id := range r.membership.Replicas { // already sorted
+		snap.Members = append(snap.Members, memberEntry{
+			ID:  id,
+			Key: append([]byte(nil), r.membership.Keys[id]...),
+		})
+	}
+	clientIDs := make([]transport.NodeID, 0, len(r.clients))
+	for id := range r.clients {
+		clientIDs = append(clientIDs, id)
+	}
+	sort.Slice(clientIDs, func(i, j int) bool { return clientIDs[i] < clientIDs[j] })
+	for _, id := range clientIDs {
+		snap.Clients = append(snap.Clients, clientEntry{ID: id, LastSeq: r.clients[id].lastSeq})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("bft: replica %d snapshot encode: %w", r.cfg.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (r *Replica) restoreSnapshot(data []byte) error {
+	var snap replicaSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("bft: replica %d snapshot decode: %w", r.cfg.ID, err)
+	}
+	if err := r.cfg.App.Restore(snap.AppState); err != nil {
+		return fmt.Errorf("bft: replica %d app restore: %w", r.cfg.ID, err)
+	}
+	keys := make(map[transport.NodeID]ed25519.PublicKey, len(snap.Members))
+	ids := make([]transport.NodeID, 0, len(snap.Members))
+	for _, m := range snap.Members {
+		keys[m.ID] = ed25519.PublicKey(m.Key)
+		ids = append(ids, m.ID)
+	}
+	mem, err := NewMembership(ids, keys)
+	if err != nil {
+		return err
+	}
+	mem.Epoch = snap.Epoch
+	r.membership = mem
+	r.view = snap.View
+	r.lastExec = snap.LastExec
+	r.seq = snap.LastExec
+	r.lowWater = snap.LastExec
+	r.log = make(map[uint64]*instance)
+	r.ckpts = make(map[uint64]*checkpointState)
+	r.clients = make(map[transport.NodeID]*clientRecord)
+	for _, ce := range snap.Clients {
+		r.clients[ce.ID] = &clientRecord{lastSeq: ce.LastSeq}
+	}
+	r.lastSnap = data
+	return nil
+}
+
+// logf is a helper for tests wanting verbose replicas.
+func StdLogf(prefix string) func(string, ...any) {
+	return func(format string, args ...any) {
+		log.Printf(prefix+format, args...)
+	}
+}

@@ -1,0 +1,105 @@
+package bft
+
+import (
+	"crypto/sha256"
+
+	"lazarus/internal/transport"
+)
+
+// requestStateTransfer asks the group for its latest stable state. Used
+// by joining replicas (bootstrapping after a reconfiguration added them)
+// and by replicas that fell behind a stable checkpoint.
+func (r *Replica) requestStateTransfer() {
+	r.stReplies = make(map[transport.NodeID]*Message)
+	req := &Message{Type: MsgStateRequest, SeqNo: r.lastExec}
+	for _, id := range r.cfg.Membership.Replicas {
+		if id != r.cfg.ID {
+			r.send(id, req)
+		}
+	}
+	// Also ask the current membership, which may differ from the boot
+	// configuration after reconfigurations.
+	for _, id := range r.membership.Replicas {
+		if id != r.cfg.ID && !r.cfg.Membership.Contains(id) {
+			r.send(id, req)
+		}
+	}
+	r.armProgressTimer() // retry if no usable replies arrive
+}
+
+// onStateRequest serves the latest stable snapshot to a lagging replica.
+func (r *Replica) onStateRequest(msg *Message) {
+	if r.lastSnap == nil || r.lowWater <= msg.SeqNo {
+		return // nothing newer to offer
+	}
+	reply := &Message{
+		Type:      MsgStateReply,
+		SnapSeqNo: r.lowWater,
+		SnapView:  r.view,
+		Snapshot:  r.lastSnap,
+	}
+	reply.From = r.cfg.ID
+	reply.Sign(r.cfg.Key)
+	r.send(msg.From, reply)
+}
+
+// onStateReply collects snapshots; f+1 matching copies are proof enough
+// that the state is correct (at least one comes from a correct replica).
+func (r *Replica) onStateReply(msg *Message) {
+	if msg.SnapSeqNo <= r.lastExec && !r.joining {
+		return
+	}
+	if !r.verifyStateReply(msg) {
+		return
+	}
+	r.stReplies[msg.From] = msg
+	// Count matching (seq, digest) pairs.
+	type key struct {
+		seq uint64
+		d   Digest
+	}
+	counts := make(map[key]int)
+	var best *Message
+	f := r.membership.F()
+	for _, m := range r.stReplies {
+		k := key{m.SnapSeqNo, sha256.Sum256(m.Snapshot)}
+		counts[k]++
+		if counts[k] >= f+1 && (best == nil || m.SnapSeqNo > best.SnapSeqNo) {
+			best = m
+		}
+	}
+	if best == nil {
+		return
+	}
+	if best.SnapSeqNo <= r.lastExec && !r.joining {
+		return
+	}
+	if err := r.restoreSnapshot(best.Snapshot); err != nil {
+		r.cfg.Logf("replica %d: state restore failed: %v", r.cfg.ID, err)
+		return
+	}
+	r.stReplies = make(map[transport.NodeID]*Message)
+	r.inViewChange = false
+	wasJoining := r.joining
+	r.joining = !r.membership.Contains(r.cfg.ID)
+	r.updateStats(func(s *ReplicaStats) { s.StateTransfers++ })
+	r.cfg.Logf("replica %d: state transfer to seq %d (epoch %d, joining=%v->%v)",
+		r.cfg.ID, r.lastExec, r.membership.Epoch, wasJoining, r.joining)
+	if r.joining {
+		// Still not a member: keep polling until the ADD executes.
+		r.armProgressTimer()
+	}
+}
+
+// verifyStateReply authenticates the snapshot sender: it must be a member
+// of either the boot configuration or the restored current membership,
+// with a valid signature.
+func (r *Replica) verifyStateReply(msg *Message) bool {
+	if pub, ok := r.membership.Keys[msg.From]; ok && msg.VerifySig(pub) {
+		return true
+	}
+	if pub, ok := r.cfg.Membership.Keys[msg.From]; ok && msg.VerifySig(pub) {
+		return true
+	}
+	return false
+}

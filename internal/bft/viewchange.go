@@ -1,0 +1,313 @@
+package bft
+
+import (
+	"sort"
+
+	"lazarus/internal/transport"
+)
+
+// armProgressTimer (re)arms the request-progress timer. When it fires
+// before pending work executes, the replica suspects the primary and
+// starts a view change (PBFT's liveness mechanism).
+func (r *Replica) armProgressTimer() {
+	if r.vcArmed {
+		return
+	}
+	r.vcTimer.Reset(r.cfg.ViewChangeTimeout)
+	r.vcArmed = true
+}
+
+func (r *Replica) disarmProgressTimer() {
+	if !r.vcArmed {
+		return
+	}
+	if !r.vcTimer.Stop() {
+		select {
+		case <-r.vcTimer.C:
+		default:
+		}
+	}
+	r.vcArmed = false
+}
+
+// onProgressTimeout fires when ordered progress stalled.
+func (r *Replica) onProgressTimeout() {
+	if r.joining {
+		// Joining replicas use the timer to retry state transfer.
+		r.requestStateTransfer()
+		return
+	}
+	if r.cfg.Fault == FaultSilent {
+		return
+	}
+	// Escalate past an incomplete view change: if we already volunteered
+	// for a higher view and it did not complete within the timeout, move
+	// one further (PBFT's exponential regency escalation, linearized).
+	next := r.view + 1
+	if r.vcTarget >= next {
+		next = r.vcTarget + 1
+	}
+	r.startViewChange(next)
+}
+
+// startViewChange suspects the current primary and volunteers for
+// newView: it broadcasts a signed VIEW-CHANGE carrying the last stable
+// checkpoint and every prepared-but-unexecuted batch, so the new primary
+// can re-propose them.
+func (r *Replica) startViewChange(newView uint64) {
+	if newView <= r.view || r.joining {
+		return
+	}
+	r.inViewChange = true
+	if newView > r.vcTarget {
+		r.vcTarget = newView
+	}
+	var proofs []PreparedProof
+	for seq, in := range r.log {
+		if seq > r.lowWater && in.prepared && !in.executed && in.prePrepare != nil {
+			proofs = append(proofs, PreparedProof{
+				View:        in.prePrepare.View,
+				SeqNo:       seq,
+				BatchDigest: in.digest,
+				Batch:       in.batch,
+			})
+		}
+	}
+	sort.Slice(proofs, func(i, j int) bool { return proofs[i].SeqNo < proofs[j].SeqNo })
+	vc := &Message{
+		Type:       MsgViewChange,
+		Epoch:      r.membership.Epoch,
+		NewView:    newView,
+		LastStable: r.lowWater,
+		Prepared:   proofs,
+	}
+	vc.From = r.cfg.ID
+	vc.Sign(r.cfg.Key)
+	r.recordViewChange(vc)
+	r.broadcast(vc)
+	r.updateStats(func(s *ReplicaStats) { s.ViewChanges++ })
+	// If this view change does not complete, escalate to the next view.
+	r.vcArmed = false
+	r.armProgressTimer()
+	r.maybeNewView(newView)
+}
+
+func (r *Replica) recordViewChange(vc *Message) {
+	byFrom, ok := r.viewChanges[vc.NewView]
+	if !ok {
+		byFrom = make(map[transport.NodeID]*Message)
+		r.viewChanges[vc.NewView] = byFrom
+	}
+	byFrom[vc.From] = vc
+}
+
+// onViewChange handles another replica's suspicion.
+func (r *Replica) onViewChange(msg *Message) {
+	if r.joining || !r.fromMember(msg) || !r.verifySigned(msg) {
+		return
+	}
+	if msg.NewView <= r.view {
+		return
+	}
+	r.recordViewChange(msg)
+	// Liveness boost (PBFT §4.5.2): if f+1 replicas already moved to a
+	// higher view, join the smallest of them even without a timeout.
+	if !r.inViewChange {
+		distinct := make(map[transport.NodeID]uint64)
+		for nv, byFrom := range r.viewChanges {
+			if nv <= r.view {
+				continue
+			}
+			for from := range byFrom {
+				if cur, ok := distinct[from]; !ok || nv < cur {
+					distinct[from] = nv
+				}
+			}
+		}
+		if len(distinct) > r.membership.F() {
+			smallest := uint64(0)
+			for _, nv := range distinct {
+				if smallest == 0 || nv < smallest {
+					smallest = nv
+				}
+			}
+			r.startViewChange(smallest)
+			return
+		}
+	}
+	r.maybeNewView(msg.NewView)
+}
+
+// maybeNewView lets the would-be primary of newView assemble NEW-VIEW
+// once a quorum of view changes arrived.
+func (r *Replica) maybeNewView(newView uint64) {
+	if r.membership.Primary(newView) != r.cfg.ID || newView <= r.view {
+		return
+	}
+	byFrom := r.viewChanges[newView]
+	if len(byFrom) < r.membership.Quorum() {
+		return
+	}
+	if r.cfg.Fault == FaultSilent {
+		return
+	}
+	vcs := make([]Message, 0, len(byFrom))
+	for _, vc := range byFrom {
+		vcs = append(vcs, *vc)
+	}
+	sort.Slice(vcs, func(i, j int) bool { return vcs[i].From < vcs[j].From })
+	prePrepares := buildNewViewProposals(newView, r.membership.Epoch, vcs)
+	nv := &Message{
+		Type:        MsgNewView,
+		NewView:     newView,
+		Epoch:       r.membership.Epoch,
+		NewViewMsgs: vcs,
+		PrePrepares: prePrepares,
+	}
+	nv.From = r.cfg.ID
+	nv.Sign(r.cfg.Key)
+	r.broadcast(nv)
+	r.installNewView(newView, prePrepares, maxStable(vcs))
+}
+
+// buildNewViewProposals computes the deterministic set O of re-proposals
+// from a quorum of view changes: for every sequence number above the
+// maximum stable checkpoint for which some view change carries a prepared
+// proof, re-propose the proof from the highest view; gaps up to the
+// largest such sequence number are filled with null (empty) batches.
+func buildNewViewProposals(newView, epoch uint64, vcs []Message) []Message {
+	stable := maxStable(vcs)
+	best := make(map[uint64]PreparedProof)
+	maxSeq := stable
+	for _, vc := range vcs {
+		for _, p := range vc.Prepared {
+			if p.SeqNo <= stable {
+				continue
+			}
+			if cur, ok := best[p.SeqNo]; !ok || p.View > cur.View {
+				best[p.SeqNo] = p
+			}
+			if p.SeqNo > maxSeq {
+				maxSeq = p.SeqNo
+			}
+		}
+	}
+	var out []Message
+	for seq := stable + 1; seq <= maxSeq; seq++ {
+		var batch *Batch
+		var digest Digest
+		if p, ok := best[seq]; ok {
+			batch = p.Batch
+			digest = p.BatchDigest
+		} else {
+			batch = &Batch{}
+			digest = batch.Digest()
+		}
+		out = append(out, Message{
+			Type:        MsgPrePrepare,
+			View:        newView,
+			SeqNo:       seq,
+			Epoch:       epoch,
+			Batch:       batch,
+			BatchDigest: digest,
+		})
+	}
+	return out
+}
+
+func maxStable(vcs []Message) uint64 {
+	var out uint64
+	for _, vc := range vcs {
+		if vc.LastStable > out {
+			out = vc.LastStable
+		}
+	}
+	return out
+}
+
+// onNewView validates the new primary's NEW-VIEW and installs the view.
+func (r *Replica) onNewView(msg *Message) {
+	if r.joining || msg.NewView <= r.view {
+		return
+	}
+	if msg.From != r.membership.Primary(msg.NewView) || !r.verifySigned(msg) {
+		return
+	}
+	// Verify the quorum of view changes it carries.
+	if len(msg.NewViewMsgs) < r.membership.Quorum() {
+		return
+	}
+	seen := make(map[transport.NodeID]bool)
+	for i := range msg.NewViewMsgs {
+		vc := &msg.NewViewMsgs[i]
+		if vc.Type != MsgViewChange || vc.NewView != msg.NewView || seen[vc.From] {
+			return
+		}
+		pub, ok := r.membership.Keys[vc.From]
+		if !ok || !vc.VerifySig(pub) {
+			return
+		}
+		seen[vc.From] = true
+	}
+	// Recompute O and require it to match what the primary proposed.
+	want := buildNewViewProposals(msg.NewView, r.membership.Epoch, msg.NewViewMsgs)
+	if len(want) != len(msg.PrePrepares) {
+		return
+	}
+	for i := range want {
+		got := msg.PrePrepares[i]
+		if got.SeqNo != want[i].SeqNo || got.BatchDigest != want[i].BatchDigest ||
+			got.View != msg.NewView || got.Batch == nil || got.Batch.Digest() != got.BatchDigest {
+			return
+		}
+	}
+	r.installNewView(msg.NewView, msg.PrePrepares, maxStable(msg.NewViewMsgs))
+}
+
+// installNewView enters the view and processes the re-proposals.
+func (r *Replica) installNewView(newView uint64, prePrepares []Message, stable uint64) {
+	r.view = newView
+	r.inViewChange = false
+	if r.vcTarget < newView {
+		r.vcTarget = newView
+	}
+	for nv := range r.viewChanges {
+		if nv <= newView {
+			delete(r.viewChanges, nv)
+		}
+	}
+	// Drop un-executed instances; they are superseded by O.
+	for seq := range r.log {
+		if seq > r.lastExec {
+			delete(r.log, seq)
+		}
+	}
+	maxSeq := stable
+	for i := range prePrepares {
+		pp := prePrepares[i]
+		if pp.SeqNo > maxSeq {
+			maxSeq = pp.SeqNo
+		}
+		if pp.SeqNo <= r.lastExec {
+			// Already executed here; prepare votes keep the quorum
+			// moving for peers that have not.
+		}
+		ppCopy := pp
+		// The new primary implicitly prepares its re-proposals.
+		ppCopy.From = r.membership.Primary(newView)
+		r.acceptPrePrepare(&ppCopy)
+	}
+	if r.seq < maxSeq {
+		r.seq = maxSeq
+	}
+	if stable > r.lastExec {
+		// The group's stable state is ahead of us.
+		r.requestStateTransfer()
+	}
+	r.disarmProgressTimer()
+	if len(r.pending) > 0 {
+		r.armProgressTimer()
+	}
+	r.updateStats(func(*ReplicaStats) {})
+	r.cfg.Logf("replica %d: installed view %d (primary %d)", r.cfg.ID, newView, r.membership.Primary(newView))
+}

@@ -1,0 +1,168 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllCounts(t *testing.T) {
+	if got := len(All()); got != 21 {
+		t.Fatalf("All() = %d OS versions, want 21 (paper §6)", got)
+	}
+	if got := len(Deployable()); got != 17 {
+		t.Fatalf("Deployable() = %d OS versions, want 17 (paper Table 2)", got)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, o := range All() {
+		if seen[o.ID] {
+			t.Errorf("duplicate OS id %q", o.ID)
+		}
+		seen[o.ID] = true
+	}
+	if seen[BareMetal.ID] {
+		t.Errorf("bare-metal id %q collides with a catalog OS", BareMetal.ID)
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, o := range All() {
+		got, err := ByID(o.ID)
+		if err != nil {
+			t.Fatalf("ByID(%q): %v", o.ID, err)
+		}
+		if got.Name != o.Name {
+			t.Errorf("ByID(%q).Name = %q, want %q", o.ID, got.Name, o.Name)
+		}
+	}
+	if _, err := ByID("NOPE"); err == nil {
+		t.Error("ByID(NOPE) succeeded, want error")
+	}
+	bm, err := ByID("BM")
+	if err != nil || bm.VM == nil || bm.VM.SpeedFactor != 1.0 {
+		t.Errorf("ByID(BM) = %+v, %v; want bare metal with speed 1.0", bm, err)
+	}
+}
+
+func TestTable2Profiles(t *testing.T) {
+	// Paper Table 2: per-OS VM cores and memory.
+	wantCores := map[string]int{
+		"UB14": 4, "UB16": 4, "UB17": 4, "OS42": 4, "FE24": 4, "FE25": 4,
+		"FE26": 4, "DE7": 4, "DE8": 4, "W10": 4, "WS12": 4, "FB10": 4,
+		"FB11": 4, "SO10": 1, "SO11": 1, "OB60": 1, "OB61": 1,
+	}
+	wantMem := map[string]int{
+		"UB14": 15, "UB16": 15, "UB17": 15, "OS42": 15, "FE24": 15,
+		"FE25": 15, "FE26": 15, "DE7": 15, "DE8": 15, "W10": 1, "WS12": 1,
+		"FB10": 1, "FB11": 1, "SO10": 1, "SO11": 1, "OB60": 1, "OB61": 1,
+	}
+	for _, o := range Deployable() {
+		if o.VM.Cores != wantCores[o.ID] {
+			t.Errorf("%s cores = %d, want %d", o.ID, o.VM.Cores, wantCores[o.ID])
+		}
+		if o.VM.MemoryGB != wantMem[o.ID] {
+			t.Errorf("%s memory = %dGB, want %dGB", o.ID, o.VM.MemoryGB, wantMem[o.ID])
+		}
+	}
+}
+
+func TestSpeedFactorsBounded(t *testing.T) {
+	for _, o := range Deployable() {
+		if o.VM.SpeedFactor <= 0 || o.VM.SpeedFactor > 1 {
+			t.Errorf("%s speed factor %v out of (0,1]", o.ID, o.VM.SpeedFactor)
+		}
+		if o.VM.NetFactor <= 0 || o.VM.NetFactor > 1 {
+			t.Errorf("%s net factor %v out of (0,1]", o.ID, o.VM.NetFactor)
+		}
+		if o.VM.BootTime <= 0 {
+			t.Errorf("%s boot time %v not positive", o.ID, o.VM.BootTime)
+		}
+	}
+}
+
+func TestFamilyKernels(t *testing.T) {
+	cases := map[Family]Kernel{
+		FamilyUbuntu:   KernelLinux,
+		FamilyDebian:   KernelLinux,
+		FamilyFedora:   KernelLinux,
+		FamilyRedhat:   KernelLinux,
+		FamilyOpenSuse: KernelLinux,
+		FamilyWindows:  KernelNT,
+		FamilyFreeBSD:  KernelFreeBSD,
+		FamilyOpenBSD:  KernelOpenBSD,
+		FamilySolaris:  KernelSunOS,
+	}
+	for fam, want := range cases {
+		if got := fam.Kernel(); got != want {
+			t.Errorf("%v.Kernel() = %v, want %v", fam, got, want)
+		}
+	}
+	if Family(0).Kernel() != 0 {
+		t.Error("unknown family should map to zero kernel")
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	fams := Families()
+	if len(fams) != 9 {
+		t.Fatalf("Families() = %d, want 9 (8 §6 families + separate Redhat entry counts within)", len(fams))
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1].String() >= fams[i].String() {
+			t.Errorf("families not sorted: %v before %v", fams[i-1], fams[i])
+		}
+	}
+}
+
+func TestByFamily(t *testing.T) {
+	ub := ByFamily(FamilyUbuntu)
+	if len(ub) != 3 {
+		t.Fatalf("ByFamily(Ubuntu) = %d versions, want 3", len(ub))
+	}
+	for _, o := range ub {
+		if o.Family != FamilyUbuntu {
+			t.Errorf("ByFamily(Ubuntu) returned %s of family %v", o.ID, o.Family)
+		}
+	}
+}
+
+func TestReleaseDatesSane(t *testing.T) {
+	end := time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
+	for _, o := range All() {
+		if o.Released.IsZero() || o.Released.After(end) {
+			t.Errorf("%s release date %v not in study window", o.ID, o.Released)
+		}
+	}
+}
+
+func TestIDs(t *testing.T) {
+	ids := IDs(Deployable())
+	if len(ids) != 17 || ids[0] != "UB14" {
+		t.Fatalf("IDs(Deployable()) = %v", ids)
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].ID = "MUTATED"
+	if All()[0].ID == "MUTATED" {
+		t.Error("All() exposes internal slice; mutations leak")
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	if FamilyWindows.String() != "Windows" {
+		t.Errorf("FamilyWindows.String() = %q", FamilyWindows.String())
+	}
+	if Family(99).String() != "Family(99)" {
+		t.Errorf("unknown family String() = %q", Family(99).String())
+	}
+	if KernelLinux.String() != "Linux" {
+		t.Errorf("KernelLinux.String() = %q", KernelLinux.String())
+	}
+	if Kernel(99).String() != "Kernel(99)" {
+		t.Errorf("unknown kernel String() = %q", Kernel(99).String())
+	}
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lazarus/internal/osint"
+)
+
+// Config tunes the vulnerability-clustering pipeline.
+type Config struct {
+	// MaxVocabulary caps the TF-IDF vocabulary (default 200, per the
+	// paper).
+	MaxVocabulary int
+	// K fixes the number of clusters; 0 selects it with the elbow
+	// method.
+	K int
+	// MaxK bounds the elbow search (default sqrt-of-corpus heuristic,
+	// at least 2).
+	MaxK int
+	// Seed drives k-means++ seeding; runs with equal seeds and inputs
+	// are identical.
+	Seed int64
+}
+
+// Clusters is the result of clustering a vulnerability corpus.
+type Clusters struct {
+	// K is the number of clusters formed.
+	K int
+	// ByCVE maps each CVE id to its cluster id in [0, K).
+	ByCVE map[string]int
+	// Members lists the CVE ids of each cluster, in input order.
+	Members [][]string
+	// WCSS is the within-cluster sum of squares of the chosen k.
+	WCSS float64
+}
+
+// SameCluster reports whether two vulnerabilities were placed in the same
+// cluster (and both were clustered at all).
+func (c *Clusters) SameCluster(cveA, cveB string) bool {
+	a, okA := c.ByCVE[cveA]
+	b, okB := c.ByCVE[cveB]
+	return okA && okB && a == b
+}
+
+// ClusterOf returns the cluster id for a CVE and whether it is known.
+func (c *Clusters) ClusterOf(cve string) (int, bool) {
+	id, ok := c.ByCVE[cve]
+	return id, ok
+}
+
+// Model is a trained clustering: the vocabulary, the K-means centroids,
+// and the cluster assignment of the training corpus. Unlike bare Clusters
+// it can classify vulnerabilities published after training (Assign), which
+// is how Lazarus handles CVEs disclosed between re-clustering rounds.
+type Model struct {
+	// Vocab is the TF-IDF vocabulary fitted on the training corpus.
+	Vocab *Vocabulary
+	// Centroids are the fitted cluster centres.
+	Centroids [][]float64
+	// Clusters is the assignment of the training corpus, extended by
+	// every Extend call.
+	Clusters *Clusters
+	// vectors holds each known CVE's L2-normalized TF-IDF vector, for
+	// similarity queries.
+	vectors map[string][]float64
+}
+
+// Cosine returns the cosine similarity of two known CVEs' descriptions
+// (0 when either is unknown). Vectors are unit length, so this is their
+// dot product.
+func (m *Model) Cosine(cveA, cveB string) float64 {
+	a, okA := m.vectors[cveA]
+	b, okB := m.vectors[cveB]
+	if !okA || !okB {
+		return 0
+	}
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}
+
+// Assign returns the nearest-centroid cluster for a description.
+func (m *Model) Assign(description string) int {
+	return m.assignVec(m.Vocab.Vectorize(description))
+}
+
+// Extend classifies a new vulnerability and records it in the model's
+// cluster index, so subsequent SameCluster and Cosine queries see it.
+// Re-extending a known CVE is a no-op.
+func (m *Model) Extend(v *osint.Vulnerability) int {
+	if c, ok := m.Clusters.ByCVE[v.ID]; ok {
+		return c
+	}
+	vec := m.Vocab.Vectorize(v.Description)
+	c := m.assignVec(vec)
+	m.Clusters.ByCVE[v.ID] = c
+	m.Clusters.Members[c] = append(m.Clusters.Members[c], v.ID)
+	m.vectors[v.ID] = vec
+	return c
+}
+
+func (m *Model) assignVec(vec []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for c, centroid := range m.Centroids {
+		if d := sqDist(vec, centroid); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// Build runs the full pipeline over a corpus: tokenize + vectorize the
+// descriptions, choose k (elbow method unless fixed), run K-means, and
+// index the assignment by CVE id.
+func Build(corpus []*osint.Vulnerability, cfg Config) (*Clusters, error) {
+	m, err := BuildModel(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Clusters, nil
+}
+
+// BuildModel is Build, additionally returning the fitted vocabulary and
+// centroids for later classification of new CVEs.
+func BuildModel(corpus []*osint.Vulnerability, cfg Config) (*Model, error) {
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("cluster: empty corpus")
+	}
+	docs := make([]string, len(corpus))
+	for i, v := range corpus {
+		docs[i] = v.Description
+	}
+	vocab := BuildVocabulary(docs, cfg.MaxVocabulary)
+	vectors := vocab.VectorizeAll(docs)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	k := cfg.K
+	if k <= 0 {
+		maxK := cfg.MaxK
+		if maxK <= 0 {
+			maxK = isqrt(len(corpus))
+			if maxK < 2 {
+				maxK = 2
+			}
+		}
+		chosen, _, err := ElbowK(vectors, maxK, rng)
+		if err != nil {
+			return nil, err
+		}
+		k = chosen
+	}
+	if k > len(corpus) {
+		k = len(corpus)
+	}
+	res, err := KMeans(vectors, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &Clusters{
+		K:       res.K,
+		ByCVE:   make(map[string]int, len(corpus)),
+		Members: make([][]string, res.K),
+		WCSS:    res.WCSS,
+	}
+	vecIndex := make(map[string][]float64, len(corpus))
+	for i, v := range corpus {
+		c := res.Assignment[i]
+		out.ByCVE[v.ID] = c
+		out.Members[c] = append(out.Members[c], v.ID)
+		vecIndex[v.ID] = vectors[i]
+	}
+	return &Model{Vocab: vocab, Centroids: res.Centroids, Clusters: out, vectors: vecIndex}, nil
+}
+
+func isqrt(n int) int {
+	k := 0
+	for (k+1)*(k+1) <= n {
+		k++
+	}
+	return k
+}

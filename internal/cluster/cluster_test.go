@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+func vuln(id, desc string, products ...string) *osint.Vulnerability {
+	return &osint.Vulnerability{
+		ID:          id,
+		Description: desc,
+		Products:    products,
+		Published:   time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC),
+		CVSS:        6.1,
+	}
+}
+
+// table1Corpus reproduces paper Table 1: three XSS vulnerabilities in
+// OpenStack Horizon reported against different OSes, plus unrelated
+// vulnerabilities of other weakness classes.
+func table1Corpus() []*osint.Vulnerability {
+	return []*osint.Vulnerability{
+		vuln("CVE-2014-0157",
+			"Cross-site scripting (XSS) vulnerability in the Horizon Orchestration "+
+				"dashboard in OpenStack Dashboard (aka Horizon) 2013.2 before 2013.2.4 "+
+				"and icehouse before icehouse-rc2 allows remote attackers to inject "+
+				"arbitrary web script or HTML via the description field of a Heat template.",
+			"opensuse:leap:13.1"),
+		vuln("CVE-2015-3988",
+			"Multiple cross-site scripting (XSS) vulnerabilities in OpenStack "+
+				"Dashboard (Horizon) 2015.1.0 allow remote authenticated users to "+
+				"inject arbitrary web script or HTML via the metadata to a Glance "+
+				"image, Nova flavor or Host Aggregate.",
+			"oracle:solaris:11.2"),
+		vuln("CVE-2016-4428",
+			"Cross-site scripting (XSS) vulnerability in OpenStack Dashboard "+
+				"(Horizon) 8.0.1 and earlier and 9.0.0 through 9.0.1 allows remote "+
+				"authenticated users to inject arbitrary web script or HTML by "+
+				"injecting an AngularJS template in a dashboard form.",
+			"debian:debian_linux:8.0"),
+		vuln("CVE-2017-1000364",
+			"An issue was discovered in the size of the stack guard page on Linux, "+
+				"specifically a 4k stack guard page is not sufficiently large and can "+
+				"be jumped over, the stack guard page bypass affects memory management.",
+			"canonical:ubuntu_linux:16.04"),
+		vuln("CVE-2017-0144",
+			"The SMBv1 server in Microsoft Windows allows remote code execution "+
+				"via crafted packets related to improper handling of certain requests.",
+			"microsoft:windows_10:-"),
+		vuln("CVE-2018-1111",
+			"DHCP packages as shipped are vulnerable to a command injection flaw in "+
+				"the NetworkManager integration script included in the DHCP client.",
+			"redhat:enterprise_linux:7.0"),
+		vuln("CVE-2018-0959",
+			"A remote code execution vulnerability exists when Windows Hyper-V on a "+
+				"host server fails to properly validate input from an authenticated "+
+				"user on a guest operating system.",
+			"microsoft:windows_10:-"),
+		vuln("CVE-2016-9999",
+			"Heap-based buffer overflow in the kernel network driver allows local "+
+				"users to gain privileges via a crafted ioctl call on the device.",
+			"freebsd:freebsd:11.0"),
+	}
+}
+
+func TestBuildGroupsTable1XSSTogether(t *testing.T) {
+	corpus := table1Corpus()
+	clusters, err := Build(corpus, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clusters.SameCluster("CVE-2014-0157", "CVE-2015-3988") ||
+		!clusters.SameCluster("CVE-2015-3988", "CVE-2016-4428") {
+		t.Errorf("Table 1 XSS trio split across clusters: %v", clusters.ByCVE)
+	}
+	// The XSS cluster must not swallow clearly different weaknesses.
+	if clusters.SameCluster("CVE-2014-0157", "CVE-2017-0144") &&
+		clusters.SameCluster("CVE-2014-0157", "CVE-2016-9999") &&
+		clusters.SameCluster("CVE-2014-0157", "CVE-2018-1111") {
+		t.Errorf("clustering degenerated to one big cluster (k=%d)", clusters.K)
+	}
+}
+
+func TestBuildFixedK(t *testing.T) {
+	corpus := table1Corpus()
+	clusters, err := Build(corpus, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters.K != 3 {
+		t.Fatalf("K = %d, want 3", clusters.K)
+	}
+	total := 0
+	for _, members := range clusters.Members {
+		total += len(members)
+	}
+	if total != len(corpus) {
+		t.Errorf("clusters cover %d CVEs, want %d", total, len(corpus))
+	}
+	for _, v := range corpus {
+		if _, ok := clusters.ClusterOf(v.ID); !ok {
+			t.Errorf("%s missing from assignment", v.ID)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	corpus := table1Corpus()
+	a, err := Build(corpus, Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(corpus, Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K {
+		t.Fatalf("K differs across equal-seed runs: %d vs %d", a.K, b.K)
+	}
+	for cve, c := range a.ByCVE {
+		if b.ByCVE[cve] != c {
+			t.Errorf("%s assigned %d vs %d across equal-seed runs", cve, c, b.ByCVE[cve])
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestBuildKClampedToCorpus(t *testing.T) {
+	corpus := table1Corpus()[:2]
+	clusters, err := Build(corpus, Config{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters.K > 2 {
+		t.Errorf("K = %d exceeds corpus size 2", clusters.K)
+	}
+}
+
+func TestSameClusterUnknownCVE(t *testing.T) {
+	clusters, err := Build(table1Corpus(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters.SameCluster("CVE-2014-0157", "CVE-9999-1") {
+		t.Error("SameCluster true for unknown CVE")
+	}
+}
+
+func TestBuildScalesToLargerCorpus(t *testing.T) {
+	classes := []string{
+		"cross-site scripting vulnerability in web dashboard allows remote script injection",
+		"buffer overflow in kernel driver allows local privilege escalation via crafted ioctl",
+		"denial of service in network stack via malformed packet flood remote crash",
+		"sql injection in database layer allows remote query manipulation and data disclosure",
+	}
+	var corpus []*osint.Vulnerability
+	for i := 0; i < 120; i++ {
+		class := classes[i%len(classes)]
+		corpus = append(corpus, vuln(
+			fmt.Sprintf("CVE-2018-%04d", i+1),
+			fmt.Sprintf("%s variant %d", class, i),
+			"canonical:ubuntu_linux:16.04"))
+	}
+	clusters, err := Build(corpus, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters.K < 2 {
+		t.Errorf("elbow picked K = %d for clearly multi-class corpus", clusters.K)
+	}
+	// Same-class descriptions should overwhelmingly co-cluster: check the
+	// first two members of each class.
+	for c := 0; c < len(classes); c++ {
+		a := fmt.Sprintf("CVE-2018-%04d", c+1)
+		b := fmt.Sprintf("CVE-2018-%04d", c+1+len(classes))
+		if !clusters.SameCluster(a, b) {
+			t.Errorf("same-class pair %s/%s split", a, b)
+		}
+	}
+}
+
+func TestModelCosine(t *testing.T) {
+	corpus := table1Corpus()
+	model, err := BuildModel(corpus, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table 1 XSS trio must be pairwise similar; an XSS entry and the
+	// SMB RCE must not be.
+	if sim := model.Cosine("CVE-2014-0157", "CVE-2016-4428"); sim < 0.5 {
+		t.Errorf("XSS twins cosine = %.2f, want >= 0.5", sim)
+	}
+	if sim := model.Cosine("CVE-2014-0157", "CVE-2017-0144"); sim > 0.4 {
+		t.Errorf("XSS vs SMB cosine = %.2f, want < 0.4", sim)
+	}
+	// Self-similarity is 1 (unit vectors).
+	if sim := model.Cosine("CVE-2014-0157", "CVE-2014-0157"); sim < 0.999 {
+		t.Errorf("self cosine = %.2f", sim)
+	}
+	// Unknown CVEs yield 0.
+	if sim := model.Cosine("CVE-2014-0157", "CVE-9999-1"); sim != 0 {
+		t.Errorf("unknown cosine = %.2f", sim)
+	}
+}
+
+func TestModelExtendMakesCosineQueryable(t *testing.T) {
+	corpus := table1Corpus()
+	model, err := BuildModel(corpus, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := vuln("CVE-2019-0001",
+		"Cross-site scripting (XSS) vulnerability in OpenStack Dashboard (Horizon) "+
+			"allows remote attackers to inject arbitrary web script via a dashboard form.",
+		"oracle:solaris:11.3")
+	c := model.Extend(fresh)
+	if c < 0 || c >= model.Clusters.K {
+		t.Fatalf("Extend assigned out-of-range cluster %d", c)
+	}
+	if sim := model.Cosine("CVE-2019-0001", "CVE-2016-4428"); sim < 0.5 {
+		t.Errorf("extended XSS cosine to trio = %.2f, want >= 0.5", sim)
+	}
+	// Extending twice keeps the original assignment.
+	if again := model.Extend(fresh); again != c {
+		t.Errorf("re-Extend moved cluster %d -> %d", c, again)
+	}
+}

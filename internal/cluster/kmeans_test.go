@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlobs returns well-separated point clouds around (0,0) and (10,10).
+func twoBlobs(n int, rng *rand.Rand) ([][]float64, []int) {
+	vectors := make([][]float64, 0, 2*n)
+	truth := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		vectors = append(vectors, []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5})
+		truth = append(truth, 0)
+		vectors = append(vectors, []float64{10 + rng.NormFloat64()*0.5, 10 + rng.NormFloat64()*0.5})
+		truth = append(truth, 1)
+	}
+	return vectors, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vectors, truth := twoBlobs(50, rng)
+	res, err := KMeans(vectors, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All members of each true blob must share one assignment.
+	label0 := res.Assignment[0]
+	for i, a := range res.Assignment {
+		want := label0
+		if truth[i] == 1 {
+			want = 1 - label0
+		}
+		if a != want {
+			t.Fatalf("vector %d assigned %d, want %d", i, a, want)
+		}
+	}
+	if res.WCSS <= 0 {
+		t.Errorf("WCSS = %v, want positive for noisy blobs", res.WCSS)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(nil, 1, rng); err == nil {
+		t.Error("empty input accepted")
+	}
+	v := [][]float64{{1}, {2}}
+	if _, err := KMeans(v, 0, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(v, 3, rng); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := KMeans(v, 1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, 1, rng); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	vectors, _ := twoBlobs(30, rand.New(rand.NewSource(5)))
+	a, err := KMeans(vectors, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(vectors, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("assignments differ at %d for equal seeds", i)
+		}
+	}
+	if a.WCSS != b.WCSS {
+		t.Errorf("WCSS differs: %v vs %v", a.WCSS, b.WCSS)
+	}
+}
+
+// TestKMeansInvariants: every vector gets a cluster in range, every cluster
+// id below k is meaningful, and WCSS is non-negative and non-increasing
+// in k (weakly, since k-means++ is randomized we allow tiny slack).
+func TestKMeansInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vectors, _ := twoBlobs(20, rng)
+		k := int(kRaw)%8 + 1
+		res, err := KMeans(vectors, k, rng)
+		if err != nil {
+			return false
+		}
+		if len(res.Assignment) != len(vectors) || res.WCSS < 0 {
+			return false
+		}
+		for _, a := range res.Assignment {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansKEqualsNPerfect(t *testing.T) {
+	vectors := [][]float64{{0, 0}, {5, 5}, {9, 1}, {1, 9}}
+	res, err := KMeans(vectors, 4, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCSS != 0 {
+		t.Errorf("k=n WCSS = %v, want 0", res.WCSS)
+	}
+	seen := make(map[int]bool)
+	for _, a := range res.Assignment {
+		if seen[a] {
+			t.Fatalf("cluster %d reused when k=n", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestElbowKFindsKnee(t *testing.T) {
+	// Three well-separated blobs: elbow should land near k=3.
+	rng := rand.New(rand.NewSource(17))
+	var vectors [][]float64
+	centers := [][2]float64{{0, 0}, {20, 0}, {0, 20}}
+	for _, c := range centers {
+		for i := 0; i < 30; i++ {
+			vectors = append(vectors, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+		}
+	}
+	k, wcss, err := ElbowK(vectors, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 || k > 4 {
+		t.Errorf("ElbowK = %d, want near 3 (wcss=%v)", k, wcss)
+	}
+	for i := 1; i < len(wcss); i++ {
+		// WCSS should broadly decrease with k for blob data.
+		if wcss[i] > wcss[0] {
+			t.Errorf("wcss[%d]=%v exceeds wcss[0]=%v", i, wcss[i], wcss[0])
+		}
+	}
+}
+
+func TestElbowKEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := ElbowK([][]float64{{1}}, 0, rng); err == nil {
+		t.Error("maxK=0 accepted")
+	}
+	k, _, err := ElbowK([][]float64{{1}, {2}}, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k > 2 {
+		t.Errorf("ElbowK = %d for 2 vectors", k)
+	}
+	// Identical points: flat curve, should not panic and picks some k.
+	same := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	if _, _, err := ElbowK(same, 4, rng); err != nil {
+		t.Errorf("ElbowK on identical points: %v", err)
+	}
+}

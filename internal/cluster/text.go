@@ -1,0 +1,200 @@
+// Package cluster implements the vulnerability-description clustering
+// pipeline of the Lazarus Risk manager (paper §4.1/§5.1): descriptions are
+// tokenized and converted to TF-IDF vectors over the 200 most relevant
+// words (rarer words receiving higher weights), then grouped with K-means,
+// with the number of clusters chosen by the elbow method. Vulnerabilities
+// in the same cluster are treated as potentially exploitable by variations
+// of the same attack even when NVD lists them against different products.
+package cluster
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// stopwords are common English words and CVE boiler-plate terms that carry
+// no similarity signal.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "before": true, "by": true, "can": true, "could": true,
+	"do": true, "doe": true, "due": true, "earlier": true, "for": true,
+	"from": true, "ha": true, "have": true, "in": true, "into": true,
+	"is": true, "it": true, "its": true, "may": true, "might": true,
+	"not": true, "of": true, "on": true, "or": true, "other": true,
+	"than": true, "that": true, "the": true, "then": true, "there": true,
+	"this": true, "through": true, "to": true, "use": true, "user": true,
+	"users": true, "via": true, "versions": true, "version": true,
+	"vulnerability": true, "vulnerabilities": true, "when": true,
+	"which": true, "while": true, "with": true, "wa": true, "were": true,
+	"will": true, "would": true, "allow": true, "allows": true,
+	"attacker": true, "attackers": true, "aka": true,
+}
+
+// Tokenize splits a vulnerability description into canonical-form tokens:
+// lower-cased, punctuation-stripped, stopwords removed, and lightly
+// stemmed (plural and -ing/-ed suffixes folded), mirroring the "convert
+// all words to a canonical form" step of the paper.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '-' && r != '.'
+	})
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		f = strings.Trim(f, "-.")
+		if len(f) < 2 {
+			continue
+		}
+		// Skip pure numbers and version-like tokens; they identify
+		// releases, not weakness classes.
+		if isVersionLike(f) {
+			continue
+		}
+		f = stem(f)
+		if stopwords[f] || len(f) < 2 {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func isVersionLike(s string) bool {
+	hasDigit := false
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return false
+		}
+		if unicode.IsDigit(r) {
+			hasDigit = true
+		}
+	}
+	return hasDigit
+}
+
+// stem applies a tiny suffix-folding stemmer: enough to map
+// "scripting"/"scripts"/"scripted" onto one canonical token without
+// pulling in a full Porter implementation.
+func stem(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		return w[:len(w)-3]
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "es") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 3:
+		return w[:len(w)-1]
+	default:
+		return w
+	}
+}
+
+// Vocabulary maps each retained term to its vector dimension and inverse
+// document frequency weight.
+type Vocabulary struct {
+	// Terms is the retained vocabulary in dimension order.
+	Terms []string
+	// Index maps a term to its dimension.
+	Index map[string]int
+	// IDF is the inverse-document-frequency weight per dimension; rarer
+	// terms get higher weights (paper: "less frequent words are given
+	// higher weights").
+	IDF []float64
+}
+
+// MaxVocabulary is the vocabulary cap used by the paper ("up to 200
+// words").
+const MaxVocabulary = 200
+
+// BuildVocabulary tokenizes every document and retains the maxTerms most
+// frequent terms (document frequency), assigning each an IDF weight
+// log(1 + N/df) computed over the corpus. maxTerms <= 0 selects
+// MaxVocabulary.
+func BuildVocabulary(docs []string, maxTerms int) *Vocabulary {
+	if maxTerms <= 0 {
+		maxTerms = MaxVocabulary
+	}
+	df := make(map[string]int)
+	for _, d := range docs {
+		seen := make(map[string]bool)
+		for _, tok := range Tokenize(d) {
+			if !seen[tok] {
+				seen[tok] = true
+				df[tok]++
+			}
+		}
+	}
+	type tf struct {
+		term string
+		df   int
+	}
+	terms := make([]tf, 0, len(df))
+	for t, n := range df {
+		terms = append(terms, tf{t, n})
+	}
+	// Most frequent first; ties broken lexicographically for determinism.
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].df != terms[j].df {
+			return terms[i].df > terms[j].df
+		}
+		return terms[i].term < terms[j].term
+	})
+	if len(terms) > maxTerms {
+		terms = terms[:maxTerms]
+	}
+	v := &Vocabulary{
+		Terms: make([]string, len(terms)),
+		Index: make(map[string]int, len(terms)),
+		IDF:   make([]float64, len(terms)),
+	}
+	n := float64(len(docs))
+	for i, t := range terms {
+		v.Terms[i] = t.term
+		v.Index[t.term] = i
+		v.IDF[i] = logIDF(n, float64(t.df))
+	}
+	return v
+}
+
+func logIDF(n, df float64) float64 {
+	// log(1 + N/df): bounded below by log 2 > 0, grows as the term gets
+	// rarer.
+	return math.Log(1 + n/df)
+}
+
+// Vectorize converts a document to its TF-IDF vector over the vocabulary,
+// L2-normalized so K-means distances compare description shape rather than
+// length. Documents with no in-vocabulary terms yield a zero vector.
+func (v *Vocabulary) Vectorize(doc string) []float64 {
+	vec := make([]float64, len(v.Terms))
+	for _, tok := range Tokenize(doc) {
+		if i, ok := v.Index[tok]; ok {
+			vec[i]++
+		}
+	}
+	var norm float64
+	for i := range vec {
+		vec[i] *= v.IDF[i]
+		norm += vec[i] * vec[i]
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range vec {
+			vec[i] /= norm
+		}
+	}
+	return vec
+}
+
+// VectorizeAll converts every document.
+func (v *Vocabulary) VectorizeAll(docs []string) [][]float64 {
+	out := make([][]float64, len(docs))
+	for i, d := range docs {
+		out[i] = v.Vectorize(d)
+	}
+	return out
+}

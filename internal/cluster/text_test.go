@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Cross-site scripting (XSS) vulnerability in OpenStack Dashboard " +
+		"(Horizon) 8.0.1 and earlier allows remote authenticated users to inject " +
+		"arbitrary web script or HTML.")
+	want := map[string]bool{
+		"cross-site": true, "script": true, "xss": true, "openstack": true,
+		"dashboard": true, "horizon": true, "remote": true, "authenticat": true,
+		"inject": true, "arbitrary": true, "web": true, "html": true,
+	}
+	for _, tok := range got {
+		if tok == "vulnerability" || tok == "allows" || tok == "and" {
+			t.Errorf("stopword %q survived", tok)
+		}
+		if tok == "8.0.1" {
+			t.Error("version token survived")
+		}
+	}
+	for w := range want {
+		if !containsTok(got, w) {
+			t.Errorf("token %q missing from %v", w, got)
+		}
+	}
+}
+
+func containsTok(ts []string, w string) bool {
+	for _, t := range ts {
+		if t == w {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStemFoldsVariants(t *testing.T) {
+	cases := map[string]string{
+		"scripting": "script", "scripts": "script",
+		"vulnerabilities": "vulnerability",
+		"injected":        "inject",
+		"pass":            "pass", // no ss-stripping
+		"dashboard":       "dashboard",
+	}
+	for in, want := range cases {
+		if got := stem(in); got != want {
+			t.Errorf("stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBuildVocabularyCapAndIDF(t *testing.T) {
+	docs := []string{
+		"buffer overflow in kernel driver",
+		"buffer overflow in network stack",
+		"use after free in kernel scheduler",
+		"cross-site scripting in dashboard",
+	}
+	v := BuildVocabulary(docs, 3)
+	if len(v.Terms) != 3 {
+		t.Fatalf("vocabulary size = %d, want 3", len(v.Terms))
+	}
+	full := BuildVocabulary(docs, 0)
+	// "kernel" and "buffer" appear in 2 docs, "dashboard" in 1:
+	// rarer term must get strictly higher IDF.
+	iKernel, ok1 := full.Index["kernel"]
+	iDash, ok2 := full.Index["dashboard"]
+	if !ok1 || !ok2 {
+		t.Fatalf("expected terms missing from vocabulary %v", full.Terms)
+	}
+	if full.IDF[iDash] <= full.IDF[iKernel] {
+		t.Errorf("IDF(dashboard)=%v not > IDF(kernel)=%v", full.IDF[iDash], full.IDF[iKernel])
+	}
+}
+
+func TestVectorizeNormalized(t *testing.T) {
+	docs := []string{
+		"buffer overflow in kernel",
+		"cross-site scripting in web dashboard",
+	}
+	v := BuildVocabulary(docs, 0)
+	vec := v.Vectorize(docs[0])
+	var norm float64
+	for _, x := range vec {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("vector norm^2 = %v, want 1", norm)
+	}
+	zero := v.Vectorize("completely unrelated ")
+	for _, x := range zero {
+		if x != 0 {
+			t.Fatalf("out-of-vocabulary doc vector not zero: %v", zero)
+		}
+	}
+}
+
+func TestVectorizeDeterministicProperty(t *testing.T) {
+	docs := []string{
+		"heap corruption in tcp stack", "stack overflow in parser",
+		"double free in allocator", "race condition in filesystem",
+	}
+	v := BuildVocabulary(docs, 0)
+	f := func(pick uint8) bool {
+		d := docs[int(pick)%len(docs)]
+		a, b := v.Vectorize(d), v.Vectorize(d)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

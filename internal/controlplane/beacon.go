@@ -1,0 +1,182 @@
+package controlplane
+
+// This file implements the distributed-randomness piece of the paper's
+// §5.3 BFT control-plane design: Algorithm 1 needs random numbers to pick
+// among acceptable candidate configurations, and in a replicated
+// controller every replica must derive the SAME random choice without any
+// single party being able to bias it. The paper points at coin-tossing
+// protocols (e.g. RandHound-style); this implementation uses the classic
+// commit-reveal construction with the BFT log as the broadcast channel:
+//
+//  1. every controller replica commits H(share_i) for round r;
+//  2. once 2f+1 commitments are ordered, replicas reveal share_i;
+//  3. the beacon output is H(r || share_a || share_b || ...) over the
+//     first 2f+1 revealed shares in replica order — at least f+1 of them
+//     come from correct replicas, so a coalition of f cannot fix the
+//     output after seeing honest commitments.
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BeaconShare is one replica's contribution to a randomness round.
+type BeaconShare struct {
+	// Round numbers beacon rounds.
+	Round uint64
+	// Member identifies the contributing controller replica.
+	Member int
+	// Share is the secret contribution (revealed in phase 2).
+	Share []byte
+}
+
+// Commitment binds a share without revealing it.
+func (s BeaconShare) Commitment() [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "commit|%d|%d|", s.Round, s.Member)
+	h.Write(s.Share)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// DeriveShare deterministically derives a replica's share for a round from
+// its long-term secret (so crashed replicas re-derive rather than store).
+func DeriveShare(memberSecret []byte, round uint64, member int) BeaconShare {
+	mac := hmac.New(sha256.New, memberSecret)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], round)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(member))
+	mac.Write(buf[:])
+	return BeaconShare{Round: round, Member: member, Share: mac.Sum(nil)}
+}
+
+// Beacon runs commit-reveal rounds. It is a pure state machine: feed it
+// ordered commitments and reveals (e.g. from the controller BFT log) and
+// it emits the round output once enough valid reveals arrived.
+type Beacon struct {
+	n, f int
+
+	commits map[uint64]map[int][sha256.Size]byte
+	reveals map[uint64]map[int]BeaconShare
+	outputs map[uint64][]byte
+}
+
+// NewBeacon builds a beacon for n controller replicas tolerating f
+// Byzantine ones (n >= 3f+1).
+func NewBeacon(n, f int) (*Beacon, error) {
+	if n < 3*f+1 || f < 0 {
+		return nil, fmt.Errorf("controlplane: beacon needs n >= 3f+1 (got n=%d f=%d)", n, f)
+	}
+	return &Beacon{
+		n: n, f: f,
+		commits: make(map[uint64]map[int][sha256.Size]byte),
+		reveals: make(map[uint64]map[int]BeaconShare),
+		outputs: make(map[uint64][]byte),
+	}, nil
+}
+
+// Quorum returns the number of commitments/reveals a round needs.
+func (b *Beacon) Quorum() int { return 2*b.f + 1 }
+
+// Commit records a commitment for (round, member). Later commitments from
+// the same member are ignored (the first ordered one wins).
+func (b *Beacon) Commit(round uint64, member int, commitment [sha256.Size]byte) error {
+	if member < 0 || member >= b.n {
+		return fmt.Errorf("controlplane: beacon member %d out of range", member)
+	}
+	byMember, ok := b.commits[round]
+	if !ok {
+		byMember = make(map[int][sha256.Size]byte)
+		b.commits[round] = byMember
+	}
+	if _, dup := byMember[member]; dup {
+		return nil
+	}
+	byMember[member] = commitment
+	return nil
+}
+
+// CommitCount returns how many commitments a round has.
+func (b *Beacon) CommitCount(round uint64) int { return len(b.commits[round]) }
+
+// ReadyToReveal reports whether the round gathered a quorum of
+// commitments (phase 2 may start).
+func (b *Beacon) ReadyToReveal(round uint64) bool {
+	return len(b.commits[round]) >= b.Quorum()
+}
+
+// Reveal records a revealed share; it is rejected unless it matches the
+// member's prior commitment. It returns the round output when the round
+// completes with this reveal (nil otherwise).
+func (b *Beacon) Reveal(share BeaconShare) ([]byte, error) {
+	if share.Member < 0 || share.Member >= b.n {
+		return nil, fmt.Errorf("controlplane: beacon member %d out of range", share.Member)
+	}
+	commitment, ok := b.commits[share.Round][share.Member]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: reveal without commitment (round %d member %d)", share.Round, share.Member)
+	}
+	if share.Commitment() != commitment {
+		return nil, fmt.Errorf("controlplane: reveal does not match commitment (round %d member %d)", share.Round, share.Member)
+	}
+	byMember, ok := b.reveals[share.Round]
+	if !ok {
+		byMember = make(map[int]BeaconShare)
+		b.reveals[share.Round] = byMember
+	}
+	if prior, dup := byMember[share.Member]; dup {
+		if !bytes.Equal(prior.Share, share.Share) {
+			return nil, fmt.Errorf("controlplane: conflicting reveals (round %d member %d)", share.Round, share.Member)
+		}
+		return b.outputs[share.Round], nil
+	}
+	byMember[share.Member] = share
+	if len(byMember) < b.Quorum() {
+		return nil, nil
+	}
+	if out, done := b.outputs[share.Round]; done {
+		return out, nil
+	}
+	out := b.fold(share.Round)
+	b.outputs[share.Round] = out
+	return out, nil
+}
+
+// Output returns a completed round's output, if any.
+func (b *Beacon) Output(round uint64) ([]byte, bool) {
+	out, ok := b.outputs[round]
+	return out, ok
+}
+
+// fold hashes the first Quorum() reveals in member order. Determinism
+// matters: every correct controller replica must fold the same set, so
+// the set is the quorum-smallest member ids among the reveals — and since
+// reveals are ordered through the BFT log, all replicas see the same
+// reveal set when the quorum completes.
+func (b *Beacon) fold(round uint64) []byte {
+	byMember := b.reveals[round]
+	members := make([]int, 0, len(byMember))
+	for m := range byMember {
+		members = append(members, m)
+	}
+	sort.Ints(members)
+	members = members[:b.Quorum()]
+	h := sha256.New()
+	fmt.Fprintf(h, "beacon|%d|", round)
+	for _, m := range members {
+		fmt.Fprintf(h, "%d|", m)
+		h.Write(byMember[m].Share)
+	}
+	return h.Sum(nil)
+}
+
+// Seed64 folds a beacon output into an int64 seed for math/rand.
+func Seed64(output []byte) int64 {
+	sum := sha256.Sum256(output)
+	return int64(binary.BigEndian.Uint64(sum[:8]))
+}

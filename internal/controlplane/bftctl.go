@@ -1,0 +1,481 @@
+package controlplane
+
+// This file implements the replicated-controller design the paper
+// outlines in §5.3: instead of trusting a single controller machine, the
+// control-plane STATE is itself a BFT-replicated service (running on the
+// same replication library as the data plane). Three of the section's
+// four key issues are addressed here:
+//
+//   - LTUs cannot trust a single controller command, so they POLL the
+//     replicated directory as ordinary BFT clients and act on a command
+//     only when f+1 controller replicas vouch for it (PollingLTU);
+//   - controller replicas must use the same randomness for Algorithm 1's
+//     candidate pick, provided by the commit-reveal Beacon whose phases
+//     are ordered through this directory;
+//   - reconfiguration decisions are recorded once per monitoring round,
+//     first-writer-wins, so every controller replica converges on the
+//     same swap.
+//
+// (The fourth issue — trusted "replicated patching" of quarantined images
+// — is delegated to per-organization curator components, as the paper
+// suggests.)
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"lazarus/internal/bft"
+	"lazarus/internal/core"
+	"lazarus/internal/ltu"
+	"lazarus/internal/transport"
+)
+
+// DirCommand is one queued LTU command in the replicated directory.
+type DirCommand struct {
+	// Seq is the per-node command sequence number (assigned by the
+	// directory, strictly increasing).
+	Seq uint64
+	// Action, OSID and Joining mirror ltu.Command.
+	Action  ltu.Action
+	OSID    string
+	Joining bool
+}
+
+// DirDecision records one monitoring round's reconfiguration decision.
+type DirDecision struct {
+	Round       uint64
+	RemovedOS   string
+	AddedOS     string
+	RemovedNode transport.NodeID
+	AddedNode   transport.NodeID
+}
+
+type dirOpKind byte
+
+const (
+	dirOpBeaconCommit dirOpKind = iota + 1
+	dirOpBeaconReveal
+	dirOpEnqueue
+	dirOpFetch
+	dirOpDecide
+	dirOpGetDecision
+)
+
+// dirOp is the directory's wire operation.
+type dirOp struct {
+	Kind dirOpKind
+
+	// Beacon fields.
+	Round      uint64
+	Member     int
+	Commitment [sha256.Size]byte
+	Share      BeaconShare
+
+	// Command-queue fields.
+	Node    transport.NodeID
+	After   uint64
+	Command DirCommand
+
+	// Decision fields.
+	Decision DirDecision
+}
+
+func encodeDirOp(op dirOp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return nil, fmt.Errorf("controlplane: encoding directory op: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Directory is the replicated control-plane state machine. It implements
+// bft.Application; run one instance per controller replica.
+type Directory struct {
+	mu sync.Mutex
+
+	beacon   *Beacon
+	queues   map[transport.NodeID][]DirCommand
+	nextSeq  map[transport.NodeID]uint64
+	decision map[uint64]DirDecision
+}
+
+// NewDirectory builds a directory for n controller replicas tolerating f.
+func NewDirectory(n, f int) (*Directory, error) {
+	beacon, err := NewBeacon(n, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Directory{
+		beacon:   beacon,
+		queues:   make(map[transport.NodeID][]DirCommand),
+		nextSeq:  make(map[transport.NodeID]uint64),
+		decision: make(map[uint64]DirDecision),
+	}, nil
+}
+
+var _ bft.Application = (*Directory)(nil)
+
+// Execute implements bft.Application.
+func (d *Directory) Execute(payload []byte) []byte {
+	var op dirOp
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch op.Kind {
+	case dirOpBeaconCommit:
+		if err := d.beacon.Commit(op.Round, op.Member, op.Commitment); err != nil {
+			return []byte("ERR " + err.Error())
+		}
+		return []byte(fmt.Sprintf("COMMITS %d", d.beacon.CommitCount(op.Round)))
+	case dirOpBeaconReveal:
+		out, err := d.beacon.Reveal(op.Share)
+		if err != nil {
+			return []byte("ERR " + err.Error())
+		}
+		if out == nil {
+			return []byte("PENDING")
+		}
+		return append([]byte("SEED"), out...)
+	case dirOpEnqueue:
+		d.nextSeq[op.Node]++
+		cmd := op.Command
+		cmd.Seq = d.nextSeq[op.Node]
+		d.queues[op.Node] = append(d.queues[op.Node], cmd)
+		return []byte(fmt.Sprintf("QUEUED %d", cmd.Seq))
+	case dirOpFetch:
+		var pending []DirCommand
+		for _, cmd := range d.queues[op.Node] {
+			if cmd.Seq > op.After {
+				pending = append(pending, cmd)
+			}
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(pending); err != nil {
+			return []byte("ERR " + err.Error())
+		}
+		return append([]byte("CMDS"), buf.Bytes()...)
+	case dirOpDecide:
+		if prior, ok := d.decision[op.Decision.Round]; ok {
+			return encodeDecision(prior) // first writer wins
+		}
+		d.decision[op.Decision.Round] = op.Decision
+		return encodeDecision(op.Decision)
+	case dirOpGetDecision:
+		if dec, ok := d.decision[op.Round]; ok {
+			return encodeDecision(dec)
+		}
+		return []byte("NONE")
+	default:
+		return []byte(fmt.Sprintf("ERR unknown op %d", op.Kind))
+	}
+}
+
+func encodeDecision(dec DirDecision) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dec); err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	return append([]byte("DEC"), buf.Bytes()...)
+}
+
+// DecodeDecision parses a dirOpDecide/dirOpGetDecision reply.
+func DecodeDecision(result []byte) (DirDecision, bool, error) {
+	if bytes.Equal(result, []byte("NONE")) {
+		return DirDecision{}, false, nil
+	}
+	if !bytes.HasPrefix(result, []byte("DEC")) {
+		return DirDecision{}, false, fmt.Errorf("controlplane: result %q carries no decision", result)
+	}
+	var dec DirDecision
+	if err := gob.NewDecoder(bytes.NewReader(result[3:])).Decode(&dec); err != nil {
+		return DirDecision{}, false, err
+	}
+	return dec, true, nil
+}
+
+// directorySnapshot serializes the directory deterministically.
+type directorySnapshot struct {
+	Queues    []nodeQueue
+	Decisions []DirDecision
+	// The beacon's transient state is not checkpointed: rounds restart
+	// after a restore, which is safe (shares are re-derivable and unused
+	// rounds simply re-run).
+}
+
+type nodeQueue struct {
+	Node    transport.NodeID
+	NextSeq uint64
+	Cmds    []DirCommand
+}
+
+// Snapshot implements bft.Application.
+func (d *Directory) Snapshot() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var snap directorySnapshot
+	nodes := make([]transport.NodeID, 0, len(d.queues))
+	for n := range d.queues {
+		nodes = append(nodes, n)
+	}
+	for n := range d.nextSeq {
+		if _, ok := d.queues[n]; !ok {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		snap.Queues = append(snap.Queues, nodeQueue{Node: n, NextSeq: d.nextSeq[n], Cmds: d.queues[n]})
+	}
+	rounds := make([]uint64, 0, len(d.decision))
+	for r := range d.decision {
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	for _, r := range rounds {
+		snap.Decisions = append(snap.Decisions, d.decision[r])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("controlplane: directory snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements bft.Application.
+func (d *Directory) Restore(snapshot []byte) error {
+	var snap directorySnapshot
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&snap); err != nil {
+		return fmt.Errorf("controlplane: directory restore: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.queues = make(map[transport.NodeID][]DirCommand, len(snap.Queues))
+	d.nextSeq = make(map[transport.NodeID]uint64, len(snap.Queues))
+	for _, q := range snap.Queues {
+		d.queues[q.Node] = q.Cmds
+		d.nextSeq[q.Node] = q.NextSeq
+	}
+	d.decision = make(map[uint64]DirDecision, len(snap.Decisions))
+	for _, dec := range snap.Decisions {
+		d.decision[dec.Round] = dec
+	}
+	return nil
+}
+
+// DirectoryClient wraps a BFT client with typed directory operations.
+// Every call is ordered through the controller group and its result is
+// vouched for by f+1 controller replicas.
+type DirectoryClient struct {
+	client *bft.Client
+}
+
+// NewDirectoryClient wraps a client connected to the controller group.
+func NewDirectoryClient(client *bft.Client) *DirectoryClient {
+	return &DirectoryClient{client: client}
+}
+
+func (c *DirectoryClient) invoke(ctx context.Context, op dirOp) ([]byte, error) {
+	payload, err := encodeDirOp(op)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.client.Invoke(ctx, payload)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(res, []byte("ERR")) {
+		return nil, fmt.Errorf("controlplane: directory: %s", res)
+	}
+	return res, nil
+}
+
+// BeaconCommit submits a commitment for (round, member).
+func (c *DirectoryClient) BeaconCommit(ctx context.Context, round uint64, member int, commitment [sha256.Size]byte) error {
+	_, err := c.invoke(ctx, dirOp{Kind: dirOpBeaconCommit, Round: round, Member: member, Commitment: commitment})
+	return err
+}
+
+// BeaconReveal submits a reveal; it returns the round's seed once a
+// quorum of reveals completed (nil before that).
+func (c *DirectoryClient) BeaconReveal(ctx context.Context, share BeaconShare) ([]byte, error) {
+	res, err := c.invoke(ctx, dirOp{Kind: dirOpBeaconReveal, Share: share})
+	if err != nil {
+		return nil, err
+	}
+	if bytes.Equal(res, []byte("PENDING")) {
+		return nil, nil
+	}
+	if !bytes.HasPrefix(res, []byte("SEED")) {
+		return nil, fmt.Errorf("controlplane: unexpected reveal reply %q", res)
+	}
+	return res[4:], nil
+}
+
+// Enqueue orders an LTU command for a node; returns its sequence number.
+func (c *DirectoryClient) Enqueue(ctx context.Context, node transport.NodeID, cmd DirCommand) (uint64, error) {
+	res, err := c.invoke(ctx, dirOp{Kind: dirOpEnqueue, Node: node, Command: cmd})
+	if err != nil {
+		return 0, err
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(string(res), "QUEUED %d", &seq); err != nil {
+		return 0, fmt.Errorf("controlplane: unexpected enqueue reply %q", res)
+	}
+	return seq, nil
+}
+
+// Fetch returns the node's commands with Seq > after.
+func (c *DirectoryClient) Fetch(ctx context.Context, node transport.NodeID, after uint64) ([]DirCommand, error) {
+	res, err := c.invoke(ctx, dirOp{Kind: dirOpFetch, Node: node, After: after})
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(res, []byte("CMDS")) {
+		return nil, fmt.Errorf("controlplane: unexpected fetch reply %q", res)
+	}
+	var cmds []DirCommand
+	if err := gob.NewDecoder(bytes.NewReader(res[4:])).Decode(&cmds); err != nil {
+		return nil, err
+	}
+	return cmds, nil
+}
+
+// Decide records a round's decision; the first recorded decision for a
+// round wins and is returned.
+func (c *DirectoryClient) Decide(ctx context.Context, dec DirDecision) (DirDecision, error) {
+	res, err := c.invoke(ctx, dirOp{Kind: dirOpDecide, Decision: dec})
+	if err != nil {
+		return DirDecision{}, err
+	}
+	got, ok, err := DecodeDecision(res)
+	if err != nil || !ok {
+		return DirDecision{}, fmt.Errorf("controlplane: decide reply %q: %v", res, err)
+	}
+	return got, nil
+}
+
+// Decision fetches a round's decision, if recorded.
+func (c *DirectoryClient) Decision(ctx context.Context, round uint64) (DirDecision, bool, error) {
+	res, err := c.invoke(ctx, dirOp{Kind: dirOpGetDecision, Round: round})
+	if err != nil {
+		return DirDecision{}, false, err
+	}
+	return DecodeDecision(res)
+}
+
+// PollingLTU drives a node's LTU from the replicated directory: it
+// periodically fetches the node's command queue (each fetch is a BFT
+// invocation whose result f+1 controller replicas vouch for) and applies
+// fresh commands in order. This replaces the push-style MAC'd channel of
+// the centralized design, exactly as §5.3 prescribes.
+type PollingLTU struct {
+	node   transport.NodeID
+	dir    *DirectoryClient
+	driver ltu.Driver
+
+	mu      sync.Mutex
+	applied uint64
+	history []DirCommand
+}
+
+// NewPollingLTU builds a polling LTU for the node.
+func NewPollingLTU(node transport.NodeID, dir *DirectoryClient, driver ltu.Driver) (*PollingLTU, error) {
+	if dir == nil || driver == nil {
+		return nil, fmt.Errorf("controlplane: polling LTU needs a directory client and a driver")
+	}
+	return &PollingLTU{node: node, dir: dir, driver: driver}, nil
+}
+
+// Poll fetches and applies all fresh commands; it returns how many were
+// applied.
+func (p *PollingLTU) Poll(ctx context.Context) (int, error) {
+	p.mu.Lock()
+	after := p.applied
+	p.mu.Unlock()
+	cmds, err := p.dir.Fetch(ctx, p.node, after)
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	for _, cmd := range cmds {
+		if cmd.Seq != after+uint64(applied)+1 {
+			return applied, fmt.Errorf("controlplane: command gap at node %d: got seq %d, want %d",
+				p.node, cmd.Seq, after+uint64(applied)+1)
+		}
+		switch cmd.Action {
+		case ltu.ActionPowerOn:
+			err = p.driver.PowerOn(cmd.OSID, cmd.Joining)
+		case ltu.ActionPowerOff:
+			err = p.driver.PowerOff()
+		default:
+			err = fmt.Errorf("controlplane: unknown directory action %v", cmd.Action)
+		}
+		if err != nil {
+			return applied, err
+		}
+		applied++
+		p.mu.Lock()
+		p.applied = cmd.Seq
+		p.history = append(p.history, cmd)
+		p.mu.Unlock()
+	}
+	return applied, nil
+}
+
+// Applied returns the highest applied command sequence number.
+func (p *PollingLTU) Applied() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied
+}
+
+// History returns the applied commands, oldest first.
+func (p *PollingLTU) History() []DirCommand {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]DirCommand(nil), p.history...)
+}
+
+// ReplicatedDecision computes the monitoring-round decision every correct
+// controller replica arrives at independently: Algorithm 1 evaluated
+// against the (shared) risk evaluator with the beacon round's seed driving
+// the random candidate pick. Each controller replica calls this locally
+// and submits the result through DirectoryClient.Decide; since all correct
+// replicas compute the same decision, the first-writer-wins rule is
+// conflict-free among them.
+func ReplicatedDecision(
+	round uint64,
+	seed []byte,
+	eval core.RiskEvaluator,
+	config core.Config,
+	pool []core.Replica,
+	threshold float64,
+	now time.Time,
+) (core.Decision, error) {
+	if len(seed) == 0 {
+		return core.Decision{}, fmt.Errorf("controlplane: round %d has no beacon seed", round)
+	}
+	rng := mrand.New(mrand.NewSource(Seed64(seed)))
+	monitor, err := core.NewMonitor(eval, config, pool, core.MonitorConfig{
+		Threshold: threshold,
+		Rand:      rng,
+	})
+	if err != nil {
+		return core.Decision{}, err
+	}
+	decision, err := monitor.Monitor(now)
+	if err != nil && !errors.Is(err, core.ErrNoCandidate) && !errors.Is(err, core.ErrPoolExhausted) {
+		return core.Decision{}, err
+	}
+	return decision, nil
+}

@@ -1,0 +1,396 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"lazarus/internal/bft"
+	"lazarus/internal/bft/bfttest"
+	"lazarus/internal/core"
+	"lazarus/internal/feeds"
+	"lazarus/internal/ltu"
+	"lazarus/internal/transport"
+)
+
+func TestBeaconCommitReveal(t *testing.T) {
+	b, err := NewBeacon(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secrets := [][]byte{[]byte("s0"), []byte("s1"), []byte("s2"), []byte("s3")}
+	shares := make([]BeaconShare, 4)
+	for i := range shares {
+		shares[i] = DeriveShare(secrets[i], 1, i)
+		if err := b.Commit(1, i, shares[i].Commitment()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.ReadyToReveal(1) {
+		t.Fatal("quorum of commitments not detected")
+	}
+	var out []byte
+	for i := 0; i < 3; i++ { // 2f+1 reveals complete the round
+		res, err := b.Reveal(shares[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 && res != nil {
+			t.Fatalf("round completed after %d reveals", i+1)
+		}
+		out = res
+	}
+	if out == nil {
+		t.Fatal("round did not complete at quorum")
+	}
+	if got, ok := b.Output(1); !ok || !bytes.Equal(got, out) {
+		t.Error("Output disagrees with Reveal result")
+	}
+	// A late 4th reveal does not change the output.
+	res, err := b.Reveal(shares[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res, out) {
+		t.Error("late reveal changed the beacon output")
+	}
+	if Seed64(out) == 0 {
+		t.Error("seed folding produced zero (astronomically unlikely)")
+	}
+}
+
+func TestBeaconRejectsCheating(t *testing.T) {
+	b, err := NewBeacon(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := DeriveShare([]byte("s"), 1, 0)
+	if _, err := b.Reveal(honest); err == nil {
+		t.Error("reveal without commitment accepted")
+	}
+	if err := b.Commit(1, 0, honest.Commitment()); err != nil {
+		t.Fatal(err)
+	}
+	// A share that does not match the commitment is rejected.
+	forged := honest
+	forged.Share = append([]byte(nil), honest.Share...)
+	forged.Share[0] ^= 0xFF
+	if _, err := b.Reveal(forged); err == nil {
+		t.Error("mismatched reveal accepted")
+	}
+	// Second commitment from the same member is ignored (first wins).
+	other := DeriveShare([]byte("other"), 1, 0)
+	if err := b.Commit(1, 0, other.Commitment()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Reveal(other); err == nil {
+		t.Error("reveal against superseded commitment accepted")
+	}
+	if _, err := b.Reveal(honest); err != nil {
+		t.Errorf("honest reveal rejected: %v", err)
+	}
+	if err := b.Commit(1, 99, [32]byte{}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, err := NewBeacon(3, 1); err == nil {
+		t.Error("n < 3f+1 accepted")
+	}
+}
+
+func TestBeaconOutputUnbiasableByLateChoice(t *testing.T) {
+	// The output folds the quorum-smallest member ids, so a Byzantine
+	// member revealing last (member 3) cannot change the fold set once
+	// members 0..2 revealed.
+	b, _ := NewBeacon(4, 1)
+	var shares []BeaconShare
+	for i := 0; i < 4; i++ {
+		s := DeriveShare([]byte{byte(i)}, 7, i)
+		shares = append(shares, s)
+		b.Commit(7, i, s.Commitment())
+	}
+	var out []byte
+	for i := 0; i < 3; i++ {
+		out, _ = b.Reveal(shares[i])
+	}
+	late, _ := b.Reveal(shares[3])
+	if !bytes.Equal(out, late) {
+		t.Error("late reveal altered the output")
+	}
+}
+
+// launchDirectory runs a 4-replica controller group serving the
+// Directory.
+func launchDirectory(t *testing.T) (*bfttest.Cluster, *DirectoryClient) {
+	t.Helper()
+	cluster, err := bfttest.Launch(func(transport.NodeID) bft.Application {
+		d, err := NewDirectory(4, 1)
+		if err != nil {
+			panic(err) // static sizes, cannot fail
+		}
+		return d
+	}, bfttest.Options{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	client, err := cluster.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return cluster, NewDirectoryClient(client)
+}
+
+func TestReplicatedBeaconRound(t *testing.T) {
+	_, dir := launchDirectory(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Four controller replicas commit, then reveal, all through the BFT
+	// log; the seed emerges once 2f+1 reveals are ordered.
+	secrets := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	shares := make([]BeaconShare, 4)
+	for i := range shares {
+		shares[i] = DeriveShare(secrets[i], 1, i)
+		if err := dir.BeaconCommit(ctx, 1, i, shares[i].Commitment()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seed []byte
+	for i := 0; i < 4; i++ {
+		out, err := dir.BeaconReveal(ctx, shares[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			seed = out
+		}
+	}
+	if seed == nil {
+		t.Fatal("no seed after all reveals")
+	}
+	if Seed64(seed) == 0 {
+		t.Error("zero seed")
+	}
+}
+
+func TestReplicatedDecisionFirstWriterWins(t *testing.T) {
+	_, dir := launchDirectory(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	first := DirDecision{Round: 3, RemovedOS: "UB16", AddedOS: "FB11", RemovedNode: 1, AddedNode: 9}
+	got, err := dir.Decide(ctx, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != first {
+		t.Fatalf("first decision = %+v", got)
+	}
+	// A conflicting proposal for the same round yields the original.
+	second := DirDecision{Round: 3, RemovedOS: "DE8", AddedOS: "SO11"}
+	got, err = dir.Decide(ctx, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != first {
+		t.Fatalf("second writer overrode the round: %+v", got)
+	}
+	dec, ok, err := dir.Decision(ctx, 3)
+	if err != nil || !ok || dec != first {
+		t.Fatalf("Decision = %+v %v %v", dec, ok, err)
+	}
+	if _, ok, err := dir.Decision(ctx, 99); err != nil || ok {
+		t.Fatalf("missing round reported present: %v %v", ok, err)
+	}
+}
+
+// pollDriver records PollingLTU actions.
+type pollDriver struct {
+	mu  chan struct{}
+	ons []string
+	off int
+}
+
+func (d *pollDriver) PowerOn(osID string, joining bool) error {
+	d.ons = append(d.ons, osID)
+	return nil
+}
+
+func (d *pollDriver) PowerOff() error {
+	d.off++
+	return nil
+}
+
+func TestPollingLTUAppliesInOrder(t *testing.T) {
+	_, dir := launchDirectory(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	node := transport.NodeID(42)
+	driver := &pollDriver{}
+	unit, err := NewPollingLTU(node, dir, driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing to do initially.
+	n, err := unit.Poll(ctx)
+	if err != nil || n != 0 {
+		t.Fatalf("empty poll = %d, %v", n, err)
+	}
+	// Enqueue power-on UB16, power-off, power-on DE8.
+	for _, cmd := range []DirCommand{
+		{Action: ltu.ActionPowerOn, OSID: "UB16"},
+		{Action: ltu.ActionPowerOff},
+		{Action: ltu.ActionPowerOn, OSID: "DE8", Joining: true},
+	} {
+		if _, err := dir.Enqueue(ctx, node, cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err = unit.Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("applied %d commands, want 3", n)
+	}
+	if len(driver.ons) != 2 || driver.ons[0] != "UB16" || driver.ons[1] != "DE8" || driver.off != 1 {
+		t.Errorf("driver state: ons=%v off=%d", driver.ons, driver.off)
+	}
+	if unit.Applied() != 3 {
+		t.Errorf("applied watermark = %d", unit.Applied())
+	}
+	// Re-polling applies nothing new (no replays).
+	n, err = unit.Poll(ctx)
+	if err != nil || n != 0 {
+		t.Fatalf("re-poll = %d, %v", n, err)
+	}
+	if len(unit.History()) != 3 {
+		t.Errorf("history = %v", unit.History())
+	}
+}
+
+func TestDirectorySnapshotRoundTrip(t *testing.T) {
+	d, err := NewDirectory(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enq, _ := encodeDirOp(dirOp{Kind: dirOpEnqueue, Node: 7, Command: DirCommand{Action: ltu.ActionPowerOn, OSID: "UB16"}})
+	d.Execute(enq)
+	dec, _ := encodeDirOp(dirOp{Kind: dirOpDecide, Decision: DirDecision{Round: 1, RemovedOS: "DE8", AddedOS: "FB11"}})
+	d.Execute(dec)
+
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDirectory(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := d2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, snap2) {
+		t.Error("directory snapshot not stable across restore")
+	}
+	fetch, _ := encodeDirOp(dirOp{Kind: dirOpFetch, Node: 7, After: 0})
+	if res := d2.Execute(fetch); !bytes.HasPrefix(res, []byte("CMDS")) {
+		t.Errorf("restored fetch = %q", res)
+	}
+	// A new enqueue continues the sequence.
+	if res := d2.Execute(enq); !bytes.Equal(res, []byte("QUEUED 2")) {
+		t.Errorf("post-restore enqueue = %q", res)
+	}
+}
+
+func TestDirectoryRejectsGarbage(t *testing.T) {
+	d, err := NewDirectory(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := d.Execute([]byte("garbage")); !bytes.HasPrefix(res, []byte("ERR")) {
+		t.Errorf("garbage op = %q", res)
+	}
+	bad, _ := encodeDirOp(dirOp{Kind: 99})
+	if res := d.Execute(bad); !bytes.HasPrefix(res, []byte("ERR")) {
+		t.Errorf("unknown op = %q", res)
+	}
+}
+
+func TestReplicatedDecisionDeterministic(t *testing.T) {
+	// Every controller replica computing from the same seed, intel and
+	// sets must arrive at the identical decision.
+	corpus := smallCorpus(t)
+	ctrl, err := New(Config{
+		Net:          transport.NewMemory(transport.MemoryConfig{}),
+		App:          func() bft.Application { return NewMustDirectory() },
+		LTUSecret:    []byte("s"),
+		InitialVulns: corpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RefreshIntel(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	eval := ctrl.eval
+
+	universe := feedsReplicas()
+	config := core.Config(universe[:4])
+	pool := universe[4:]
+	now := day(2018, 1, 15)
+	seed := []byte("beacon-round-output")
+
+	first, err := ReplicatedDecision(1, seed, eval, config, pool, 1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := ReplicatedDecision(1, seed, eval, config, pool, 1, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Reconfigured != first.Reconfigured ||
+			again.Removed.ID != first.Removed.ID || again.Added.ID != first.Added.ID {
+			t.Fatalf("replica %d computed a different decision: %+v vs %+v", i, again, first)
+		}
+	}
+	// A different beacon output may choose differently (randomized pick),
+	// but must still be internally deterministic.
+	other, err := ReplicatedDecision(2, []byte("other-round"), eval, config, pool, 1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other2, err := ReplicatedDecision(2, []byte("other-round"), eval, config, pool, 1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Removed.ID != other2.Removed.ID || other.Added.ID != other2.Added.ID {
+		t.Fatal("same seed produced different decisions")
+	}
+	// Missing seed is rejected.
+	if _, err := ReplicatedDecision(3, nil, eval, config, pool, 1, now); err == nil {
+		t.Error("decision without beacon seed accepted")
+	}
+}
+
+// NewMustDirectory builds a 4/1 directory or panics (static sizes).
+func NewMustDirectory() *Directory {
+	d, err := NewDirectory(4, 1)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// feedsReplicas avoids an import cycle in this test file.
+func feedsReplicas() []core.Replica {
+	return feeds.Replicas()
+}

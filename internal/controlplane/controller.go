@@ -1,0 +1,675 @@
+// Package controlplane implements the Lazarus controller (paper §5.1):
+// the logically-centralized trusted component that wires the Data manager
+// (OSINT ingestion), the Risk manager (clustering + Equation 5 +
+// Algorithm 1) and the Deploy manager (replica provisioning through
+// per-node LTUs) into a closed loop that keeps a BFT service running on
+// the lowest-risk diverse replica set available.
+package controlplane
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazarus/internal/bft"
+	"lazarus/internal/catalog"
+	"lazarus/internal/cluster"
+	"lazarus/internal/core"
+	"lazarus/internal/deploy"
+	"lazarus/internal/ltu"
+	"lazarus/internal/osint"
+	"lazarus/internal/strategies"
+	"lazarus/internal/transport"
+	"lazarus/internal/vulndb"
+)
+
+// Config configures a Controller.
+type Config struct {
+	// Universe lists the OS images the deploy manager can provision
+	// (default: the 17 deployable catalog versions).
+	Universe []catalog.OS
+	// N is the replica-set size (default 4).
+	N int
+	// Threshold is the Algorithm 1 risk threshold; 0 derives it
+	// adaptively from the initial configuration's risk.
+	Threshold float64
+	// ScoreParams tune Equation 1 (zero value = paper defaults).
+	ScoreParams core.ScoreParams
+	// ClusterK and ClusterVocab tune the description clustering
+	// (0 = corpus-scaled defaults).
+	ClusterK, ClusterVocab int
+	// Seed drives the randomized selection.
+	Seed int64
+	// Clock supplies the current time (nil = time.Now); injected so the
+	// risk experiments and tests can replay history.
+	Clock func() time.Time
+
+	// Crawler optionally pulls live OSINT feeds on each refresh.
+	Crawler *osint.Crawler
+	// InitialVulns seeds the knowledge base without a crawler.
+	InitialVulns []*osint.Vulnerability
+
+	// Net is the execution-plane network.
+	Net transport.Network
+	// App builds the replicated service per replica.
+	App deploy.AppFactory
+	// ClientKeys registers the service's clients.
+	ClientKeys map[transport.NodeID]ed25519.PublicKey
+	// LTUSecret authenticates controller-to-LTU commands.
+	LTUSecret []byte
+	// BootScale scales simulated boot times (0 = instant).
+	BootScale float64
+	// ReplicaTuning adjusts replica protocol knobs.
+	ReplicaTuning func(*bft.ReplicaConfig)
+	// CatchUpTimeout bounds how long a joining replica may take to
+	// state-transfer in (default 30s).
+	CatchUpTimeout time.Duration
+	// Logf receives controller logging (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if len(c.Universe) == 0 {
+		c.Universe = catalog.Deployable()
+	}
+	if c.N == 0 {
+		c.N = 4
+	}
+	if len(c.Universe) < c.N {
+		return fmt.Errorf("controlplane: universe %d smaller than n %d", len(c.Universe), c.N)
+	}
+	if c.ScoreParams == (core.ScoreParams{}) {
+		c.ScoreParams = core.DefaultScoreParams()
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Net == nil {
+		return fmt.Errorf("controlplane: nil network")
+	}
+	if c.App == nil {
+		return fmt.Errorf("controlplane: nil app factory")
+	}
+	if len(c.LTUSecret) == 0 {
+		return fmt.Errorf("controlplane: empty LTU secret")
+	}
+	if c.CatchUpTimeout <= 0 {
+		c.CatchUpTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// swapEvaluator delegates risk queries to the engine built from the most
+// recent OSINT refresh; Algorithm 1 always evaluates against fresh data.
+type swapEvaluator struct {
+	mu  sync.RWMutex
+	eng *core.RiskEngine
+}
+
+var _ core.RiskEvaluator = (*swapEvaluator)(nil)
+
+func (s *swapEvaluator) get() *core.RiskEngine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng
+}
+
+func (s *swapEvaluator) set(e *core.RiskEngine) {
+	s.mu.Lock()
+	s.eng = e
+	s.mu.Unlock()
+}
+
+func (s *swapEvaluator) Risk(cfg core.Config, now time.Time) float64 {
+	return s.get().Risk(cfg, now)
+}
+
+func (s *swapEvaluator) AverageScore(r core.Replica, now time.Time) float64 {
+	return s.get().AverageScore(r, now)
+}
+
+func (s *swapEvaluator) FullyPatched(r core.Replica, now time.Time) bool {
+	return s.get().FullyPatched(r, now)
+}
+
+func (s *swapEvaluator) UnpatchedCount(r core.Replica, now time.Time) int {
+	return s.get().UnpatchedCount(r, now)
+}
+
+// nodeSlot is one execution-plane machine with its LTU.
+type nodeSlot struct {
+	node *deploy.Node
+	ltu  *ltu.LTU
+}
+
+// Controller is the Lazarus control plane.
+type Controller struct {
+	cfg   Config
+	store *vulndb.Store
+	eval  *swapEvaluator
+	rng   *mrand.Rand
+
+	monitor *core.Monitor
+
+	builder  *deploy.Builder
+	ctrlPub  ed25519.PublicKey
+	ctrlPriv ed25519.PrivateKey
+
+	mu sync.Mutex
+	// membership is read by freshly booting replicas while c.mu is held,
+	// so it lives in an atomic pointer rather than under the mutex.
+	membership atomic.Pointer[bft.Membership]
+	nodes      map[transport.NodeID]*nodeSlot
+	osToNode   map[string]transport.NodeID
+	nextNode   transport.NodeID
+	ltuSeq     uint64
+	client     *bft.Client
+	started    bool
+}
+
+// New validates the configuration and builds a controller (nothing runs
+// until Bootstrap).
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: controller key: %w", err)
+	}
+	builder, err := deploy.NewBuilder(deploy.BuilderConfig{
+		Net:           cfg.Net,
+		ClientKeys:    cfg.ClientKeys,
+		ControllerKey: pub,
+		App:           cfg.App,
+		BootScale:     cfg.BootScale,
+		ReplicaTuning: cfg.ReplicaTuning,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:      cfg,
+		store:    vulndb.New(),
+		eval:     &swapEvaluator{},
+		rng:      mrand.New(mrand.NewSource(cfg.Seed)),
+		builder:  builder,
+		ctrlPub:  pub,
+		ctrlPriv: priv,
+		nodes:    make(map[transport.NodeID]*nodeSlot),
+		osToNode: make(map[string]transport.NodeID),
+	}, nil
+}
+
+// ControllerKey returns the public key whose signature authorizes
+// reconfigurations.
+func (c *Controller) ControllerKey() ed25519.PublicKey { return c.ctrlPub }
+
+// replicaFor converts an OS into the risk engine's replica identity.
+func replicaFor(os catalog.OS) core.Replica {
+	return core.NewReplica(os.ID, os.CPEProduct)
+}
+
+// RefreshIntel ingests new OSINT data (crawler and/or preloaded records),
+// re-clusters the descriptions, and swaps the risk engine Algorithm 1
+// evaluates against (the Data manager + the analysis half of the Risk
+// manager).
+func (c *Controller) RefreshIntel(ctx context.Context, extra ...*osint.Vulnerability) error {
+	if err := c.store.UpsertAll(c.cfg.InitialVulns); err != nil {
+		return err
+	}
+	c.cfg.InitialVulns = nil
+	if err := c.store.UpsertAll(extra); err != nil {
+		return err
+	}
+	if c.cfg.Crawler != nil {
+		records, errs := c.cfg.Crawler.Crawl(ctx)
+		for _, err := range errs {
+			c.cfg.Logf("controlplane: crawl: %v", err)
+		}
+		for _, v := range records {
+			if err := c.store.Upsert(v); err != nil {
+				return err
+			}
+		}
+	}
+	corpus := c.store.All()
+	if len(corpus) == 0 {
+		return fmt.Errorf("controlplane: no vulnerability data ingested")
+	}
+	k := c.cfg.ClusterK
+	if k == 0 {
+		k = len(corpus) / 8
+		if k < 8 {
+			k = 8
+		}
+		if k > 192 {
+			k = 192
+		}
+	}
+	if k > len(corpus) {
+		k = len(corpus)
+	}
+	vocab := c.cfg.ClusterVocab
+	if vocab == 0 {
+		vocab = 600
+	}
+	model, err := cluster.BuildModel(corpus, cluster.Config{K: k, MaxVocabulary: vocab, Seed: c.cfg.Seed})
+	if err != nil {
+		return err
+	}
+	intel, err := core.NewIntel(corpus, model.Clusters)
+	if err != nil {
+		return err
+	}
+	// Same-cluster links must also be textually close (K-means forces
+	// every record into some cluster, so membership alone over-links).
+	intel.SetSimilarityGate(func(a, b string) bool {
+		return model.Cosine(a, b) >= 0.60
+	})
+	engine, err := core.NewRiskEngine(intel, c.cfg.ScoreParams)
+	if err != nil {
+		return err
+	}
+	c.eval.set(engine)
+	c.cfg.Logf("controlplane: intel refreshed: %d records, %d clusters", len(corpus), model.Clusters.K)
+	return nil
+}
+
+// Bootstrap selects the initial minimum-risk configuration, provisions
+// its replicas through the LTUs, and starts monitoring state. RefreshIntel
+// runs first if it has not.
+func (c *Controller) Bootstrap(ctx context.Context) error {
+	if c.eval.get() == nil {
+		if err := c.RefreshIntel(ctx); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("controlplane: already bootstrapped")
+	}
+	now := c.cfg.Clock()
+
+	universe := make([]core.Replica, len(c.cfg.Universe))
+	for i, os := range c.cfg.Universe {
+		universe[i] = replicaFor(os)
+	}
+	initial, risk, err := strategies.GreedyMinRiskConfig(universe, c.cfg.N, c.eval, now, c.rng)
+	if err != nil {
+		return err
+	}
+	threshold := c.cfg.Threshold
+	if threshold <= 0 {
+		// Baseline headroom plus one fresh HIGH exploited shared
+		// weakness (see strategies.Env.Threshold).
+		threshold = risk*1.05 + 8.75
+	}
+	pool := make([]core.Replica, 0, len(universe)-c.cfg.N)
+	for _, r := range universe {
+		if !initial.Contains(r.ID) {
+			pool = append(pool, r)
+		}
+	}
+	monitor, err := core.NewMonitor(c.eval, initial, pool, core.MonitorConfig{
+		Threshold: threshold,
+		Rand:      c.rng,
+	})
+	if err != nil {
+		return err
+	}
+	c.monitor = monitor
+
+	// Provision the execution plane: one node per configured OS. Keys
+	// exist before power-on so the initial membership covers them.
+	ids := make([]transport.NodeID, 0, c.cfg.N)
+	keys := make(map[transport.NodeID]ed25519.PublicKey, c.cfg.N)
+	var slots []*nodeSlot
+	for range initial {
+		id := c.nextNode
+		c.nextNode++
+		slot, err := c.newSlotLocked(id)
+		if err != nil {
+			return err
+		}
+		pub, err := c.builder.PublicKey(id)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+		keys[id] = pub
+		slots = append(slots, slot)
+	}
+	membership, err := bft.NewMembership(ids, keys)
+	if err != nil {
+		return err
+	}
+	c.membership.Store(membership)
+
+	for i, r := range initial {
+		if err := c.powerOnLocked(slots[i], r.ID, false); err != nil {
+			return err
+		}
+		c.osToNode[r.ID] = slots[i].node.ID()
+	}
+	client, err := bft.NewClient(bft.ClientConfig{
+		ID:             transport.ClientIDBase + 9999,
+		Key:            c.ctrlPriv,
+		Replicas:       membership.Replicas,
+		F:              membership.F(),
+		Net:            c.cfg.Net,
+		RequestTimeout: 800 * time.Millisecond,
+		MaxAttempts:    15,
+	})
+	if err != nil {
+		return err
+	}
+	c.client = client
+	c.started = true
+	c.cfg.Logf("controlplane: bootstrapped CONFIG %v at risk %.1f (threshold %.1f)",
+		initial.IDs(), risk, threshold)
+	return nil
+}
+
+func (c *Controller) newSlotLocked(id transport.NodeID) (*nodeSlot, error) {
+	node, err := c.builder.NewNode(id, c.currentMembership)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := ltu.New(c.cfg.LTUSecret, node)
+	if err != nil {
+		return nil, err
+	}
+	slot := &nodeSlot{node: node, ltu: unit}
+	c.nodes[id] = slot
+	return slot, nil
+}
+
+// currentMembership supplies freshly booted replicas with the controller's
+// view of the group. Lock-free: PowerOn calls it while c.mu is held.
+func (c *Controller) currentMembership() *bft.Membership {
+	m := c.membership.Load()
+	if m == nil {
+		return nil
+	}
+	return m.Clone()
+}
+
+// powerOnLocked drives a node through its LTU.
+func (c *Controller) powerOnLocked(slot *nodeSlot, osID string, joining bool) error {
+	c.ltuSeq++
+	sealed, err := ltu.Seal(c.cfg.LTUSecret, ltu.Command{
+		Seq:     c.ltuSeq,
+		Action:  ltu.ActionPowerOn,
+		OSID:    osID,
+		Joining: joining,
+	})
+	if err != nil {
+		return err
+	}
+	return slot.ltu.Execute(sealed)
+}
+
+func (c *Controller) powerOffLocked(slot *nodeSlot) error {
+	c.ltuSeq++
+	sealed, err := ltu.Seal(c.cfg.LTUSecret, ltu.Command{Seq: c.ltuSeq, Action: ltu.ActionPowerOff})
+	if err != nil {
+		return err
+	}
+	return slot.ltu.Execute(sealed)
+}
+
+// Status reports the controller's current view.
+type Status struct {
+	Config     []string
+	Pool       []string
+	Quarantine []string
+	Threshold  float64
+	Epoch      uint64
+	Nodes      map[string]transport.NodeID
+}
+
+// Status returns the current control-plane view.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{Nodes: make(map[string]transport.NodeID)}
+	if c.monitor != nil {
+		st.Config = c.monitor.Config().IDs()
+		for _, r := range c.monitor.Pool() {
+			st.Pool = append(st.Pool, r.ID)
+		}
+		for _, r := range c.monitor.Quarantine() {
+			st.Quarantine = append(st.Quarantine, r.ID)
+		}
+		st.Threshold = c.monitor.Threshold()
+	}
+	if m := c.membership.Load(); m != nil {
+		st.Epoch = m.Epoch
+	}
+	for osID, node := range c.osToNode {
+		st.Nodes[osID] = node
+	}
+	return st
+}
+
+// Client returns a service client bound to the current membership for the
+// given identity.
+func (c *Controller) ServiceClient(id transport.NodeID, key ed25519.PrivateKey) (*bft.Client, error) {
+	m := c.membership.Load()
+	if m == nil {
+		return nil, errors.New("controlplane: not bootstrapped")
+	}
+	return bft.NewClient(bft.ClientConfig{
+		ID:       id,
+		Key:      key,
+		Replicas: m.Replicas,
+		F:        m.F(),
+		Net:      c.cfg.Net,
+	})
+}
+
+// MonitorRound runs one Algorithm 1 round at the clock's current time and
+// executes any resulting replica replacement on the execution plane. The
+// paper's corner cases are remediated automatically (raise threshold /
+// release the least-vulnerable quarantined replica).
+func (c *Controller) MonitorRound(ctx context.Context) (core.Decision, error) {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return core.Decision{}, errors.New("controlplane: not bootstrapped")
+	}
+	monitor := c.monitor
+	c.mu.Unlock()
+
+	now := c.cfg.Clock()
+	decision, err := monitor.Monitor(now)
+	switch {
+	case errors.Is(err, core.ErrPoolExhausted):
+		c.cfg.Logf("controlplane: pool exhausted; releasing least-vulnerable quarantined replica")
+		if _, relErr := monitor.ReleaseLeastVulnerable(now); relErr == nil {
+			decision, err = monitor.Monitor(now)
+		}
+	case errors.Is(err, core.ErrNoCandidate):
+		// The paper's first administrator remediation, automated:
+		// iteratively raise the threshold until some replacement is
+		// acceptable again (bounded, so a hopeless landscape cannot spin).
+		for attempt := 0; attempt < 8 && errors.Is(err, core.ErrNoCandidate); attempt++ {
+			newThr := monitor.Threshold()*1.5 + 1
+			c.cfg.Logf("controlplane: no candidate below threshold; raising to %.1f", newThr)
+			if raiseErr := monitor.RaiseThreshold(newThr); raiseErr != nil {
+				return decision, raiseErr
+			}
+			decision, err = monitor.Monitor(now)
+		}
+	}
+	if err != nil && !errors.Is(err, core.ErrNoCandidate) && !errors.Is(err, core.ErrPoolExhausted) {
+		return decision, err
+	}
+	if !decision.Reconfigured {
+		return decision, nil
+	}
+	if swapErr := c.executeSwap(ctx, decision.Removed, decision.Added); swapErr != nil {
+		return decision, fmt.Errorf("controlplane: executing swap %s -> %s: %w",
+			decision.Removed.ID, decision.Added.ID, swapErr)
+	}
+	return decision, nil
+}
+
+// executeSwap performs the BFT-SMaRt-style replacement: boot the joiner,
+// ADD it to the group, wait for its state transfer, REMOVE the old
+// replica, then power its node off and leave the OS in quarantine.
+func (c *Controller) executeSwap(ctx context.Context, removed, added core.Replica) error {
+	c.mu.Lock()
+	newID := c.nextNode
+	c.nextNode++
+	slot, err := c.newSlotLocked(newID)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	oldID, ok := c.osToNode[removed.ID]
+	oldSlot := c.nodes[oldID]
+	client := c.client
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("controlplane: no node runs %s", removed.ID)
+	}
+
+	// 1. Boot the joiner (it will poll for state).
+	if err := func() error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.powerOnLocked(slot, added.ID, true)
+	}(); err != nil {
+		return err
+	}
+
+	// 2. Order the ADD.
+	pub, err := c.builder.PublicKey(newID)
+	if err != nil {
+		return err
+	}
+	addOp, err := bft.EncodeReconfigOp(bft.ReconfigOp{Add: true, Replica: newID, PubKey: pub})
+	if err != nil {
+		return err
+	}
+	if _, err := client.Invoke(ctx, addOp); err != nil {
+		return fmt.Errorf("ordering ADD of node %d: %w", newID, err)
+	}
+	next, err := c.membership.Load().WithAdded(newID, pub)
+	if err != nil {
+		return err
+	}
+	c.membership.Store(next)
+	client.UpdateReplicas(next.Replicas)
+
+	// 3. Wait for the joiner to catch up (state transfer + log replay).
+	joiner := slot.node.Replica()
+	deadline := time.Now().Add(c.cfg.CatchUpTimeout)
+	for {
+		if joiner != nil {
+			st := joiner.Stats()
+			if st.CurrentEpoch >= c.currentMembership().Epoch && st.MembershipSize > 0 && st.StateTransfers > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("joiner %s on node %d did not catch up in %v", added.ID, newID, c.cfg.CatchUpTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+
+	// 4. Order the REMOVE of the quarantined replica's node.
+	rmOp, err := bft.EncodeReconfigOp(bft.ReconfigOp{Add: false, Replica: oldID})
+	if err != nil {
+		return err
+	}
+	if _, err := client.Invoke(ctx, rmOp); err != nil {
+		return fmt.Errorf("ordering REMOVE of node %d: %w", oldID, err)
+	}
+	next, err = c.membership.Load().WithRemoved(oldID)
+	if err != nil {
+		return err
+	}
+	c.membership.Store(next)
+	client.UpdateReplicas(next.Replicas)
+	c.mu.Lock()
+	delete(c.osToNode, removed.ID)
+	c.osToNode[added.ID] = newID
+	c.mu.Unlock()
+
+	// 5. Power the old node off (its OS image goes to quarantine for
+	// patching; Algorithm 1 already tracks that set).
+	if err := func() error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.powerOffLocked(oldSlot)
+	}(); err != nil {
+		return err
+	}
+	c.cfg.Logf("controlplane: swapped %s (node %d) for %s (node %d)", removed.ID, oldID, added.ID, newID)
+	return nil
+}
+
+// Stop powers off every node.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	slots := make([]*nodeSlot, 0, len(c.nodes))
+	for _, s := range c.nodes {
+		slots = append(slots, s)
+	}
+	client := c.client
+	c.mu.Unlock()
+	if client != nil {
+		client.Close()
+	}
+	for _, s := range slots {
+		_ = s.node.PowerOff()
+	}
+}
+
+// RunLoop refreshes intelligence and runs one monitoring round every
+// interval until the context ends (the paper's "e.g., at midnight every
+// day"). Decisions are delivered to onDecision (nil to ignore); errors on
+// individual rounds are logged and do not stop the loop.
+func (c *Controller) RunLoop(ctx context.Context, interval time.Duration, onDecision func(core.Decision)) error {
+	if interval <= 0 {
+		return fmt.Errorf("controlplane: non-positive monitoring interval")
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := c.RefreshIntel(ctx); err != nil {
+				c.cfg.Logf("controlplane: refresh: %v", err)
+				continue
+			}
+			decision, err := c.MonitorRound(ctx)
+			if err != nil {
+				c.cfg.Logf("controlplane: monitoring round: %v", err)
+				continue
+			}
+			if onDecision != nil {
+				onDecision(decision)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lazarus/internal/cluster"
+	"lazarus/internal/osint"
+)
+
+// Replica identifies one replica's software stack for risk purposes. In
+// the paper's evaluation a replica is characterized by its OS, so Products
+// typically holds a single CPE product; a fuller stack (OS + JVM + DB) is
+// supported by listing every component.
+type Replica struct {
+	// ID is a stable identifier, e.g. the catalog OS id ("UB16").
+	ID string
+	// Products are the CPE products of the replica's software stack.
+	Products []string
+}
+
+// NewReplica builds a replica from an id and its stack products.
+func NewReplica(id string, products ...string) Replica {
+	return Replica{ID: id, Products: products}
+}
+
+// Config is an ordered set of n replicas (the paper's CONFIG).
+type Config []Replica
+
+// IDs returns the replica identifiers in order.
+func (c Config) IDs() []string {
+	out := make([]string, len(c))
+	for i, r := range c {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Contains reports whether the configuration includes the replica id.
+func (c Config) Contains(id string) bool {
+	for _, r := range c {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Intel is the assembled threat intelligence the risk engine consults: the
+// vulnerability corpus (from the Data manager) plus the description
+// clusters (from the Risk manager's clustering stage). It precomputes a
+// product → vulnerabilities index and answers the shared-weakness queries
+// of paper §4.1.
+type Intel struct {
+	byProduct map[string][]*osint.Vulnerability
+	byID      map[string]*osint.Vulnerability
+	clusters  *cluster.Clusters
+	// similar optionally gates cluster links: two same-cluster
+	// vulnerabilities are treated as a shared weakness only when the
+	// gate confirms their descriptions are genuinely close (K-means
+	// partitions force every record into some cluster, so co-membership
+	// alone over-links).
+	similar func(cveA, cveB string) bool
+}
+
+// SetSimilarityGate installs a cluster-link gate (nil removes it).
+func (in *Intel) SetSimilarityGate(gate func(cveA, cveB string) bool) {
+	in.similar = gate
+}
+
+// NewIntel indexes a corpus. clusters may be nil, in which case only
+// direct (CPE-overlap) sharing is visible — the configuration used by the
+// "Common" baseline and the no-clustering ablation.
+func NewIntel(corpus []*osint.Vulnerability, clusters *cluster.Clusters) (*Intel, error) {
+	in := &Intel{
+		byProduct: make(map[string][]*osint.Vulnerability),
+		byID:      make(map[string]*osint.Vulnerability, len(corpus)),
+		clusters:  clusters,
+	}
+	for _, v := range corpus {
+		if v == nil {
+			return nil, fmt.Errorf("core: nil vulnerability in corpus")
+		}
+		if _, dup := in.byID[v.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate corpus entry %s", v.ID)
+		}
+		in.byID[v.ID] = v
+		for _, p := range v.Products {
+			in.byProduct[p] = append(in.byProduct[p], v)
+		}
+	}
+	for _, vs := range in.byProduct {
+		osint.SortByID(vs)
+	}
+	return in, nil
+}
+
+// Clusters returns the clustering in use (nil when disabled).
+func (in *Intel) Clusters() *cluster.Clusters { return in.clusters }
+
+// VulnsAffecting returns the vulnerabilities known at time now (i.e.
+// published by then) that affect any product of the replica's stack,
+// without duplicates, ordered by CVE id.
+func (in *Intel) VulnsAffecting(r Replica, now time.Time) []*osint.Vulnerability {
+	seen := make(map[string]bool)
+	var out []*osint.Vulnerability
+	for _, p := range r.Products {
+		for _, v := range in.byProduct[p] {
+			if v.Published.After(now) || seen[v.ID] {
+				continue
+			}
+			seen[v.ID] = true
+			out = append(out, v)
+		}
+	}
+	osint.SortByID(out)
+	return out
+}
+
+// Shared computes V(ri, rj) of paper §4.3: the vulnerabilities that would
+// let one attack compromise both replicas. It is the union of
+//
+//  1. vulnerabilities listed (by NVD + enrichments) against products of
+//     both stacks, and
+//  2. vulnerabilities that affect one replica and share a description
+//     cluster with a vulnerability affecting the other (both cluster
+//     members are included, since a variation of the same exploit may
+//     activate either).
+//
+// Only vulnerabilities published by time now are visible.
+func (in *Intel) Shared(ri, rj Replica, now time.Time) []*osint.Vulnerability {
+	return in.shared(ri, rj, now, true)
+}
+
+func (in *Intel) shared(ri, rj Replica, now time.Time, useClusters bool) []*osint.Vulnerability {
+	vi := in.VulnsAffecting(ri, now)
+	vj := in.VulnsAffecting(rj, now)
+	shared := make(map[string]*osint.Vulnerability)
+	jSet := make(map[string]*osint.Vulnerability, len(vj))
+	for _, v := range vj {
+		jSet[v.ID] = v
+	}
+	// (i) direct CPE overlap.
+	for _, v := range vi {
+		if _, ok := jSet[v.ID]; ok {
+			shared[v.ID] = v
+		}
+	}
+	// (ii) same-cluster cross pairs: a cluster whose members touch both
+	// replicas indicates that (variations of) one exploit may compromise
+	// the pair. Each such cluster contributes one representative per
+	// side — the most severe member affecting ri and the most severe
+	// affecting rj — so that a populous cluster counts as one potential
+	// common weakness rather than as its full cross product (otherwise
+	// the noise of large clusters would scale with corpus size and drown
+	// the direct-sharing signal).
+	if useClusters && in.clusters != nil {
+		type members struct{ i, j []*osint.Vulnerability }
+		byCluster := make(map[int]*members)
+		for _, v := range vi {
+			if c, ok := in.clusters.ClusterOf(v.ID); ok {
+				m := byCluster[c]
+				if m == nil {
+					m = &members{}
+					byCluster[c] = m
+				}
+				m.i = append(m.i, v)
+			}
+		}
+		for _, v := range vj {
+			if c, ok := in.clusters.ClusterOf(v.ID); ok {
+				m := byCluster[c]
+				if m == nil {
+					continue // cluster touches rj only
+				}
+				m.j = append(m.j, v)
+			}
+		}
+		for _, m := range byCluster {
+			// The best cross pair (optionally similarity-gated) stands
+			// in for the whole cluster, so a populous cluster counts as
+			// one potential common weakness rather than as its full
+			// cross product.
+			var bestI, bestJ *osint.Vulnerability
+			bestSum := -1.0
+			for _, v := range m.i {
+				for _, w := range m.j {
+					if v.ID == w.ID {
+						continue
+					}
+					if in.similar != nil && !in.similar(v.ID, w.ID) {
+						continue
+					}
+					if sum := v.CVSS + w.CVSS; sum > bestSum {
+						bestI, bestJ, bestSum = v, w, sum
+					}
+				}
+			}
+			if bestI != nil {
+				shared[bestI.ID] = bestI
+				shared[bestJ.ID] = bestJ
+			}
+		}
+	}
+	out := make([]*osint.Vulnerability, 0, len(shared))
+	for _, v := range shared {
+		out = append(out, v)
+	}
+	osint.SortByID(out)
+	return out
+}
+
+// SharedCount returns |V(ri, rj)| — the quantity the "Common" baseline
+// strategy minimizes.
+func (in *Intel) SharedCount(ri, rj Replica, now time.Time) int {
+	return len(in.Shared(ri, rj, now))
+}
+
+// DirectShared returns only component (i) of V(ri, rj): vulnerabilities
+// NVD lists against both stacks. Exposed for the clustering ablation.
+func (in *Intel) DirectShared(ri, rj Replica, now time.Time) []*osint.Vulnerability {
+	return in.shared(ri, rj, now, false)
+}
+
+// ProductsKnown returns the distinct products present in the corpus,
+// sorted; useful for validating replica definitions against the feed.
+func (in *Intel) ProductsKnown() []string {
+	out := make([]string, 0, len(in.byProduct))
+	for p := range in.byProduct {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lazarus/internal/cluster"
+	"lazarus/internal/osint"
+)
+
+const (
+	ub = "canonical:ubuntu_linux:16.04"
+	de = "debian:debian_linux:8.0"
+	so = "oracle:solaris:11.3"
+	w1 = "microsoft:windows_10:-"
+)
+
+var (
+	rUB = NewReplica("UB16", ub)
+	rDE = NewReplica("DE8", de)
+	rSO = NewReplica("SO11", so)
+	rW1 = NewReplica("W10", w1)
+)
+
+func mkVuln(id string, pub time.Time, cvss float64, desc string, products ...string) *osint.Vulnerability {
+	return &osint.Vulnerability{
+		ID: id, Description: desc, Products: products, Published: pub, CVSS: cvss,
+	}
+}
+
+// testCorpus: one direct shared vuln (ubuntu+debian), two cluster-linked
+// XSS vulns (ubuntu / solaris), and independent singletons.
+func testCorpus() []*osint.Vulnerability {
+	return []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 1), 7.8,
+			"kernel privilege escalation via debug exception", ub, de),
+		mkVuln("CVE-2018-0002", day(2018, 4, 1), 6.1,
+			"cross-site scripting in horizon dashboard allows script injection", ub),
+		mkVuln("CVE-2018-0003", day(2018, 4, 15), 6.1,
+			"cross-site scripting in horizon dashboard allows html injection", so),
+		mkVuln("CVE-2018-0004", day(2018, 3, 1), 9.8,
+			"smb remote code execution via crafted packet", w1),
+		mkVuln("CVE-2018-0005", day(2018, 6, 1), 5.0,
+			"local denial of service in scheduler", de),
+	}
+}
+
+// fixedClusters builds a Clusters object with a forced assignment.
+func fixedClusters(assign map[string]int, k int) *cluster.Clusters {
+	c := &cluster.Clusters{K: k, ByCVE: assign, Members: make([][]string, k)}
+	for cve, cl := range assign {
+		c.Members[cl] = append(c.Members[cl], cve)
+	}
+	return c
+}
+
+func testIntel(t *testing.T) *Intel {
+	t.Helper()
+	clusters := fixedClusters(map[string]int{
+		"CVE-2018-0001": 0,
+		"CVE-2018-0002": 1,
+		"CVE-2018-0003": 1, // same XSS cluster as 0002
+		"CVE-2018-0004": 2,
+		"CVE-2018-0005": 3,
+	}, 4)
+	in, err := NewIntel(testCorpus(), clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestVulnsAffecting(t *testing.T) {
+	in := testIntel(t)
+	now := day(2018, 12, 1)
+	got := in.VulnsAffecting(rUB, now)
+	if len(got) != 2 || got[0].ID != "CVE-2018-0001" || got[1].ID != "CVE-2018-0002" {
+		t.Errorf("VulnsAffecting(UB16) = %v", ids(got))
+	}
+	// Knowledge horizon: nothing published after now is visible.
+	early := in.VulnsAffecting(rDE, day(2018, 5, 15))
+	if len(early) != 1 || early[0].ID != "CVE-2018-0001" {
+		t.Errorf("VulnsAffecting(DE8)@May = %v", ids(early))
+	}
+}
+
+func TestSharedDirect(t *testing.T) {
+	in := testIntel(t)
+	now := day(2018, 12, 1)
+	got := in.Shared(rUB, rDE, now)
+	if len(got) != 1 || got[0].ID != "CVE-2018-0001" {
+		t.Errorf("Shared(UB,DE) = %v", ids(got))
+	}
+	if n := in.SharedCount(rUB, rDE, now); n != 1 {
+		t.Errorf("SharedCount = %d", n)
+	}
+}
+
+func TestSharedViaCluster(t *testing.T) {
+	in := testIntel(t)
+	now := day(2018, 12, 1)
+	got := in.Shared(rUB, rSO, now)
+	// No direct CPE overlap, but 0002 (ubuntu) and 0003 (solaris) share a
+	// cluster: both must appear.
+	if len(got) != 2 || got[0].ID != "CVE-2018-0002" || got[1].ID != "CVE-2018-0003" {
+		t.Errorf("Shared(UB,SO) = %v", ids(got))
+	}
+	// DirectShared sees nothing.
+	if d := in.DirectShared(rUB, rSO, now); len(d) != 0 {
+		t.Errorf("DirectShared(UB,SO) = %v", ids(d))
+	}
+	// Before the second cluster member is published there is no link.
+	if early := in.Shared(rUB, rSO, day(2018, 4, 10)); len(early) != 0 {
+		t.Errorf("Shared(UB,SO)@Apr10 = %v", ids(early))
+	}
+}
+
+func TestSharedNoLink(t *testing.T) {
+	in := testIntel(t)
+	if got := in.Shared(rDE, rW1, day(2018, 12, 1)); len(got) != 0 {
+		t.Errorf("Shared(DE,W10) = %v", ids(got))
+	}
+}
+
+func TestSharedSymmetric(t *testing.T) {
+	in := testIntel(t)
+	now := day(2018, 12, 1)
+	pairs := [][2]Replica{{rUB, rDE}, {rUB, rSO}, {rDE, rSO}, {rW1, rUB}}
+	for _, pr := range pairs {
+		a := ids(in.Shared(pr[0], pr[1], now))
+		b := ids(in.Shared(pr[1], pr[0], now))
+		if len(a) != len(b) {
+			t.Fatalf("Shared not symmetric for %s/%s: %v vs %v", pr[0].ID, pr[1].ID, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Shared not symmetric for %s/%s: %v vs %v", pr[0].ID, pr[1].ID, a, b)
+			}
+		}
+	}
+}
+
+func TestNewIntelValidation(t *testing.T) {
+	if _, err := NewIntel([]*osint.Vulnerability{nil}, nil); err == nil {
+		t.Error("nil vulnerability accepted")
+	}
+	v := mkVuln("CVE-2018-1", day(2018, 1, 1), 5, "x", ub)
+	if _, err := NewIntel([]*osint.Vulnerability{v, v}, nil); err == nil {
+		t.Error("duplicate corpus entry accepted")
+	}
+}
+
+func TestNilClustersMeansDirectOnly(t *testing.T) {
+	in, err := NewIntel(testCorpus(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Shared(rUB, rSO, day(2018, 12, 1)); len(got) != 0 {
+		t.Errorf("nil-cluster Shared(UB,SO) = %v", ids(got))
+	}
+	if got := in.Shared(rUB, rDE, day(2018, 12, 1)); len(got) != 1 {
+		t.Errorf("nil-cluster Shared(UB,DE) = %v", ids(got))
+	}
+}
+
+func TestProductsKnown(t *testing.T) {
+	in := testIntel(t)
+	ps := in.ProductsKnown()
+	if len(ps) != 4 {
+		t.Errorf("ProductsKnown = %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1] >= ps[i] {
+			t.Errorf("products not sorted: %v", ps)
+		}
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := Config{rUB, rDE}
+	if !cfg.Contains("UB16") || cfg.Contains("SO11") {
+		t.Error("Contains wrong")
+	}
+	clone := cfg.Clone()
+	clone[0] = rSO
+	if cfg[0].ID != "UB16" {
+		t.Error("Clone aliases underlying array")
+	}
+	idsGot := cfg.IDs()
+	if idsGot[0] != "UB16" || idsGot[1] != "DE8" {
+		t.Errorf("IDs = %v", idsGot)
+	}
+}
+
+func ids(vs []*osint.Vulnerability) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.ID
+	}
+	return out
+}

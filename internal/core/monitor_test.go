@@ -1,0 +1,433 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+func engine(t *testing.T, corpus []*osint.Vulnerability) *RiskEngine {
+	t.Helper()
+	in, err := NewIntel(corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewRiskEngine(in, DefaultScoreParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRiskEquation5(t *testing.T) {
+	now := day(2018, 6, 1)
+	// Two shared vulns across the UB/DE pair, one across UB/SO.
+	corpus := []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 30), 8.0, "a", ub, de),
+		mkVuln("CVE-2018-0002", day(2018, 5, 30), 4.0, "b", ub, de),
+		mkVuln("CVE-2018-0003", day(2018, 5, 30), 6.0, "c", ub, so),
+	}
+	e := engine(t, corpus)
+	cfg := Config{rUB, rDE, rSO}
+	p := DefaultScoreParams()
+	want := p.Score(corpus[0], now) + p.Score(corpus[1], now) + p.Score(corpus[2], now)
+	if got := e.Risk(cfg, now); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Risk = %v, want %v", got, want)
+	}
+	// Pair risk decomposition.
+	pairSum := e.PairRisk(rUB, rDE, now) + e.PairRisk(rUB, rSO, now) + e.PairRisk(rDE, rSO, now)
+	if math.Abs(pairSum-want) > 1e-9 {
+		t.Errorf("pair decomposition = %v, want %v", pairSum, want)
+	}
+	// Diverse pair contributes nothing.
+	if r := e.PairRisk(rDE, rSO, now); r != 0 {
+		t.Errorf("PairRisk(DE,SO) = %v, want 0", r)
+	}
+}
+
+func TestAverageScoreAndFullyPatched(t *testing.T) {
+	now := day(2018, 6, 1)
+	v1 := mkVuln("CVE-2018-0001", day(2018, 5, 1), 8.0, "a", ub)
+	v2 := mkVuln("CVE-2018-0002", day(2018, 5, 1), 4.0, "b", ub)
+	v1.PatchedAt = day(2018, 5, 10)
+	e := engine(t, []*osint.Vulnerability{v1, v2})
+	p := DefaultScoreParams()
+	want := (p.Score(v1, now) + p.Score(v2, now)) / 2
+	if got := e.AverageScore(rUB, now); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AverageScore = %v, want %v", got, want)
+	}
+	if e.AverageScore(rSO, now) != 0 {
+		t.Error("AverageScore for clean replica should be 0")
+	}
+	if e.FullyPatched(rUB, now) {
+		t.Error("FullyPatched true with unpatched vuln")
+	}
+	v2.PatchedAt = day(2018, 5, 20)
+	if !e.FullyPatched(rUB, now) {
+		t.Error("FullyPatched false with all patched")
+	}
+	if !e.FullyPatched(rSO, now) {
+		t.Error("clean replica should count as fully patched")
+	}
+	if got := e.UnpatchedCount(rUB, day(2018, 5, 15)); got != 1 {
+		t.Errorf("UnpatchedCount = %d, want 1", got)
+	}
+}
+
+// monitorFixture: UB+DE share a critical unpatched vuln; FE and W10 are
+// clean spares.
+func monitorFixture(t *testing.T) (*Monitor, *RiskEngine) {
+	t.Helper()
+	corpus := []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 1), 9.8, "shared critical", ub, de),
+		mkVuln("CVE-2018-0002", day(2018, 4, 1), 3.0, "minor solaris", so),
+	}
+	e := engine(t, corpus)
+	rFE := NewReplica("FE26", "fedoraproject:fedora:26")
+	m, err := NewMonitor(e, Config{rUB, rDE, rSO}, []Replica{rFE, rW1},
+		MonitorConfig{Threshold: 5, Rand: rand.New(rand.NewSource(42))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, e
+}
+
+func TestMonitorTriggersOnRisk(t *testing.T) {
+	m, e := monitorFixture(t)
+	now := day(2018, 6, 1)
+	if r := e.Risk(m.Config(), now); r < 5 {
+		t.Fatalf("fixture risk %v below threshold; test broken", r)
+	}
+	d, err := m.Monitor(now)
+	if err != nil {
+		t.Fatalf("Monitor: %v", err)
+	}
+	if !d.Reconfigured || d.Trigger != TriggerRisk {
+		t.Fatalf("decision = %+v", d)
+	}
+	// One of UB/DE must have left (they carry the shared weakness).
+	if d.Removed.ID != "UB16" && d.Removed.ID != "DE8" {
+		t.Errorf("removed %s, want UB16 or DE8", d.Removed.ID)
+	}
+	if d.RiskAfter > m.Threshold() {
+		t.Errorf("post-reconfiguration risk %v above threshold", d.RiskAfter)
+	}
+	// Sets bookkeeping: removed replica quarantined, joiner out of pool.
+	if got := m.Quarantine(); len(got) != 1 || got[0].ID != d.Removed.ID {
+		t.Errorf("quarantine = %v", got)
+	}
+	if m.Config().Contains(d.Removed.ID) {
+		t.Error("removed replica still in config")
+	}
+	if !m.Config().Contains(d.Added.ID) {
+		t.Error("added replica not in config")
+	}
+	for _, p := range m.Pool() {
+		if p.ID == d.Added.ID {
+			t.Error("added replica still in pool")
+		}
+	}
+	if len(m.Config()) != 3 {
+		t.Errorf("config size changed: %v", m.Config().IDs())
+	}
+}
+
+func TestMonitorNoTriggerBelowThreshold(t *testing.T) {
+	// Low-severity shared vuln: risk below threshold AND no replica
+	// averages HIGH, so nothing should move.
+	corpus := []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 1), 3.0, "minor shared", ub, de),
+	}
+	e := engine(t, corpus)
+	m, err := NewMonitor(e, Config{rUB, rDE, rSO}, []Replica{rW1},
+		MonitorConfig{Threshold: 50, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Monitor(day(2018, 6, 1))
+	if err != nil {
+		t.Fatalf("Monitor: %v", err)
+	}
+	if d.Reconfigured {
+		t.Errorf("reconfigured below threshold: %+v", d)
+	}
+	if d.Trigger != TriggerNone {
+		t.Errorf("trigger = %v, want none", d.Trigger)
+	}
+}
+
+func TestMonitorHighAveragePath(t *testing.T) {
+	// Risk is low (no shared vulns) but one replica has a critical
+	// unpatched vulnerability: lines 17–33 must rotate exactly it out.
+	corpus := []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 25), 9.8, "critical ubuntu-only", ub),
+	}
+	e := engine(t, corpus)
+	rFE := NewReplica("FE26", "fedoraproject:fedora:26")
+	m, err := NewMonitor(e, Config{rUB, rDE, rSO}, []Replica{rFE},
+		MonitorConfig{Threshold: 50, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Monitor(day(2018, 6, 1))
+	if err != nil {
+		t.Fatalf("Monitor: %v", err)
+	}
+	if !d.Reconfigured || d.Trigger != TriggerHighAverage {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d.Removed.ID != "UB16" || d.Added.ID != "FE26" {
+		t.Errorf("swap = %s -> %s, want UB16 -> FE26", d.Removed.ID, d.Added.ID)
+	}
+}
+
+func TestMonitorHighAverageNotTriggeredByMediumVulns(t *testing.T) {
+	corpus := []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 25), 5.0, "medium", ub),
+	}
+	e := engine(t, corpus)
+	m, err := NewMonitor(e, Config{rUB, rDE}, []Replica{rW1},
+		MonitorConfig{Threshold: 50, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Monitor(day(2018, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reconfigured {
+		t.Errorf("medium-score replica rotated out: %+v", d)
+	}
+}
+
+func TestMonitorPoolExhausted(t *testing.T) {
+	corpus := []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 1), 9.8, "shared", ub, de),
+	}
+	e := engine(t, corpus)
+	m, err := NewMonitor(e, Config{rUB, rDE}, nil,
+		MonitorConfig{Threshold: 1, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Monitor(day(2018, 6, 1))
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("err = %v, want ErrPoolExhausted", err)
+	}
+}
+
+func TestMonitorNoCandidate(t *testing.T) {
+	// Every possible replacement still shares the weakness: threshold
+	// unreachable.
+	corpus := []*osint.Vulnerability{
+		mkVuln("CVE-2018-0001", day(2018, 5, 1), 9.8, "everywhere", ub, de, so, w1),
+	}
+	e := engine(t, corpus)
+	m, err := NewMonitor(e, Config{rUB, rDE}, []Replica{rSO, rW1},
+		MonitorConfig{Threshold: 1, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Monitor(day(2018, 6, 1))
+	if !errors.Is(err, ErrNoCandidate) {
+		t.Errorf("err = %v, want ErrNoCandidate", err)
+	}
+	// Remediation 1: raising the threshold unblocks the system.
+	if err := m.RaiseThreshold(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Monitor(day(2018, 6, 1)); err != nil {
+		t.Errorf("after raising threshold: %v", err)
+	}
+}
+
+func TestQuarantineLifecycle(t *testing.T) {
+	// CVSS 6.0 keeps every replica's average below HIGH so only the risk
+	// path fires, exactly once.
+	v := mkVuln("CVE-2018-0001", day(2018, 5, 1), 6.0, "shared medium", ub, de)
+	corpus := []*osint.Vulnerability{v}
+	e := engine(t, corpus)
+	rFE := NewReplica("FE26", "fedoraproject:fedora:26")
+	m, err := NewMonitor(e, Config{rUB, rDE, rSO}, []Replica{rFE, rW1},
+		MonitorConfig{Threshold: 5, Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Monitor(day(2018, 6, 1))
+	if err != nil || !d.Reconfigured {
+		t.Fatalf("first round: %+v, %v", d, err)
+	}
+	removed := d.Removed.ID
+	if q := m.Quarantine(); len(q) != 1 || q[0].ID != removed {
+		t.Fatalf("quarantine = %v", q)
+	}
+	// Still unpatched: stays quarantined.
+	d2, err := m.Monitor(day(2018, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Requeued) != 0 || len(m.Quarantine()) != 1 {
+		t.Fatalf("unpatched replica requeued: %+v", d2)
+	}
+	// Patch arrives: next round returns it to the pool.
+	v.PatchedAt = day(2018, 6, 3)
+	d3, err := m.Monitor(day(2018, 6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d3.Requeued) != 1 || d3.Requeued[0].ID != removed {
+		t.Fatalf("requeued = %v", d3.Requeued)
+	}
+	if len(m.Quarantine()) != 0 {
+		t.Error("quarantine not emptied")
+	}
+	found := false
+	for _, p := range m.Pool() {
+		if p.ID == removed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("patched replica not back in pool")
+	}
+}
+
+func TestReleaseLeastVulnerable(t *testing.T) {
+	v1 := mkVuln("CVE-2018-0001", day(2018, 5, 1), 9.8, "ub 2 unpatched a", ub)
+	v2 := mkVuln("CVE-2018-0002", day(2018, 5, 1), 9.0, "ub 2 unpatched b", ub)
+	v3 := mkVuln("CVE-2018-0003", day(2018, 5, 1), 9.8, "de 1 unpatched", de)
+	e := engine(t, []*osint.Vulnerability{v1, v2, v3})
+	m, err := NewMonitor(e, Config{rSO}, nil,
+		MonitorConfig{Threshold: 5, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReleaseLeastVulnerable(day(2018, 6, 1)); err == nil {
+		t.Error("release from empty quarantine succeeded")
+	}
+	m.quarantine = []Replica{rUB, rDE}
+	r, err := m.ReleaseLeastVulnerable(day(2018, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "DE8" {
+		t.Errorf("released %s, want DE8 (fewest unpatched)", r.ID)
+	}
+	if len(m.Quarantine()) != 1 || len(m.Pool()) != 1 {
+		t.Errorf("sets after release: q=%v pool=%v", m.Quarantine(), m.Pool())
+	}
+}
+
+func TestMonitorDeterministicForSeed(t *testing.T) {
+	run := func(seed int64) string {
+		corpus := []*osint.Vulnerability{
+			mkVuln("CVE-2018-0001", day(2018, 5, 1), 9.8, "shared", ub, de),
+		}
+		e := engine(t, corpus)
+		rFE := NewReplica("FE26", "fedoraproject:fedora:26")
+		rOB := NewReplica("OB61", "openbsd:openbsd:6.1")
+		m, err := NewMonitor(e, Config{rUB, rDE, rSO}, []Replica{rFE, rW1, rOB},
+			MonitorConfig{Threshold: 5, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := m.Monitor(day(2018, 6, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Removed.ID + "->" + d.Added.ID
+	}
+	if run(3) != run(3) {
+		t.Error("equal seeds produced different decisions")
+	}
+	// Different seeds should eventually differ (randomized choice).
+	distinct := map[string]bool{}
+	for s := int64(0); s < 10; s++ {
+		distinct[run(s)] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("random candidate selection appears deterministic across seeds")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	e := engine(t, testCorpus())
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMonitor(nil, Config{rUB}, nil, MonitorConfig{Rand: rng}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewMonitor(e, nil, nil, MonitorConfig{Rand: rng}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewMonitor(e, Config{rUB}, nil, MonitorConfig{}); err == nil {
+		t.Error("nil rand accepted")
+	}
+	if _, err := NewMonitor(e, Config{rUB}, []Replica{rUB}, MonitorConfig{Rand: rng}); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+	if _, err := NewMonitor(e, Config{rUB}, nil, MonitorConfig{Threshold: -1, Rand: rng}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestRaiseThresholdRejectsLowering(t *testing.T) {
+	m, _ := monitorFixture(t)
+	if err := m.RaiseThreshold(m.Threshold() - 1); err == nil {
+		t.Error("threshold lowering accepted")
+	}
+}
+
+// TestMonitorInvariantSetsDisjoint is a property test across random
+// monitoring sequences: CONFIG, POOL and QUARANTINE always partition the
+// replica universe.
+func TestMonitorInvariantSetsDisjoint(t *testing.T) {
+	v := mkVuln("CVE-2018-0001", day(2018, 5, 1), 9.8, "shared", ub, de)
+	for seed := int64(0); seed < 20; seed++ {
+		e := engine(t, []*osint.Vulnerability{v})
+		rFE := NewReplica("FE26", "fedoraproject:fedora:26")
+		rOB := NewReplica("OB61", "openbsd:openbsd:6.1")
+		universe := 5
+		m, err := NewMonitor(e, Config{rUB, rDE, rSO}, []Replica{rFE, rOB},
+			MonitorConfig{Threshold: 5, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := day(2018, 6, 1)
+		for step := 0; step < 10; step++ {
+			_, _ = m.Monitor(now.AddDate(0, 0, step)) // corner-case errors fine
+			seen := map[string]int{}
+			for _, r := range m.Config() {
+				seen[r.ID]++
+			}
+			for _, r := range m.Pool() {
+				seen[r.ID]++
+			}
+			for _, r := range m.Quarantine() {
+				seen[r.ID]++
+			}
+			if len(seen) != universe {
+				t.Fatalf("seed %d step %d: universe size %d, want %d", seed, step, len(seen), universe)
+			}
+			for id, n := range seen {
+				if n != 1 {
+					t.Fatalf("seed %d step %d: replica %s appears %d times", seed, step, id, n)
+				}
+			}
+			if len(m.Config()) != 3 {
+				t.Fatalf("seed %d step %d: config size %d", seed, step, len(m.Config()))
+			}
+		}
+	}
+}
+
+func TestTriggerString(t *testing.T) {
+	if TriggerRisk.String() != "risk-threshold" || Trigger(9).String() != "Trigger(9)" {
+		t.Error("Trigger.String wrong")
+	}
+}
+
+var _ = time.Now // keep time import if fixtures change

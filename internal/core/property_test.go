@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+// randomCorpus builds a seeded corpus over a small product universe.
+func randomCorpus(r *rand.Rand, n int) []*osint.Vulnerability {
+	products := []string{
+		"canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0",
+		"oracle:solaris:11.3", "microsoft:windows_10:-",
+		"openbsd:openbsd:6.1", "freebsd:freebsd:11.0",
+	}
+	out := make([]*osint.Vulnerability, 0, n)
+	base := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		nProducts := 1 + r.Intn(3)
+		perm := r.Perm(len(products))[:nProducts]
+		ps := make([]string, nProducts)
+		for k, idx := range perm {
+			ps[k] = products[idx]
+		}
+		v := &osint.Vulnerability{
+			ID:          fmt.Sprintf("CVE-2016-%d", 1000+i),
+			Description: fmt.Sprintf("synthetic weakness %d", i),
+			Products:    ps,
+			Published:   base.AddDate(0, 0, r.Intn(700)),
+			CVSS:        1 + r.Float64()*9,
+		}
+		if r.Intn(2) == 0 {
+			v.PatchedAt = v.Published.AddDate(0, 0, r.Intn(60))
+		}
+		if r.Intn(4) == 0 {
+			v.ExploitAt = v.Published.AddDate(0, 0, r.Intn(90))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestRiskMonotoneInCorpus: adding one more shared vulnerability never
+// decreases any configuration's risk (without clustering).
+func TestRiskMonotoneInCorpus(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		corpus := randomCorpus(r, 30)
+		in1, err := NewIntel(corpus, nil)
+		if err != nil {
+			return false
+		}
+		e1, err := NewRiskEngine(in1, DefaultScoreParams())
+		if err != nil {
+			return false
+		}
+		extra := &osint.Vulnerability{
+			ID:          "CVE-2016-9999",
+			Description: "added",
+			Products:    []string{"canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0"},
+			Published:   time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC),
+			CVSS:        5 + r.Float64()*5,
+		}
+		in2, err := NewIntel(append(append([]*osint.Vulnerability{}, corpus...), extra), nil)
+		if err != nil {
+			return false
+		}
+		e2, err := NewRiskEngine(in2, DefaultScoreParams())
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			NewReplica("UB16", "canonical:ubuntu_linux:16.04"),
+			NewReplica("DE8", "debian:debian_linux:8.0"),
+			NewReplica("SO11", "oracle:solaris:11.3"),
+			NewReplica("W10", "microsoft:windows_10:-"),
+		}
+		now := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+		return e2.Risk(cfg, now) >= e1.Risk(cfg, now)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRiskNonNegativeAndSymmetric: risk is non-negative and invariant
+// under configuration reordering.
+func TestRiskNonNegativeAndSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		corpus := randomCorpus(r, 40)
+		in, err := NewIntel(corpus, nil)
+		if err != nil {
+			return false
+		}
+		e, err := NewRiskEngine(in, DefaultScoreParams())
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			NewReplica("UB16", "canonical:ubuntu_linux:16.04"),
+			NewReplica("DE8", "debian:debian_linux:8.0"),
+			NewReplica("OB61", "openbsd:openbsd:6.1"),
+			NewReplica("FB11", "freebsd:freebsd:11.0"),
+		}
+		now := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+		risk := e.Risk(cfg, now)
+		if risk < 0 {
+			return false
+		}
+		// Shuffle.
+		perm := r.Perm(len(cfg))
+		shuffled := make(Config, len(cfg))
+		for i, j := range perm {
+			shuffled[i] = cfg[j]
+		}
+		riskShuffled := e.Risk(shuffled, now)
+		// Summation order may differ; allow float round-off.
+		diff := risk - riskShuffled
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRiskGrowsWithOverlap: a configuration with a duplicated product
+// always has at least the risk of the fully diverse one (more pair
+// overlap cannot reduce Equation 5).
+func TestRiskGrowsWithOverlap(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	corpus := randomCorpus(r, 60)
+	in, err := NewIntel(corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewRiskEngine(in, DefaultScoreParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	diverse := Config{
+		NewReplica("UB16", "canonical:ubuntu_linux:16.04"),
+		NewReplica("DE8", "debian:debian_linux:8.0"),
+		NewReplica("SO11", "oracle:solaris:11.3"),
+		NewReplica("W10", "microsoft:windows_10:-"),
+	}
+	duplicated := Config{
+		NewReplica("UB16a", "canonical:ubuntu_linux:16.04"),
+		NewReplica("UB16b", "canonical:ubuntu_linux:16.04"),
+		NewReplica("SO11", "oracle:solaris:11.3"),
+		NewReplica("W10", "microsoft:windows_10:-"),
+	}
+	// The duplicated pair shares every ubuntu vulnerability; the diverse
+	// pair shares only the cross-listed subset.
+	if e.Risk(duplicated, now) < e.Risk(diverse, now)-1e-9 {
+		t.Errorf("duplicated-product config risk %.2f below diverse %.2f",
+			e.Risk(duplicated, now), e.Risk(diverse, now))
+	}
+}
+
+// TestMonitorNeverPicksAboveThreshold: across random corpora and seeds,
+// a successful reconfiguration always lands at or below the threshold.
+func TestMonitorNeverPicksAboveThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		corpus := randomCorpus(r, 50)
+		in, err := NewIntel(corpus, nil)
+		if err != nil {
+			return false
+		}
+		e, err := NewRiskEngine(in, DefaultScoreParams())
+		if err != nil {
+			return false
+		}
+		universe := []Replica{
+			NewReplica("UB16", "canonical:ubuntu_linux:16.04"),
+			NewReplica("DE8", "debian:debian_linux:8.0"),
+			NewReplica("SO11", "oracle:solaris:11.3"),
+			NewReplica("W10", "microsoft:windows_10:-"),
+			NewReplica("OB61", "openbsd:openbsd:6.1"),
+			NewReplica("FB11", "freebsd:freebsd:11.0"),
+		}
+		m, err := NewMonitor(e, Config(universe[:4]), universe[4:], MonitorConfig{
+			Threshold: 20 + r.Float64()*40,
+			Rand:      r,
+		})
+		if err != nil {
+			return false
+		}
+		now := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+		for step := 0; step < 5; step++ {
+			d, err := m.Monitor(now.AddDate(0, 0, step))
+			if err != nil {
+				continue // corner cases acceptable
+			}
+			if d.Reconfigured && d.RiskAfter > m.Threshold()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Error(err)
+	}
+}

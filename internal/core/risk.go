@@ -1,0 +1,116 @@
+package core
+
+import (
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+// RiskEvaluator answers the risk queries Algorithm 1 needs. RiskEngine is
+// the reference implementation; the experiment harness substitutes a
+// day-granular precomputed evaluator for speed.
+type RiskEvaluator interface {
+	// Risk computes Equation 5 for a configuration at time now.
+	Risk(cfg Config, now time.Time) float64
+	// AverageScore computes Algorithm 1's scoreAVG for a replica.
+	AverageScore(r Replica, now time.Time) float64
+	// FullyPatched reports Algorithm 1's isPatched for a replica.
+	FullyPatched(r Replica, now time.Time) bool
+	// UnpatchedCount counts a replica's unpatched vulnerabilities,
+	// ranking quarantined replicas for early release.
+	UnpatchedCount(r Replica, now time.Time) int
+}
+
+// RiskEngine evaluates configuration risk (paper §4.3, Equation 5) against
+// assembled threat intelligence.
+type RiskEngine struct {
+	intel  *Intel
+	params ScoreParams
+}
+
+var _ RiskEvaluator = (*RiskEngine)(nil)
+
+// NewRiskEngine builds an engine; params are validated.
+func NewRiskEngine(intel *Intel, params ScoreParams) (*RiskEngine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &RiskEngine{intel: intel, params: params}, nil
+}
+
+// Intel returns the engine's intelligence base.
+func (e *RiskEngine) Intel() *Intel { return e.intel }
+
+// Params returns the engine's score parameters.
+func (e *RiskEngine) Params() ScoreParams { return e.params }
+
+// Score computes Equation 1 for a single vulnerability at time now.
+func (e *RiskEngine) Score(v *osint.Vulnerability, now time.Time) float64 {
+	return e.params.Score(v, now)
+}
+
+// Risk computes Equation 5: the sum over all unordered replica pairs of
+// the configuration of the scores of their shared vulnerabilities V(ri,
+// rj). Configurations whose replica pairs share many, severe, currently
+// exploitable weaknesses are penalized.
+func (e *RiskEngine) Risk(cfg Config, now time.Time) float64 {
+	var total float64
+	for i := 0; i < len(cfg); i++ {
+		for j := i + 1; j < len(cfg); j++ {
+			for _, v := range e.intel.Shared(cfg[i], cfg[j], now) {
+				total += e.params.Score(v, now)
+			}
+		}
+	}
+	return total
+}
+
+// PairRisk returns the Equation 5 contribution of a single replica pair.
+func (e *RiskEngine) PairRisk(ri, rj Replica, now time.Time) float64 {
+	var total float64
+	for _, v := range e.intel.Shared(ri, rj, now) {
+		total += e.params.Score(v, now)
+	}
+	return total
+}
+
+// AverageScore computes the mean Equation 1 score over the vulnerabilities
+// affecting a replica at time now (Algorithm 1's scoreAVG). Replicas with
+// no known vulnerabilities average zero.
+func (e *RiskEngine) AverageScore(r Replica, now time.Time) float64 {
+	vulns := e.intel.VulnsAffecting(r, now)
+	if len(vulns) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vulns {
+		sum += e.params.Score(v, now)
+	}
+	return sum / float64(len(vulns))
+}
+
+// FullyPatched reports whether every vulnerability affecting the replica
+// that is known at time now has a patch available by then (Algorithm 1's
+// isPatched, which gates a quarantined replica's return to the pool).
+func (e *RiskEngine) FullyPatched(r Replica, now time.Time) bool {
+	for _, v := range e.intel.VulnsAffecting(r, now) {
+		if !v.PatchedBy(now) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnpatchedCount returns how many vulnerabilities affecting the replica
+// are unpatched at time now — the quantity the administrator remediation
+// "move the elements with fewer unpatched vulnerabilities from QUARANTINE
+// to POOL" ranks by.
+func (e *RiskEngine) UnpatchedCount(r Replica, now time.Time) int {
+	n := 0
+	for _, v := range e.intel.VulnsAffecting(r, now) {
+		if !v.PatchedBy(now) {
+			n++
+		}
+	}
+	return n
+}

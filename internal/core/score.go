@@ -1,0 +1,145 @@
+// Package core implements the primary contribution of the Lazarus paper:
+// the vulnerability-scoring extension of CVSS (paper §4.2, Equations 1–4),
+// the configuration risk metric over shared weaknesses (paper §4.3,
+// Equation 5), and the diversity-aware replica-set reconfiguration
+// procedure (paper §4.4, Algorithm 1) with its POOL / QUARANTINE replica
+// lifecycle.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+// ScoreParams are the constants of the scoring metric (Equations 2–4). The
+// defaults reproduce the paper's Figure 2 modifier table.
+type ScoreParams struct {
+	// OldnessThreshold harmonizes the age decay (paper: 365 days).
+	OldnessThreshold time.Duration
+	// OldnessSlope is the linear decay rate per threshold elapsed
+	// (paper: 0.25).
+	OldnessSlope float64
+	// OldnessFloor bounds the decay from below so old vulnerabilities
+	// are never ignored entirely (paper: 0.75).
+	OldnessFloor float64
+	// PatchedFactor halves severity when a patch exists (paper: 0.5).
+	PatchedFactor float64
+	// ExploitedFactor raises severity by a quarter when an exploit
+	// circulates (paper: 1.25).
+	ExploitedFactor float64
+}
+
+// DefaultScoreParams returns the constants used in the paper's experiments.
+func DefaultScoreParams() ScoreParams {
+	return ScoreParams{
+		OldnessThreshold: 365 * 24 * time.Hour,
+		OldnessSlope:     0.25,
+		OldnessFloor:     0.75,
+		PatchedFactor:    0.5,
+		ExploitedFactor:  1.25,
+	}
+}
+
+// Validate checks the parameters are usable.
+func (p ScoreParams) Validate() error {
+	switch {
+	case p.OldnessThreshold <= 0:
+		return fmt.Errorf("core: oldness threshold must be positive")
+	case p.OldnessSlope < 0:
+		return fmt.Errorf("core: oldness slope must be non-negative")
+	case p.OldnessFloor <= 0 || p.OldnessFloor > 1:
+		return fmt.Errorf("core: oldness floor must be in (0,1]")
+	case p.PatchedFactor <= 0 || p.PatchedFactor > 1:
+		return fmt.Errorf("core: patched factor must be in (0,1]")
+	case p.ExploitedFactor < 1:
+		return fmt.Errorf("core: exploited factor must be >= 1")
+	}
+	return nil
+}
+
+// Oldness computes the age-decay factor of Equation 2:
+//
+//	max(1 - slope * age/threshold, floor)
+//
+// A vulnerability published today scores 1.0; criticality decays linearly
+// and bottoms out at the floor (0.75 with defaults), so an old
+// vulnerability is discounted but never disappears.
+func (p ScoreParams) Oldness(v *osint.Vulnerability, now time.Time) float64 {
+	age := now.Sub(v.Published)
+	if age < 0 {
+		age = 0 // not yet published: no decay
+	}
+	f := 1 - p.OldnessSlope*(age.Hours()/p.OldnessThreshold.Hours())
+	if f < p.OldnessFloor {
+		return p.OldnessFloor
+	}
+	return f
+}
+
+// Patched computes the factor of Equation 3: patchedFactor^patched.
+func (p ScoreParams) Patched(v *osint.Vulnerability, now time.Time) float64 {
+	if v.PatchedBy(now) {
+		return p.PatchedFactor
+	}
+	return 1
+}
+
+// Exploited computes the factor of Equation 4: exploitedFactor^exploited.
+func (p ScoreParams) Exploited(v *osint.Vulnerability, now time.Time) float64 {
+	if v.ExploitedBy(now) {
+		return p.ExploitedFactor
+	}
+	return 1
+}
+
+// Score computes the Lazarus severity score of Equation 1:
+//
+//	CVSS(v) × oldness(v) × patched(v) × exploited(v)
+//
+// ranking vulnerabilities by their potential exploitability at time now.
+func (p ScoreParams) Score(v *osint.Vulnerability, now time.Time) float64 {
+	return v.CVSS * p.Oldness(v, now) * p.Patched(v, now) * p.Exploited(v, now)
+}
+
+// Modifier computes the aggregate adjustment applied on top of the CVSS
+// core score at time now (the quantity tabulated in the paper's Figure 2).
+func (p ScoreParams) Modifier(v *osint.Vulnerability, now time.Time) float64 {
+	return p.Oldness(v, now) * p.Patched(v, now) * p.Exploited(v, now)
+}
+
+// VulnState is the qualitative state a vulnerability is in at a point in
+// time, per the paper's N/O × P × E nomenclature (Figure 2): New or Old,
+// optionally Patched, optionally Exploited.
+type VulnState struct {
+	Old       bool
+	Patched   bool
+	Exploited bool
+}
+
+// StateOf classifies a vulnerability at time now. "Old" means the age
+// decay has reached its floor.
+func (p ScoreParams) StateOf(v *osint.Vulnerability, now time.Time) VulnState {
+	return VulnState{
+		Old:       p.Oldness(v, now) <= p.OldnessFloor,
+		Patched:   v.PatchedBy(now),
+		Exploited: v.ExploitedBy(now),
+	}
+}
+
+// String renders the state in the paper's shorthand (e.g. "NE", "OP",
+// "NPE").
+func (s VulnState) String() string {
+	out := "N"
+	if s.Old {
+		out = "O"
+	}
+	if s.Patched {
+		out += "P"
+	}
+	if s.Exploited {
+		out += "E"
+	}
+	return out
+}

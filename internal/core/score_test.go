@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-3 }
+
+// TestFigure2Modifiers checks the eight qualitative states of the paper's
+// Figure 2: the aggregate modifier must be exactly the tabulated value.
+func TestFigure2Modifiers(t *testing.T) {
+	p := DefaultScoreParams()
+	pub := day(2018, 1, 1)
+	newNow := pub.Add(24 * time.Hour) // fresh: oldness ≈ 1
+	oldNow := pub.AddDate(3, 0, 0)    // far past threshold: oldness = 0.75
+	patch, exploit := pub, pub        // available immediately when set
+	mk := func(patched, exploited bool) *osint.Vulnerability {
+		v := &osint.Vulnerability{ID: "CVE-2018-1", Published: pub, CVSS: 8}
+		if patched {
+			v.PatchedAt = patch
+		}
+		if exploited {
+			v.ExploitAt = exploit
+		}
+		return v
+	}
+	cases := []struct {
+		state     string
+		patched   bool
+		exploited bool
+		old       bool
+		want      float64
+	}{
+		{"N", false, false, false, 1.0},
+		{"NE", false, true, false, 1.25},
+		{"NP", true, false, false, 0.5},
+		{"NPE", true, true, false, 0.625},
+		{"O", false, false, true, 0.75},
+		{"OE", false, true, true, 0.9375},
+		{"OP", true, false, true, 0.375},
+		{"OPE", true, true, true, 0.46875},
+	}
+	for _, c := range cases {
+		now := newNow
+		if c.old {
+			now = oldNow
+		}
+		v := mk(c.patched, c.exploited)
+		got := p.Modifier(v, now)
+		// Fresh states include one day of decay: tolerate it.
+		tol := 0.001
+		if !c.old {
+			tol = 0.002
+		}
+		if math.Abs(got-c.want) > tol {
+			t.Errorf("state %s: modifier = %v, want %v", c.state, got, c.want)
+		}
+		st := p.StateOf(v, now)
+		if st.String() != c.state {
+			t.Errorf("StateOf = %s, want %s", st, c.state)
+		}
+	}
+}
+
+func TestOldnessDecay(t *testing.T) {
+	p := DefaultScoreParams()
+	v := &osint.Vulnerability{ID: "CVE-2018-1", Published: day(2018, 1, 1), CVSS: 10}
+	if got := p.Oldness(v, day(2018, 1, 1)); got != 1.0 {
+		t.Errorf("oldness at publication = %v, want 1", got)
+	}
+	// Half a threshold: 1 - 0.25*0.5 = 0.875.
+	half := v.Published.Add(p.OldnessThreshold / 2)
+	if got := p.Oldness(v, half); !approx(got, 0.875) {
+		t.Errorf("oldness at half threshold = %v, want 0.875", got)
+	}
+	// Exactly one threshold: the floor.
+	if got := p.Oldness(v, v.Published.Add(p.OldnessThreshold)); !approx(got, 0.75) {
+		t.Errorf("oldness at threshold = %v, want 0.75", got)
+	}
+	// Far future: still the floor (never reaches zero).
+	if got := p.Oldness(v, v.Published.AddDate(20, 0, 0)); got != 0.75 {
+		t.Errorf("oldness after 20y = %v, want 0.75", got)
+	}
+	// Before publication: no decay.
+	if got := p.Oldness(v, v.Published.AddDate(0, 0, -10)); got != 1.0 {
+		t.Errorf("oldness before publication = %v, want 1", got)
+	}
+}
+
+// TestFigure3Shapes verifies the three score-evolution shapes of Figure 3.
+func TestFigure3Shapes(t *testing.T) {
+	p := DefaultScoreParams()
+
+	t.Run("NE_jump_on_exploit", func(t *testing.T) {
+		// CVE-2018-8303-like: published 2018-09-07, exploit 2018-09-24.
+		v := &osint.Vulnerability{ID: "CVE-2018-8303", Published: day(2018, 9, 7),
+			CVSS: 8.1, ExploitAt: day(2018, 9, 24)}
+		before := p.Score(v, day(2018, 9, 23))
+		after := p.Score(v, day(2018, 9, 24))
+		if after <= before {
+			t.Errorf("no jump on exploit: %v -> %v", before, after)
+		}
+		if after <= v.CVSS {
+			t.Errorf("exploited fresh score %v should exceed CVSS %v", after, v.CVSS)
+		}
+		// Decaying slowly before the exploit.
+		d1, d2 := p.Score(v, day(2018, 9, 8)), p.Score(v, day(2018, 9, 20))
+		if d2 >= d1 {
+			t.Errorf("score not decaying before exploit: %v then %v", d1, d2)
+		}
+	})
+
+	t.Run("NPE_exploit_then_patch", func(t *testing.T) {
+		// CVE-2018-8012-like: published 2018-05-20, exploit 05-27, patch 05-30.
+		v := &osint.Vulnerability{ID: "CVE-2018-8012", Published: day(2018, 5, 20),
+			CVSS: 7.5, ExploitAt: day(2018, 5, 27), PatchedAt: day(2018, 5, 30)}
+		base := p.Score(v, day(2018, 5, 26))
+		raised := p.Score(v, day(2018, 5, 27))
+		patched := p.Score(v, day(2018, 5, 30))
+		if raised <= base {
+			t.Errorf("exploit did not raise score: %v -> %v", base, raised)
+		}
+		if patched >= raised/1.8 {
+			t.Errorf("patch did not halve score: %v -> %v", raised, patched)
+		}
+		later := p.Score(v, day(2019, 5, 30))
+		if later >= patched {
+			t.Errorf("score not decaying after patch: %v then %v", patched, later)
+		}
+	})
+
+	t.Run("OP_decay", func(t *testing.T) {
+		// CVE-2016-7180-like: published 2016-09-08, patch 09-19, examined a year on.
+		v := &osint.Vulnerability{ID: "CVE-2016-7180", Published: day(2016, 9, 8),
+			CVSS: 2.9, PatchedAt: day(2016, 9, 19)}
+		atPatch := p.Score(v, day(2016, 9, 19))
+		yearOn := p.Score(v, day(2017, 9, 19))
+		if atPatch >= v.CVSS {
+			t.Errorf("patched score %v should be below CVSS %v", atPatch, v.CVSS)
+		}
+		if yearOn >= atPatch {
+			t.Errorf("no decay over the year: %v then %v", atPatch, yearOn)
+		}
+		want := v.CVSS * 0.75 * 0.5 // old + patched floor
+		if !approx(yearOn, want) {
+			t.Errorf("year-on score = %v, want %v", yearOn, want)
+		}
+	})
+}
+
+func TestScoreParamsValidate(t *testing.T) {
+	if err := DefaultScoreParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []func(*ScoreParams){
+		func(p *ScoreParams) { p.OldnessThreshold = 0 },
+		func(p *ScoreParams) { p.OldnessSlope = -1 },
+		func(p *ScoreParams) { p.OldnessFloor = 0 },
+		func(p *ScoreParams) { p.OldnessFloor = 1.5 },
+		func(p *ScoreParams) { p.PatchedFactor = 0 },
+		func(p *ScoreParams) { p.PatchedFactor = 2 },
+		func(p *ScoreParams) { p.ExploitedFactor = 0.5 },
+	}
+	for i, mutate := range bad {
+		p := DefaultScoreParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestScoreBoundsProperty: for any vulnerability and time, the score stays
+// within [0, CVSS * exploitedFactor] and equals CVSS times the modifier.
+func TestScoreBoundsProperty(t *testing.T) {
+	p := DefaultScoreParams()
+	base := day(2014, 1, 1)
+	f := func(cvssRaw uint8, pubOff, nowOff uint16, patched, exploited bool) bool {
+		cvss := float64(cvssRaw%101) / 10
+		v := &osint.Vulnerability{
+			ID:        "CVE-2018-1",
+			Published: base.AddDate(0, 0, int(pubOff%2000)),
+			CVSS:      cvss,
+		}
+		if patched {
+			v.PatchedAt = v.Published.AddDate(0, 0, 10)
+		}
+		if exploited {
+			v.ExploitAt = v.Published.AddDate(0, 0, 5)
+		}
+		now := base.AddDate(0, 0, int(nowOff%4000))
+		s := p.Score(v, now)
+		if s < -eps || s > cvss*p.ExploitedFactor+eps {
+			return false
+		}
+		return math.Abs(s-cvss*p.Modifier(v, now)) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScoreMonotoneInTimeWhenStateFixed: with no patch/exploit events, the
+// score never increases as time passes.
+func TestScoreMonotoneInTimeWhenStateFixed(t *testing.T) {
+	p := DefaultScoreParams()
+	v := &osint.Vulnerability{ID: "CVE-2018-1", Published: day(2018, 1, 1), CVSS: 9.8}
+	prev := math.Inf(1)
+	for off := 0; off < 800; off += 20 {
+		s := p.Score(v, v.Published.AddDate(0, 0, off))
+		if s > prev+eps {
+			t.Fatalf("score increased over time at day %d: %v > %v", off, s, prev)
+		}
+		prev = s
+	}
+}

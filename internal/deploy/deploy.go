@@ -1,0 +1,205 @@
+// Package deploy implements the Lazarus Deploy manager and replica
+// builder (paper §5.1, module 3): it provisions ready-to-use replicas of
+// a chosen OS image on execution-plane nodes — the role Vagrant and
+// VirtualBox play in the prototype — and exposes each node through an
+// LTU-drivable interface. Boot latency follows the OS profile (scaled,
+// so tests run fast and the Figure 9 harness can use realistic values).
+package deploy
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+
+	"lazarus/internal/bft"
+	"lazarus/internal/catalog"
+	"lazarus/internal/transport"
+)
+
+// AppFactory builds the replicated service instance for a fresh replica.
+type AppFactory func() bft.Application
+
+// BuilderConfig configures the replica builder.
+type BuilderConfig struct {
+	// Net is the execution-plane network.
+	Net transport.Network
+	// ClientKeys and ControllerKey configure request authentication for
+	// every built replica.
+	ClientKeys    map[transport.NodeID]ed25519.PublicKey
+	ControllerKey ed25519.PublicKey
+	// App builds the service state machine.
+	App AppFactory
+	// BootScale multiplies catalog boot times (0 = instant boot, for
+	// tests; 1 = realistic).
+	BootScale float64
+	// ReplicaTuning optionally adjusts each replica's protocol knobs.
+	ReplicaTuning func(*bft.ReplicaConfig)
+}
+
+// Builder provisions nodes.
+type Builder struct {
+	cfg BuilderConfig
+
+	mu   sync.Mutex
+	keys map[transport.NodeID]ed25519.PrivateKey
+	pubs map[transport.NodeID]ed25519.PublicKey
+}
+
+// NewBuilder validates the configuration.
+func NewBuilder(cfg BuilderConfig) (*Builder, error) {
+	switch {
+	case cfg.Net == nil:
+		return nil, fmt.Errorf("deploy: nil network")
+	case cfg.App == nil:
+		return nil, fmt.Errorf("deploy: nil app factory")
+	case len(cfg.ControllerKey) != ed25519.PublicKeySize:
+		return nil, fmt.Errorf("deploy: missing controller key")
+	}
+	return &Builder{
+		cfg:  cfg,
+		keys: make(map[transport.NodeID]ed25519.PrivateKey),
+		pubs: make(map[transport.NodeID]ed25519.PublicKey),
+	}, nil
+}
+
+// PublicKey returns (minting if necessary) the signing identity of a
+// node. Identities are per-node, so a rebuilt node keeps its key and the
+// membership can re-admit it.
+func (b *Builder) PublicKey(node transport.NodeID) (ed25519.PublicKey, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.publicKeyLocked(node)
+}
+
+func (b *Builder) publicKeyLocked(node transport.NodeID) (ed25519.PublicKey, error) {
+	if pub, ok := b.pubs[node]; ok {
+		return pub, nil
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: minting key for node %d: %w", node, err)
+	}
+	b.pubs[node], b.keys[node] = pub, priv
+	return pub, nil
+}
+
+// Node is one execution-plane machine: an LTU-drivable slot that can host
+// one replica at a time.
+type Node struct {
+	id      transport.NodeID
+	builder *Builder
+
+	mu         sync.Mutex
+	membership func() *bft.Membership // current-membership source for joins
+	os         catalog.OS
+	replica    *bft.Replica
+	bootedAt   time.Time
+}
+
+// NewNode allocates a node slot. membershipFn supplies the membership a
+// freshly booted replica should bootstrap against (the controller's
+// current view of the group).
+func (b *Builder) NewNode(id transport.NodeID, membershipFn func() *bft.Membership) (*Node, error) {
+	if membershipFn == nil {
+		return nil, fmt.Errorf("deploy: nil membership source")
+	}
+	if _, err := b.PublicKey(id); err != nil {
+		return nil, err
+	}
+	return &Node{id: id, builder: b, membership: membershipFn}, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// Running reports whether a replica is active on the node.
+func (n *Node) Running() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.replica != nil
+}
+
+// OS returns the OS image of the running replica (zero OS when off).
+func (n *Node) OS() catalog.OS {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.os
+}
+
+// Replica returns the running replica handle (nil when off).
+func (n *Node) Replica() *bft.Replica {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.replica
+}
+
+// PowerOn implements ltu.Driver: provision the OS image and start the
+// replica. Boot latency follows the image profile scaled by BootScale.
+func (n *Node) PowerOn(osID string, joining bool) error {
+	os, err := catalog.ByID(osID)
+	if err != nil {
+		return err
+	}
+	if os.VM == nil {
+		return fmt.Errorf("deploy: %s has no VM image", osID)
+	}
+	n.mu.Lock()
+	if n.replica != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("deploy: node %d already running %s", n.id, n.os.ID)
+	}
+	n.mu.Unlock()
+
+	if n.builder.cfg.BootScale > 0 {
+		time.Sleep(time.Duration(float64(os.VM.BootTime) * n.builder.cfg.BootScale))
+	}
+
+	n.builder.mu.Lock()
+	if _, err := n.builder.publicKeyLocked(n.id); err != nil {
+		n.builder.mu.Unlock()
+		return err
+	}
+	key := n.builder.keys[n.id]
+	n.builder.mu.Unlock()
+
+	cfg := bft.ReplicaConfig{
+		ID:            n.id,
+		Key:           key,
+		Membership:    n.membership(),
+		App:           n.builder.cfg.App(),
+		Net:           n.builder.cfg.Net,
+		ClientKeys:    n.builder.cfg.ClientKeys,
+		ControllerKey: n.builder.cfg.ControllerKey,
+		Joining:       joining,
+	}
+	if n.builder.cfg.ReplicaTuning != nil {
+		n.builder.cfg.ReplicaTuning(&cfg)
+	}
+	replica, err := bft.NewReplica(cfg)
+	if err != nil {
+		return fmt.Errorf("deploy: node %d: %w", n.id, err)
+	}
+	replica.Start()
+
+	n.mu.Lock()
+	n.os = os
+	n.replica = replica
+	n.bootedAt = time.Now()
+	n.mu.Unlock()
+	return nil
+}
+
+// PowerOff implements ltu.Driver: stop and wipe the replica.
+func (n *Node) PowerOff() error {
+	n.mu.Lock()
+	replica := n.replica
+	n.replica = nil
+	n.os = catalog.OS{}
+	n.mu.Unlock()
+	if replica != nil {
+		replica.Stop()
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package feeds builds the historical vulnerability dataset that drives
+// the Lazarus risk experiments (paper §6). The paper uses live NVD /
+// ExploitDB / vendor data from 2014-01-01 to 2018-08-31 for 21 OS
+// versions; this package substitutes a seeded synthetic corpus with the
+// same record shape and sharing structure, anchored by the real CVEs the
+// paper names (the Table 1 XSS trio, the May-2018 cluster that dominates
+// Figure 5, the Figure 3 score-evolution examples, and the
+// WannaCry/StackClash/Petya attack CVEs of Figure 6).
+package feeds
+
+import (
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// CPE products of the catalog OSes, spelled out here so the anchor records
+// read like the NVD originals.
+const (
+	pUB14 = "canonical:ubuntu_linux:14.04"
+	pUB16 = "canonical:ubuntu_linux:16.04"
+	pUB17 = "canonical:ubuntu_linux:17.04"
+	pOS42 = "opensuse:leap:42.1"
+	pFE24 = "fedoraproject:fedora:24"
+	pFE25 = "fedoraproject:fedora:25"
+	pFE26 = "fedoraproject:fedora:26"
+	pDE7  = "debian:debian_linux:7.0"
+	pDE8  = "debian:debian_linux:8.0"
+	pDE9  = "debian:debian_linux:9.0"
+	pW10  = "microsoft:windows_10:-"
+	pWS12 = "microsoft:windows_server_2012:r2"
+	pFB9  = "freebsd:freebsd:9.0"
+	pFB10 = "freebsd:freebsd:10.0"
+	pFB11 = "freebsd:freebsd:11.0"
+	pSO10 = "oracle:solaris:10"
+	pSO11 = "oracle:solaris:11.3"
+	pOB60 = "openbsd:openbsd:6.0"
+	pOB61 = "openbsd:openbsd:6.1"
+	pRH6  = "redhat:enterprise_linux:6.0"
+	pRH7  = "redhat:enterprise_linux:7.0"
+)
+
+func anchor(id string, pub time.Time, cvss float64, desc string, products ...string) *osint.Vulnerability {
+	return &osint.Vulnerability{
+		ID: id, Description: desc, Products: products, Published: pub, CVSS: cvss,
+	}
+}
+
+// Anchors returns the real CVEs the paper relies on, transcribed with
+// their real publication dates, scores and platform sets (plus patch and
+// exploit dates from the corresponding advisories).
+func Anchors() []*osint.Vulnerability {
+	var out []*osint.Vulnerability
+
+	// --- Paper Table 1: the OpenStack Horizon XSS trio whose nearly
+	// identical descriptions NVD lists against different OSes.
+	t1a := anchor("CVE-2014-0157", day(2014, 4, 8), 4.3,
+		"Cross-site scripting (XSS) vulnerability in the Horizon Orchestration "+
+			"dashboard in OpenStack Dashboard (aka Horizon) 2013.2 before 2013.2.4 and "+
+			"icehouse before icehouse-rc2 allows remote attackers to inject arbitrary "+
+			"web script or HTML via the description field of a Heat template.", pOS42)
+	t1a.PatchedAt = day(2014, 5, 2)
+	t1b := anchor("CVE-2015-3988", day(2015, 7, 14), 5.4,
+		"Multiple cross-site scripting (XSS) vulnerabilities in OpenStack Dashboard "+
+			"(Horizon) 2015.1.0 allow remote authenticated users to inject arbitrary "+
+			"web script or HTML via the metadata to a Glance image, Nova flavor or "+
+			"Host Aggregate.", pSO11)
+	t1b.PatchedAt = day(2015, 8, 1)
+	t1c := anchor("CVE-2016-4428", day(2016, 7, 1), 5.4,
+		"Cross-site scripting (XSS) vulnerability in OpenStack Dashboard (Horizon) "+
+			"8.0.1 and earlier and 9.0.0 through 9.0.1 allows remote authenticated "+
+			"users to inject arbitrary web script or HTML by injecting an AngularJS "+
+			"template in a dashboard form.", pDE8, pSO11)
+	t1c.PatchedAt = day(2016, 7, 20)
+	out = append(out, t1a, t1b, t1c)
+
+	// --- Paper Figure 3: three score-evolution examples.
+	ne := anchor("CVE-2018-8303", day(2018, 9, 7), 8.1,
+		"A remote code execution vulnerability exists in the way that a protocol "+
+			"handler improperly validates input before loading dynamic libraries.", pW10)
+	ne.ExploitAt = day(2018, 9, 24) // NE: exploit, never patched in window
+	npe := anchor("CVE-2018-8012", day(2018, 5, 20), 7.5,
+		"No authentication or authorization was enforced when a server attempts to "+
+			"join a quorum in the replicated coordination service, allowing arbitrary "+
+			"endpoints to join the cluster and propagate counterfeit changes to the "+
+			"leader.", pUB16, pDE8)
+	npe.ExploitAt = day(2018, 5, 27)
+	npe.PatchedAt = day(2018, 5, 30)
+	op := anchor("CVE-2016-7180", day(2016, 9, 8), 5.9,
+		"A denial of service vulnerability in the logging subsystem allows local "+
+			"users to crash the service via a long crafted path argument.", pSO10)
+	op.PatchedAt = day(2016, 9, 19)
+	out = append(out, ne, npe, op)
+
+	// --- The May 2018 cluster the paper singles out as making that month
+	// hard to survive (§6.1).
+	movss := anchor("CVE-2018-8897", day(2018, 5, 8), 7.8,
+		"A statement in the System Programming Guide of the Intel 64 and IA-32 "+
+			"Architectures Software Developer Manual was mishandled in the development "+
+			"of some or all operating-system kernels, resulting in unexpected behavior "+
+			"for #DB exceptions that are deferred by MOV SS or POP SS: a local attacker "+
+			"can use this kernel flaw for privilege escalation.",
+		pUB14, pUB16, pUB17, pDE7, pDE8, pDE9, pFB10, pFB11)
+	movss.ProductPatches = map[string]time.Time{
+		pUB14: day(2018, 5, 9), pUB16: day(2018, 5, 9), pUB17: day(2018, 5, 9),
+		pDE7: day(2018, 5, 10), pDE8: day(2018, 5, 10), pDE9: day(2018, 5, 10),
+		pFB10: day(2018, 5, 12), pFB11: day(2018, 5, 12),
+	}
+	movss.PatchedAt = day(2018, 5, 9)
+	movss.ExploitAt = day(2018, 5, 13)
+
+	procps := anchor("CVE-2018-1125", day(2018, 5, 23), 7.5,
+		"A stack buffer overflow was found in the pgrep utility of procps-ng before "+
+			"version 3.3.15: a crafted argv handling allows denial of service or "+
+			"possible code execution in the process-status toolset shipped by several "+
+			"Linux distributions.",
+		pUB16, pUB17, pDE8, pDE9)
+	procps.PatchedAt = day(2018, 5, 28)
+
+	win1 := anchor("CVE-2018-8134", day(2018, 5, 9), 7.0,
+		"An elevation of privilege vulnerability exists in Windows when the kernel "+
+			"fails to properly handle objects in memory, allowing an attacker to run "+
+			"arbitrary code in kernel mode.", pW10, pWS12)
+	win1.PatchedAt = day(2018, 5, 9)
+	win2 := anchor("CVE-2018-0959", day(2018, 5, 9), 7.1,
+		"A remote code execution vulnerability exists when Windows Hyper-V on a host "+
+			"server fails to properly validate input from an authenticated user on a "+
+			"guest operating system.", pW10, pWS12)
+	win2.PatchedAt = day(2018, 5, 9)
+
+	dhcp := anchor("CVE-2018-1111", day(2018, 5, 17), 7.5,
+		"DHCP packages as shipped in Red Hat Enterprise Linux and Fedora are "+
+			"vulnerable to a command injection flaw in the NetworkManager integration "+
+			"script included in the DHCP client: a malicious DHCP server, or an "+
+			"attacker on the local network able to spoof DHCP responses, could execute "+
+			"arbitrary commands with root privileges.", pRH7, pFE26, pFE25)
+	dhcp.PatchedAt = day(2018, 5, 18)
+	dhcp.ExploitAt = day(2018, 5, 19)
+	out = append(out, movss, procps, win1, win2, dhcp)
+
+	// --- Figure 6 attacks (2017).
+	// WannaCry: the SMBv1 EternalBlue family, Windows only.
+	eb := anchor("CVE-2017-0144", day(2017, 3, 16), 8.1,
+		"The SMBv1 server in Microsoft Windows allows remote attackers to execute "+
+			"arbitrary code via crafted packets, aka Windows SMB Remote Code Execution "+
+			"Vulnerability (EternalBlue).", pW10, pWS12)
+	eb.PatchedAt = day(2017, 3, 16) // MS17-010
+	eb.ExploitAt = day(2017, 5, 12) // WannaCry outbreak
+	eb2 := anchor("CVE-2017-0145", day(2017, 3, 16), 8.1,
+		"The SMBv1 server in Microsoft Windows allows remote attackers to execute "+
+			"arbitrary code via crafted packets, aka Windows SMB Remote Code Execution "+
+			"Vulnerability, a distinct issue from CVE-2017-0144.", pW10, pWS12)
+	eb2.PatchedAt = day(2017, 3, 16)
+	eb2.ExploitAt = day(2017, 5, 12)
+
+	// Stack Clash: stack guard-page exhaustion across Linux, BSDs and
+	// Solaris — the attack affecting the most OSes.
+	sc1 := anchor("CVE-2017-1000364", day(2017, 6, 19), 7.4,
+		"An issue was discovered in the size of the stack guard page on Linux: the "+
+			"stack guard page is not sufficiently large and can be jumped over by an "+
+			"attacker clashing the stack with another memory region, affecting kernel "+
+			"memory management.",
+		pUB14, pUB16, pUB17, pDE7, pDE8, pDE9, pFE24, pFE25, pFE26, pRH6, pRH7, pOS42)
+	sc1.ProductPatches = map[string]time.Time{
+		pUB14: day(2017, 6, 19), pUB16: day(2017, 6, 19), pUB17: day(2017, 6, 19),
+		pDE7: day(2017, 6, 21), pDE8: day(2017, 6, 21), pDE9: day(2017, 6, 21),
+		pFE24: day(2017, 6, 22), pFE25: day(2017, 6, 22), pFE26: day(2017, 6, 22),
+		pRH6: day(2017, 6, 23), pRH7: day(2017, 6, 23), pOS42: day(2017, 6, 24),
+	}
+	sc1.PatchedAt = day(2017, 6, 19)
+	sc1.ExploitAt = day(2017, 6, 28)
+	sc2 := anchor("CVE-2017-1000367", day(2017, 6, 5), 7.8,
+		"Todd Miller's sudo before 1.8.20p1 is vulnerable to an input validation "+
+			"issue in the get_process_ttyname function that allows local users with "+
+			"sudo privileges to overwrite any file on the filesystem and escalate to "+
+			"root.", pUB14, pUB16, pDE8, pRH6, pRH7, pFE24)
+	sc2.PatchedAt = day(2017, 6, 6)
+	sc3 := anchor("CVE-2017-1085", day(2017, 6, 19), 7.4,
+		"In FreeBSD, the stack guard page can be jumped over by applications making "+
+			"large stack allocations, allowing a stack clash with other memory regions "+
+			"and memory corruption.", pFB10, pFB11)
+	sc3.PatchedAt = day(2017, 8, 10)
+	sc4 := anchor("CVE-2017-3630", day(2017, 6, 19), 7.0,
+		"Vulnerability in Oracle Solaris due to stack guard gap allows local users "+
+			"to clash the process stack with adjacent mappings, with unauthorized "+
+			"ability to cause a hang or code execution.", pSO10, pSO11)
+	sc4.PatchedAt = day(2017, 7, 18)
+
+	// Petya/NotPetya: EternalBlue plus the Office/WordPad HTA vector.
+	petya := anchor("CVE-2017-0199", day(2017, 4, 12), 7.8,
+		"Microsoft Office and WordPad allow remote attackers to execute arbitrary "+
+			"code via a crafted document, aka Microsoft Office/WordPad Remote Code "+
+			"Execution Vulnerability with Windows API abuse.", pW10, pWS12)
+	petya.PatchedAt = day(2017, 4, 12)
+	petya.ExploitAt = day(2017, 6, 27) // Petya outbreak
+	out = append(out, eb, eb2, sc1, sc2, sc3, sc4, petya)
+
+	return out
+}
+
+// AttackCVEs maps the Figure 6 attack names to the CVE ids that implement
+// them in the corpus.
+func AttackCVEs() map[string][]string {
+	return map[string][]string{
+		"WannaCry":   {"CVE-2017-0144", "CVE-2017-0145"},
+		"StackClash": {"CVE-2017-1000364", "CVE-2017-1000367", "CVE-2017-1085", "CVE-2017-3630"},
+		"Petya":      {"CVE-2017-0144", "CVE-2017-0199"},
+	}
+}

@@ -1,0 +1,225 @@
+package feeds
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"lazarus/internal/catalog"
+	"lazarus/internal/core"
+	"lazarus/internal/osint"
+)
+
+// Dataset bundles a vulnerability corpus with the OS universe it covers
+// and offers the windowed views the risk experiments need.
+type Dataset struct {
+	vulns []*osint.Vulnerability
+}
+
+// NewDataset wraps a corpus. The slice is not copied; callers hand over
+// ownership.
+func NewDataset(vulns []*osint.Vulnerability) *Dataset {
+	return &Dataset{vulns: vulns}
+}
+
+// GenerateDataset produces the standard synthetic study corpus.
+func GenerateDataset(cfg GenConfig) (*Dataset, error) {
+	vulns, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewDataset(vulns), nil
+}
+
+// All returns the full corpus, ordered by publication date.
+func (d *Dataset) All() []*osint.Vulnerability { return d.vulns }
+
+// Len returns the corpus size.
+func (d *Dataset) Len() int { return len(d.vulns) }
+
+// PublishedBefore returns the sub-corpus published strictly before t (the
+// learning-phase view).
+func (d *Dataset) PublishedBefore(t time.Time) []*osint.Vulnerability {
+	var out []*osint.Vulnerability
+	for _, v := range d.vulns {
+		if v.Published.Before(t) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PublishedIn returns the sub-corpus published in [from, to).
+func (d *Dataset) PublishedIn(from, to time.Time) []*osint.Vulnerability {
+	var out []*osint.Vulnerability
+	for _, v := range d.vulns {
+		if !v.Published.Before(from) && v.Published.Before(to) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ByID returns the record with the given CVE id, or nil.
+func (d *Dataset) ByID(id string) *osint.Vulnerability {
+	for _, v := range d.vulns {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// Replicas returns the study's replica universe: one core.Replica per
+// catalog OS version (21 for the risk experiments).
+func Replicas() []core.Replica {
+	oses := catalog.All()
+	out := make([]core.Replica, len(oses))
+	for i, o := range oses {
+		out[i] = core.NewReplica(o.ID, o.CPEProduct)
+	}
+	return out
+}
+
+// DeployableReplicas returns the Table 2 subset (17 versions) as replicas.
+func DeployableReplicas() []core.Replica {
+	oses := catalog.Deployable()
+	out := make([]core.Replica, len(oses))
+	for i, o := range oses {
+		out[i] = core.NewReplica(o.ID, o.CPEProduct)
+	}
+	return out
+}
+
+// WriteFixtures materializes the dataset as OSINT source documents in dir:
+// one NVD JSON feed per year plus an ExploitDB index and one advisory page
+// per vendor family, exercising exactly the formats the crawler parses.
+// It returns the list of files written.
+func (d *Dataset) WriteFixtures(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feeds: creating %s: %w", dir, err)
+	}
+	var written []string
+
+	// NVD feeds, one per year.
+	byYear := make(map[int][]*osint.Vulnerability)
+	for _, v := range d.vulns {
+		byYear[v.Published.Year()] = append(byYear[v.Published.Year()], v)
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	for _, y := range years {
+		path := filepath.Join(dir, fmt.Sprintf("nvdcve-1.1-%d.json", y))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("feeds: creating %s: %w", path, err)
+		}
+		err = osint.WriteNVDFeed(f, byYear[y], day(y, 12, 31))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("feeds: writing %s: %w", path, err)
+		}
+		written = append(written, path)
+	}
+
+	// ExploitDB index.
+	var exploits []osint.Enrichment
+	for _, v := range d.vulns {
+		if !v.ExploitAt.IsZero() {
+			exploits = append(exploits, osint.Enrichment{CVE: v.ID, ExploitAt: v.ExploitAt})
+		}
+	}
+	edbPath := filepath.Join(dir, "files_exploits.csv")
+	f, err := os.Create(edbPath)
+	if err != nil {
+		return nil, fmt.Errorf("feeds: creating %s: %w", edbPath, err)
+	}
+	err = osint.WriteExploitDBIndex(f, exploits)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("feeds: writing %s: %w", edbPath, err)
+	}
+	written = append(written, edbPath)
+
+	// CVE-details-style consolidated page (exploit observations).
+	cdPath := filepath.Join(dir, "cvedetails.html")
+	f, err = os.Create(cdPath)
+	if err != nil {
+		return nil, fmt.Errorf("feeds: creating %s: %w", cdPath, err)
+	}
+	err = osint.WriteCVEDetailsPage(f, exploits)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("feeds: writing %s: %w", cdPath, err)
+	}
+	written = append(written, cdPath)
+
+	// Vendor advisory pages: patch dates per family.
+	vendorOf := map[catalog.Family]string{
+		catalog.FamilyUbuntu:   "ubuntu",
+		catalog.FamilyDebian:   "debian",
+		catalog.FamilyFedora:   "fedora",
+		catalog.FamilyRedhat:   "redhat",
+		catalog.FamilyOpenSuse: "opensuse",
+		catalog.FamilyWindows:  "microsoft",
+		catalog.FamilyFreeBSD:  "freebsd",
+		catalog.FamilyOpenBSD:  "openbsd",
+		catalog.FamilySolaris:  "solaris",
+	}
+	productFamily := make(map[string]catalog.Family)
+	for _, o := range catalog.All() {
+		productFamily[o.CPEProduct] = o.Family
+	}
+	byVendor := make(map[string][]osint.Enrichment)
+	for _, v := range d.vulns {
+		for _, p := range v.Products {
+			fam, ok := productFamily[p]
+			if !ok {
+				continue
+			}
+			patched := v.PatchedAt
+			if pd, ok := v.ProductPatches[p]; ok {
+				patched = pd
+			}
+			if patched.IsZero() {
+				continue
+			}
+			vendor := vendorOf[fam]
+			byVendor[vendor] = append(byVendor[vendor], osint.Enrichment{
+				CVE: v.ID, PatchedAt: patched, ExtraProducts: []string{p},
+			})
+		}
+	}
+	vendors := make([]string, 0, len(byVendor))
+	for v := range byVendor {
+		vendors = append(vendors, v)
+	}
+	sort.Strings(vendors)
+	for _, vendor := range vendors {
+		path := filepath.Join(dir, vendor+"-advisories.html")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("feeds: creating %s: %w", path, err)
+		}
+		err = osint.WriteAdvisoryPage(f, vendor, byVendor[vendor])
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("feeds: writing %s: %w", path, err)
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

@@ -1,0 +1,336 @@
+package feeds
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lazarus/internal/catalog"
+	"lazarus/internal/cluster"
+	"lazarus/internal/osint"
+)
+
+func TestAnchorsValid(t *testing.T) {
+	for _, v := range Anchors() {
+		if err := v.Validate(); err != nil {
+			t.Errorf("anchor %s invalid: %v", v.ID, err)
+		}
+	}
+}
+
+func TestAnchorsContainPaperCVEs(t *testing.T) {
+	want := []string{
+		// Table 1
+		"CVE-2014-0157", "CVE-2015-3988", "CVE-2016-4428",
+		// Figure 3
+		"CVE-2018-8303", "CVE-2018-8012", "CVE-2016-7180",
+		// §6.1 May 2018
+		"CVE-2018-8897", "CVE-2018-1125", "CVE-2018-8134", "CVE-2018-0959", "CVE-2018-1111",
+		// Figure 6 attacks
+		"CVE-2017-0144", "CVE-2017-1000364",
+	}
+	byID := make(map[string]*osint.Vulnerability)
+	for _, v := range Anchors() {
+		byID[v.ID] = v
+	}
+	for _, id := range want {
+		if byID[id] == nil {
+			t.Errorf("anchor %s missing", id)
+		}
+	}
+	// The MOV SS vulnerability must span Ubuntu and Debian (the pairing
+	// the paper blames for May 2018).
+	mov := byID["CVE-2018-8897"]
+	if mov == nil || !mov.Affects("canonical:ubuntu_linux:16.04") || !mov.Affects("debian:debian_linux:8.0") {
+		t.Error("CVE-2018-8897 does not span Ubuntu+Debian")
+	}
+}
+
+func TestAttackCVEsResolve(t *testing.T) {
+	byID := make(map[string]bool)
+	for _, v := range Anchors() {
+		byID[v.ID] = true
+	}
+	for attack, cves := range AttackCVEs() {
+		if len(cves) == 0 {
+			t.Errorf("attack %s has no CVEs", attack)
+		}
+		for _, id := range cves {
+			if !byID[id] {
+				t.Errorf("attack %s references missing CVE %s", attack, id)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !a[i].Published.Equal(b[i].Published) {
+			t.Fatalf("record %d differs across equal seeds: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+	c, err := Generate(GenConfig{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i].ID != c[i].ID {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	vulns, err := Generate(GenConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	months := 56.0 // 2014-01 .. 2018-08
+	perMonth := float64(len(vulns)) / months
+	if perMonth < 10 || perMonth > 50 {
+		t.Errorf("generated %.1f vulns/month, want a plausible 10-50", perMonth)
+	}
+	// Publication dates sorted and within window.
+	start, end := DefaultWindow()
+	for i, v := range vulns {
+		if v.Published.Before(start) && !strings.HasPrefix(v.ID, "CVE-201") {
+			t.Errorf("%s published %v before window", v.ID, v.Published)
+		}
+		if i > 0 && vulns[i-1].Published.After(v.Published) {
+			t.Fatalf("dataset not sorted by publication at %d", i)
+		}
+		_ = end
+	}
+	// Sharing structure: some but not most vulns are multi-product.
+	multi, windowsHits, openbsdHits := 0, 0, 0
+	for _, v := range vulns {
+		if len(v.Products) > 1 {
+			multi++
+		}
+		if v.Affects("microsoft:windows_10:-") {
+			windowsHits++
+		}
+		if v.Affects("openbsd:openbsd:6.0") {
+			openbsdHits++
+		}
+	}
+	frac := float64(multi) / float64(len(vulns))
+	if frac < 0.15 || frac > 0.75 {
+		t.Errorf("multi-product fraction %.2f outside [0.15, 0.75]", frac)
+	}
+	if windowsHits <= openbsdHits {
+		t.Errorf("expected Windows (%d) to draw more vulns than OpenBSD (%d)", windowsHits, openbsdHits)
+	}
+}
+
+func TestGenerateCrossFamilySharingExists(t *testing.T) {
+	vulns, err := Generate(GenConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := make(map[string]catalog.Family)
+	for _, o := range catalog.All() {
+		fam[o.CPEProduct] = o.Family
+	}
+	cross := 0
+	for _, v := range vulns {
+		fams := make(map[catalog.Family]bool)
+		for _, p := range v.Products {
+			if f, ok := fam[p]; ok {
+				fams[f] = true
+			}
+		}
+		if len(fams) > 1 {
+			cross++
+		}
+	}
+	if cross < 10 {
+		t.Errorf("only %d cross-family vulns; campaigns not firing", cross)
+	}
+}
+
+func TestGenerateHeraldsCluster(t *testing.T) {
+	// Herald volleys (same series, individual products) must be
+	// discoverable by the clustering stage: build clusters and verify at
+	// least one cluster contains CVEs whose product sets are disjoint
+	// single products.
+	vulns, err := Generate(GenConfig{Seed: 3, SkipAnchors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := cluster.Build(vulns, cluster.Config{K: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]*osint.Vulnerability)
+	for _, v := range vulns {
+		byID[v.ID] = v
+	}
+	found := false
+	for _, members := range clusters.Members {
+		if len(members) < 2 {
+			continue
+		}
+		for i := 0; i < len(members) && !found; i++ {
+			for j := i + 1; j < len(members) && !found; j++ {
+				a, b := byID[members[i]], byID[members[j]]
+				if len(a.Products) == 1 && len(b.Products) == 1 && a.Products[0] != b.Products[0] {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no cluster links single-product vulns on different OSes; heralds not clusterable")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Start: day(2018, 1, 1), End: day(2017, 1, 1)}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := Generate(GenConfig{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestDatasetViews(t *testing.T) {
+	ds, err := GenerateDataset(GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := day(2017, 1, 1)
+	before := ds.PublishedBefore(cut)
+	for _, v := range before {
+		if !v.Published.Before(cut) {
+			t.Fatalf("%s published %v leaked into learning view", v.ID, v.Published)
+		}
+	}
+	month := ds.PublishedIn(day(2018, 5, 1), day(2018, 6, 1))
+	if len(month) == 0 {
+		t.Fatal("no vulnerabilities in May 2018 (anchors alone should be there)")
+	}
+	for _, v := range month {
+		if v.Published.Before(day(2018, 5, 1)) || !v.Published.Before(day(2018, 6, 1)) {
+			t.Fatalf("%s outside May window: %v", v.ID, v.Published)
+		}
+	}
+	if ds.ByID("CVE-2018-8897") == nil {
+		t.Error("ByID missed anchor")
+	}
+	if ds.ByID("CVE-1900-1") != nil {
+		t.Error("ByID invented record")
+	}
+}
+
+func TestReplicasUniverse(t *testing.T) {
+	rs := Replicas()
+	if len(rs) != 21 {
+		t.Fatalf("Replicas() = %d, want 21", len(rs))
+	}
+	ds := DeployableReplicas()
+	if len(ds) != 17 {
+		t.Fatalf("DeployableReplicas() = %d, want 17", len(ds))
+	}
+	for _, r := range rs {
+		if len(r.Products) != 1 || r.Products[0] == "" {
+			t.Errorf("replica %s has products %v", r.ID, r.Products)
+		}
+	}
+}
+
+func TestWriteFixturesRoundTrip(t *testing.T) {
+	ds, err := GenerateDataset(GenConfig{Seed: 5, Start: day(2017, 1, 1), End: day(2017, 6, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	files, err := ds.WriteFixtures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("only %d fixture files written", len(files))
+	}
+	// Every NVD feed file must re-parse.
+	total := 0
+	for _, path := range files {
+		if !strings.Contains(filepath.Base(path), "nvdcve") {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vulns, skipped, err := osint.ParseNVDFeed(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", path, err)
+		}
+		if skipped != 0 {
+			t.Errorf("%s: %d records skipped on re-parse", path, skipped)
+		}
+		total += len(vulns)
+	}
+	if total != ds.Len() {
+		t.Errorf("feeds carry %d records, dataset has %d", total, ds.Len())
+	}
+	// ExploitDB index must re-parse.
+	f, err := os.Open(filepath.Join(dir, "files_exploits.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := (osint.ExploitDBParser{}).Parse(f); err != nil {
+		t.Errorf("exploitdb fixture unparseable: %v", err)
+	}
+}
+
+func TestDaysInMonth(t *testing.T) {
+	cases := map[time.Time]int{
+		day(2018, 2, 10): 28,
+		day(2016, 2, 1):  29,
+		day(2018, 1, 1):  31,
+		day(2018, 4, 30): 30,
+	}
+	for in, want := range cases {
+		if got := daysInMonth(in); got != want {
+			t.Errorf("daysInMonth(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	full, err := Generate(GenConfig{Seed: 9, SkipAnchors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Generate(GenConfig{Seed: 9, Scale: 0.5, SkipAnchors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(half)) / float64(len(full))
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("scale 0.5 produced %.0f%% of the full corpus", ratio*100)
+	}
+}

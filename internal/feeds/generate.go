@@ -1,0 +1,547 @@
+package feeds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"lazarus/internal/catalog"
+	"lazarus/internal/osint"
+)
+
+// GenConfig parameterizes the synthetic dataset generator.
+type GenConfig struct {
+	// Seed drives every random choice; equal seeds yield identical
+	// datasets.
+	Seed int64
+	// Start and End bound publication dates (paper: 2014-01-01 to
+	// 2018-08-31). Zero values select the paper's window.
+	Start, End time.Time
+	// Scale multiplies the background vulnerability rates (default 1.0).
+	Scale float64
+	// IncludeAnchors controls whether the real anchor CVEs are embedded
+	// (default true; disable for pure-synthetic property tests).
+	SkipAnchors bool
+}
+
+// DefaultWindow returns the paper's study window.
+func DefaultWindow() (time.Time, time.Time) {
+	return day(2014, 1, 1), day(2018, 8, 31)
+}
+
+// familyRate is the expected number of background vulnerability events per
+// month in which the family is the primary target. Skewed like the real
+// NVD record for these distributions: Windows and Ubuntu draw the most
+// reports, OpenBSD the fewest.
+var familyRate = map[catalog.Family]float64{
+	catalog.FamilyWindows:  4.5,
+	catalog.FamilyUbuntu:   3.5,
+	catalog.FamilyDebian:   2.4,
+	catalog.FamilyFedora:   2.2,
+	catalog.FamilyRedhat:   1.8,
+	catalog.FamilyOpenSuse: 1.4,
+	catalog.FamilyFreeBSD:  1.9,
+	catalog.FamilySolaris:  1.7,
+	catalog.FamilyOpenBSD:  1.3,
+}
+
+// coordinatedProb is the probability that a patch ships at disclosure
+// (coordinated disclosure), per family. Vendors with formal security
+// processes coordinate more often.
+var coordinatedProb = map[catalog.Family]float64{
+	catalog.FamilyWindows:  0.75,
+	catalog.FamilyUbuntu:   0.65,
+	catalog.FamilyDebian:   0.55,
+	catalog.FamilyFedora:   0.60,
+	catalog.FamilyRedhat:   0.65,
+	catalog.FamilyOpenSuse: 0.55,
+	catalog.FamilyFreeBSD:  0.50,
+	catalog.FamilySolaris:  0.35,
+	catalog.FamilyOpenBSD:  0.60,
+}
+
+// multiVersionProb is the probability a family-scoped vulnerability
+// affects several releases of the family. Vendors that maintain few,
+// overlapping releases (OpenBSD ships errata for both supported
+// releases; Solaris updates cover 10 and 11) share almost everything;
+// fast-moving distros with divergent codebases share less.
+var multiVersionProb = map[catalog.Family]float64{
+	catalog.FamilyWindows:  0.70,
+	catalog.FamilyUbuntu:   0.60,
+	catalog.FamilyDebian:   0.65,
+	catalog.FamilyFedora:   0.55,
+	catalog.FamilyRedhat:   0.65,
+	catalog.FamilyOpenSuse: 0.60,
+	catalog.FamilyFreeBSD:  0.80,
+	catalog.FamilySolaris:  0.85,
+	catalog.FamilyOpenBSD:  0.90,
+}
+
+// patchLagMeanDays is the mean patch lag (days after publication) for
+// vulnerabilities that were not coordinated.
+var patchLagMeanDays = map[catalog.Family]float64{
+	catalog.FamilyWindows:  18,
+	catalog.FamilyUbuntu:   7,
+	catalog.FamilyDebian:   10,
+	catalog.FamilyFedora:   8,
+	catalog.FamilyRedhat:   9,
+	catalog.FamilyOpenSuse: 12,
+	catalog.FamilyFreeBSD:  20,
+	catalog.FamilySolaris:  45,
+	catalog.FamilyOpenBSD:  9,
+}
+
+// weaknessClass is a template family for description generation; same-class
+// descriptions cluster together, which is the structure the Lazarus
+// clustering stage detects.
+type weaknessClass struct {
+	name     string
+	template string // fmt with %s = component, %s = vector detail
+	cvssLow  float64
+	cvssHigh float64
+	// exploitProb is the chance a public exploit appears.
+	exploitProb float64
+}
+
+var weaknessClasses = []weaknessClass{
+	{"xss", "Cross-site scripting (XSS) vulnerability in the %s allows remote attackers to inject arbitrary web script or HTML via the %s.", 4.3, 6.1, 0.10},
+	{"bufover", "Buffer overflow in the %s allows remote attackers to execute arbitrary code or cause a denial of service via a crafted %s.", 6.5, 9.8, 0.20},
+	{"privesc", "The %s mishandles privilege checks, which allows local users to gain root privileges via a crafted %s.", 6.8, 8.4, 0.25},
+	{"dos", "The %s allows remote attackers to cause a denial of service (crash or resource exhaustion) via a malformed %s.", 4.0, 7.5, 0.10},
+	{"rce", "A remote code execution vulnerability exists in the %s when it fails to properly validate input contained in a %s.", 7.5, 9.8, 0.22},
+	{"infoleak", "The %s allows local users to obtain sensitive information from uninitialized memory via a %s.", 3.3, 5.9, 0.07},
+	{"cmdinj", "Command injection in the %s allows attackers to execute arbitrary commands with elevated privileges via shell metacharacters in a %s.", 7.3, 9.8, 0.25},
+	{"uaf", "Use-after-free in the %s allows attackers to execute arbitrary code or crash the process via a crafted sequence of operations on a %s.", 6.5, 9.0, 0.18},
+	{"race", "Race condition in the %s allows local users to cause a denial of service or gain privileges via concurrent access to a %s.", 4.7, 7.0, 0.09},
+	{"traversal", "Directory traversal vulnerability in the %s allows remote attackers to read arbitrary files via a .. (dot dot) in a %s.", 5.3, 7.5, 0.12},
+}
+
+// kernelComponents are kernel-space components, named per lineage the way
+// real NVD descriptions name them (win32k vs ext4 vs UFS). Disjoint
+// vocabularies keep unrelated lineages from co-clustering, while bugs in
+// the same lineage's component — e.g. an ext4 flaw reported separately
+// against Ubuntu and Fedora — legitimately read alike and cluster
+// together, exactly the shared-codebase signal Lazarus exploits.
+var kernelComponents = map[catalog.Kernel][]string{
+	catalog.KernelLinux: {
+		"ext4 journaling layer", "netfilter connection tracker",
+		"KVM virtualization module", "ALSA sound driver",
+		"cgroup resource controller", "overlayfs union mount",
+		"io_uring submission queue", "eBPF verifier",
+		"futex subsystem", "n_tty line discipline",
+	},
+	catalog.KernelNT: {
+		"win32k kernel-mode driver", "NTFS metadata parser",
+		"SMB server driver srv2.sys", "Hyper-V virtual switch",
+		"GDI graphics component", "LSASS authentication service",
+		"RPC endpoint mapper", "Windows Search indexer",
+		"CLFS log file system driver", "Print Spooler service",
+	},
+	catalog.KernelFreeBSD: {
+		"UFS soft-updates code", "pf packet filter",
+		"bhyve hypervisor device model", "GEOM disk framework",
+		"kqueue event notification", "jail management subsystem",
+		"CAM SCSI layer", "netgraph node framework",
+		"linuxulator compatibility layer", "ZFS ARC cache",
+	},
+	catalog.KernelOpenBSD: {
+		"pledge enforcement code", "unveil path resolver",
+		"pf state table", "softraid crypto discipline",
+		"vmm hypervisor", "mbuf cluster allocator",
+		"relayd relay daemon", "iked IKEv2 daemon",
+		"uvm virtual memory", "carp failover protocol",
+	},
+	catalog.KernelSunOS: {
+		"ZFS dataset manager", "DTrace probe provider",
+		"zones virtualization framework", "SMF service management facility",
+		"Crossbow network virtualization", "UFS logging module",
+		"doors IPC facility", "STREAMS message queue",
+		"kstat statistics framework", "priocntl scheduling classes",
+	},
+}
+
+// appComponents are portable software shipped by many distributions;
+// vulnerabilities here can cross kernel lineages (the OpenStack/OpenSSL
+// pattern of paper Table 1).
+var appComponents = []string{
+	"OpenStack management dashboard", "TLS certificate verification library",
+	"DNS resolver daemon", "HTTP proxy cache server",
+	"mail transfer agent", "database query planner",
+	"printing spooler service", "NTP time synchronization daemon",
+	"compression library", "scripting language interpreter",
+	"DHCP client integration script", "X window rendering extension",
+}
+
+// vectorDetails complete the description templates.
+var vectorDetails = []string{
+	"description field of a template", "crafted network packet",
+	"long command-line argument", "malformed configuration file",
+	"specially crafted request header", "symbolic link in a temporary directory",
+	"negative length parameter", "crafted image file",
+	"unvalidated query parameter", "oversized protocol message",
+}
+
+// fillerQualifiers give background (non-campaign) vulnerabilities unique
+// wording so that unrelated reports do not co-cluster: real NVD
+// descriptions of independent bugs differ in exactly this incidental
+// detail, and without it the clustering stage would hallucinate sharing
+// between every pair of OSes.
+var fillerQualifiers = []string{
+	"quota accounting", "epoll notification", "pagecache writeback",
+	"inode reclaim", "socket splice", "fragment reassembly",
+	"signal trampoline", "capability inheritance", "namespace teardown",
+	"journal replay", "checksum offload", "ring buffer wraparound",
+	"hugepage migration", "slab poisoning", "watchdog heartbeat",
+	"console ioctl", "audit backlog", "keyring garbage collection",
+	"mmap alignment", "swap readahead", "unix datagram queue",
+	"futex requeue", "timerfd expiry", "sysctl parsing",
+	"cgroup hierarchy", "loop device teardown", "xattr truncation",
+	"route cache invalidation", "bridge forwarding", "vlan tagging",
+	"multicast subscription", "neighbor discovery", "tty line discipline",
+	"ptrace attach", "seccomp filter", "entropy pool estimation",
+	"module relocation", "firmware blob parsing", "ACPI table decoding",
+	"hotplug notifier", "power management suspend", "clock skew handling",
+}
+
+// campaignSeries is a recurring attack-surface hotspot: a weakness class in
+// a component that keeps producing related CVEs against the same group of
+// OSes over the years. The recurrence is what makes history predictive —
+// the empirical basis of the Lazarus approach [33, 34].
+type campaignSeries struct {
+	class     weaknessClass
+	component string
+	detail    string
+	// targets are the CPE products the series hits (fixed per series).
+	targets []string
+	// perMonth is the probability the series fires in a given month.
+	perMonth float64
+	// crossList is the probability a firing emits a single CVE listing
+	// several targets (directly visible sharing); otherwise it emits
+	// near-identical "herald" CVEs listed against individual targets
+	// (sharing visible only through clustering).
+	crossList float64
+}
+
+// Generate builds the synthetic dataset: recurring campaign series over
+// kernel and application components, plus per-family background noise,
+// plus the real anchor CVEs.
+func Generate(cfg GenConfig) ([]*osint.Vulnerability, error) {
+	if cfg.Start.IsZero() && cfg.End.IsZero() {
+		cfg.Start, cfg.End = DefaultWindow()
+	}
+	if !cfg.Start.Before(cfg.End) {
+		return nil, fmt.Errorf("feeds: window start %v not before end %v", cfg.Start, cfg.End)
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("feeds: negative scale %v", cfg.Scale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{rng: rng, cfg: cfg, seq: make(map[int]int)}
+	g.makeSeries()
+
+	var out []*osint.Vulnerability
+	for month := startOfMonth(cfg.Start); month.Before(cfg.End); month = month.AddDate(0, 1, 0) {
+		out = append(out, g.monthVulns(month)...)
+	}
+	if !cfg.SkipAnchors {
+		out = append(out, Anchors()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Published.Equal(out[j].Published) {
+			return out[i].Published.Before(out[j].Published)
+		}
+		return out[i].ID < out[j].ID
+	})
+	for _, v := range out {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("feeds: generated invalid record: %w", err)
+		}
+	}
+	return out, nil
+}
+
+type generator struct {
+	rng    *rand.Rand
+	cfg    GenConfig
+	series []campaignSeries
+	seq    map[int]int // per-year CVE sequence counter
+}
+
+// nextID mints a synthetic CVE id; sequence numbers start at 90000 so they
+// can never collide with the embedded real anchors.
+func (g *generator) nextID(year int) string {
+	g.seq[year]++
+	return fmt.Sprintf("CVE-%d-%d", year, 90000+g.seq[year])
+}
+
+// makeSeries draws the recurring campaign series. Kernel-scoped series
+// target versions within one lineage; app-scoped series cross lineages.
+func (g *generator) makeSeries() {
+	byKernel := make(map[catalog.Kernel][]string)
+	for _, o := range catalog.All() {
+		byKernel[o.Family.Kernel()] = append(byKernel[o.Family.Kernel()], o.CPEProduct)
+	}
+	kernels := []catalog.Kernel{catalog.KernelLinux, catalog.KernelNT,
+		catalog.KernelFreeBSD, catalog.KernelOpenBSD, catalog.KernelSunOS}
+
+	// Kernel series: two per lineage, over OS components.
+	for _, k := range kernels {
+		products := byKernel[k]
+		comps := kernelComponents[k]
+		for i := 0; i < 2; i++ {
+			targets := g.sample(products, 2+g.rng.Intn(len(products)))
+			g.series = append(g.series, campaignSeries{
+				class:     weaknessClasses[g.rng.Intn(len(weaknessClasses))],
+				component: comps[g.rng.Intn(len(comps))],
+				detail:    vectorDetails[g.rng.Intn(len(vectorDetails))],
+				targets:   targets,
+				perMonth:  0.06 + g.rng.Float64()*0.08,
+				crossList: 0.55,
+			})
+		}
+	}
+	// Application series: portable components whose vulnerabilities cross
+	// kernel lineages. Four co-list openly in NVD; five are "stealth":
+	// NVD almost always reports their CVEs against individual products
+	// (the Table 1 imprecision), so the sharing is visible only through
+	// description clustering — the structure that separates Lazarus from
+	// the count-based Common baseline.
+	allProducts := make([]string, 0, 21)
+	for _, o := range catalog.All() {
+		allProducts = append(allProducts, o.CPEProduct)
+	}
+	for i := 0; i < 4; i++ {
+		targets := g.sample(allProducts, 3+g.rng.Intn(4))
+		g.series = append(g.series, campaignSeries{
+			class:     weaknessClasses[g.rng.Intn(len(weaknessClasses))],
+			component: appComponents[g.rng.Intn(len(appComponents))],
+			detail:    vectorDetails[g.rng.Intn(len(vectorDetails))],
+			targets:   targets,
+			perMonth:  0.05 + g.rng.Float64()*0.07,
+			crossList: 0.45,
+		})
+	}
+	for i := 0; i < 5; i++ {
+		targets := g.sample(allProducts, 4+g.rng.Intn(4))
+		g.series = append(g.series, campaignSeries{
+			class:     weaknessClasses[g.rng.Intn(len(weaknessClasses))],
+			component: appComponents[(i*3+g.rng.Intn(len(appComponents)))%len(appComponents)],
+			detail:    vectorDetails[g.rng.Intn(len(vectorDetails))],
+			targets:   targets,
+			perMonth:  0.10 + g.rng.Float64()*0.08,
+			crossList: 0.12,
+		})
+	}
+}
+
+func (g *generator) sample(items []string, n int) []string {
+	if n > len(items) {
+		n = len(items)
+	}
+	idx := g.rng.Perm(len(items))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = items[j]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// monthVulns emits all vulnerabilities published in the given month.
+func (g *generator) monthVulns(month time.Time) []*osint.Vulnerability {
+	var out []*osint.Vulnerability
+	daysIn := daysInMonth(month)
+
+	// Recurring campaign series.
+	for si := range g.series {
+		s := &g.series[si]
+		if g.rng.Float64() > s.perMonth*g.cfg.Scale {
+			continue
+		}
+		out = append(out, g.fireSeries(s, month, daysIn)...)
+	}
+
+	// Per-family background noise.
+	for _, fam := range catalog.Families() {
+		versions := catalog.ByFamily(fam)
+		n := g.poisson(familyRate[fam] * g.cfg.Scale)
+		for i := 0; i < n; i++ {
+			out = append(out, g.backgroundVuln(fam, versions, month, daysIn))
+		}
+	}
+	return out
+}
+
+// fireSeries emits one firing of a recurring series: either one CVE
+// cross-listing several targets, or a herald volley of near-identical CVEs
+// listed individually.
+func (g *generator) fireSeries(s *campaignSeries, month time.Time, daysIn int) []*osint.Vulnerability {
+	pub := month.AddDate(0, 0, g.rng.Intn(daysIn))
+	targets := g.sample(s.targets, 2+g.rng.Intn(len(s.targets)-1))
+	if g.rng.Float64() < s.crossList {
+		v := g.mint(s.class, s.component, s.detail, "", pub, targets...)
+		return []*osint.Vulnerability{v}
+	}
+	var out []*osint.Vulnerability
+	for i, target := range targets {
+		// Heralds spread over up to three weeks; clustering is the only
+		// signal tying them together.
+		hpub := pub.AddDate(0, 0, g.rng.Intn(21))
+		if hpub.After(g.cfg.End) {
+			hpub = g.cfg.End
+		}
+		v := g.mint(s.class, s.component, s.detail, "", hpub, target)
+		if i > 0 {
+			v.Description += fmt.Sprintf(" This is a distinct issue related to %s.", out[0].ID)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// backgroundVuln emits one family-scoped vulnerability: usually a single
+// version, sometimes several releases of the family (shared codebase).
+func (g *generator) backgroundVuln(fam catalog.Family, versions []catalog.OS, month time.Time, daysIn int) *osint.Vulnerability {
+	pub := month.AddDate(0, 0, g.rng.Intn(daysIn))
+	class := weaknessClasses[g.rng.Intn(len(weaknessClasses))]
+	comps := kernelComponents[fam.Kernel()]
+	component := comps[g.rng.Intn(len(comps))]
+	detail := vectorDetails[g.rng.Intn(len(vectorDetails))]
+	var products []string
+	if g.rng.Float64() < multiVersionProb[fam] && len(versions) > 1 {
+		for _, o := range g.sampleOS(versions, 2+g.rng.Intn(len(versions)-1)) {
+			products = append(products, o.CPEProduct)
+		}
+	} else {
+		products = []string{versions[g.rng.Intn(len(versions))].CPEProduct}
+	}
+	// Kernel-space bugs regularly co-list releases of sibling families
+	// that ship the same kernel (a Linux kernel CVE names Ubuntu, Debian
+	// and RHEL releases together in NVD).
+	if g.rng.Float64() < 0.15 {
+		var siblings []catalog.OS
+		for _, o := range catalog.All() {
+			if o.Family != fam && o.Family.Kernel() == fam.Kernel() {
+				siblings = append(siblings, o)
+			}
+		}
+		if len(siblings) > 0 {
+			for _, o := range g.sampleOS(siblings, 1+g.rng.Intn(3)) {
+				products = append(products, o.CPEProduct)
+			}
+		}
+	}
+	q1 := fillerQualifiers[g.rng.Intn(len(fillerQualifiers))]
+	q2 := fillerQualifiers[g.rng.Intn(len(fillerQualifiers))]
+	suffix := fmt.Sprintf(" The flaw is reached through the %s path during %s processing.", q1, q2)
+	return g.mint(class, component, detail, suffix, pub, products...)
+}
+
+func (g *generator) sampleOS(items []catalog.OS, n int) []catalog.OS {
+	if n > len(items) {
+		n = len(items)
+	}
+	idx := g.rng.Perm(len(items))[:n]
+	out := make([]catalog.OS, n)
+	for i, j := range idx {
+		out[i] = items[j]
+	}
+	return out
+}
+
+// mint creates one record with class-typical CVSS, patch, and exploit
+// metadata. Patch behaviour follows the slowest-family member's process.
+func (g *generator) mint(class weaknessClass, component, detail, suffix string, pub time.Time, products ...string) *osint.Vulnerability {
+	if pub.Before(g.cfg.Start) {
+		pub = g.cfg.Start
+	}
+	if pub.After(g.cfg.End) {
+		pub = g.cfg.End
+	}
+	cvss := class.cvssLow + g.rng.Float64()*(class.cvssHigh-class.cvssLow)
+	cvss = math.Round(cvss*10) / 10
+	v := &osint.Vulnerability{
+		ID:          g.nextID(pub.Year()),
+		Description: fmt.Sprintf(class.template, component, detail) + suffix,
+		Products:    products,
+		Published:   pub,
+		CVSS:        cvss,
+	}
+	// Per-product patch dates, by vendor process.
+	v.ProductPatches = make(map[string]time.Time, len(products))
+	earliestPatch := time.Time{}
+	for _, p := range products {
+		fam, ok := familyOfProduct(p)
+		if !ok {
+			continue
+		}
+		var patched time.Time
+		if g.rng.Float64() < coordinatedProb[fam] {
+			patched = pub // coordinated disclosure
+		} else if g.rng.Float64() < 0.9 { // 10% never patched in-window
+			lag := g.expDays(patchLagMeanDays[fam])
+			patched = pub.AddDate(0, 0, lag)
+		}
+		if !patched.IsZero() {
+			v.ProductPatches[p] = patched
+			if earliestPatch.IsZero() || patched.Before(earliestPatch) {
+				earliestPatch = patched
+			}
+		}
+	}
+	v.PatchedAt = earliestPatch
+	if g.rng.Float64() < class.exploitProb {
+		v.ExploitAt = pub.AddDate(0, 0, 1+g.expDays(20))
+	}
+	return v
+}
+
+// expDays draws an exponential lag with the given mean, capped at one
+// year.
+func (g *generator) expDays(mean float64) int {
+	d := int(g.rng.ExpFloat64() * mean)
+	if d > 365 {
+		d = 365
+	}
+	return d
+}
+
+// poisson draws a Poisson variate by Knuth's method (fine for small
+// lambda).
+func (g *generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func startOfMonth(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+}
+
+func daysInMonth(month time.Time) int {
+	return startOfMonth(month).AddDate(0, 1, -1).Day()
+}
+
+// familyOfProduct maps a CPE product back to its catalog family.
+func familyOfProduct(product string) (catalog.Family, bool) {
+	for _, o := range catalog.All() {
+		if o.CPEProduct == product {
+			return o.Family, true
+		}
+	}
+	return 0, false
+}

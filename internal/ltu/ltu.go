@@ -1,0 +1,164 @@
+// Package ltu implements the Local Trusted Unit of the Lazarus
+// architecture (paper §3, §5.1): a small trusted component on each
+// execution-plane node that accepts only authenticated power on/off
+// commands from the controller and drives the node's replica lifecycle.
+// The LTU is the root of trust for proactive recovery — a compromised
+// replica cannot forge the commands that would keep itself alive.
+package ltu
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Action is a command verb.
+type Action int
+
+// Actions.
+const (
+	// ActionPowerOn provisions and starts a replica with the given OS
+	// image.
+	ActionPowerOn Action = iota + 1
+	// ActionPowerOff stops and wipes the node's replica.
+	ActionPowerOff
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionPowerOn:
+		return "power-on"
+	case ActionPowerOff:
+		return "power-off"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Command is one controller order to an LTU.
+type Command struct {
+	// Seq is a strictly increasing counter (replay protection).
+	Seq uint64
+	// Action is the verb.
+	Action Action
+	// OSID selects the OS image for ActionPowerOn.
+	OSID string
+	// Joining marks a power-on that must bootstrap via state transfer.
+	Joining bool
+}
+
+// Errors returned by Execute.
+var (
+	// ErrBadMAC: the command authenticator did not verify.
+	ErrBadMAC = errors.New("ltu: command failed authentication")
+	// ErrReplay: the command sequence number was not fresh.
+	ErrReplay = errors.New("ltu: replayed or stale command")
+)
+
+// Driver is the node-local actuator the LTU controls (the deploy
+// manager's node in this codebase; a hypervisor or Razor-style bare-metal
+// provisioner in a full deployment).
+type Driver interface {
+	// PowerOn provisions and starts a replica running the OS image.
+	PowerOn(osID string, joining bool) error
+	// PowerOff stops the replica and releases the node.
+	PowerOff() error
+}
+
+// Seal authenticates a command with the controller secret, producing the
+// wire form the LTU accepts.
+func Seal(secret []byte, cmd Command) ([]byte, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("ltu: empty secret")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cmd); err != nil {
+		return nil, fmt.Errorf("ltu: encoding command: %w", err)
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(buf.Bytes())
+	return append(buf.Bytes(), mac.Sum(nil)...), nil
+}
+
+// open verifies and decodes a sealed command.
+func open(secret, sealed []byte) (Command, error) {
+	if len(sealed) <= sha256.Size {
+		return Command{}, ErrBadMAC
+	}
+	body, sum := sealed[:len(sealed)-sha256.Size], sealed[len(sealed)-sha256.Size:]
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), sum) {
+		return Command{}, ErrBadMAC
+	}
+	var cmd Command
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cmd); err != nil {
+		return Command{}, fmt.Errorf("ltu: decoding command: %w", err)
+	}
+	return cmd, nil
+}
+
+// LTU is one node's trusted unit.
+type LTU struct {
+	secret []byte
+	driver Driver
+
+	mu      sync.Mutex
+	lastSeq uint64
+	history []Command
+}
+
+// New builds an LTU bound to its node driver.
+func New(secret []byte, driver Driver) (*LTU, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("ltu: empty secret")
+	}
+	if driver == nil {
+		return nil, fmt.Errorf("ltu: nil driver")
+	}
+	return &LTU{secret: secret, driver: driver}, nil
+}
+
+// Execute verifies a sealed command and applies it to the node. Commands
+// must arrive with strictly increasing sequence numbers.
+func (l *LTU) Execute(sealed []byte) error {
+	cmd, err := open(l.secret, sealed)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if cmd.Seq <= l.lastSeq {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: seq %d <= %d", ErrReplay, cmd.Seq, l.lastSeq)
+	}
+	l.lastSeq = cmd.Seq
+	l.history = append(l.history, cmd)
+	l.mu.Unlock()
+
+	switch cmd.Action {
+	case ActionPowerOn:
+		if err := l.driver.PowerOn(cmd.OSID, cmd.Joining); err != nil {
+			return fmt.Errorf("ltu: power-on %s: %w", cmd.OSID, err)
+		}
+		return nil
+	case ActionPowerOff:
+		if err := l.driver.PowerOff(); err != nil {
+			return fmt.Errorf("ltu: power-off: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("ltu: unknown action %v", cmd.Action)
+	}
+}
+
+// History returns the accepted commands, oldest first.
+func (l *LTU) History() []Command {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Command(nil), l.history...)
+}

@@ -1,0 +1,209 @@
+package osint
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// FeedSpec points the crawler at one auxiliary OSINT source.
+type FeedSpec struct {
+	// URL is where the source document is served.
+	URL string
+	// Parser converts the document into enrichments.
+	Parser SourceParser
+}
+
+// CrawlerConfig configures a Crawler.
+type CrawlerConfig struct {
+	// NVDFeedURLs are the NVD JSON feed documents to ingest (one per
+	// year, like NVD's nvdcve-1.1-<year>.json files).
+	NVDFeedURLs []string
+	// Sources are the auxiliary OSINT sources to consult.
+	Sources []FeedSpec
+	// Products restricts ingestion to vulnerabilities affecting at least
+	// one of these CPE products (the administrator-selected software list
+	// of paper §5.1). Empty means ingest everything.
+	Products []string
+	// Workers is the number of concurrent fetch workers (default 4).
+	Workers int
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Crawler fetches vulnerability intelligence from an NVD feed and a set of
+// auxiliary sources, and assembles consolidated Vulnerability records. It
+// is the transport half of the paper's Data manager: "several threads
+// cooperatively assembling as much data as possible about each
+// vulnerability".
+type Crawler struct {
+	cfg    CrawlerConfig
+	client *http.Client
+}
+
+// NewCrawler validates the configuration and returns a Crawler.
+func NewCrawler(cfg CrawlerConfig) (*Crawler, error) {
+	if len(cfg.NVDFeedURLs) == 0 {
+		return nil, fmt.Errorf("osint: crawler needs at least one NVD feed URL")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Crawler{cfg: cfg, client: client}, nil
+}
+
+// fetchResult carries one source's parse output to the merge stage.
+type fetchResult struct {
+	source      string
+	vulns       []*Vulnerability // from NVD feeds
+	enrichments []Enrichment     // from auxiliary sources
+	err         error
+}
+
+// Crawl fetches every configured document concurrently, merges enrichments
+// into the NVD baseline, filters by the configured product list, and
+// returns the consolidated records keyed by CVE id. Per-source failures
+// are returned in errs; the crawl is usable as long as the NVD baseline
+// was ingested (a dead auxiliary site must not take down monitoring).
+func (c *Crawler) Crawl(ctx context.Context) (map[string]*Vulnerability, []error) {
+	jobs := make(chan func() fetchResult)
+	results := make(chan fetchResult)
+
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				results <- job()
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, url := range c.cfg.NVDFeedURLs {
+			url := url
+			select {
+			case jobs <- func() fetchResult { return c.fetchNVD(ctx, url) }:
+			case <-ctx.Done():
+				return
+			}
+		}
+		for _, src := range c.cfg.Sources {
+			src := src
+			select {
+			case jobs <- func() fetchResult { return c.fetchSource(ctx, src) }:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	byID := make(map[string]*Vulnerability)
+	var pending []Enrichment
+	var errs []error
+	for res := range results {
+		switch {
+		case res.err != nil:
+			errs = append(errs, fmt.Errorf("osint: source %s: %w", res.source, res.err))
+		case res.vulns != nil:
+			for _, v := range res.vulns {
+				if existing, ok := byID[v.ID]; ok {
+					if err := existing.Merge(v); err != nil {
+						errs = append(errs, err)
+					}
+				} else {
+					byID[v.ID] = v
+				}
+			}
+		default:
+			pending = append(pending, res.enrichments...)
+		}
+	}
+	// Enrichments may arrive before their NVD record; apply them after all
+	// sources have completed.
+	for _, e := range pending {
+		v, ok := byID[e.CVE]
+		if !ok {
+			continue // enrichment for a CVE outside the monitored window
+		}
+		v.PatchedAt = earliest(v.PatchedAt, e.PatchedAt)
+		v.ExploitAt = earliest(v.ExploitAt, e.ExploitAt)
+		for _, p := range e.ExtraProducts {
+			v.AddProduct(p)
+		}
+	}
+	if len(c.cfg.Products) > 0 {
+		for id, v := range byID {
+			if !affectsAny(v, c.cfg.Products) {
+				delete(byID, id)
+			}
+		}
+	}
+	return byID, errs
+}
+
+func affectsAny(v *Vulnerability, products []string) bool {
+	for _, p := range products {
+		if v.Affects(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Crawler) fetchNVD(ctx context.Context, url string) fetchResult {
+	body, err := c.get(ctx, url)
+	if err != nil {
+		return fetchResult{source: url, err: err}
+	}
+	defer body.Close()
+	vulns, _, err := ParseNVDFeed(body)
+	if err != nil {
+		return fetchResult{source: url, err: err}
+	}
+	return fetchResult{source: url, vulns: vulns}
+}
+
+func (c *Crawler) fetchSource(ctx context.Context, src FeedSpec) fetchResult {
+	body, err := c.get(ctx, src.URL)
+	if err != nil {
+		return fetchResult{source: src.Parser.Name(), err: err}
+	}
+	defer body.Close()
+	enr, err := src.Parser.Parse(body)
+	if err != nil {
+		return fetchResult{source: src.Parser.Name(), err: err}
+	}
+	return fetchResult{source: src.Parser.Name(), enrichments: enr}
+}
+
+type readCloser interface {
+	Read(p []byte) (int, error)
+	Close() error
+}
+
+func (c *Crawler) get(ctx context.Context, url string) (readCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("building request for %s: %w", url, err)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetching %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("fetching %s: status %s", url, resp.Status)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,169 @@
+package osint
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// testUniverse builds an httptest server exposing one NVD feed, one
+// ExploitDB index and one vendor advisory page, and returns the crawler
+// config pointing at it.
+func testUniverse(t *testing.T) CrawlerConfig {
+	t.Helper()
+
+	vulns := []*Vulnerability{
+		{
+			ID:          "CVE-2018-8897",
+			Description: "MOV SS debug exception mishandling allows local privilege escalation.",
+			Products:    []string{"canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0"},
+			Published:   day(2018, 5, 8),
+			CVSS:        7.8,
+		},
+		{
+			ID:          "CVE-2018-1111",
+			Description: "DHCP client script command injection.",
+			Products:    []string{"redhat:enterprise_linux:7.0"},
+			Published:   day(2018, 5, 17),
+			CVSS:        7.5,
+		},
+		{
+			ID:          "CVE-2018-9990",
+			Description: "Unrelated product vulnerability.",
+			Products:    []string{"someco:widget:1.0"},
+			Published:   day(2018, 5, 2),
+			CVSS:        5.0,
+		},
+	}
+	var nvdBuf bytes.Buffer
+	if err := WriteNVDFeed(&nvdBuf, vulns, day(2018, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var edbBuf bytes.Buffer
+	err := WriteExploitDBIndex(&edbBuf, []Enrichment{
+		{CVE: "CVE-2018-1111", ExploitAt: day(2018, 5, 30)},
+		{CVE: "CVE-2099-1", ExploitAt: day(2018, 6, 1)}, // unknown CVE: ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var advBuf bytes.Buffer
+	err = WriteAdvisoryPage(&advBuf, "ubuntu", []Enrichment{
+		{CVE: "CVE-2018-8897", PatchedAt: day(2018, 5, 9),
+			ExtraProducts: []string{"canonical:ubuntu_linux:17.04"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	serve := func(path string, body []byte) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Write(body)
+		})
+	}
+	serve("/nvd.json", nvdBuf.Bytes())
+	serve("/exploitdb.csv", edbBuf.Bytes())
+	serve("/ubuntu.html", advBuf.Bytes())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	return CrawlerConfig{
+		NVDFeedURLs: []string{srv.URL + "/nvd.json"},
+		Sources: []FeedSpec{
+			{URL: srv.URL + "/exploitdb.csv", Parser: ExploitDBParser{}},
+			{URL: srv.URL + "/ubuntu.html", Parser: VendorAdvisoryParser{Vendor: "ubuntu"}},
+		},
+		Products: []string{
+			"canonical:ubuntu_linux:16.04",
+			"canonical:ubuntu_linux:17.04",
+			"debian:debian_linux:8.0",
+			"redhat:enterprise_linux:7.0",
+		},
+	}
+}
+
+func TestCrawlAssemblesRecords(t *testing.T) {
+	c, err := NewCrawler(testUniverse(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs := c.Crawl(context.Background())
+	if len(errs) != 0 {
+		t.Fatalf("crawl errors: %v", errs)
+	}
+	if len(got) != 2 {
+		t.Fatalf("crawled %d records, want 2 (filtered by product list)", len(got))
+	}
+	mov := got["CVE-2018-8897"]
+	if mov == nil {
+		t.Fatal("CVE-2018-8897 missing")
+	}
+	if !mov.PatchedBy(day(2018, 5, 9)) {
+		t.Error("patch date from advisory not merged")
+	}
+	if !mov.Affects("canonical:ubuntu_linux:17.04") {
+		t.Error("extra product from advisory not merged")
+	}
+	dhcp := got["CVE-2018-1111"]
+	if dhcp == nil || !dhcp.ExploitedBy(day(2018, 5, 30)) {
+		t.Errorf("exploit date from exploitdb not merged: %+v", dhcp)
+	}
+}
+
+func TestCrawlSurvivesDeadAuxSource(t *testing.T) {
+	cfg := testUniverse(t)
+	cfg.Sources = append(cfg.Sources, FeedSpec{
+		URL:    "http://127.0.0.1:1/dead",
+		Parser: VendorAdvisoryParser{Vendor: "dead"},
+	})
+	c, err := NewCrawler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs := c.Crawl(context.Background())
+	if len(errs) != 1 {
+		t.Fatalf("want exactly 1 error for the dead source, got %v", errs)
+	}
+	if len(got) != 2 {
+		t.Errorf("baseline records lost when aux source died: %d", len(got))
+	}
+}
+
+func TestCrawlHTTPErrorStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusGone)
+	}))
+	defer srv.Close()
+	c, err := NewCrawler(CrawlerConfig{NVDFeedURLs: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs := c.Crawl(context.Background())
+	if len(errs) != 1 || len(got) != 0 {
+		t.Errorf("got %d records, %v errors; want 0 records, 1 error", len(got), errs)
+	}
+}
+
+func TestNewCrawlerValidation(t *testing.T) {
+	if _, err := NewCrawler(CrawlerConfig{}); err == nil {
+		t.Error("NewCrawler with no NVD feed accepted")
+	}
+}
+
+func TestCrawlContextCancelled(t *testing.T) {
+	cfg := testUniverse(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, err := NewCrawler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := c.Crawl(ctx)
+	// All fetches should fail fast with context errors; none may hang.
+	if len(errs) == 0 {
+		t.Log("crawl completed before cancellation took effect (acceptable)")
+	}
+}

@@ -1,0 +1,99 @@
+package osint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CVEDetailsParser scrapes a CVE-details-style vulnerability listing
+// (paper §5.1 lists cvedetails.com among the prototype's eight auxiliary
+// sources). The page enumerates vulnerabilities as definition rows:
+//
+//	<div class="cve"><h3>CVE-2018-8897</h3>
+//	  <span class="cvss">7.8</span>
+//	  <span class="date">2018-05-08</span>
+//	  <span class="exploit-date">2018-05-13</span>   (optional)
+//	  <p class="summary">...</p>
+//	</div>
+//
+// CVE-details consolidates data that is sometimes missing from the NVD
+// feed — notably exploit observations — so the parser emits enrichments
+// rather than full records.
+type CVEDetailsParser struct{}
+
+// Name implements SourceParser.
+func (CVEDetailsParser) Name() string { return "cvedetails" }
+
+var (
+	cveDetailsIDRE      = regexp.MustCompile(`<h3[^>]*>\s*(CVE-\d{4}-\d+)\s*</h3>`)
+	cveDetailsCVSSRE    = regexp.MustCompile(`<span class="cvss"[^>]*>\s*([0-9.]+)\s*</span>`)
+	cveDetailsExploitRE = regexp.MustCompile(`<span class="exploit-date"[^>]*>\s*(\d{4}-\d{2}-\d{2})\s*</span>`)
+)
+
+// Parse implements SourceParser.
+func (CVEDetailsParser) Parse(r io.Reader) ([]Enrichment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Enrichment
+	var current *Enrichment
+	flush := func() {
+		if current != nil {
+			out = append(out, *current)
+			current = nil
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if m := cveDetailsIDRE.FindStringSubmatch(line); m != nil {
+			flush()
+			current = &Enrichment{CVE: m[1]}
+			continue
+		}
+		if current == nil {
+			continue
+		}
+		if m := cveDetailsExploitRE.FindStringSubmatch(line); m != nil {
+			t, err := time.Parse("2006-01-02", m[1])
+			if err != nil {
+				return nil, fmt.Errorf("osint: cvedetails %s: bad exploit date %q", current.CVE, m[1])
+			}
+			current.ExploitAt = t
+		}
+		// CVSS is validated but not merged (NVD stays authoritative for
+		// scores, per the paper's source ranking).
+		if m := cveDetailsCVSSRE.FindStringSubmatch(line); m != nil {
+			if v, err := strconv.ParseFloat(m[1], 64); err != nil || v < 0 || v > 10 {
+				return nil, fmt.Errorf("osint: cvedetails %s: bad cvss %q", current.CVE, m[1])
+			}
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("osint: scanning cvedetails page: %w", err)
+	}
+	return out, nil
+}
+
+// WriteCVEDetailsPage renders enrichments in the format CVEDetailsParser
+// accepts (fixture factory).
+func WriteCVEDetailsPage(w io.Writer, rows []Enrichment) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "<html><body><h1>Security Vulnerabilities</h1>")
+	for _, e := range rows {
+		fmt.Fprintf(bw, "<div class=\"cve\"><h3>%s</h3>\n", e.CVE)
+		if !e.ExploitAt.IsZero() {
+			fmt.Fprintf(bw, "  <span class=\"exploit-date\">%s</span>\n", e.ExploitAt.Format("2006-01-02"))
+		}
+		fmt.Fprintf(bw, "  <p class=\"summary\">%s</p>\n</div>\n", strings.Repeat("-", 3))
+	}
+	fmt.Fprintln(bw, "</body></html>")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("osint: writing cvedetails page: %w", err)
+	}
+	return nil
+}

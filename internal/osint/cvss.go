@@ -1,0 +1,178 @@
+package osint
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CVSSv3 holds the eight base metrics of a CVSS v3.1 vector (paper §4.2).
+// Zero values indicate an unparsed/absent metric.
+type CVSSv3 struct {
+	AttackVector       string // N(etwork), A(djacent), L(ocal), P(hysical)
+	AttackComplexity   string // L(ow), H(igh)
+	PrivilegesRequired string // N(one), L(ow), H(igh)
+	UserInteraction    string // N(one), R(equired)
+	Scope              string // U(nchanged), C(hanged)
+	Confidentiality    string // H(igh), L(ow), N(one)
+	Integrity          string // H, L, N
+	Availability       string // H, L, N
+}
+
+// ParseCVSSv3 parses a CVSS v3.x vector string such as
+// "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".
+func ParseCVSSv3(vector string) (CVSSv3, error) {
+	var m CVSSv3
+	parts := strings.Split(vector, "/")
+	if len(parts) == 0 || !strings.HasPrefix(parts[0], "CVSS:3") {
+		return m, fmt.Errorf("osint: %q is not a CVSS v3 vector", vector)
+	}
+	for _, p := range parts[1:] {
+		kv := strings.SplitN(p, ":", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("osint: malformed vector component %q", p)
+		}
+		switch kv[0] {
+		case "AV":
+			m.AttackVector = kv[1]
+		case "AC":
+			m.AttackComplexity = kv[1]
+		case "PR":
+			m.PrivilegesRequired = kv[1]
+		case "UI":
+			m.UserInteraction = kv[1]
+		case "S":
+			m.Scope = kv[1]
+		case "C":
+			m.Confidentiality = kv[1]
+		case "I":
+			m.Integrity = kv[1]
+		case "A":
+			m.Availability = kv[1]
+		default:
+			// Temporal/environmental metrics are ignored; the Lazarus
+			// score models exploit/patch state from OSINT dates instead.
+		}
+	}
+	if err := m.validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+func (m CVSSv3) validate() error {
+	checks := []struct {
+		name, val, allowed string
+	}{
+		{"AV", m.AttackVector, "NALP"},
+		{"AC", m.AttackComplexity, "LH"},
+		{"PR", m.PrivilegesRequired, "NLH"},
+		{"UI", m.UserInteraction, "NR"},
+		{"S", m.Scope, "UC"},
+		{"C", m.Confidentiality, "HLN"},
+		{"I", m.Integrity, "HLN"},
+		{"A", m.Availability, "HLN"},
+	}
+	for _, c := range checks {
+		if c.val == "" {
+			return fmt.Errorf("osint: vector missing metric %s", c.name)
+		}
+		if len(c.val) != 1 || !strings.Contains(c.allowed, c.val) {
+			return fmt.Errorf("osint: metric %s has invalid value %q", c.name, c.val)
+		}
+	}
+	return nil
+}
+
+// BaseScore computes the CVSS v3.1 base score from the metrics, per the
+// FIRST specification (the same formula NVD applies).
+func (m CVSSv3) BaseScore() (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	iss := 1 - (1-cia(m.Confidentiality))*(1-cia(m.Integrity))*(1-cia(m.Availability))
+	var impact float64
+	if m.Scope == "C" {
+		impact = 7.52*(iss-0.029) - 3.25*math.Pow(iss-0.02, 15)
+	} else {
+		impact = 6.42 * iss
+	}
+	exploitability := 8.22 * av(m.AttackVector) * ac(m.AttackComplexity) *
+		pr(m.PrivilegesRequired, m.Scope) * ui(m.UserInteraction)
+	if impact <= 0 {
+		return 0, nil
+	}
+	var score float64
+	if m.Scope == "C" {
+		score = math.Min(1.08*(impact+exploitability), 10)
+	} else {
+		score = math.Min(impact+exploitability, 10)
+	}
+	return roundUp1(score), nil
+}
+
+// roundUp1 is the CVSS "Roundup" function: smallest number with one decimal
+// place that is >= the input (with a small epsilon guard, per spec).
+func roundUp1(x float64) float64 {
+	i := int(math.Round(x * 100000))
+	if i%10000 == 0 {
+		return float64(i) / 100000
+	}
+	return (math.Floor(float64(i)/10000) + 1) / 10
+}
+
+func cia(v string) float64 {
+	switch v {
+	case "H":
+		return 0.56
+	case "L":
+		return 0.22
+	default:
+		return 0
+	}
+}
+
+func av(v string) float64 {
+	switch v {
+	case "N":
+		return 0.85
+	case "A":
+		return 0.62
+	case "L":
+		return 0.55
+	default: // P
+		return 0.2
+	}
+}
+
+func ac(v string) float64 {
+	if v == "L" {
+		return 0.77
+	}
+	return 0.44
+}
+
+func pr(v, scope string) float64 {
+	changed := scope == "C"
+	switch v {
+	case "N":
+		return 0.85
+	case "L":
+		if changed {
+			return 0.68
+		}
+		return 0.62
+	default: // H
+		if changed {
+			return 0.5
+		}
+		return 0.27
+	}
+}
+
+func ui(v string) float64 {
+	if v == "N" {
+		return 0.85
+	}
+	return 0.62
+}

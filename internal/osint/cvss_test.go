@@ -1,0 +1,137 @@
+package osint
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestBaseScoreKnownVectors checks the CVSS v3.1 implementation against
+// scores published by NVD for well-known CVEs.
+func TestBaseScoreKnownVectors(t *testing.T) {
+	cases := []struct {
+		name   string
+		vector string
+		want   float64
+	}{
+		// CVE-2017-0144 (EternalBlue / WannaCry).
+		{"EternalBlue", "CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.1},
+		// CVE-2018-8897 (MOV SS).
+		{"MovSS", "CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8},
+		// CVE-2017-1000364 (Stack Clash).
+		{"StackClash", "CVSS:3.1/AV:L/AC:H/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.0},
+		// CVE-2018-1111 (DHCP script injection, Red Hat).
+		{"DHCP", "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.8},
+		// A scope-changed critical (e.g. CVE-2019-0708 style).
+		{"ScopeChanged", "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0},
+		// No impact at all.
+		{"NoImpact", "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0},
+		// Low everything.
+		{"LowLocal", "CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6},
+	}
+	for _, c := range cases {
+		m, err := ParseCVSSv3(c.vector)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		got, err := m.BaseScore()
+		if err != nil {
+			t.Fatalf("%s: score: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: BaseScore() = %.1f, want %.1f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseCVSSv3Errors(t *testing.T) {
+	bad := []string{
+		"",
+		"AV:N/AC:L",
+		"CVSS:2.0/AV:N",
+		"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H", // missing A
+		"CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+		"CVSS:3.1/AV/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+	}
+	for _, v := range bad {
+		if _, err := ParseCVSSv3(v); err == nil {
+			t.Errorf("ParseCVSSv3(%q) succeeded, want error", v)
+		}
+	}
+}
+
+func TestParseIgnoresTemporalMetrics(t *testing.T) {
+	m, err := ParseCVSSv3("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:P/RL:O")
+	if err != nil {
+		t.Fatalf("parse with temporal metrics: %v", err)
+	}
+	if got, _ := m.BaseScore(); got != 9.8 {
+		t.Errorf("score = %v, want 9.8", got)
+	}
+}
+
+// TestBaseScoreBounds is a property test: every valid metric combination
+// yields a score in [0, 10] with one decimal digit.
+func TestBaseScoreBounds(t *testing.T) {
+	avs, acs, prs, uis, ss, cias := "NALP", "LH", "NLH", "NR", "UC", "HLN"
+	pick := func(r *rand.Rand, s string) string { return string(s[r.Intn(len(s))]) }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := CVSSv3{
+			AttackVector:       pick(r, avs),
+			AttackComplexity:   pick(r, acs),
+			PrivilegesRequired: pick(r, prs),
+			UserInteraction:    pick(r, uis),
+			Scope:              pick(r, ss),
+			Confidentiality:    pick(r, cias),
+			Integrity:          pick(r, cias),
+			Availability:       pick(r, cias),
+		}
+		score, err := m.BaseScore()
+		if err != nil {
+			return false
+		}
+		if score < 0 || score > 10 {
+			return false
+		}
+		// One decimal digit.
+		scaled := score * 10
+		return scaled == float64(int(scaled))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBaseScoreMonotoneImpact: upgrading any impact metric never lowers the
+// score (a sanity property of the CVSS formula for unchanged scope).
+func TestBaseScoreMonotoneImpact(t *testing.T) {
+	base := "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:%s/I:L/A:L"
+	var prev float64 = -1
+	for _, c := range []string{"N", "L", "H"} {
+		m, err := ParseCVSSv3(strings.Replace(base, "%s", c, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, err := m.BaseScore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score < prev {
+			t.Errorf("score decreased when C upgraded to %s: %v < %v", c, score, prev)
+		}
+		prev = score
+	}
+}
+
+func TestRoundUp1(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{4.02, 4.1}, {4.0, 4.0}, {4.00001, 4.1}, {0, 0}, {9.89, 9.9}, {9.91, 10.0},
+	}
+	for _, c := range cases {
+		if got := roundUp1(c.in); got != c.want {
+			t.Errorf("roundUp1(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

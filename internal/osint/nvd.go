@@ -1,0 +1,285 @@
+package osint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The types below mirror the subset of the NVD JSON-1.1 data-feed schema
+// that Lazarus consumes (paper §4.1/§5.1). Field names match the feed
+// format so that real NVD feed files parse unmodified.
+
+// NVDFeed is the top-level document of an NVD JSON data feed.
+type NVDFeed struct {
+	DataType    string    `json:"CVE_data_type"`
+	DataFormat  string    `json:"CVE_data_format"`
+	DataVersion string    `json:"CVE_data_version"`
+	NumberCVEs  string    `json:"CVE_data_numberOfCVEs"`
+	Timestamp   string    `json:"CVE_data_timestamp"`
+	Items       []NVDItem `json:"CVE_Items"`
+}
+
+// NVDItem is one CVE entry in a feed.
+type NVDItem struct {
+	CVE            NVDCVE            `json:"cve"`
+	Configurations NVDConfigurations `json:"configurations"`
+	Impact         NVDImpact         `json:"impact"`
+	PublishedDate  string            `json:"publishedDate"`
+	LastModified   string            `json:"lastModifiedDate,omitempty"`
+}
+
+// NVDCVE carries the MITRE CVE record embedded in an item.
+type NVDCVE struct {
+	Meta        NVDMeta        `json:"CVE_data_meta"`
+	Description NVDDescription `json:"description"`
+}
+
+// NVDMeta identifies the CVE.
+type NVDMeta struct {
+	ID       string `json:"ID"`
+	Assigner string `json:"ASSIGNER,omitempty"`
+}
+
+// NVDDescription holds the language-tagged description texts.
+type NVDDescription struct {
+	Data []NVDLangString `json:"description_data"`
+}
+
+// NVDLangString is a language-tagged string.
+type NVDLangString struct {
+	Lang  string `json:"lang"`
+	Value string `json:"value"`
+}
+
+// NVDConfigurations lists the CPE applicability statements.
+type NVDConfigurations struct {
+	DataVersion string    `json:"CVE_data_version,omitempty"`
+	Nodes       []NVDNode `json:"nodes"`
+}
+
+// NVDNode is one (possibly nested) CPE match node.
+type NVDNode struct {
+	Operator string        `json:"operator,omitempty"`
+	Children []NVDNode     `json:"children,omitempty"`
+	Matches  []NVDCPEMatch `json:"cpe_match,omitempty"`
+}
+
+// NVDCPEMatch is one CPE 2.3 URI match entry.
+type NVDCPEMatch struct {
+	Vulnerable bool   `json:"vulnerable"`
+	CPE23URI   string `json:"cpe23Uri"`
+}
+
+// NVDImpact carries the CVSS metrics of an item.
+type NVDImpact struct {
+	BaseMetricV3 *NVDBaseMetricV3 `json:"baseMetricV3,omitempty"`
+}
+
+// NVDBaseMetricV3 wraps the CVSS v3 scoring data.
+type NVDBaseMetricV3 struct {
+	CVSSV3              NVDCVSSV3 `json:"cvssV3"`
+	ExploitabilityScore float64   `json:"exploitabilityScore,omitempty"`
+	ImpactScore         float64   `json:"impactScore,omitempty"`
+}
+
+// NVDCVSSV3 is the CVSS v3 block of an NVD item.
+type NVDCVSSV3 struct {
+	Version      string  `json:"version"`
+	VectorString string  `json:"vectorString"`
+	BaseScore    float64 `json:"baseScore"`
+	BaseSeverity string  `json:"baseSeverity"`
+}
+
+// nvdTimeLayouts are the timestamp formats observed in NVD feeds.
+var nvdTimeLayouts = []string{"2006-01-02T15:04Z", time.RFC3339, "2006-01-02"}
+
+func parseNVDTime(s string) (time.Time, error) {
+	for _, layout := range nvdTimeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("osint: unrecognized NVD timestamp %q", s)
+}
+
+// CPEProduct extracts the "vendor:product:version" triple from a CPE 2.3
+// URI such as "cpe:2.3:o:canonical:ubuntu_linux:16.04:*:*:*:*:*:*:*".
+func CPEProduct(cpe23URI string) (string, error) {
+	parts := strings.Split(cpe23URI, ":")
+	if len(parts) < 6 || parts[0] != "cpe" || parts[1] != "2.3" {
+		return "", fmt.Errorf("osint: %q is not a CPE 2.3 URI", cpe23URI)
+	}
+	return parts[3] + ":" + parts[4] + ":" + parts[5], nil
+}
+
+// FormatCPE23 builds a CPE 2.3 URI for an OS product triple.
+func FormatCPE23(product string) (string, error) {
+	parts := strings.Split(product, ":")
+	if len(parts) != 3 {
+		return "", fmt.Errorf("osint: product %q is not vendor:product:version", product)
+	}
+	return fmt.Sprintf("cpe:2.3:o:%s:%s:%s:*:*:*:*:*:*:*", parts[0], parts[1], parts[2]), nil
+}
+
+// ParseNVDFeed decodes an NVD JSON-1.1 feed and converts each item into a
+// consolidated Vulnerability record. Items without an English description,
+// without a publication date, or without any vulnerable CPE are skipped and
+// reported in the returned skip count (NVD feeds routinely contain
+// REJECTED entries of this shape).
+func ParseNVDFeed(r io.Reader) (vulns []*Vulnerability, skipped int, err error) {
+	var feed NVDFeed
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&feed); err != nil {
+		return nil, 0, fmt.Errorf("osint: decoding NVD feed: %w", err)
+	}
+	if feed.DataType != "CVE" {
+		return nil, 0, fmt.Errorf("osint: feed data type %q, want CVE", feed.DataType)
+	}
+	vulns = make([]*Vulnerability, 0, len(feed.Items))
+	for i := range feed.Items {
+		v, err := feed.Items[i].ToVulnerability()
+		if err != nil {
+			skipped++
+			continue
+		}
+		vulns = append(vulns, v)
+	}
+	return vulns, skipped, nil
+}
+
+// ToVulnerability converts a feed item into a consolidated record.
+func (it *NVDItem) ToVulnerability() (*Vulnerability, error) {
+	id := it.CVE.Meta.ID
+	if id == "" {
+		return nil, fmt.Errorf("osint: feed item without CVE id")
+	}
+	var desc string
+	for _, d := range it.CVE.Description.Data {
+		if d.Lang == "en" {
+			desc = d.Value
+			break
+		}
+	}
+	if desc == "" || strings.HasPrefix(desc, "** REJECT **") {
+		return nil, fmt.Errorf("osint: %s has no usable description", id)
+	}
+	pub, err := parseNVDTime(it.PublishedDate)
+	if err != nil {
+		return nil, fmt.Errorf("osint: %s: %w", id, err)
+	}
+	products := collectProducts(it.Configurations.Nodes, nil)
+	if len(products) == 0 {
+		return nil, fmt.Errorf("osint: %s lists no vulnerable products", id)
+	}
+	v := &Vulnerability{
+		ID:          id,
+		Description: desc,
+		Products:    products,
+		Published:   pub,
+	}
+	if it.Impact.BaseMetricV3 != nil {
+		v.CVSS = it.Impact.BaseMetricV3.CVSSV3.BaseScore
+		v.Vector = it.Impact.BaseMetricV3.CVSSV3.VectorString
+	}
+	return v, nil
+}
+
+func collectProducts(nodes []NVDNode, acc []string) []string {
+	for _, n := range nodes {
+		for _, m := range n.Matches {
+			if !m.Vulnerable {
+				continue
+			}
+			p, err := CPEProduct(m.CPE23URI)
+			if err != nil {
+				continue
+			}
+			if !containsStr(acc, p) {
+				acc = append(acc, p)
+			}
+		}
+		acc = collectProducts(n.Children, acc)
+	}
+	return acc
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildNVDFeed converts consolidated records back into NVD feed form; the
+// synthetic dataset generator uses it to emit fixture feeds that exercise
+// the same parsing path as real NVD data.
+func BuildNVDFeed(vulns []*Vulnerability, timestamp time.Time) (*NVDFeed, error) {
+	feed := &NVDFeed{
+		DataType:    "CVE",
+		DataFormat:  "MITRE",
+		DataVersion: "4.0",
+		NumberCVEs:  fmt.Sprintf("%d", len(vulns)),
+		Timestamp:   timestamp.Format("2006-01-02T15:04Z"),
+		Items:       make([]NVDItem, 0, len(vulns)),
+	}
+	for _, v := range vulns {
+		item, err := buildNVDItem(v)
+		if err != nil {
+			return nil, err
+		}
+		feed.Items = append(feed.Items, item)
+	}
+	return feed, nil
+}
+
+func buildNVDItem(v *Vulnerability) (NVDItem, error) {
+	matches := make([]NVDCPEMatch, 0, len(v.Products))
+	for _, p := range v.Products {
+		uri, err := FormatCPE23(p)
+		if err != nil {
+			return NVDItem{}, fmt.Errorf("osint: %s: %w", v.ID, err)
+		}
+		matches = append(matches, NVDCPEMatch{Vulnerable: true, CPE23URI: uri})
+	}
+	item := NVDItem{
+		CVE: NVDCVE{
+			Meta: NVDMeta{ID: v.ID, Assigner: "cve@mitre.org"},
+			Description: NVDDescription{Data: []NVDLangString{
+				{Lang: "en", Value: v.Description},
+			}},
+		},
+		Configurations: NVDConfigurations{
+			DataVersion: "4.0",
+			Nodes:       []NVDNode{{Operator: "OR", Matches: matches}},
+		},
+		PublishedDate: v.Published.Format("2006-01-02T15:04Z"),
+	}
+	if v.CVSS > 0 {
+		item.Impact.BaseMetricV3 = &NVDBaseMetricV3{CVSSV3: NVDCVSSV3{
+			Version:      "3.1",
+			VectorString: v.Vector,
+			BaseScore:    v.CVSS,
+			BaseSeverity: SeverityOf(v.CVSS).String(),
+		}}
+	}
+	return item, nil
+}
+
+// WriteNVDFeed serializes records as an NVD JSON-1.1 feed document.
+func WriteNVDFeed(w io.Writer, vulns []*Vulnerability, timestamp time.Time) error {
+	feed, err := BuildNVDFeed(vulns, timestamp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(feed); err != nil {
+		return fmt.Errorf("osint: encoding NVD feed: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package osint
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const miniFeed = `{
+  "CVE_data_type": "CVE",
+  "CVE_data_format": "MITRE",
+  "CVE_data_version": "4.0",
+  "CVE_data_numberOfCVEs": "3",
+  "CVE_data_timestamp": "2018-06-01T07:00Z",
+  "CVE_Items": [
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2018-8897", "ASSIGNER": "cve@mitre.org"},
+        "description": {"description_data": [
+          {"lang": "en", "value": "A statement in the System Programming Guide was mishandled: MOV SS debug exceptions allow local privilege escalation."}
+        ]}
+      },
+      "configurations": {"CVE_data_version": "4.0", "nodes": [
+        {"operator": "OR", "cpe_match": [
+          {"vulnerable": true, "cpe23Uri": "cpe:2.3:o:canonical:ubuntu_linux:16.04:*:*:*:*:*:*:*"},
+          {"vulnerable": true, "cpe23Uri": "cpe:2.3:o:debian:debian_linux:8.0:*:*:*:*:*:*:*"},
+          {"vulnerable": false, "cpe23Uri": "cpe:2.3:o:openbsd:openbsd:6.1:*:*:*:*:*:*:*"}
+        ]},
+        {"operator": "AND", "children": [
+          {"operator": "OR", "cpe_match": [
+            {"vulnerable": true, "cpe23Uri": "cpe:2.3:o:redhat:enterprise_linux:7.0:*:*:*:*:*:*:*"}
+          ]}
+        ]}
+      ]},
+      "impact": {"baseMetricV3": {"cvssV3": {
+        "version": "3.1",
+        "vectorString": "CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+        "baseScore": 7.8,
+        "baseSeverity": "HIGH"
+      }}},
+      "publishedDate": "2018-05-08T17:29Z",
+      "lastModifiedDate": "2018-06-01T01:29Z"
+    },
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2018-0001"},
+        "description": {"description_data": [
+          {"lang": "en", "value": "** REJECT ** DO NOT USE THIS CANDIDATE NUMBER."}
+        ]}
+      },
+      "configurations": {"nodes": []},
+      "impact": {},
+      "publishedDate": "2018-01-01T00:00Z"
+    },
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2018-0002"},
+        "description": {"description_data": [{"lang": "en", "value": "No products listed."}]}
+      },
+      "configurations": {"nodes": []},
+      "impact": {},
+      "publishedDate": "2018-01-02T00:00Z"
+    }
+  ]
+}`
+
+func TestParseNVDFeed(t *testing.T) {
+	vulns, skipped, err := ParseNVDFeed(strings.NewReader(miniFeed))
+	if err != nil {
+		t.Fatalf("ParseNVDFeed: %v", err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (rejected + productless)", skipped)
+	}
+	if len(vulns) != 1 {
+		t.Fatalf("parsed %d vulns, want 1", len(vulns))
+	}
+	v := vulns[0]
+	if v.ID != "CVE-2018-8897" {
+		t.Errorf("ID = %q", v.ID)
+	}
+	wantProducts := []string{
+		"canonical:ubuntu_linux:16.04",
+		"debian:debian_linux:8.0",
+		"redhat:enterprise_linux:7.0",
+	}
+	if len(v.Products) != len(wantProducts) {
+		t.Fatalf("products = %v, want %v", v.Products, wantProducts)
+	}
+	for i, p := range wantProducts {
+		if v.Products[i] != p {
+			t.Errorf("product[%d] = %q, want %q", i, v.Products[i], p)
+		}
+	}
+	if v.CVSS != 7.8 {
+		t.Errorf("CVSS = %v, want 7.8", v.CVSS)
+	}
+	if !v.Published.Equal(time.Date(2018, 5, 8, 17, 29, 0, 0, time.UTC)) {
+		t.Errorf("Published = %v", v.Published)
+	}
+	// Vector should agree with the declared base score.
+	m, err := ParseCVSSv3(v.Vector)
+	if err != nil {
+		t.Fatalf("vector parse: %v", err)
+	}
+	if s, _ := m.BaseScore(); s != v.CVSS {
+		t.Errorf("vector recomputes to %v, feed says %v", s, v.CVSS)
+	}
+}
+
+func TestParseNVDFeedErrors(t *testing.T) {
+	if _, _, err := ParseNVDFeed(strings.NewReader("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, _, err := ParseNVDFeed(strings.NewReader(`{"CVE_data_type":"OTHER","CVE_Items":[]}`)); err == nil {
+		t.Error("wrong data type accepted")
+	}
+}
+
+func TestCPEProduct(t *testing.T) {
+	p, err := CPEProduct("cpe:2.3:o:oracle:solaris:11.3:*:*:*:*:*:*:*")
+	if err != nil || p != "oracle:solaris:11.3" {
+		t.Errorf("CPEProduct = %q, %v", p, err)
+	}
+	if _, err := CPEProduct("cpe:/o:oracle:solaris"); err == nil {
+		t.Error("CPE 2.2 URI accepted as 2.3")
+	}
+}
+
+func TestFeedRoundTrip(t *testing.T) {
+	orig := []*Vulnerability{
+		{
+			ID:          "CVE-2017-0144",
+			Description: "SMBv1 server allows remote code execution via crafted packets (EternalBlue).",
+			Products:    []string{"microsoft:windows_10:-", "microsoft:windows_server_2012:r2"},
+			Published:   day(2017, 3, 16),
+			CVSS:        8.1,
+			Vector:      "CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+		},
+		{
+			ID:          "CVE-2016-7180",
+			Description: "Old vulnerability with a patch available.",
+			Products:    []string{"oracle:solaris:11.3"},
+			Published:   day(2016, 9, 8),
+			CVSS:        2.9,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteNVDFeed(&buf, orig, day(2018, 1, 1)); err != nil {
+		t.Fatalf("WriteNVDFeed: %v", err)
+	}
+	parsed, skipped, err := ParseNVDFeed(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if skipped != 0 || len(parsed) != 2 {
+		t.Fatalf("round trip lost records: %d parsed, %d skipped", len(parsed), skipped)
+	}
+	for i, v := range parsed {
+		if v.ID != orig[i].ID || v.Description != orig[i].Description ||
+			v.CVSS != orig[i].CVSS || !v.Published.Equal(orig[i].Published) {
+			t.Errorf("record %d mismatch after round trip: %+v vs %+v", i, v, orig[i])
+		}
+		if len(v.Products) != len(orig[i].Products) {
+			t.Errorf("record %d products %v vs %v", i, v.Products, orig[i].Products)
+		}
+	}
+}
+
+func TestBuildNVDFeedBadProduct(t *testing.T) {
+	_, err := BuildNVDFeed([]*Vulnerability{{
+		ID: "CVE-2018-1", Description: "x", Published: day(2018, 1, 1),
+		Products: []string{"not-a-triple"},
+	}}, day(2018, 1, 1))
+	if err == nil {
+		t.Error("BuildNVDFeed accepted malformed product")
+	}
+}
+
+// TestFeedRoundTripProperty: arbitrary valid records survive the
+// NVD-feed encode/parse cycle.
+func TestFeedRoundTripProperty(t *testing.T) {
+	products := []string{
+		"canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0",
+		"oracle:solaris:11.3", "microsoft:windows_10:-",
+	}
+	base := day(2015, 1, 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		orig := make([]*Vulnerability, 0, n)
+		for i := 0; i < n; i++ {
+			nP := 1 + r.Intn(len(products))
+			perm := r.Perm(len(products))[:nP]
+			ps := make([]string, nP)
+			for k, idx := range perm {
+				ps[k] = products[idx]
+			}
+			orig = append(orig, &Vulnerability{
+				ID:          fmt.Sprintf("CVE-2015-%d", 1000+i),
+				Description: fmt.Sprintf("weakness %d with detail %d", i, r.Intn(1000)),
+				Products:    ps,
+				Published:   base.AddDate(0, 0, r.Intn(1000)),
+				CVSS:        float64(r.Intn(101)) / 10,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteNVDFeed(&buf, orig, base); err != nil {
+			return false
+		}
+		parsed, skipped, err := ParseNVDFeed(&buf)
+		if err != nil || skipped != 0 || len(parsed) != len(orig) {
+			return false
+		}
+		for i := range parsed {
+			if parsed[i].ID != orig[i].ID ||
+				parsed[i].Description != orig[i].Description ||
+				len(parsed[i].Products) != len(orig[i].Products) ||
+				!parsed[i].Published.Equal(orig[i].Published) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Error(err)
+	}
+}

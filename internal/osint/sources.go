@@ -1,0 +1,198 @@
+package osint
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Enrichment is a fragment of vulnerability intelligence obtained from an
+// auxiliary OSINT source (paper §5.1 lists ExploitDB, CVE-details, and the
+// Ubuntu/Debian/Redhat/Solaris/FreeBSD/Microsoft advisory sites). The data
+// manager merges enrichments into the NVD baseline records.
+type Enrichment struct {
+	// CVE is the vulnerability the fragment refers to.
+	CVE string
+	// ExploitAt is a public-exploit observation date (zero if none).
+	ExploitAt time.Time
+	// PatchedAt is a vendor patch availability date (zero if none).
+	PatchedAt time.Time
+	// ExtraProducts lists additional affected products the vendor
+	// disclosed that NVD's CPE list is missing (cf. the paper's
+	// CVE-2016-4428 Solaris example).
+	ExtraProducts []string
+}
+
+// SourceParser converts one auxiliary source document into enrichments.
+// Each OSINT site has its own format, so each gets its own parser (the
+// paper: "we had to develop specialized HTML parsers for them").
+type SourceParser interface {
+	// Name identifies the source (e.g. "exploitdb", "ubuntu").
+	Name() string
+	// Parse extracts enrichments from the source document.
+	Parse(r io.Reader) ([]Enrichment, error)
+}
+
+// ---------------------------------------------------------------------------
+// ExploitDB
+
+// ExploitDBParser parses the ExploitDB files_exploits.csv index. Expected
+// header: id,file,description,date,author,type,platform,cve.
+type ExploitDBParser struct{}
+
+// Name implements SourceParser.
+func (ExploitDBParser) Name() string { return "exploitdb" }
+
+// Parse implements SourceParser.
+func (ExploitDBParser) Parse(r io.Reader) ([]Enrichment, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("osint: reading exploitdb header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.ToLower(strings.TrimSpace(h))] = i
+	}
+	for _, required := range []string{"date", "cve"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("osint: exploitdb index missing %q column", required)
+		}
+	}
+	var out []Enrichment
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("osint: reading exploitdb row: %w", err)
+		}
+		cve := strings.TrimSpace(rec[col["cve"]])
+		if !strings.HasPrefix(cve, "CVE-") {
+			continue // exploits with no CVE mapping
+		}
+		date, err := time.Parse("2006-01-02", strings.TrimSpace(rec[col["date"]]))
+		if err != nil {
+			continue // malformed rows are skipped, not fatal
+		}
+		out = append(out, Enrichment{CVE: cve, ExploitAt: date})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Vendor security advisories
+
+// VendorAdvisoryParser extracts patch dates and affected products from a
+// vendor security-advisory HTML page. The pages of the eight supported
+// vendors share a row structure once boiler-plate is stripped:
+//
+//	<tr><td>CVE-2018-8897</td><td>2018-05-09</td><td>canonical:ubuntu_linux:16.04, ...</td></tr>
+//
+// which this parser matches leniently (attributes and surrounding markup
+// are ignored, matching how the prototype's specialized parsers scrape the
+// real pages).
+type VendorAdvisoryParser struct {
+	// Vendor is the source name, e.g. "ubuntu", "debian", "redhat",
+	// "solaris", "freebsd", "microsoft".
+	Vendor string
+}
+
+// Name implements SourceParser.
+func (p VendorAdvisoryParser) Name() string { return p.Vendor }
+
+var advisoryRowRE = regexp.MustCompile(
+	`(?i)<tr[^>]*>\s*<td[^>]*>\s*(CVE-\d{4}-\d+)\s*</td>\s*<td[^>]*>\s*(\d{4}-\d{2}-\d{2})?\s*</td>\s*<td[^>]*>([^<]*)</td>`)
+
+// Parse implements SourceParser.
+func (p VendorAdvisoryParser) Parse(r io.Reader) ([]Enrichment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Enrichment
+	for sc.Scan() {
+		m := advisoryRowRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := Enrichment{CVE: m[1]}
+		if m[2] != "" {
+			t, err := time.Parse("2006-01-02", m[2])
+			if err != nil {
+				return nil, fmt.Errorf("osint: %s advisory for %s: bad date %q", p.Vendor, m[1], m[2])
+			}
+			e.PatchedAt = t
+		}
+		for _, prod := range strings.Split(m[3], ",") {
+			prod = strings.TrimSpace(prod)
+			if prod != "" {
+				e.ExtraProducts = append(e.ExtraProducts, prod)
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("osint: scanning %s advisory page: %w", p.Vendor, err)
+	}
+	return out, nil
+}
+
+// WriteAdvisoryPage renders enrichments as a vendor advisory HTML page in
+// the format VendorAdvisoryParser accepts; the feed generator uses it to
+// produce fixtures.
+func WriteAdvisoryPage(w io.Writer, vendor string, rows []Enrichment) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "<html><head><title>%s security advisories</title></head><body>\n", vendor)
+	fmt.Fprintln(bw, "<table class=\"advisories\">")
+	fmt.Fprintln(bw, "<tr><th>CVE</th><th>Patched</th><th>Affected</th></tr>")
+	for _, e := range rows {
+		patched := ""
+		if !e.PatchedAt.IsZero() {
+			patched = e.PatchedAt.Format("2006-01-02")
+		}
+		fmt.Fprintf(bw, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			e.CVE, patched, strings.Join(e.ExtraProducts, ", "))
+	}
+	fmt.Fprintln(bw, "</table></body></html>")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("osint: writing %s advisory page: %w", vendor, err)
+	}
+	return nil
+}
+
+// WriteExploitDBIndex renders enrichments as an ExploitDB CSV index in the
+// format ExploitDBParser accepts.
+func WriteExploitDBIndex(w io.Writer, rows []Enrichment) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "file", "description", "date", "author", "type", "platform", "cve"}); err != nil {
+		return fmt.Errorf("osint: writing exploitdb header: %w", err)
+	}
+	for i, e := range rows {
+		if e.ExploitAt.IsZero() {
+			continue
+		}
+		rec := []string{
+			fmt.Sprintf("%d", 40000+i),
+			fmt.Sprintf("exploits/multiple/remote/%d.py", 40000+i),
+			fmt.Sprintf("Exploit for %s", e.CVE),
+			e.ExploitAt.Format("2006-01-02"),
+			"anon",
+			"remote",
+			"multiple",
+			e.CVE,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("osint: writing exploitdb row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("osint: flushing exploitdb index: %w", err)
+	}
+	return nil
+}

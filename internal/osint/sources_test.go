@@ -1,0 +1,174 @@
+package osint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExploitDBParser(t *testing.T) {
+	csvData := `id,file,description,date,author,type,platform,cve
+44697,exploits/windows/remote/44697.py,"SMB exploit, remote",2018-05-21,anon,remote,windows,CVE-2017-0144
+44698,exploits/linux/local/44698.c,local root,2018-05-23,anon,local,linux,
+44699,exploits/linux/local/44699.c,mov ss,bad-date,anon,local,linux,CVE-2018-8897
+44700,exploits/multiple/remote/44700.py,dhcp,2018-05-30,anon,remote,linux,CVE-2018-1111
+`
+	enr, err := ExploitDBParser{}.Parse(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(enr) != 2 {
+		t.Fatalf("parsed %d enrichments, want 2 (no-CVE and bad-date rows skipped)", len(enr))
+	}
+	if enr[0].CVE != "CVE-2017-0144" || !enr[0].ExploitAt.Equal(day(2018, 5, 21)) {
+		t.Errorf("first enrichment = %+v", enr[0])
+	}
+	if enr[1].CVE != "CVE-2018-1111" {
+		t.Errorf("second enrichment = %+v", enr[1])
+	}
+}
+
+func TestExploitDBParserErrors(t *testing.T) {
+	if _, err := (ExploitDBParser{}).Parse(strings.NewReader("")); err == nil {
+		t.Error("empty index accepted")
+	}
+	if _, err := (ExploitDBParser{}).Parse(strings.NewReader("id,file\n1,x\n")); err == nil {
+		t.Error("index without cve column accepted")
+	}
+}
+
+func TestVendorAdvisoryParser(t *testing.T) {
+	page := `<html><body>
+<h1>Ubuntu Security Notices</h1>
+<table>
+<tr><th>CVE</th><th>Patched</th><th>Affected</th></tr>
+<tr><td>CVE-2018-8897</td><td>2018-05-09</td><td>canonical:ubuntu_linux:16.04, canonical:ubuntu_linux:17.04</td></tr>
+<tr class="odd"><td>CVE-2018-1125</td><td></td><td>canonical:ubuntu_linux:16.04</td></tr>
+<tr><td>not-a-cve</td><td>2018-01-01</td><td>x</td></tr>
+</table></body></html>`
+	enr, err := (VendorAdvisoryParser{Vendor: "ubuntu"}).Parse(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(enr) != 2 {
+		t.Fatalf("parsed %d rows, want 2", len(enr))
+	}
+	if enr[0].CVE != "CVE-2018-8897" || !enr[0].PatchedAt.Equal(day(2018, 5, 9)) {
+		t.Errorf("row 0 = %+v", enr[0])
+	}
+	if len(enr[0].ExtraProducts) != 2 || enr[0].ExtraProducts[1] != "canonical:ubuntu_linux:17.04" {
+		t.Errorf("row 0 products = %v", enr[0].ExtraProducts)
+	}
+	if !enr[1].PatchedAt.IsZero() {
+		t.Errorf("row 1 should have no patch date, got %v", enr[1].PatchedAt)
+	}
+}
+
+func TestAdvisoryRoundTrip(t *testing.T) {
+	rows := []Enrichment{
+		{CVE: "CVE-2018-1111", PatchedAt: day(2018, 5, 17), ExtraProducts: []string{"fedoraproject:fedora:26", "redhat:enterprise_linux:7.0"}},
+		{CVE: "CVE-2018-8012", ExtraProducts: []string{"debian:debian_linux:8.0"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteAdvisoryPage(&buf, "redhat", rows); err != nil {
+		t.Fatalf("WriteAdvisoryPage: %v", err)
+	}
+	parsed, err := (VendorAdvisoryParser{Vendor: "redhat"}).Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("round trip lost rows: %d", len(parsed))
+	}
+	if parsed[0].CVE != rows[0].CVE || !parsed[0].PatchedAt.Equal(rows[0].PatchedAt) {
+		t.Errorf("row 0 mismatch: %+v", parsed[0])
+	}
+	if len(parsed[0].ExtraProducts) != 2 {
+		t.Errorf("row 0 products = %v", parsed[0].ExtraProducts)
+	}
+}
+
+func TestExploitDBRoundTrip(t *testing.T) {
+	rows := []Enrichment{
+		{CVE: "CVE-2018-8303", ExploitAt: day(2018, 9, 24)},
+		{CVE: "CVE-2018-0000", ExploitAt: day(2018, 1, 1)},
+		{CVE: "CVE-2018-9999"}, // zero exploit date: not emitted
+	}
+	var buf bytes.Buffer
+	if err := WriteExploitDBIndex(&buf, rows); err != nil {
+		t.Fatalf("WriteExploitDBIndex: %v", err)
+	}
+	parsed, err := (ExploitDBParser{}).Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("round trip rows = %d, want 2", len(parsed))
+	}
+	if parsed[0].CVE != "CVE-2018-8303" || !parsed[0].ExploitAt.Equal(day(2018, 9, 24)) {
+		t.Errorf("row 0 = %+v", parsed[0])
+	}
+}
+
+func TestCVEDetailsParser(t *testing.T) {
+	page := `<html><body><h1>Security Vulnerabilities</h1>
+<div class="cve"><h3>CVE-2018-8897</h3>
+  <span class="cvss">7.8</span>
+  <span class="exploit-date">2018-05-13</span>
+  <p class="summary">MOV SS mishandling.</p>
+</div>
+<div class="cve"><h3>CVE-2018-1125</h3>
+  <span class="cvss">7.5</span>
+  <p class="summary">procps-ng stack overflow.</p>
+</div>
+</body></html>`
+	enr, err := (CVEDetailsParser{}).Parse(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(enr) != 2 {
+		t.Fatalf("parsed %d rows, want 2", len(enr))
+	}
+	if enr[0].CVE != "CVE-2018-8897" || !enr[0].ExploitAt.Equal(day(2018, 5, 13)) {
+		t.Errorf("row 0 = %+v", enr[0])
+	}
+	if enr[1].CVE != "CVE-2018-1125" || !enr[1].ExploitAt.IsZero() {
+		t.Errorf("row 1 = %+v", enr[1])
+	}
+}
+
+func TestCVEDetailsParserErrors(t *testing.T) {
+	bad := `<div class="cve"><h3>CVE-2018-1</h3><span class="exploit-date">not-a-date</span></div>`
+	if enr, err := (CVEDetailsParser{}).Parse(strings.NewReader(bad)); err != nil || len(enr) != 1 {
+		// Unmatched date formats are simply not captured by the row regex.
+		t.Logf("lenient parse: %v rows, err=%v", len(enr), err)
+	}
+	badDate := `<h3>CVE-2018-1</h3>
+<span class="exploit-date">2018-13-99</span>`
+	if _, err := (CVEDetailsParser{}).Parse(strings.NewReader(badDate)); err == nil {
+		t.Error("impossible date accepted")
+	}
+	badCVSS := `<h3>CVE-2018-1</h3>
+<span class="cvss">55.1</span>`
+	if _, err := (CVEDetailsParser{}).Parse(strings.NewReader(badCVSS)); err == nil {
+		t.Error("out-of-range cvss accepted")
+	}
+}
+
+func TestCVEDetailsRoundTrip(t *testing.T) {
+	rows := []Enrichment{
+		{CVE: "CVE-2017-0144", ExploitAt: day(2017, 5, 12)},
+		{CVE: "CVE-2017-0199"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCVEDetailsPage(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := (CVEDetailsParser{}).Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || parsed[0].CVE != rows[0].CVE || !parsed[0].ExploitAt.Equal(rows[0].ExploitAt) {
+		t.Errorf("round trip = %+v", parsed)
+	}
+}

@@ -1,0 +1,253 @@
+// Package osint implements the vulnerability-intelligence data layer of
+// Lazarus: the CVE/CPE/CVSS data model, a CVSS v3.1 vector parser and base
+// score calculator, parsers for the NVD JSON-1.1 feed format and for
+// auxiliary sources (ExploitDB, vendor security advisories), and a
+// concurrent crawler that assembles per-vulnerability records from several
+// sources (paper §5.1, "Data manager").
+package osint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Severity is the CVSS v3 qualitative severity rating (paper §4.2).
+type Severity int
+
+// Qualitative severity ratings, as defined by the CVSS v3 specification.
+const (
+	SeverityNone Severity = iota + 1
+	SeverityLow
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+// String returns the rating name as used by NVD.
+func (s Severity) String() string {
+	switch s {
+	case SeverityNone:
+		return "NONE"
+	case SeverityLow:
+		return "LOW"
+	case SeverityMedium:
+		return "MEDIUM"
+	case SeverityHigh:
+		return "HIGH"
+	case SeverityCritical:
+		return "CRITICAL"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// SeverityOf maps a CVSS v3 base score to its qualitative rating.
+func SeverityOf(score float64) Severity {
+	switch {
+	case score <= 0:
+		return SeverityNone
+	case score < 4.0:
+		return SeverityLow
+	case score < 7.0:
+		return SeverityMedium
+	case score < 9.0:
+		return SeverityHigh
+	default:
+		return SeverityCritical
+	}
+}
+
+// ScoreHigh is the lower bound of the HIGH severity band; Algorithm 1 uses
+// it as the initial maxScore when looking for a replica to rotate out.
+const ScoreHigh = 7.0
+
+// Vulnerability is one consolidated vulnerability record, assembled from
+// NVD plus auxiliary OSINT sources. It is the unit the Lazarus risk engine
+// works with.
+type Vulnerability struct {
+	// ID is the CVE identifier, e.g. "CVE-2018-8897".
+	ID string `json:"id"`
+	// Description is the CVE free-text description; the clustering engine
+	// groups vulnerabilities by the similarity of this text.
+	Description string `json:"description"`
+	// Products lists the affected platforms as CPE product strings
+	// (vendor:product:version), as reported by NVD's CPE configuration
+	// plus any additional platforms learned from vendor advisories.
+	Products []string `json:"products"`
+	// Published is the NVD publication date.
+	Published time.Time `json:"published"`
+	// CVSS is the CVSS v3 base score (0.0–10.0).
+	CVSS float64 `json:"cvss"`
+	// Vector is the CVSS v3.1 vector string when known.
+	Vector string `json:"vector,omitempty"`
+	// PatchedAt is the earliest date a patch was available, zero if none
+	// is known. Sources: vendor advisories.
+	PatchedAt time.Time `json:"patched_at,omitempty"`
+	// ExploitAt is the earliest date a public exploit was observed, zero
+	// if none is known. Source: ExploitDB.
+	ExploitAt time.Time `json:"exploit_at,omitempty"`
+	// ProductPatches optionally records per-product patch availability
+	// (vendors ship fixes at different times). When a product has no
+	// entry, PatchedAt is its patch date.
+	ProductPatches map[string]time.Time `json:"product_patches,omitempty"`
+}
+
+// PatchedBy reports whether a patch for the vulnerability was available at
+// time t.
+func (v *Vulnerability) PatchedBy(t time.Time) bool {
+	return !v.PatchedAt.IsZero() && !v.PatchedAt.After(t)
+}
+
+// ExploitedBy reports whether a public exploit existed at time t.
+func (v *Vulnerability) ExploitedBy(t time.Time) bool {
+	return !v.ExploitAt.IsZero() && !v.ExploitAt.After(t)
+}
+
+// ProductPatchedBy reports whether the given product had a patch for the
+// vulnerability at time t, using the per-product date when recorded and
+// the global PatchedAt otherwise.
+func (v *Vulnerability) ProductPatchedBy(product string, t time.Time) bool {
+	if pd, ok := v.ProductPatches[product]; ok {
+		return !pd.IsZero() && !pd.After(t)
+	}
+	return v.PatchedBy(t)
+}
+
+// Affects reports whether the vulnerability lists the given CPE product.
+func (v *Vulnerability) Affects(cpeProduct string) bool {
+	for _, p := range v.Products {
+		if p == cpeProduct {
+			return true
+		}
+	}
+	return false
+}
+
+// AddProduct records an additional affected product (typically learned from
+// a vendor advisory; cf. the paper's CVE-2016-4428/Solaris example). It is
+// a no-op if the product is already listed.
+func (v *Vulnerability) AddProduct(cpeProduct string) {
+	if !v.Affects(cpeProduct) {
+		v.Products = append(v.Products, cpeProduct)
+	}
+}
+
+// Merge folds data from another record for the same CVE into v: union of
+// products, earliest patch and exploit dates, and any missing fields. It
+// returns an error if the identifiers differ.
+func (v *Vulnerability) Merge(other *Vulnerability) error {
+	if v.ID != other.ID {
+		return fmt.Errorf("osint: cannot merge %s into %s", other.ID, v.ID)
+	}
+	for _, p := range other.Products {
+		v.AddProduct(p)
+	}
+	if v.Description == "" {
+		v.Description = other.Description
+	}
+	if v.Published.IsZero() {
+		v.Published = other.Published
+	}
+	if v.CVSS == 0 {
+		v.CVSS = other.CVSS
+	}
+	if v.Vector == "" {
+		v.Vector = other.Vector
+	}
+	v.PatchedAt = earliest(v.PatchedAt, other.PatchedAt)
+	v.ExploitAt = earliest(v.ExploitAt, other.ExploitAt)
+	if len(other.ProductPatches) > 0 && v.ProductPatches == nil {
+		v.ProductPatches = make(map[string]time.Time, len(other.ProductPatches))
+	}
+	for p, t := range other.ProductPatches {
+		if cur, ok := v.ProductPatches[p]; ok {
+			v.ProductPatches[p] = earliest(cur, t)
+		} else {
+			v.ProductPatches[p] = t
+		}
+	}
+	return nil
+}
+
+// earliest returns the earlier of two times, treating zero as "unknown".
+func earliest(a, b time.Time) time.Time {
+	switch {
+	case a.IsZero():
+		return b
+	case b.IsZero():
+		return a
+	case b.Before(a):
+		return b
+	default:
+		return a
+	}
+}
+
+// Validate checks that the record carries the fields the risk engine needs.
+func (v *Vulnerability) Validate() error {
+	switch {
+	case !strings.HasPrefix(v.ID, "CVE-"):
+		return fmt.Errorf("osint: %q is not a CVE identifier", v.ID)
+	case v.Published.IsZero():
+		return fmt.Errorf("osint: %s has no publication date", v.ID)
+	case v.CVSS < 0 || v.CVSS > 10:
+		return fmt.Errorf("osint: %s has CVSS %.2f outside [0,10]", v.ID, v.CVSS)
+	case len(v.Products) == 0:
+		return fmt.Errorf("osint: %s lists no affected products", v.ID)
+	}
+	if !v.PatchedAt.IsZero() && v.PatchedAt.Before(v.Published) {
+		return fmt.Errorf("osint: %s patched (%s) before published (%s)",
+			v.ID, v.PatchedAt.Format(time.DateOnly), v.Published.Format(time.DateOnly))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the record.
+func (v *Vulnerability) Clone() *Vulnerability {
+	out := *v
+	out.Products = append([]string(nil), v.Products...)
+	if v.ProductPatches != nil {
+		out.ProductPatches = make(map[string]time.Time, len(v.ProductPatches))
+		for p, t := range v.ProductPatches {
+			out.ProductPatches[p] = t
+		}
+	}
+	return &out
+}
+
+// SortByID orders a slice of vulnerabilities by CVE identifier, using the
+// numeric year/sequence ordering rather than plain string order (so that
+// CVE-2018-999 < CVE-2018-1000 is not reported).
+func SortByID(vs []*Vulnerability) {
+	sort.Slice(vs, func(i, j int) bool { return lessCVE(vs[i].ID, vs[j].ID) })
+}
+
+// lessCVE compares two CVE ids numerically by year then sequence number.
+func lessCVE(a, b string) bool {
+	ay, as := splitCVE(a)
+	by, bs := splitCVE(b)
+	if ay != by {
+		return ay < by
+	}
+	if as != bs {
+		return as < bs
+	}
+	return a < b
+}
+
+func splitCVE(id string) (year, seq int) {
+	rest, ok := strings.CutPrefix(id, "CVE-")
+	if !ok {
+		return 0, 0
+	}
+	dash := strings.IndexByte(rest, '-')
+	if dash < 0 {
+		return 0, 0
+	}
+	year, _ = strconv.Atoi(rest[:dash])
+	seq, _ = strconv.Atoi(rest[dash+1:])
+	return year, seq
+}

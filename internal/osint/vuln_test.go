@@ -1,0 +1,198 @@
+package osint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func sample() *Vulnerability {
+	return &Vulnerability{
+		ID:          "CVE-2018-8897",
+		Description: "The MOV SS instruction mishandling allows local privilege escalation.",
+		Products:    []string{"canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0"},
+		Published:   day(2018, 5, 8),
+		CVSS:        7.8,
+		PatchedAt:   day(2018, 5, 9),
+	}
+}
+
+func TestSeverityOf(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  Severity
+	}{
+		{0, SeverityNone}, {0.1, SeverityLow}, {3.9, SeverityLow},
+		{4.0, SeverityMedium}, {6.9, SeverityMedium},
+		{7.0, SeverityHigh}, {8.9, SeverityHigh},
+		{9.0, SeverityCritical}, {10, SeverityCritical},
+	}
+	for _, c := range cases {
+		if got := SeverityOf(c.score); got != c.want {
+			t.Errorf("SeverityOf(%v) = %v, want %v", c.score, got, c.want)
+		}
+	}
+}
+
+func TestPatchedExploitedBy(t *testing.T) {
+	v := sample()
+	if v.PatchedBy(day(2018, 5, 8)) {
+		t.Error("patched before patch date")
+	}
+	if !v.PatchedBy(day(2018, 5, 9)) {
+		t.Error("not patched on patch date")
+	}
+	if v.ExploitedBy(day(2020, 1, 1)) {
+		t.Error("exploited with zero exploit date")
+	}
+	v.ExploitAt = day(2018, 5, 11)
+	if !v.ExploitedBy(day(2018, 5, 11)) || v.ExploitedBy(day(2018, 5, 10)) {
+		t.Error("ExploitedBy boundary wrong")
+	}
+}
+
+func TestAffectsAndAddProduct(t *testing.T) {
+	v := sample()
+	if !v.Affects("debian:debian_linux:8.0") {
+		t.Error("Affects missed listed product")
+	}
+	if v.Affects("oracle:solaris:11.3") {
+		t.Error("Affects matched unlisted product")
+	}
+	v.AddProduct("oracle:solaris:11.3")
+	v.AddProduct("oracle:solaris:11.3") // idempotent
+	if got := len(v.Products); got != 3 {
+		t.Errorf("after AddProduct twice, %d products, want 3", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	v := sample()
+	v.PatchedAt = time.Time{}
+	other := &Vulnerability{
+		ID:        v.ID,
+		Products:  []string{"oracle:solaris:11.3"},
+		PatchedAt: day(2018, 5, 10),
+		ExploitAt: day(2018, 5, 12),
+	}
+	if err := v.Merge(other); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if !v.Affects("oracle:solaris:11.3") {
+		t.Error("Merge did not union products")
+	}
+	if !v.PatchedAt.Equal(day(2018, 5, 10)) || !v.ExploitAt.Equal(day(2018, 5, 12)) {
+		t.Errorf("Merge dates wrong: %v %v", v.PatchedAt, v.ExploitAt)
+	}
+	// Earliest date wins.
+	if err := v.Merge(&Vulnerability{ID: v.ID, PatchedAt: day(2018, 5, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.PatchedAt.Equal(day(2018, 5, 9)) {
+		t.Errorf("Merge should keep earliest patch date, got %v", v.PatchedAt)
+	}
+	if err := v.Merge(&Vulnerability{ID: "CVE-2000-1"}); err == nil {
+		t.Error("Merge of mismatched ids succeeded")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	bad := []*Vulnerability{
+		{ID: "GHSA-xxxx", Published: day(2018, 1, 1), CVSS: 5, Products: []string{"a:b:c"}},
+		{ID: "CVE-2018-1", CVSS: 5, Products: []string{"a:b:c"}},
+		{ID: "CVE-2018-1", Published: day(2018, 1, 1), CVSS: 11, Products: []string{"a:b:c"}},
+		{ID: "CVE-2018-1", Published: day(2018, 1, 1), CVSS: 5},
+		{ID: "CVE-2018-1", Published: day(2018, 1, 1), CVSS: 5, Products: []string{"a:b:c"}, PatchedAt: day(2017, 1, 1)},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := sample()
+	c := v.Clone()
+	c.Products[0] = "mutated"
+	c.AddProduct("x:y:z")
+	if v.Products[0] == "mutated" || len(v.Products) != 2 {
+		t.Error("Clone shares product slice with original")
+	}
+}
+
+func TestSortByIDNumeric(t *testing.T) {
+	vs := []*Vulnerability{
+		{ID: "CVE-2018-1000"}, {ID: "CVE-2018-999"}, {ID: "CVE-2014-3"}, {ID: "CVE-2018-999"},
+	}
+	SortByID(vs)
+	want := []string{"CVE-2014-3", "CVE-2018-999", "CVE-2018-999", "CVE-2018-1000"}
+	for i, w := range want {
+		if vs[i].ID != w {
+			t.Fatalf("SortByID order %v, want %v at %d", vs[i].ID, w, i)
+		}
+	}
+}
+
+func TestEarliestProperty(t *testing.T) {
+	base := day(2015, 1, 1)
+	f := func(aOff, bOff uint16, aZero, bZero bool) bool {
+		var a, b time.Time
+		if !aZero {
+			a = base.AddDate(0, 0, int(aOff%3650))
+		}
+		if !bZero {
+			b = base.AddDate(0, 0, int(bOff%3650))
+		}
+		got := earliest(a, b)
+		switch {
+		case aZero && bZero:
+			return got.IsZero()
+		case aZero:
+			return got.Equal(b)
+		case bZero:
+			return got.Equal(a)
+		default:
+			return !got.After(a) && !got.After(b) && (got.Equal(a) || got.Equal(b))
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeCommutesOnDates(t *testing.T) {
+	// Property: merging A into B and B into A yields the same patch and
+	// exploit dates and the same product set.
+	f := func(pa, pb uint16, aHasPatch, bHasPatch bool) bool {
+		a := sample()
+		b := sample()
+		a.PatchedAt, b.PatchedAt = time.Time{}, time.Time{}
+		if aHasPatch {
+			a.PatchedAt = day(2018, 5, 8).AddDate(0, 0, int(pa%100))
+		}
+		if bHasPatch {
+			b.PatchedAt = day(2018, 5, 8).AddDate(0, 0, int(pb%100))
+		}
+		a2, b2 := a.Clone(), b.Clone()
+		if err := a.Merge(b2); err != nil {
+			return false
+		}
+		if err := b.Merge(a2); err != nil {
+			return false
+		}
+		return a.PatchedAt.Equal(b.PatchedAt) && reflect.DeepEqual(a.Products, b.Products)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

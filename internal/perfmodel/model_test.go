@@ -1,0 +1,307 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"lazarus/internal/catalog"
+)
+
+func bm4() []catalog.OS {
+	return []catalog.OS{catalog.BareMetal, catalog.BareMetal, catalog.BareMetal, catalog.BareMetal}
+}
+
+func TestBareMetalCalibration(t *testing.T) {
+	cm := DefaultCostModel()
+	r00, err := Throughput(bm4(), Microbench00, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Figure 7: bare metal ≈ 55-60k ops/s at 0/0.
+	if r00.Throughput < 50e3 || r00.Throughput > 65e3 {
+		t.Errorf("BM 0/0 = %.0f ops/s, want ≈58k", r00.Throughput)
+	}
+	r1k, err := Throughput(bm4(), Microbench1024, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: BM ≈ 14k at 1024/1024.
+	if r1k.Throughput < 11e3 || r1k.Throughput > 17e3 {
+		t.Errorf("BM 1024/1024 = %.0f ops/s, want ≈14k", r1k.Throughput)
+	}
+	if r1k.Throughput >= r00.Throughput {
+		t.Error("larger payload did not reduce throughput")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	cm := DefaultCostModel()
+	rate := func(id string, w Workload) float64 {
+		os, err := catalog.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := HomogeneousThroughput(os, w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Throughput
+	}
+	bm := rate("BM", Microbench00)
+
+	// Group 1 (well-supported 4-core Linux guests): ≈2/3 of bare metal.
+	for _, id := range []string{"UB16", "UB17", "FE24", "OS42"} {
+		frac := rate(id, Microbench00) / bm
+		if frac < 0.5 || frac > 0.85 {
+			t.Errorf("%s 0/0 at %.0f%% of BM, want ≈66%%", id, frac*100)
+		}
+	}
+	// Group 2 (Debian/Windows/FreeBSD): much worse at 0/0...
+	for _, id := range []string{"DE8", "W10", "FB11"} {
+		frac := rate(id, Microbench00) / bm
+		if frac > 0.55 {
+			t.Errorf("%s 0/0 at %.0f%% of BM, want well below the first group", id, frac*100)
+		}
+	}
+	// ...but close to group 1 at 1024/1024 (paper §7.1).
+	bm1k := rate("BM", Microbench1024)
+	for _, id := range []string{"DE8", "FB11"} {
+		frac := rate(id, Microbench1024) / bm1k
+		if frac < 0.45 {
+			t.Errorf("%s 1024/1024 at %.0f%% of BM; should recover on the IO-bound load", id, frac*100)
+		}
+	}
+	// Group 3 (single-core guests): no more than ~3000 ops/s either way.
+	for _, id := range []string{"SO10", "SO11", "OB60", "OB61"} {
+		if r := rate(id, Microbench00); r > 4200 {
+			t.Errorf("%s 0/0 = %.0f ops/s, paper caps single-core guests ≈3k", id, r)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	cm := DefaultCostModel()
+	run := func(ids []string, w Workload) float64 {
+		cfg, err := ConfigByIDs(ids...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Throughput(cfg, w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Throughput
+	}
+	bm00 := run([]string{"BM", "BM", "BM", "BM"}, Microbench00)
+	fast := run(FastestSet, Microbench00)
+	mixed := run(MixedSet, Microbench00)
+	slow := run(SlowestSet, Microbench00)
+
+	// Paper: fastest ≈ 39k (65% BM), slowest ≈ 6k (10% BM), mixed close
+	// to slowest (quorum includes a single-core Solaris).
+	if frac := fast / bm00; frac < 0.5 || frac > 0.8 {
+		t.Errorf("fastest set at %.0f%% of BM, want ≈65%%", frac*100)
+	}
+	if frac := slow / bm00; frac > 0.2 {
+		t.Errorf("slowest set at %.0f%% of BM, want ≈10%%", frac*100)
+	}
+	if !(fast > mixed && mixed >= slow) {
+		t.Errorf("ordering violated: fast=%.0f mixed=%.0f slow=%.0f", fast, mixed, slow)
+	}
+	if mixed > 2.5*slow {
+		t.Errorf("mixed set (%.0f) should sit close to slowest (%.0f): its quorum contains a single-core guest", mixed, slow)
+	}
+}
+
+func TestQuorumBottleneckIsThirdFastest(t *testing.T) {
+	cm := DefaultCostModel()
+	cfg, err := ConfigByIDs("UB17", "UB16", "SO10", "OB61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Throughput(cfg, Microbench00, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bottleneck != "quorum" {
+		t.Errorf("bottleneck = %s, want quorum (single-core guest in quorum)", r.Bottleneck)
+	}
+	// Replacing the slow third replica lifts throughput.
+	cfg2, _ := ConfigByIDs("UB17", "UB16", "FE24", "OB61")
+	r2, err := Throughput(cfg2, Microbench00, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Throughput <= r.Throughput {
+		t.Errorf("faster quorum did not raise throughput: %.0f vs %.0f", r2.Throughput, r.Throughput)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	cm := DefaultCostModel()
+	for _, tc := range []struct {
+		w                Workload
+		minFast, maxSlow float64 // fractions of BM
+		slowFloor        float64
+	}{
+		{KVS4k, 0.70, 0.40, 0.08},    // paper: 86% fast, 18% slow
+		{SieveQ1k, 0.85, 0.80, 0.30}, // paper: 94% fast, 53% slow
+		{Fabric1k, 0.75, 0.60, 0.25}, // paper: 91% fast, 39% slow
+	} {
+		bmCfg := bm4()
+		bm, err := Throughput(bmCfg, tc.w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastCfg, _ := ConfigByIDs(FastestSet...)
+		fast, err := Throughput(fastCfg, tc.w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowCfg, _ := ConfigByIDs(SlowestSet...)
+		slow, err := Throughput(slowCfg, tc.w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracFast := fast.Throughput / bm.Throughput
+		fracSlow := slow.Throughput / bm.Throughput
+		if fracFast < tc.minFast {
+			t.Errorf("%s: fastest set at %.0f%% of BM, want >= %.0f%%", tc.w.Name, fracFast*100, tc.minFast*100)
+		}
+		if fracSlow > tc.maxSlow {
+			t.Errorf("%s: slowest set at %.0f%% of BM, want <= %.0f%%", tc.w.Name, fracSlow*100, tc.maxSlow*100)
+		}
+		if fracSlow < tc.slowFloor {
+			t.Errorf("%s: slowest set at %.1f%% of BM; collapsed below plausible floor %.0f%%", tc.w.Name, fracSlow*100, tc.slowFloor*100)
+		}
+	}
+	// SieveQ's diverse-set penalty must be the smallest of the three apps
+	// (its filtering happens before replication).
+	penalty := func(w Workload) float64 {
+		bm, _ := Throughput(bm4(), w, DefaultCostModel())
+		slowCfg, _ := ConfigByIDs(SlowestSet...)
+		slow, _ := Throughput(slowCfg, w, DefaultCostModel())
+		return slow.Throughput / bm.Throughput
+	}
+	if !(penalty(SieveQ1k) > penalty(Fabric1k) && penalty(Fabric1k) > penalty(KVS4k)) {
+		t.Errorf("app penalty ordering wrong: sieveq=%.2f fabric=%.2f kvs=%.2f",
+			penalty(SieveQ1k), penalty(Fabric1k), penalty(KVS4k))
+	}
+}
+
+func TestThroughputValidation(t *testing.T) {
+	cm := DefaultCostModel()
+	if _, err := Throughput(bm4()[:3], Microbench00, cm); err == nil {
+		t.Error("3-replica config accepted")
+	}
+	undeployable, _ := catalog.ByID("RH7") // no VM profile
+	cfg := bm4()
+	cfg[2] = undeployable
+	if _, err := Throughput(cfg, Microbench00, cm); err == nil {
+		t.Error("undeployable OS accepted")
+	}
+}
+
+func TestTimelineShape(t *testing.T) {
+	cm := DefaultCostModel()
+	cfg, err := ConfigByIDs("DE8", "OS42", "FE26", "SO11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner, _ := catalog.ByID("UB16")
+	tl := DefaultTimeline(cfg, joiner, 1) // replace OS42 with UB16
+	series, events, err := Timeline(tl, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 200 {
+		t.Fatalf("series has %d points, want 200", len(series))
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %v", events)
+	}
+	phases := map[string]bool{}
+	var steady, transfer float64
+	var steadyN, transferN int
+	for _, p := range series {
+		phases[p.Phase] = true
+		switch p.Phase {
+		case "steady":
+			steady += p.Throughput
+			steadyN++
+		case "state-transfer":
+			transfer += p.Throughput
+			transferN++
+		}
+		if p.Throughput < 0 || p.Throughput > tl.OfferedLoad {
+			t.Fatalf("throughput %v out of range at %v", p.Throughput, p.T)
+		}
+	}
+	for _, want := range []string{"steady", "checkpoint", "boot", "state-transfer", "view-change"} {
+		if !phases[want] {
+			t.Errorf("phase %q missing from series", want)
+		}
+	}
+	if steadyN == 0 || transferN == 0 {
+		t.Fatal("no steady or transfer samples")
+	}
+	if transfer/float64(transferN) >= 0.6*steady/float64(steadyN) {
+		t.Error("state transfer should depress throughput markedly")
+	}
+	// The joiner boots faster under Lazarus' virtualization than the
+	// paper's 2-minute bare-metal boot: check boot time is the profile's.
+	wantBoot := tl.ReconfigAt + joiner.VM.BootTime
+	if events[1].T != wantBoot {
+		t.Errorf("add event at %v, want %v", events[1].T, wantBoot)
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	cm := DefaultCostModel()
+	joiner, _ := catalog.ByID("UB16")
+	cfg, _ := ConfigByIDs("DE8", "OS42", "FE26", "SO11")
+	bad := DefaultTimeline(cfg, joiner, 9)
+	if _, _, err := Timeline(bad, cm); err == nil {
+		t.Error("bad swap index accepted")
+	}
+	bad2 := DefaultTimeline(cfg[:3], joiner, 0)
+	if _, _, err := Timeline(bad2, cm); err == nil {
+		t.Error("3-replica timeline accepted")
+	}
+	bad3 := DefaultTimeline(cfg, joiner, 0)
+	bad3.Step = 0
+	if _, _, err := Timeline(bad3, cm); err == nil {
+		t.Error("zero step accepted")
+	}
+	_ = time.Second
+}
+
+func TestBestLeaderPlacement(t *testing.T) {
+	cm := DefaultCostModel()
+	// Slow leader but a capable quorum: moving the leader off the
+	// single-core Solaris guest must help (with two single-core guests
+	// the quorum itself pins throughput and placement cannot matter).
+	cfg, err := ConfigByIDs("SO10", "UB16", "W10", "FE24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BestLeaderPlacement(cfg, Microbench00, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestLeader == "SO10" {
+		t.Error("single-core leader reported as best placement")
+	}
+	if rep.Gain < 0 {
+		t.Errorf("negative gain %v", rep.Gain)
+	}
+	// With the leader already fastest, the gain is zero.
+	fast, _ := ConfigByIDs("UB17", "UB16", "SO10", "OB61")
+	rep2, err := BestLeaderPlacement(fast, Microbench00, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Gain > 1e-9 {
+		t.Errorf("gain %v with fastest leader already placed", rep2.Gain)
+	}
+}

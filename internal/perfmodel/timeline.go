@@ -1,0 +1,161 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"lazarus/internal/catalog"
+)
+
+// TimelineConfig shapes the Figure 9 reconfiguration experiment: a KVS
+// under a fixed-rate YCSB 50/50 load while Lazarus adds a new replica and
+// removes an old one.
+type TimelineConfig struct {
+	// Config is the running replica set; the replica at SwapIndex is
+	// replaced by Joiner.
+	Config []catalog.OS
+	// Joiner is the incoming OS.
+	Joiner catalog.OS
+	// SwapIndex selects the outgoing replica.
+	SwapIndex int
+	// OfferedLoad is the client request rate (paper: ~4000 ops/s).
+	OfferedLoad float64
+	// StateBytes is the service state size (paper: 500 MB).
+	StateBytes float64
+	// CheckpointEvery is the interval between state checkpoints.
+	CheckpointEvery time.Duration
+	// CheckpointDuration is how long a checkpoint disturbs execution
+	// (log trimming + snapshot serialization).
+	CheckpointDuration time.Duration
+	// ReconfigAt is when the controller starts the replacement.
+	ReconfigAt time.Duration
+	// Duration is the observation window (paper: 200 s).
+	Duration time.Duration
+	// Step is the sampling interval of the series.
+	Step time.Duration
+}
+
+// DefaultTimeline returns the paper's §7.3 parameters for the given
+// environment.
+func DefaultTimeline(config []catalog.OS, joiner catalog.OS, swapIndex int) TimelineConfig {
+	return TimelineConfig{
+		Config:             config,
+		Joiner:             joiner,
+		SwapIndex:          swapIndex,
+		OfferedLoad:        4000,
+		StateBytes:         500e6,
+		CheckpointEvery:    55 * time.Second,
+		CheckpointDuration: 7 * time.Second,
+		ReconfigAt:         60 * time.Second,
+		Duration:           200 * time.Second,
+		Step:               time.Second,
+	}
+}
+
+// Point is one sample of the throughput series.
+type Point struct {
+	// T is the sample time offset.
+	T time.Duration
+	// Throughput is the served rate at T (ops/sec).
+	Throughput float64
+	// Phase labels what the system is doing ("steady", "checkpoint",
+	// "boot", "state-transfer", "view-change").
+	Phase string
+}
+
+// Event marks a protocol milestone in the series.
+type Event struct {
+	T    time.Duration
+	Name string
+}
+
+// Timeline simulates the Figure 9 experiment and returns the throughput
+// series plus the protocol milestones.
+func Timeline(cfg TimelineConfig, cm CostModel) ([]Point, []Event, error) {
+	if len(cfg.Config) < 4 {
+		return nil, nil, fmt.Errorf("perfmodel: timeline needs >= 4 replicas")
+	}
+	if cfg.SwapIndex < 0 || cfg.SwapIndex >= len(cfg.Config) {
+		return nil, nil, fmt.Errorf("perfmodel: swap index %d out of range", cfg.SwapIndex)
+	}
+	if cfg.Step <= 0 || cfg.Duration <= 0 {
+		return nil, nil, fmt.Errorf("perfmodel: non-positive duration or step")
+	}
+	load := Workload{Name: "YCSB-1k", ReqBytes: 600, RespBytes: 600, AppCPU: 6e-6}
+
+	before, err := Throughput(cfg.Config, load, cm)
+	if err != nil {
+		return nil, nil, err
+	}
+	afterConfig := append([]catalog.OS(nil), cfg.Config...)
+	afterConfig[cfg.SwapIndex] = cfg.Joiner
+	after, err := Throughput(afterConfig, load, cm)
+	if err != nil {
+		return nil, nil, err
+	}
+	capBefore := min2(before.Throughput, cfg.OfferedLoad)
+	capAfter := min2(after.Throughput, cfg.OfferedLoad)
+
+	// Reconfiguration milestones: the joiner boots (background, no
+	// impact), the ADD is ordered, the joiner pulls the state from the
+	// group (foreground: serving replicas ship StateBytes), replays the
+	// log since the snapshot, then the old replica leaves.
+	bootDone := cfg.ReconfigAt + cfg.Joiner.VM.BootTime
+	transferSecs := cfg.StateBytes / (cm.NetBytesPerSec * 0.35 * cfg.Joiner.VM.NetFactor)
+	transferDone := bootDone + time.Duration(transferSecs*float64(time.Second))
+	removeAt := transferDone + 5*time.Second
+
+	var events []Event
+	events = append(events,
+		Event{cfg.ReconfigAt, fmt.Sprintf("%s boot starts (background)", cfg.Joiner.ID)},
+		Event{bootDone, fmt.Sprintf("%s added; state transfer starts", cfg.Joiner.ID)},
+		Event{transferDone, "state transfer complete"},
+		Event{removeAt, fmt.Sprintf("%s removed", cfg.Config[cfg.SwapIndex].ID)},
+	)
+
+	var series []Point
+	for t := time.Duration(0); t < cfg.Duration; t += cfg.Step {
+		p := Point{T: t, Phase: "steady"}
+		cap := capBefore
+		if t >= removeAt {
+			cap = capAfter
+		}
+		switch {
+		case t >= bootDone && t < transferDone:
+			// Serving replicas ship the snapshot while executing: the
+			// paper shows a deep throughput valley during transfer.
+			p.Phase = "state-transfer"
+			cap *= 0.30
+		case t >= removeAt && t < removeAt+2*time.Second:
+			// Removing the old replica re-forms quorums; brief dip.
+			p.Phase = "view-change"
+			cap *= 0.45
+		case inCheckpoint(t, cfg):
+			p.Phase = "checkpoint"
+			cap *= 0.35
+		case t >= cfg.ReconfigAt && t < bootDone:
+			p.Phase = "boot"
+		}
+		p.Throughput = cap
+		series = append(series, p)
+	}
+	return series, events, nil
+}
+
+// inCheckpoint reports whether a periodic checkpoint is in progress at t
+// (the last CheckpointDuration of every CheckpointEvery interval, skipping
+// the very first moments of the run).
+func inCheckpoint(t time.Duration, cfg TimelineConfig) bool {
+	if cfg.CheckpointEvery <= 0 || t < cfg.CheckpointEvery-cfg.CheckpointDuration {
+		return false
+	}
+	offset := t % cfg.CheckpointEvery
+	return offset >= cfg.CheckpointEvery-cfg.CheckpointDuration
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package riskim
+
+import (
+	"fmt"
+	"time"
+
+	"lazarus/internal/core"
+)
+
+// Variant is one risk-metric ablation: the Lazarus strategy run with part
+// of the Equation 1/Equation 5 machinery disabled, quantifying what each
+// ingredient contributes to the Figure 5 result.
+type Variant struct {
+	// Name labels the variant in reports.
+	Name string
+	// UseClusters keeps the description-cluster component of V(ri,rj).
+	UseClusters bool
+	// Params are the Equation 1 constants (zero value = paper defaults).
+	Params core.ScoreParams
+	// Threshold overrides the adaptive threshold (0 = adaptive).
+	Threshold float64
+}
+
+// DefaultVariants returns the standard ablation set:
+//
+//   - full: the complete Lazarus metric;
+//   - no-clusters: only direct NVD co-listings feed Equation 5 (the
+//     clustering contribution);
+//   - no-recency: CVSS taken at face value — no age decay, no patch
+//     discount, no exploit boost (the Equation 2–4 contribution).
+func DefaultVariants() []Variant {
+	flat := core.DefaultScoreParams()
+	flat.OldnessSlope = 0
+	flat.OldnessFloor = 1
+	flat.PatchedFactor = 1
+	flat.ExploitedFactor = 1
+	return []Variant{
+		{Name: "full", UseClusters: true},
+		{Name: "no-clusters", UseClusters: false},
+		{Name: "no-recency", UseClusters: true, Params: flat},
+	}
+}
+
+// AblationResult reports one month's ablation.
+type AblationResult struct {
+	Month time.Time
+	Runs  int
+	// Compromised counts per variant name.
+	Compromised map[string]int
+	// Reconfigs accumulates replica replacements per variant.
+	Reconfigs map[string]int
+}
+
+// AvgReconfigs returns the mean replacements per run for a variant.
+func (a *AblationResult) AvgReconfigs(variant string) float64 {
+	return float64(a.Reconfigs[variant]) / float64(a.Runs)
+}
+
+// Rate returns the compromised percentage for a variant.
+func (a *AblationResult) Rate(variant string) float64 {
+	return 100 * float64(a.Compromised[variant]) / float64(a.Runs)
+}
+
+// AblationMonth runs the Lazarus strategy under each variant for one
+// Figure 5 month slot.
+func (e *Experiment) AblationMonth(month time.Time, variants []Variant) (*AblationResult, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if len(variants) == 0 {
+		variants = DefaultVariants()
+	}
+	start := time.Date(month.Year(), month.Month(), 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 1, 0)
+	checkVulns := e.Dataset.PublishedIn(start, end)
+
+	out := &AblationResult{
+		Month:       start,
+		Runs:        e.Runs,
+		Compromised: make(map[string]int),
+		Reconfigs:   make(map[string]int),
+	}
+	for _, v := range variants {
+		params := v.Params
+		if params == (core.ScoreParams{}) {
+			params = core.DefaultScoreParams()
+		}
+		p, err := e.prepareWith(start, start, end, checkVulns, false, params, v.UseClusters)
+		if err != nil {
+			return nil, fmt.Errorf("riskim: variant %s: %w", v.Name, err)
+		}
+		saveThreshold := e.Threshold
+		saveStrategies := e.Strategies
+		e.Threshold = v.Threshold
+		e.Strategies = []string{"Lazarus"}
+		res, err := e.runAll(p, "ablation-"+v.Name+"-"+start.Format("2006-01"))
+		e.Threshold = saveThreshold
+		e.Strategies = saveStrategies
+		if err != nil {
+			return nil, err
+		}
+		out.Compromised[v.Name] = res.Compromised["Lazarus"]
+		out.Reconfigs[v.Name] = res.Reconfigs["Lazarus"]
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package riskim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"lazarus/internal/feeds"
+)
+
+// TestCalibrate is a manual calibration harness: LAZARUS_CALIBRATE=1 go test -run TestCalibrate
+func TestCalibrate(t *testing.T) {
+	if os.Getenv("LAZARUS_CALIBRATE") == "" {
+		t.Skip("calibration harness; set LAZARUS_CALIBRATE=1")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{
+		Dataset: ds, Universe: feeds.Replicas(),
+		N: 4, F: 1, Runs: 100, Seed: 7, Threshold: 0, ClusterK: 0,
+	}
+	results, err := e.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf(" month %s:", res.Month.Format("2006-01"))
+		for _, name := range []string{"Lazarus", "CVSSv3", "Common", "Random", "Equal"} {
+			fmt.Printf(" %s=%.0f%%", name, res.Rate(name))
+		}
+		fmt.Println()
+	}
+	attacks, err := e.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range attacks {
+		fmt.Printf(" attack %s:", a.Attack)
+		for _, name := range []string{"Lazarus", "CVSSv3", "Common", "Random", "Equal"} {
+			fmt.Printf(" %s=%.0f%%", name, a.Rate(name))
+		}
+		fmt.Println()
+	}
+}

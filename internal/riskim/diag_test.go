@@ -1,0 +1,122 @@
+package riskim
+
+// Diagnostic harnesses for developing the risk experiments; they are
+// skipped unless LAZARUS_DIAG=1 and print into the test log.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"lazarus/internal/core"
+	"lazarus/internal/feeds"
+	"lazarus/internal/strategies"
+)
+
+func TestDiag(t *testing.T) {
+	if os.Getenv("LAZARUS_DIAG") == "" {
+		t.Skip("diagnostic harness")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{
+		Dataset: ds, Universe: feeds.Replicas(),
+		N: 4, F: 1, Runs: 50, Seed: 1,
+	}
+	for _, m := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		res, err := e.RunMonth(day(2018, 1, 1).AddDate(0, m-1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("month %d Lazarus=%.0f%% culprits=%v\n", m, res.Rate("Lazarus"), res.Culprits["Lazarus"])
+		for cve := range res.Culprits["Lazarus"] {
+			v := ds.ByID(cve)
+			fmt.Printf("  %s pub=%s cvss=%.1f products=%v patch=%v\n", v.ID,
+				v.Published.Format("2006-01-02"), v.CVSS, v.Products, v.PatchedAt.Format("2006-01-02"))
+		}
+	}
+}
+
+func TestDiagPairs(t *testing.T) {
+	if os.Getenv("LAZARUS_DIAG") == "" {
+		t.Skip("diagnostic harness")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{Dataset: ds, Universe: feeds.Replicas(), N: 4, F: 1, Runs: 1, Seed: 1}
+	start := day(2018, 3, 1)
+	p, err := e.prepare(start, start, start.AddDate(0, 1, 0), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := feeds.Replicas()
+	type pr struct {
+		a, b string
+		r    float64
+	}
+	var pairs []pr
+	for i := 0; i < len(uni); i++ {
+		for j := i + 1; j < len(uni); j++ {
+			pairs = append(pairs, pr{uni[i].ID, uni[j].ID, p.tables.PairRisk(uni[i], uni[j], start)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].r < pairs[j].r })
+	fmt.Println("cheapest 12 pairs at 2018-03-01:")
+	for _, x := range pairs[:12] {
+		fmt.Printf("  %-5s %-5s %7.1f\n", x.a, x.b, x.r)
+	}
+	for _, x := range pairs {
+		if (x.a == "OB60" && x.b == "OB61") || (x.a == "OB61" && x.b == "OB60") {
+			fmt.Printf("OB60-OB61: %.1f\n", x.r)
+		}
+		if (x.a == "SO10" && x.b == "SO11") || (x.a == "SO11" && x.b == "SO10") {
+			fmt.Printf("SO10-SO11: %.1f\n", x.r)
+		}
+	}
+	_ = core.Config{}
+}
+
+func TestDiagTrajectory(t *testing.T) {
+	if os.Getenv("LAZARUS_DIAG") == "" {
+		t.Skip("diagnostic harness")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{Dataset: ds, Universe: feeds.Replicas(), N: 4, F: 1, Runs: 1, Seed: 1}
+	start := day(2018, 3, 1)
+	end := start.AddDate(0, 1, 0)
+	p, err := e.prepare(start, start, end, ds.PublishedIn(start, end), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := strategies.Env{
+		Universe: feeds.Replicas(), N: 4, Evaluator: p.tables,
+		SharedCount: p.tables.SharedCount, SharedCVSS: p.tables.SharedCVSS,
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := strategies.NewLazarus(env, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, _ := s.Init(start.AddDate(0, 0, -1))
+		fmt.Printf("seed %d init %v risk=%.1f", seed, cfg.IDs(), p.tables.Risk(cfg, start))
+		for d := start; d.Before(day(2018, 3, 15)); d = d.AddDate(0, 0, 1) {
+			if d.After(start) {
+				cfg, _ = s.Step(d.AddDate(0, 0, -1))
+			}
+			if d.Equal(day(2018, 3, 10)) {
+				fmt.Printf(" | Mar10 cfg %v", cfg.IDs())
+			}
+		}
+		fmt.Println()
+	}
+}

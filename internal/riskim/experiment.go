@@ -1,0 +1,424 @@
+package riskim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"lazarus/internal/cluster"
+	"lazarus/internal/core"
+	"lazarus/internal/feeds"
+	"lazarus/internal/osint"
+	"lazarus/internal/strategies"
+)
+
+// clusterLinkSimilarity is the minimum description cosine similarity for
+// two same-cluster vulnerabilities to count as a shared weakness.
+const clusterLinkSimilarity = 0.45
+
+// Experiment configures the §6 risk evaluation.
+type Experiment struct {
+	// Dataset is the historical vulnerability corpus.
+	Dataset *feeds.Dataset
+	// Universe is the replica universe (21 OS versions in the paper).
+	Universe []core.Replica
+	// N and F size the BFT system (paper: n = 4, f = 1).
+	N, F int
+	// Runs is the number of independent runs per strategy (paper: 1000).
+	Runs int
+	// Seed derives every run's random stream.
+	Seed int64
+	// Threshold is the Lazarus reconfiguration threshold.
+	Threshold float64
+	// ClusterK fixes the clustering k (0 = corpus-scaled default; fixed
+	// k keeps the monthly re-clustering tractable).
+	ClusterK int
+	// ClusterVocab caps the TF-IDF vocabulary (0 = 600). The paper uses
+	// 200 for real CVE text; the synthetic corpus is lexically much
+	// narrower, so the cap scales up to keep component terms — the
+	// similarity signal — inside the vocabulary.
+	ClusterVocab int
+	// Strategies restricts which strategies run (nil = all five).
+	Strategies []string
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Validate checks the experiment configuration.
+func (e *Experiment) Validate() error {
+	switch {
+	case e.Dataset == nil:
+		return fmt.Errorf("riskim: nil dataset")
+	case len(e.Universe) < e.N:
+		return fmt.Errorf("riskim: universe %d < n %d", len(e.Universe), e.N)
+	case e.N != 3*e.F+1:
+		return fmt.Errorf("riskim: n = %d is not 3f+1 for f = %d", e.N, e.F)
+	case e.Runs <= 0:
+		return fmt.Errorf("riskim: runs = %d must be positive", e.Runs)
+	case e.Threshold < 0:
+		return fmt.Errorf("riskim: negative threshold")
+	}
+	return nil
+}
+
+// MonthResult reports one month slot of Figure 5.
+type MonthResult struct {
+	// Month is the first day of the execution slot.
+	Month time.Time
+	// Runs is the number of runs per strategy.
+	Runs int
+	// Compromised counts runs that ended compromised, per strategy.
+	Compromised map[string]int
+	// Culprits counts, per strategy, which CVE broke each compromised
+	// run.
+	Culprits map[string]map[string]int
+	// Reconfigs accumulates replica replacements across all runs, per
+	// strategy (divide by Runs for the per-run average).
+	Reconfigs map[string]int
+}
+
+// AvgReconfigs returns the mean number of replica replacements per run.
+func (m *MonthResult) AvgReconfigs(strategy string) float64 {
+	return float64(m.Reconfigs[strategy]) / float64(m.Runs)
+}
+
+// Rate returns the compromised percentage for a strategy.
+func (m *MonthResult) Rate(strategy string) float64 {
+	return 100 * float64(m.Compromised[strategy]) / float64(m.Runs)
+}
+
+// prepared bundles the per-month immutable state shared by all runs.
+type prepared struct {
+	tables     *Tables
+	checkVulns []*osint.Vulnerability // vulnerabilities the oracle tests
+	start, end time.Time
+	zeroDay    bool
+}
+
+// prepare builds the knowledge base as of learnEnd (clustering included),
+// extends it with classifications of everything visible up to horizon, and
+// precomputes the evaluator tables for [start-1, end].
+func (e *Experiment) prepare(learnEnd, start, end time.Time, checkVulns []*osint.Vulnerability, zeroDay bool) (*prepared, error) {
+	return e.prepareWith(learnEnd, start, end, checkVulns, zeroDay, core.DefaultScoreParams(), true)
+}
+
+// prepareWith is prepare with an explicit metric configuration (the
+// ablation harness disables clustering or the recency factors).
+func (e *Experiment) prepareWith(learnEnd, start, end time.Time, checkVulns []*osint.Vulnerability, zeroDay bool, params core.ScoreParams, useClusters bool) (*prepared, error) {
+	learning := e.Dataset.PublishedBefore(learnEnd)
+	if len(learning) == 0 {
+		return nil, fmt.Errorf("riskim: no learning data before %v", learnEnd)
+	}
+	k := e.ClusterK
+	if k == 0 {
+		// Roughly one cluster per dozen records keeps clusters at
+		// weakness-campaign granularity; far fewer would link unrelated
+		// descriptions and flood Equation 5 with false sharing.
+		k = len(learning) / 8
+		if k < 24 {
+			k = 24
+		}
+		if k > 192 {
+			k = 192
+		}
+	}
+	if k > len(learning) {
+		k = len(learning)
+	}
+	vocab := e.ClusterVocab
+	if vocab == 0 {
+		vocab = 600
+	}
+	model, err := cluster.BuildModel(learning, cluster.Config{K: k, MaxVocabulary: vocab, Seed: e.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("riskim: clustering learning corpus: %w", err)
+	}
+	visible := e.Dataset.PublishedBefore(end.AddDate(0, 0, 1))
+	for _, v := range visible {
+		model.Extend(v) // no-op for learning-corpus members
+	}
+	clusters := model.Clusters
+	if !useClusters {
+		clusters = nil
+	}
+	intel, err := core.NewIntel(visible, clusters)
+	if err != nil {
+		return nil, err
+	}
+	// Same-cluster links must also be textually close (K-means forces
+	// every record into some cluster, so membership alone over-links).
+	intel.SetSimilarityGate(func(a, b string) bool {
+		return model.Cosine(a, b) >= clusterLinkSimilarity
+	})
+	engine, err := core.NewRiskEngine(intel, params)
+	if err != nil {
+		return nil, err
+	}
+	day0 := start.AddDate(0, 0, -1)
+	days := int(end.Sub(day0).Hours()/24) + 2
+	tables, err := NewTables(engine, e.Universe, day0, days)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{
+		tables:     tables,
+		checkVulns: checkVulns,
+		start:      start,
+		end:        end,
+		zeroDay:    zeroDay,
+	}, nil
+}
+
+func (e *Experiment) strategyNames() []string {
+	if len(e.Strategies) > 0 {
+		return e.Strategies
+	}
+	return strategies.StrategyNames
+}
+
+// runOne executes a single run of one strategy over the execution window
+// and reports the compromising CVE (if any) plus how many replica
+// replacements the strategy performed.
+func (e *Experiment) runOne(p *prepared, factory strategies.Factory, rng *rand.Rand) (string, bool, int, error) {
+	env := strategies.Env{
+		Universe:    e.Universe,
+		N:           e.N,
+		Evaluator:   p.tables,
+		SharedCount: p.tables.SharedCount,
+		SharedCVSS:  p.tables.SharedCVSS,
+		Threshold:   e.Threshold,
+	}
+	strat, err := factory(env, rng)
+	if err != nil {
+		return "", false, 0, err
+	}
+	cfg, err := strat.Init(p.start.AddDate(0, 0, -1))
+	if err != nil {
+		return "", false, 0, err
+	}
+	check := CompromisedBy
+	if p.zeroDay {
+		check = CompromisedByZeroDay
+	}
+	reconfigs := 0
+	for d := p.start; d.Before(p.end); d = d.AddDate(0, 0, 1) {
+		if d.After(p.start) {
+			next, err := strat.Step(d.AddDate(0, 0, -1))
+			if err != nil {
+				return "", false, reconfigs, err
+			}
+			reconfigs += diffCount(cfg, next)
+			cfg = next
+		}
+		if cve, bad := check(cfg, p.checkVulns, d, e.F); bad {
+			return cve, true, reconfigs, nil
+		}
+	}
+	return "", false, reconfigs, nil
+}
+
+// diffCount counts replicas of next absent from prev (replacements).
+func diffCount(prev, next core.Config) int {
+	n := 0
+	for _, r := range next {
+		if !prev.Contains(r.ID) {
+			n++
+		}
+	}
+	return n
+}
+
+// runAll fans the Runs × strategies grid across workers.
+func (e *Experiment) runAll(p *prepared, label string) (*MonthResult, error) {
+	res := &MonthResult{
+		Month:       p.start,
+		Runs:        e.Runs,
+		Compromised: make(map[string]int),
+		Culprits:    make(map[string]map[string]int),
+		Reconfigs:   make(map[string]int),
+	}
+	factories := strategies.Factories()
+	type job struct {
+		strategy string
+		run      int
+	}
+	type outcome struct {
+		strategy, cve string
+		bad           bool
+		reconfigs     int
+		err           error
+	}
+	var jobs []job
+	for _, name := range e.strategyNames() {
+		if _, ok := factories[name]; !ok {
+			return nil, fmt.Errorf("riskim: unknown strategy %q", name)
+		}
+		res.Culprits[name] = make(map[string]int)
+		res.Compromised[name] = 0
+		res.Reconfigs[name] = 0
+		for r := 0; r < e.Runs; r++ {
+			jobs = append(jobs, job{name, r})
+		}
+	}
+	workers := e.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobCh := make(chan job)
+	outCh := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				rng := rand.New(rand.NewSource(runSeed(e.Seed, label, j.strategy, j.run)))
+				cve, bad, reconfigs, err := e.runOne(p, factories[j.strategy], rng)
+				outCh <- outcome{j.strategy, cve, bad, reconfigs, err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
+	var firstErr error
+	for o := range outCh {
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		res.Reconfigs[o.strategy] += o.reconfigs
+		if o.bad {
+			res.Compromised[o.strategy]++
+			res.Culprits[o.strategy][o.cve]++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runSeed derives a deterministic per-run seed.
+func runSeed(base int64, label, strategy string, run int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%s/%d", base, label, strategy, run)
+	return int64(h.Sum64())
+}
+
+// RunMonth executes one Figure 5 slot: learning = everything before the
+// month, execution = the month's days, oracle = the month's
+// vulnerabilities with patches honored.
+func (e *Experiment) RunMonth(month time.Time) (*MonthResult, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Date(month.Year(), month.Month(), 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 1, 0)
+	checkVulns := e.Dataset.PublishedIn(start, end)
+	p, err := e.prepare(start, start, end, checkVulns, false)
+	if err != nil {
+		return nil, err
+	}
+	return e.runAll(p, start.Format("2006-01"))
+}
+
+// Figure5 runs the eight monthly slots of the paper's Figure 5 (January to
+// August 2018).
+func (e *Experiment) Figure5() ([]*MonthResult, error) {
+	var out []*MonthResult
+	for m := time.January; m <= time.August; m++ {
+		res, err := e.RunMonth(time.Date(2018, m, 1, 0, 0, 0, 0, time.UTC))
+		if err != nil {
+			return nil, fmt.Errorf("riskim: month %v: %w", m, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AttackResult reports one bar group of Figure 6.
+type AttackResult struct {
+	// Attack is the attack name ("WannaCry", "StackClash", "Petya",
+	// "All").
+	Attack string
+	// Runs and Compromised as in MonthResult.
+	Runs        int
+	Compromised map[string]int
+}
+
+// Rate returns the compromised percentage for a strategy.
+func (a *AttackResult) Rate(strategy string) float64 {
+	return 100 * float64(a.Compromised[strategy]) / float64(a.Runs)
+}
+
+// Figure6 runs the notable-attack evaluation: learning to 2017-12-31,
+// execution January–August 2018, and for each attack the oracle tests only
+// that attack's CVEs, ignoring patch state (the attack is assumed
+// weaponized before disclosure).
+func (e *Experiment) Figure6() ([]*AttackResult, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	attacks := feeds.AttackCVEs()
+	names := make([]string, 0, len(attacks)+1)
+	for name := range attacks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	names = append(names, "All")
+
+	start := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	var out []*AttackResult
+	for _, name := range names {
+		var cveIDs []string
+		if name == "All" {
+			seen := map[string]bool{}
+			for _, ids := range attacks {
+				for _, id := range ids {
+					if !seen[id] {
+						seen[id] = true
+						cveIDs = append(cveIDs, id)
+					}
+				}
+			}
+		} else {
+			cveIDs = attacks[name]
+		}
+		var checkVulns []*osint.Vulnerability
+		for _, id := range cveIDs {
+			if v := e.Dataset.ByID(id); v != nil {
+				checkVulns = append(checkVulns, v)
+			}
+		}
+		if len(checkVulns) == 0 {
+			return nil, fmt.Errorf("riskim: attack %s has no CVEs in dataset", name)
+		}
+		p, err := e.prepare(start, start, end, checkVulns, true)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.runAll(p, "attack-"+name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &AttackResult{
+			Attack:      name,
+			Runs:        res.Runs,
+			Compromised: res.Compromised,
+		})
+	}
+	return out, nil
+}

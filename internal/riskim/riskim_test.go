@@ -1,0 +1,316 @@
+package riskim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lazarus/internal/cluster"
+	"lazarus/internal/core"
+	"lazarus/internal/feeds"
+	"lazarus/internal/osint"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+var (
+	rUB = core.NewReplica("UB16", "canonical:ubuntu_linux:16.04")
+	rDE = core.NewReplica("DE8", "debian:debian_linux:8.0")
+	rSO = core.NewReplica("SO11", "oracle:solaris:11.3")
+	rW1 = core.NewReplica("W10", "microsoft:windows_10:-")
+)
+
+func smallEngine(t *testing.T) *core.RiskEngine {
+	t.Helper()
+	corpus := []*osint.Vulnerability{
+		{ID: "CVE-2018-0001", Description: "a", Published: day(2018, 5, 10), CVSS: 8,
+			Products: []string{"canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0"}},
+		{ID: "CVE-2018-0002", Description: "b", Published: day(2018, 5, 20), CVSS: 4,
+			Products: []string{"oracle:solaris:11.3"}},
+	}
+	intel, err := core.NewIntel(corpus, &cluster.Clusters{K: 1, ByCVE: map[string]int{}, Members: make([][]string, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewRiskEngine(intel, core.DefaultScoreParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+func TestTablesMatchEngine(t *testing.T) {
+	engine := smallEngine(t)
+	universe := []core.Replica{rUB, rDE, rSO, rW1}
+	tables, err := NewTables(engine, universe, day(2018, 5, 1), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{rUB, rDE, rSO}
+	for off := 0; off < 40; off += 7 {
+		now := day(2018, 5, 1).AddDate(0, 0, off)
+		if got, want := tables.Risk(cfg, now), engine.Risk(cfg, now); math.Abs(got-want) > 1e-9 {
+			t.Errorf("day %d: Risk = %v, engine = %v", off, got, want)
+		}
+		for _, r := range universe {
+			if got, want := tables.AverageScore(r, now), engine.AverageScore(r, now); math.Abs(got-want) > 1e-9 {
+				t.Errorf("day %d: AverageScore(%s) = %v, engine = %v", off, r.ID, got, want)
+			}
+			if got, want := tables.FullyPatched(r, now), engine.FullyPatched(r, now); got != want {
+				t.Errorf("day %d: FullyPatched(%s) = %v, engine = %v", off, r.ID, got, want)
+			}
+			if got, want := tables.UnpatchedCount(r, now), engine.UnpatchedCount(r, now); got != want {
+				t.Errorf("day %d: UnpatchedCount(%s) = %v, engine = %v", off, r.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestTablesClampAndUnknown(t *testing.T) {
+	engine := smallEngine(t)
+	universe := []core.Replica{rUB, rDE}
+	tables, err := NewTables(engine, universe, day(2018, 5, 1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-window times clamp to the window edges.
+	early := tables.Risk(core.Config{rUB, rDE}, day(2017, 1, 1))
+	first := tables.Risk(core.Config{rUB, rDE}, day(2018, 5, 1))
+	if early != first {
+		t.Errorf("pre-window risk %v != first-day risk %v", early, first)
+	}
+	// Unknown replicas are never selectable.
+	unknown := core.NewReplica("NOPE", "x:y:z")
+	if r := tables.Risk(core.Config{rUB, unknown}, day(2018, 5, 5)); !math.IsInf(r, 1) {
+		t.Errorf("risk with unknown replica = %v, want +Inf", r)
+	}
+	if c := tables.SharedCount(rUB, unknown, day(2018, 5, 5)); !math.IsInf(c, 1) {
+		t.Errorf("SharedCount with unknown replica = %v, want +Inf", c)
+	}
+}
+
+func TestNewTablesValidation(t *testing.T) {
+	engine := smallEngine(t)
+	if _, err := NewTables(engine, nil, day(2018, 5, 1), 5); err == nil {
+		t.Error("empty universe accepted")
+	}
+	if _, err := NewTables(engine, []core.Replica{rUB}, day(2018, 5, 1), 0); err == nil {
+		t.Error("zero days accepted")
+	}
+	if _, err := NewTables(engine, []core.Replica{rUB, rUB}, day(2018, 5, 1), 5); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+}
+
+func TestCompromisedBy(t *testing.T) {
+	v := &osint.Vulnerability{
+		ID: "CVE-2018-0001", Description: "x", Published: day(2018, 5, 10), CVSS: 8,
+		Products: []string{"canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0"},
+		ProductPatches: map[string]time.Time{
+			"canonical:ubuntu_linux:16.04": day(2018, 5, 12),
+		},
+	}
+	vulns := []*osint.Vulnerability{v}
+	cfg := core.Config{rUB, rDE, rSO, rW1}
+
+	// Before publication: safe.
+	if _, bad := CompromisedBy(cfg, vulns, day(2018, 5, 9), 1); bad {
+		t.Error("compromised before publication")
+	}
+	// Published, both unpatched: f+1 = 2 affected -> compromised.
+	cve, bad := CompromisedBy(cfg, vulns, day(2018, 5, 10), 1)
+	if !bad || cve != "CVE-2018-0001" {
+		t.Errorf("want compromise on day of publication, got %v %v", cve, bad)
+	}
+	// Ubuntu patched on the 12th: only Debian unpatched -> f of the OSes
+	// patched, not counted (paper rule).
+	if _, bad := CompromisedBy(cfg, vulns, day(2018, 5, 12), 1); bad {
+		t.Error("compromised although only one replica is unpatched")
+	}
+	// Zero-day oracle ignores patches.
+	if _, bad := CompromisedByZeroDay(cfg, vulns, day(2018, 5, 12), 1); !bad {
+		t.Error("zero-day oracle honored patches")
+	}
+	// Config without the pair is safe either way.
+	safe := core.Config{rUB, rSO, rW1}
+	if _, bad := CompromisedBy(safe, vulns, day(2018, 5, 10), 1); bad {
+		t.Error("single affected replica counted as compromise")
+	}
+	// Higher f tolerates more.
+	if _, bad := CompromisedBy(cfg, vulns, day(2018, 5, 10), 2); bad {
+		t.Error("f=2 compromised by 2 affected replicas")
+	}
+}
+
+func TestExperimentValidate(t *testing.T) {
+	ds := feeds.NewDataset(nil)
+	cases := []Experiment{
+		{Dataset: nil, Universe: feeds.Replicas(), N: 4, F: 1, Runs: 1},
+		{Dataset: ds, Universe: feeds.Replicas()[:3], N: 4, F: 1, Runs: 1},
+		{Dataset: ds, Universe: feeds.Replicas(), N: 5, F: 1, Runs: 1},
+		{Dataset: ds, Universe: feeds.Replicas(), N: 4, F: 1, Runs: 0},
+		{Dataset: ds, Universe: feeds.Replicas(), N: 4, F: 1, Runs: 1, Threshold: -1},
+	}
+	for i, e := range cases {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestRunMonthSmoke runs a reduced month-slot end to end and checks the
+// result invariants (not the exact rates, which EXPERIMENTS.md records).
+func TestRunMonthSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end month simulation")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{
+		Dataset:   ds,
+		Universe:  feeds.Replicas(),
+		N:         4,
+		F:         1,
+		Runs:      20,
+		Seed:      7,
+		Threshold: 12,
+		ClusterK:  32,
+	}
+	res, err := e.RunMonth(day(2018, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 20 {
+		t.Errorf("runs = %d", res.Runs)
+	}
+	for name, n := range res.Compromised {
+		if n < 0 || n > res.Runs {
+			t.Errorf("%s compromised %d out of %d", name, n, res.Runs)
+		}
+	}
+	for _, name := range []string{"Lazarus", "CVSSv3", "Common", "Random", "Equal"} {
+		if _, ok := res.Compromised[name]; !ok {
+			t.Errorf("strategy %s missing from result", name)
+		}
+	}
+	// Determinism: same config, same outcome.
+	res2, err := e.RunMonth(day(2018, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range res.Compromised {
+		if res.Compromised[name] != res2.Compromised[name] {
+			t.Errorf("%s: %d vs %d across identical runs", name, res.Compromised[name], res2.Compromised[name])
+		}
+	}
+}
+
+// TestAblationMonthSmoke runs the metric ablation on a reduced
+// configuration and checks result invariants.
+func TestAblationMonthSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end ablation")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{
+		Dataset:  ds,
+		Universe: feeds.Replicas(),
+		N:        4, F: 1,
+		Runs: 10,
+		Seed: 3,
+	}
+	res, err := e.AblationMonth(day(2018, 5, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range DefaultVariants() {
+		n, ok := res.Compromised[v.Name]
+		if !ok {
+			t.Errorf("variant %s missing", v.Name)
+		}
+		if n < 0 || n > res.Runs {
+			t.Errorf("variant %s compromised %d of %d", v.Name, n, res.Runs)
+		}
+	}
+	// The experiment's own settings must be restored.
+	if e.Threshold != 0 || e.Strategies != nil {
+		t.Errorf("experiment mutated: threshold=%v strategies=%v", e.Threshold, e.Strategies)
+	}
+}
+
+// TestHeadlineShape guards the paper's headline comparison at reduced
+// scale: in the hardest month (May 2018, carrying the real anchor CVEs),
+// the Lazarus strategy must compromise no more runs than each baseline,
+// and the uninformed strategies must lose a substantial fraction.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end month simulation")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{
+		Dataset:  ds,
+		Universe: feeds.Replicas(),
+		N:        4, F: 1,
+		Runs: 40,
+		Seed: 11,
+	}
+	res, err := e.RunMonth(day(2018, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazarus := res.Rate("Lazarus")
+	for _, name := range []string{"CVSSv3", "Common", "Random", "Equal"} {
+		if lazarus > res.Rate(name) {
+			t.Errorf("Lazarus (%.0f%%) compromised more than %s (%.0f%%)", lazarus, name, res.Rate(name))
+		}
+	}
+	if res.Rate("Equal") < 30 {
+		t.Errorf("Equal at %.0f%% — May should be hard for a homogeneous system", res.Rate("Equal"))
+	}
+	if res.Rate("Random") < 30 {
+		t.Errorf("Random at %.0f%% — daily uninformed replacement should fail often in May", res.Rate("Random"))
+	}
+}
+
+// TestSevenReplicaExperiment checks the harness generalizes beyond the
+// paper's n=4/f=1: with n=7/f=2 a compromise needs three co-affected
+// unpatched replicas, which should be rarer for every informed strategy.
+func TestSevenReplicaExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end month simulation")
+	}
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Experiment{
+		Dataset:  ds,
+		Universe: feeds.Replicas(),
+		N:        7, F: 2,
+		Runs: 15,
+		Seed: 5,
+	}
+	res, err := e.RunMonth(day(2018, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate("Lazarus") > res.Rate("Equal") {
+		t.Errorf("n=7 Lazarus (%.0f%%) worse than Equal (%.0f%%)",
+			res.Rate("Lazarus"), res.Rate("Equal"))
+	}
+	// f=2 requires three co-affected replicas; Equal still fails whenever
+	// its single OS takes any unpatched hit (all seven share it).
+	if res.Rate("Equal") == 0 {
+		t.Log("Equal survived May at n=7 in this sample (possible, but rare)")
+	}
+}

@@ -1,0 +1,237 @@
+// Package riskim is the risk-simulation harness for the paper's §6
+// experiments: it emulates live executions of the managed BFT system over
+// the historical dataset, with a learning phase that builds the knowledge
+// base and an execution phase in which each strategy evolves the replica
+// set daily while a compromise oracle checks whether a single
+// vulnerability affects f+1 running, unpatched replicas (Figures 5 and 6).
+package riskim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lazarus/internal/core"
+	"lazarus/internal/osint"
+)
+
+// Tables is a day-granular precomputation of every risk query the
+// strategies issue. Within one month-experiment the corpus and clustering
+// are fixed and only time advances, so all pair metrics can be computed
+// once and shared — read-only — across the 1000 runs of all strategies.
+type Tables struct {
+	replicas []core.Replica
+	index    map[string]int
+	day0     time.Time
+	days     int
+
+	pairRisk  [][]float64 // [day][pair] Equation 5 contribution (clustered)
+	pairCount [][]float64 // [day][pair] |direct shared|
+	pairCVSS  [][]float64 // [day][pair] summed CVSS of direct shared
+
+	avgScore  [][]float64 // [day][replica]
+	unpatched [][]int     // [day][replica]
+	patched   [][]bool    // [day][replica]
+}
+
+// NewTables precomputes all metrics for the universe over [day0, day0 +
+// days), using the engine's intelligence base.
+func NewTables(engine *core.RiskEngine, universe []core.Replica, day0 time.Time, days int) (*Tables, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("riskim: days = %d must be positive", days)
+	}
+	n := len(universe)
+	if n == 0 {
+		return nil, fmt.Errorf("riskim: empty universe")
+	}
+	t := &Tables{
+		replicas: append([]core.Replica(nil), universe...),
+		index:    make(map[string]int, n),
+		day0:     day0,
+		days:     days,
+	}
+	for i, r := range universe {
+		if _, dup := t.index[r.ID]; dup {
+			return nil, fmt.Errorf("riskim: duplicate replica %s", r.ID)
+		}
+		t.index[r.ID] = i
+	}
+	pairs := n * n
+	intel := engine.Intel()
+	params := engine.Params()
+	t.pairRisk = make([][]float64, days)
+	t.pairCount = make([][]float64, days)
+	t.pairCVSS = make([][]float64, days)
+	t.avgScore = make([][]float64, days)
+	t.unpatched = make([][]int, days)
+	t.patched = make([][]bool, days)
+	for d := 0; d < days; d++ {
+		now := day0.AddDate(0, 0, d)
+		t.pairRisk[d] = make([]float64, pairs)
+		t.pairCount[d] = make([]float64, pairs)
+		t.pairCVSS[d] = make([]float64, pairs)
+		t.avgScore[d] = make([]float64, n)
+		t.unpatched[d] = make([]int, n)
+		t.patched[d] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			t.avgScore[d][i] = engine.AverageScore(universe[i], now)
+			t.unpatched[d][i] = engine.UnpatchedCount(universe[i], now)
+			t.patched[d][i] = engine.FullyPatched(universe[i], now)
+			for j := i + 1; j < n; j++ {
+				var risk float64
+				for _, v := range intel.Shared(universe[i], universe[j], now) {
+					risk += params.Score(v, now)
+				}
+				var count, cvss float64
+				for _, v := range intel.DirectShared(universe[i], universe[j], now) {
+					count++
+					cvss += v.CVSS
+				}
+				t.pairRisk[d][i*n+j], t.pairRisk[d][j*n+i] = risk, risk
+				t.pairCount[d][i*n+j], t.pairCount[d][j*n+i] = count, count
+				t.pairCVSS[d][i*n+j], t.pairCVSS[d][j*n+i] = cvss, cvss
+			}
+		}
+	}
+	return t, nil
+}
+
+// dayIndex clamps a time into the covered window.
+func (t *Tables) dayIndex(now time.Time) int {
+	d := int(now.Sub(t.day0).Hours() / 24)
+	if d < 0 {
+		return 0
+	}
+	if d >= t.days {
+		return t.days - 1
+	}
+	return d
+}
+
+func (t *Tables) replicaIndex(id string) (int, bool) {
+	i, ok := t.index[id]
+	return i, ok
+}
+
+var _ core.RiskEvaluator = (*Tables)(nil)
+
+// Risk implements core.RiskEvaluator via table lookups. Configurations
+// containing replicas outside the universe evaluate to +Inf (never
+// selectable).
+func (t *Tables) Risk(cfg core.Config, now time.Time) float64 {
+	d := t.dayIndex(now)
+	n := len(t.replicas)
+	var total float64
+	for i := 0; i < len(cfg); i++ {
+		a, ok := t.replicaIndex(cfg[i].ID)
+		if !ok {
+			return math.Inf(1)
+		}
+		for j := i + 1; j < len(cfg); j++ {
+			b, ok := t.replicaIndex(cfg[j].ID)
+			if !ok {
+				return math.Inf(1)
+			}
+			total += t.pairRisk[d][a*n+b]
+		}
+	}
+	return total
+}
+
+// AverageScore implements core.RiskEvaluator.
+func (t *Tables) AverageScore(r core.Replica, now time.Time) float64 {
+	i, ok := t.replicaIndex(r.ID)
+	if !ok {
+		return 0
+	}
+	return t.avgScore[t.dayIndex(now)][i]
+}
+
+// FullyPatched implements core.RiskEvaluator.
+func (t *Tables) FullyPatched(r core.Replica, now time.Time) bool {
+	i, ok := t.replicaIndex(r.ID)
+	if !ok {
+		return false
+	}
+	return t.patched[t.dayIndex(now)][i]
+}
+
+// UnpatchedCount implements core.RiskEvaluator.
+func (t *Tables) UnpatchedCount(r core.Replica, now time.Time) int {
+	i, ok := t.replicaIndex(r.ID)
+	if !ok {
+		return 0
+	}
+	return t.unpatched[t.dayIndex(now)][i]
+}
+
+// SharedCount is the Common strategy's pair metric.
+func (t *Tables) SharedCount(ri, rj core.Replica, now time.Time) float64 {
+	a, okA := t.replicaIndex(ri.ID)
+	b, okB := t.replicaIndex(rj.ID)
+	if !okA || !okB {
+		return math.Inf(1)
+	}
+	return t.pairCount[t.dayIndex(now)][a*len(t.replicas)+b]
+}
+
+// SharedCVSS is the CVSSv3 strategy's pair metric.
+func (t *Tables) SharedCVSS(ri, rj core.Replica, now time.Time) float64 {
+	a, okA := t.replicaIndex(ri.ID)
+	b, okB := t.replicaIndex(rj.ID)
+	if !okA || !okB {
+		return math.Inf(1)
+	}
+	return t.pairCVSS[t.dayIndex(now)][a*len(t.replicas)+b]
+}
+
+// PairRisk exposes the Lazarus pair metric for diagnostics and threshold
+// calibration.
+func (t *Tables) PairRisk(ri, rj core.Replica, now time.Time) float64 {
+	a, okA := t.replicaIndex(ri.ID)
+	b, okB := t.replicaIndex(rj.ID)
+	if !okA || !okB {
+		return math.Inf(1)
+	}
+	return t.pairRisk[t.dayIndex(now)][a*len(t.replicas)+b]
+}
+
+// CompromisedBy reports whether a single vulnerability in vulns, published
+// by day d, affects at least f+1 replicas of the configuration whose
+// product is still unpatched at d — the paper's pessimistic compromise
+// oracle (§6). It returns the first compromising CVE id.
+func CompromisedBy(cfg core.Config, vulns []*osint.Vulnerability, d time.Time, f int) (string, bool) {
+	return compromisedBy(cfg, vulns, d, f, true)
+}
+
+// CompromisedByZeroDay is CompromisedBy under the Figure 6 assumption that
+// the attack was weaponized before disclosure, so patch state offers no
+// protection.
+func CompromisedByZeroDay(cfg core.Config, vulns []*osint.Vulnerability, d time.Time, f int) (string, bool) {
+	return compromisedBy(cfg, vulns, d, f, false)
+}
+
+func compromisedBy(cfg core.Config, vulns []*osint.Vulnerability, d time.Time, f int, honorPatches bool) (string, bool) {
+	for _, v := range vulns {
+		if v.Published.After(d) {
+			continue
+		}
+		affected := 0
+		for _, r := range cfg {
+			for _, p := range r.Products {
+				if !v.Affects(p) {
+					continue
+				}
+				if honorPatches && v.ProductPatchedBy(p, d) {
+					continue
+				}
+				affected++
+				break
+			}
+		}
+		if affected >= f+1 {
+			return v.ID, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemoryConfig shapes the simulated network.
+type MemoryConfig struct {
+	// QueueDepth is each endpoint's inbox capacity (default 4096).
+	// Sends to a full inbox are dropped, as a real lossy network would.
+	QueueDepth int
+	// BaseDelay and Jitter shape per-message latency; zero means
+	// immediate delivery.
+	BaseDelay, Jitter time.Duration
+	// DropRate is the probability in [0,1) that a message is lost.
+	DropRate float64
+	// Seed drives the loss/jitter randomness.
+	Seed int64
+}
+
+// Memory is an in-process switchboard connecting endpoints by NodeID, with
+// programmable latency, loss, per-link cuts and partitions. It is the
+// deterministic substrate for protocol tests.
+type Memory struct {
+	cfg MemoryConfig
+
+	mu        sync.Mutex
+	endpoints map[NodeID]*memEndpoint
+	cut       map[[2]NodeID]bool
+	rng       *rand.Rand
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewMemory builds an in-memory network.
+func NewMemory(cfg MemoryConfig) *Memory {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	return &Memory{
+		cfg:       cfg,
+		endpoints: make(map[NodeID]*memEndpoint),
+		cut:       make(map[[2]NodeID]bool),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+var _ Network = (*Memory)(nil)
+
+type memEndpoint struct {
+	id     NodeID
+	net    *Memory
+	inbox  chan Envelope
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Endpoint implements Network.
+func (m *Memory) Endpoint(id NodeID) (Endpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if ep, ok := m.endpoints[id]; ok {
+		return ep, nil
+	}
+	ep := &memEndpoint{
+		id:     id,
+		net:    m,
+		inbox:  make(chan Envelope, m.cfg.QueueDepth),
+		closed: make(chan struct{}),
+	}
+	m.endpoints[id] = ep
+	return ep, nil
+}
+
+// Cut severs the link between two nodes in both directions.
+func (m *Memory) Cut(a, b NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[link(a, b)] = true
+}
+
+// Heal restores a previously cut link.
+func (m *Memory) Heal(a, b NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cut, link(a, b))
+}
+
+// Isolate cuts every link of the node (a crash or a partition of one).
+func (m *Memory) Isolate(id NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for other := range m.endpoints {
+		if other != id {
+			m.cut[link(id, other)] = true
+		}
+	}
+}
+
+// Rejoin heals every link of the node.
+func (m *Memory) Rejoin(id NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for other := range m.endpoints {
+		delete(m.cut, link(id, other))
+	}
+}
+
+func link(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// Close implements Network; it waits for in-flight delayed deliveries.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	eps := make([]*memEndpoint, 0, len(m.endpoints))
+	for _, ep := range m.endpoints {
+		eps = append(eps, ep)
+	}
+	m.mu.Unlock()
+	for _, ep := range eps {
+		ep.shut()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+// ID implements Endpoint.
+func (ep *memEndpoint) ID() NodeID { return ep.id }
+
+// Send implements Endpoint.
+func (ep *memEndpoint) Send(to NodeID, payload []byte) error {
+	m := ep.net
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	select {
+	case <-ep.closed:
+		m.mu.Unlock()
+		return ErrClosed
+	default:
+	}
+	if m.cut[link(ep.id, to)] {
+		m.mu.Unlock()
+		return nil // silently lost, like a partitioned network
+	}
+	dst, ok := m.endpoints[to]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("transport: unknown destination %d", to)
+	}
+	drop := m.cfg.DropRate > 0 && m.rng.Float64() < m.cfg.DropRate
+	var delay time.Duration
+	if m.cfg.BaseDelay > 0 || m.cfg.Jitter > 0 {
+		delay = m.cfg.BaseDelay
+		if m.cfg.Jitter > 0 {
+			delay += time.Duration(m.rng.Int63n(int64(m.cfg.Jitter)))
+		}
+	}
+	m.mu.Unlock()
+	if drop {
+		return nil
+	}
+	env := Envelope{From: ep.id, To: to, Payload: append([]byte(nil), payload...)}
+	deliver := func() {
+		select {
+		case dst.inbox <- env:
+		case <-dst.closed:
+		default: // inbox full: lossy network drops
+		}
+	}
+	if delay == 0 {
+		deliver()
+		return nil
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			deliver()
+		case <-dst.closed:
+		}
+	}()
+	return nil
+}
+
+// Recv implements Endpoint.
+func (ep *memEndpoint) Recv(ctx context.Context) (Envelope, error) {
+	select {
+	case env := <-ep.inbox:
+		return env, nil
+	case <-ep.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case env := <-ep.inbox:
+			return env, nil
+		default:
+			return Envelope{}, ErrClosed
+		}
+	case <-ctx.Done():
+		return Envelope{}, ctx.Err()
+	}
+}
+
+func (ep *memEndpoint) shut() {
+	ep.once.Do(func() { close(ep.closed) })
+}
+
+// Close implements Endpoint.
+func (ep *memEndpoint) Close() error {
+	ep.shut()
+	return nil
+}

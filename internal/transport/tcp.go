@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single TCP frame (16 MiB), protecting receivers from
+// hostile length prefixes.
+const maxFrame = 16 << 20
+
+// TCPConfig configures a TCP network.
+type TCPConfig struct {
+	// Addrs maps every node to its listen address. All nodes that will
+	// ever communicate must be listed.
+	Addrs map[NodeID]string
+	// Secret keys the per-link HMAC authenticators; all nodes share it
+	// (pairwise keys would be derived from it in a full deployment).
+	Secret []byte
+	// QueueDepth is the per-endpoint inbox capacity (default 4096).
+	QueueDepth int
+}
+
+// TCP is a Network over real sockets with length-prefixed, HMAC-
+// authenticated frames. Frame layout:
+//
+//	uint32 length | int64 from | int64 to | payload | 32-byte HMAC
+//
+// Connections are dialed lazily per destination and re-dialed on failure;
+// ordering across re-dials is not guaranteed, matching the asynchronous
+// model the BFT layer assumes.
+type TCP struct {
+	cfg TCPConfig
+
+	mu        sync.Mutex
+	endpoints map[NodeID]*tcpEndpoint
+	closed    bool
+}
+
+// NewTCP validates the configuration and builds the network.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("transport: tcp network needs addresses")
+	}
+	if len(cfg.Secret) == 0 {
+		return nil, fmt.Errorf("transport: tcp network needs a MAC secret")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	return &TCP{cfg: cfg, endpoints: make(map[NodeID]*tcpEndpoint)}, nil
+}
+
+var _ Network = (*TCP)(nil)
+
+type tcpEndpoint struct {
+	id       NodeID
+	net      *TCP
+	listener net.Listener
+	inbox    chan Envelope
+	closed   chan struct{}
+	once     sync.Once
+
+	mu      sync.Mutex
+	conns   map[NodeID]net.Conn
+	inbound map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+// Endpoint implements Network: it binds the node's listener and starts
+// accepting inbound frames.
+func (t *TCP) Endpoint(id NodeID) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if ep, ok := t.endpoints[id]; ok {
+		return ep, nil
+	}
+	addr, ok := t.cfg.Addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %d", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		id:       id,
+		net:      t,
+		listener: ln,
+		inbox:    make(chan Envelope, t.cfg.QueueDepth),
+		closed:   make(chan struct{}),
+		conns:    make(map[NodeID]net.Conn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	t.endpoints[id] = ep
+	return ep, nil
+}
+
+// Close implements Network.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	eps := make([]*tcpEndpoint, 0, len(t.endpoints))
+	for _, ep := range t.endpoints {
+		eps = append(eps, ep)
+	}
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+func (ep *tcpEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.mu.Lock()
+		select {
+		case <-ep.closed:
+			ep.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		ep.inbound[conn] = struct{}{}
+		ep.mu.Unlock()
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			defer func() {
+				conn.Close()
+				ep.mu.Lock()
+				delete(ep.inbound, conn)
+				ep.mu.Unlock()
+			}()
+			ep.readLoop(conn)
+		}()
+	}
+}
+
+func (ep *tcpEndpoint) readLoop(conn net.Conn) {
+	for {
+		env, err := readFrame(conn, ep.net.cfg.Secret)
+		if err != nil {
+			return
+		}
+		if env.To != ep.id {
+			continue // misrouted or spoofed; drop
+		}
+		select {
+		case ep.inbox <- env:
+		case <-ep.closed:
+			return
+		default: // inbox full: drop, lossy-network semantics
+		}
+	}
+}
+
+// ID implements Endpoint.
+func (ep *tcpEndpoint) ID() NodeID { return ep.id }
+
+// Send implements Endpoint.
+func (ep *tcpEndpoint) Send(to NodeID, payload []byte) error {
+	select {
+	case <-ep.closed:
+		return ErrClosed
+	default:
+	}
+	conn, err := ep.conn(to)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, ep.net.cfg.Secret, Envelope{From: ep.id, To: to, Payload: payload}); err != nil {
+		// Connection broke: forget it so the next send re-dials.
+		ep.mu.Lock()
+		if ep.conns[to] == conn {
+			delete(ep.conns, to)
+		}
+		ep.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: sending to %d: %w", to, err)
+	}
+	return nil
+}
+
+func (ep *tcpEndpoint) conn(to NodeID) (net.Conn, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if c, ok := ep.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := ep.net.cfg.Addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %d", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %d at %s: %w", to, addr, err)
+	}
+	ep.conns[to] = c
+	return c, nil
+}
+
+// Recv implements Endpoint.
+func (ep *tcpEndpoint) Recv(ctx context.Context) (Envelope, error) {
+	select {
+	case env := <-ep.inbox:
+		return env, nil
+	case <-ep.closed:
+		return Envelope{}, ErrClosed
+	case <-ctx.Done():
+		return Envelope{}, ctx.Err()
+	}
+}
+
+// Close implements Endpoint.
+func (ep *tcpEndpoint) Close() error {
+	ep.once.Do(func() {
+		close(ep.closed)
+		ep.listener.Close()
+		ep.mu.Lock()
+		for _, c := range ep.conns {
+			c.Close()
+		}
+		ep.conns = make(map[NodeID]net.Conn)
+		// Inbound connections must be closed too, or their read loops
+		// would block forever and Close would deadlock on wg.Wait.
+		for c := range ep.inbound {
+			c.Close()
+		}
+		ep.mu.Unlock()
+	})
+	ep.wg.Wait()
+	return nil
+}
+
+// writeFrame serializes and MACs one envelope.
+func writeFrame(w io.Writer, secret []byte, env Envelope) error {
+	mac := hmac.New(sha256.New, secret)
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(env.From))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(env.To))
+	mac.Write(hdr[:])
+	mac.Write(env.Payload)
+	sum := mac.Sum(nil)
+
+	total := len(hdr) + len(env.Payload) + len(sum)
+	if total > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
+	copy(buf[4:], hdr[:])
+	copy(buf[4+16:], env.Payload)
+	copy(buf[4+16+len(env.Payload):], sum)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and authenticates one envelope.
+func readFrame(r io.Reader, secret []byte) (Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Envelope{}, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 16+sha256.Size || total > maxFrame {
+		return Envelope{}, fmt.Errorf("transport: bad frame length %d", total)
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Envelope{}, err
+	}
+	payloadLen := int(total) - 16 - sha256.Size
+	hdr, payload, sum := buf[:16], buf[16:16+payloadLen], buf[16+payloadLen:]
+
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(hdr)
+	mac.Write(payload)
+	if !hmac.Equal(mac.Sum(nil), sum) {
+		return Envelope{}, fmt.Errorf("transport: frame failed authentication")
+	}
+	return Envelope{
+		From:    NodeID(binary.BigEndian.Uint64(hdr[0:8])),
+		To:      NodeID(binary.BigEndian.Uint64(hdr[8:16])),
+		Payload: payload,
+	}, nil
+}

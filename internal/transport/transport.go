@@ -1,0 +1,73 @@
+// Package transport carries messages between BFT nodes. It offers an
+// in-memory switchboard with programmable latency, loss and partitions
+// (for deterministic protocol tests) and a TCP transport with
+// authenticated, length-prefixed frames (for multi-process deployments).
+// Both present the same interface to the BFT layer.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a protocol participant. Replicas use small integers;
+// clients use ids offset by ClientIDBase.
+type NodeID int
+
+// ClientIDBase offsets client identifiers from replica identifiers.
+const ClientIDBase NodeID = 1000
+
+// IsClient reports whether the id denotes a client.
+func (id NodeID) IsClient() bool { return id >= ClientIDBase }
+
+// Envelope is one routed message: an opaque payload plus routing metadata.
+// The payload is the BFT layer's serialized message; the transport never
+// inspects it.
+type Envelope struct {
+	// From and To route the message.
+	From, To NodeID
+	// Payload is the serialized protocol message.
+	Payload []byte
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one node's connection to the network.
+type Endpoint interface {
+	// ID returns the node this endpoint belongs to.
+	ID() NodeID
+	// Send routes a message to one destination. Sends are best-effort
+	// and non-blocking: the network may drop, delay or reorder.
+	Send(to NodeID, payload []byte) error
+	// Recv blocks until a message arrives or ctx is done.
+	Recv(ctx context.Context) (Envelope, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Network hands out endpoints.
+type Network interface {
+	// Endpoint returns the endpoint of the given node, creating it if
+	// needed.
+	Endpoint(id NodeID) (Endpoint, error)
+	// Close shuts the network down.
+	Close() error
+}
+
+// Broadcast sends the payload to every listed destination (skipping the
+// sender itself); it keeps going on per-destination errors and returns the
+// first one.
+func Broadcast(ep Endpoint, to []NodeID, payload []byte) error {
+	var first error
+	for _, dst := range to {
+		if dst == ep.ID() {
+			continue
+		}
+		if err := ep.Send(dst, payload); err != nil && first == nil {
+			first = fmt.Errorf("transport: broadcast to %d: %w", dst, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,199 @@
+// Package vulndb is the embedded vulnerability store backing the Lazarus
+// Data manager. The paper's prototype keeps collected OSINT data in a
+// MySQL database (paper §5.1); this store offers the same queries (by CVE
+// id, by affected product, by publication window) behind a mutex-guarded
+// in-memory index with optional JSON persistence, so no external daemon is
+// required.
+package vulndb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+// Store is a concurrency-safe vulnerability database.
+//
+// The zero value is ready to use.
+type Store struct {
+	mu   sync.RWMutex
+	byID map[string]*osint.Vulnerability
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byID: make(map[string]*osint.Vulnerability)}
+}
+
+// Upsert inserts a record or merges it into the existing record with the
+// same CVE id (union of products, earliest dates). The store keeps its own
+// copy; callers may mutate their record afterwards.
+func (s *Store) Upsert(v *osint.Vulnerability) error {
+	if err := v.Validate(); err != nil {
+		return fmt.Errorf("vulndb: rejecting record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byID == nil {
+		s.byID = make(map[string]*osint.Vulnerability)
+	}
+	if existing, ok := s.byID[v.ID]; ok {
+		return existing.Merge(v)
+	}
+	s.byID[v.ID] = v.Clone()
+	return nil
+}
+
+// UpsertAll inserts every record, stopping at the first error.
+func (s *Store) UpsertAll(vs []*osint.Vulnerability) error {
+	for _, v := range vs {
+		if err := s.Upsert(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the record with the given CVE id.
+func (s *Store) Get(id string) (*osint.Vulnerability, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return v.Clone(), true
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// All returns copies of every record, ordered by CVE id.
+func (s *Store) All() []*osint.Vulnerability {
+	s.mu.RLock()
+	out := make([]*osint.Vulnerability, 0, len(s.byID))
+	for _, v := range s.byID {
+		out = append(out, v.Clone())
+	}
+	s.mu.RUnlock()
+	osint.SortByID(out)
+	return out
+}
+
+// Query describes a store lookup; zero fields are unconstrained.
+type Query struct {
+	// Product restricts results to vulnerabilities affecting this CPE
+	// product.
+	Product string
+	// Products restricts results to vulnerabilities affecting at least
+	// one of these products (ignored when Product is set).
+	Products []string
+	// PublishedFrom/PublishedTo bound the publication date (inclusive
+	// from, exclusive to).
+	PublishedFrom, PublishedTo time.Time
+	// MinCVSS keeps only records with a CVSS base score >= this value.
+	MinCVSS float64
+}
+
+// Select returns copies of the records matching the query, ordered by CVE
+// id.
+func (s *Store) Select(q Query) []*osint.Vulnerability {
+	s.mu.RLock()
+	var out []*osint.Vulnerability
+	for _, v := range s.byID {
+		if q.matches(v) {
+			out = append(out, v.Clone())
+		}
+	}
+	s.mu.RUnlock()
+	osint.SortByID(out)
+	return out
+}
+
+func (q Query) matches(v *osint.Vulnerability) bool {
+	if q.Product != "" && !v.Affects(q.Product) {
+		return false
+	}
+	if q.Product == "" && len(q.Products) > 0 {
+		found := false
+		for _, p := range q.Products {
+			if v.Affects(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if !q.PublishedFrom.IsZero() && v.Published.Before(q.PublishedFrom) {
+		return false
+	}
+	if !q.PublishedTo.IsZero() && !v.Published.Before(q.PublishedTo) {
+		return false
+	}
+	if q.MinCVSS > 0 && v.CVSS < q.MinCVSS {
+		return false
+	}
+	return true
+}
+
+// SharedBetween returns the vulnerabilities that NVD reports as affecting
+// both products — the direct (non-clustered) component of the paper's
+// V(ri, rj) set (§4.3).
+func (s *Store) SharedBetween(productA, productB string) []*osint.Vulnerability {
+	s.mu.RLock()
+	var out []*osint.Vulnerability
+	for _, v := range s.byID {
+		if v.Affects(productA) && v.Affects(productB) {
+			out = append(out, v.Clone())
+		}
+	}
+	s.mu.RUnlock()
+	osint.SortByID(out)
+	return out
+}
+
+// persistedStore is the JSON document written by Save.
+type persistedStore struct {
+	SavedAt time.Time              `json:"saved_at"`
+	Records []*osint.Vulnerability `json:"records"`
+}
+
+// Save writes the store contents to path as JSON.
+func (s *Store) Save(path string) error {
+	doc := persistedStore{SavedAt: time.Now().UTC(), Records: s.All()}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return fmt.Errorf("vulndb: marshaling store: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("vulndb: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a store previously written by Save.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("vulndb: reading %s: %w", path, err)
+	}
+	var doc persistedStore
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("vulndb: parsing %s: %w", path, err)
+	}
+	s := New()
+	if err := s.UpsertAll(doc.Records); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

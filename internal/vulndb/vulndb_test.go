@@ -1,0 +1,200 @@
+package vulndb
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lazarus/internal/osint"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func rec(id string, pub time.Time, cvss float64, products ...string) *osint.Vulnerability {
+	return &osint.Vulnerability{
+		ID:          id,
+		Description: "description of " + id,
+		Products:    products,
+		Published:   pub,
+		CVSS:        cvss,
+	}
+}
+
+func seeded(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	err := s.UpsertAll([]*osint.Vulnerability{
+		rec("CVE-2018-8897", day(2018, 5, 8), 7.8, "canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0"),
+		rec("CVE-2018-1111", day(2018, 5, 17), 7.5, "redhat:enterprise_linux:7.0", "fedoraproject:fedora:26"),
+		rec("CVE-2017-0144", day(2017, 3, 16), 8.1, "microsoft:windows_10:-"),
+		rec("CVE-2016-7180", day(2016, 9, 8), 2.9, "oracle:solaris:11.3"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUpsertMerges(t *testing.T) {
+	s := seeded(t)
+	v := rec("CVE-2018-8897", day(2018, 5, 8), 7.8, "oracle:solaris:11.3")
+	v.PatchedAt = day(2018, 5, 9)
+	if err := s.Upsert(v); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("CVE-2018-8897")
+	if !ok {
+		t.Fatal("record lost")
+	}
+	if len(got.Products) != 3 || !got.PatchedBy(day(2018, 5, 9)) {
+		t.Errorf("merge failed: %+v", got)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestUpsertRejectsInvalid(t *testing.T) {
+	s := New()
+	if err := s.Upsert(&osint.Vulnerability{ID: "nope"}); err == nil {
+		t.Error("invalid record accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := seeded(t)
+	got, _ := s.Get("CVE-2017-0144")
+	got.Products[0] = "mutated"
+	again, _ := s.Get("CVE-2017-0144")
+	if again.Products[0] == "mutated" {
+		t.Error("Get exposes internal record")
+	}
+	if _, ok := s.Get("CVE-1999-1"); ok {
+		t.Error("Get found nonexistent record")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	s := seeded(t)
+	cases := []struct {
+		name string
+		q    Query
+		want []string
+	}{
+		{"all", Query{}, []string{"CVE-2016-7180", "CVE-2017-0144", "CVE-2018-1111", "CVE-2018-8897"}},
+		{"byProduct", Query{Product: "debian:debian_linux:8.0"}, []string{"CVE-2018-8897"}},
+		{"byProducts", Query{Products: []string{"microsoft:windows_10:-", "oracle:solaris:11.3"}},
+			[]string{"CVE-2016-7180", "CVE-2017-0144"}},
+		{"byWindow", Query{PublishedFrom: day(2018, 1, 1), PublishedTo: day(2018, 5, 17)},
+			[]string{"CVE-2018-8897"}},
+		{"byCVSS", Query{MinCVSS: 8.0}, []string{"CVE-2017-0144"}},
+		{"combined", Query{Products: []string{"canonical:ubuntu_linux:16.04"}, MinCVSS: 9}, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := s.Select(c.q)
+			if len(got) != len(c.want) {
+				t.Fatalf("Select = %d records, want %d", len(got), len(c.want))
+			}
+			for i, w := range c.want {
+				if got[i].ID != w {
+					t.Errorf("Select[%d] = %s, want %s", i, got[i].ID, w)
+				}
+			}
+		})
+	}
+}
+
+func TestSharedBetween(t *testing.T) {
+	s := seeded(t)
+	shared := s.SharedBetween("canonical:ubuntu_linux:16.04", "debian:debian_linux:8.0")
+	if len(shared) != 1 || shared[0].ID != "CVE-2018-8897" {
+		t.Errorf("SharedBetween = %v", shared)
+	}
+	if got := s.SharedBetween("canonical:ubuntu_linux:16.04", "oracle:solaris:11.3"); len(got) != 0 {
+		t.Errorf("unexpected shared vulns: %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := seeded(t)
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("loaded %d records, want %d", loaded.Len(), s.Len())
+	}
+	a, b := s.All(), loaded.All()
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].CVSS != b[i].CVSS {
+			t.Errorf("record %d mismatch: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+}
+
+func TestZeroValueStoreUsable(t *testing.T) {
+	var s Store
+	if err := s.Upsert(rec("CVE-2018-1", day(2018, 1, 1), 5, "a:b:c")); err != nil {
+		t.Fatalf("zero-value store Upsert: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Error("zero-value store lost record")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("CVE-2018-%d", r.Intn(500)+1)
+				switch r.Intn(3) {
+				case 0:
+					_ = s.Upsert(rec(id, day(2018, 1, 1), 5, "a:b:c"))
+				case 1:
+					s.Get(id)
+				default:
+					s.Select(Query{Product: "a:b:c", MinCVSS: 1})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Error("no records after concurrent writes")
+	}
+}
+
+// TestAllSorted is a property test: All() is always ordered by CVE id.
+func TestAllSorted(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("CVE-%d-%d", 2014+r.Intn(5), r.Intn(100000)+1)
+		_ = s.Upsert(rec(id, day(2018, 1, 1), 5, "a:b:c"))
+	}
+	all := s.All()
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1].ID, all[i].ID
+		if prev == cur {
+			t.Fatalf("duplicate id %s in All()", cur)
+		}
+	}
+}

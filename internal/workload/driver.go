@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Invoker abstracts the client side of the replicated service (satisfied
+// by *bft.Client).
+type Invoker interface {
+	Invoke(ctx context.Context, op []byte) ([]byte, error)
+}
+
+// OpSource produces operations for the driver.
+type OpSource func() ([]byte, error)
+
+// Result summarizes one driver run.
+type Result struct {
+	// Ops is the number of completed operations.
+	Ops uint64
+	// Errors is the number of failed invocations.
+	Errors uint64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RunClosedLoop drives the service with the given closed-loop clients
+// (each issues its next operation as soon as the previous completes, the
+// load model of the paper's benchmarks) for the given duration.
+func RunClosedLoop(ctx context.Context, clients []Invoker, source OpSource, duration time.Duration) (Result, error) {
+	if len(clients) == 0 {
+		return Result{}, fmt.Errorf("workload: no clients")
+	}
+	if duration <= 0 {
+		return Result{}, fmt.Errorf("workload: non-positive duration")
+	}
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+
+	var ops, errs atomic.Uint64
+	var srcMu sync.Mutex
+	nextOp := func() ([]byte, error) {
+		srcMu.Lock()
+		defer srcMu.Unlock()
+		return source()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl Invoker) {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				op, err := nextOp()
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				if _, err := cl.Invoke(runCtx, op); err != nil {
+					if runCtx.Err() != nil {
+						return // deadline, not a service error
+					}
+					errs.Add(1)
+					continue
+				}
+				ops.Add(1)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	return Result{Ops: ops.Load(), Errors: errs.Load(), Elapsed: time.Since(start)}, nil
+}
+
+// RunCount drives the clients until total operations complete (used for
+// deterministic preloads and convergence tests).
+func RunCount(ctx context.Context, clients []Invoker, ops [][]byte) (Result, error) {
+	if len(clients) == 0 {
+		return Result{}, fmt.Errorf("workload: no clients")
+	}
+	var idx, done, errs atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl Invoker) {
+			defer wg.Done()
+			for {
+				i := idx.Add(1) - 1
+				if i >= uint64(len(ops)) {
+					return
+				}
+				if _, err := cl.Invoke(ctx, ops[i]); err != nil {
+					errs.Add(1)
+					continue
+				}
+				done.Add(1)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	return Result{Ops: done.Load(), Errors: errs.Load(), Elapsed: time.Since(start)}, nil
+}

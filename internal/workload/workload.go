@@ -1,0 +1,208 @@
+// Package workload generates the benchmark loads of the paper's
+// performance evaluation (§7): the BFT-SMaRt microbenchmark (0/0 and
+// 1024/1024 byte request/response payloads, §7.1–7.2), a YCSB-style
+// read/write key-value workload (§7.3–7.4), and closed-loop client
+// drivers that measure sustained throughput.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lazarus/internal/apps/kvs"
+)
+
+// Zipfian draws keys with the YCSB zipfian distribution (Gray et al.'s
+// incremental method), so a small set of hot keys dominates.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+	rng   *rand.Rand
+}
+
+// NewZipfian builds a generator over [0, n) with the YCSB default skew
+// (theta = 0.99).
+func NewZipfian(n uint64, rng *rand.Rand) (*Zipfian, error) {
+	const theta = 0.99
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipfian over empty key space")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z, nil
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws one key index.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Distribution selects the key-access pattern.
+type Distribution int
+
+// Distributions.
+const (
+	// DistUniform draws keys uniformly.
+	DistUniform Distribution = iota + 1
+	// DistZipfian draws keys with YCSB's default zipfian skew.
+	DistZipfian
+)
+
+// YCSBConfig shapes a YCSB-style key-value workload.
+type YCSBConfig struct {
+	// Records is the key-space size.
+	Records uint64
+	// ReadFraction is the proportion of reads (0.5 = the paper's 50/50
+	// workload).
+	ReadFraction float64
+	// ValueSize is the value payload in bytes (paper: 1 kB in §7.3,
+	// 4 kB in §7.4).
+	ValueSize int
+	// Distribution selects the access pattern (default zipfian).
+	Distribution Distribution
+	// Seed drives the generator.
+	Seed int64
+}
+
+// YCSB generates serialized KVS operations.
+type YCSB struct {
+	cfg   YCSBConfig
+	rng   *rand.Rand
+	zipf  *Zipfian
+	value []byte
+}
+
+// NewYCSB validates the config and builds a generator.
+func NewYCSB(cfg YCSBConfig) (*YCSB, error) {
+	switch {
+	case cfg.Records == 0:
+		return nil, fmt.Errorf("workload: zero records")
+	case cfg.ReadFraction < 0 || cfg.ReadFraction > 1:
+		return nil, fmt.Errorf("workload: read fraction %v outside [0,1]", cfg.ReadFraction)
+	case cfg.ValueSize <= 0:
+		return nil, fmt.Errorf("workload: value size %d must be positive", cfg.ValueSize)
+	}
+	if cfg.Distribution == 0 {
+		cfg.Distribution = DistZipfian
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &YCSB{cfg: cfg, rng: rng, value: make([]byte, cfg.ValueSize)}
+	for i := range g.value {
+		g.value[i] = byte('a' + i%26)
+	}
+	if cfg.Distribution == DistZipfian {
+		z, err := NewZipfian(cfg.Records, rng)
+		if err != nil {
+			return nil, err
+		}
+		g.zipf = z
+	}
+	return g, nil
+}
+
+// key draws the next key.
+func (g *YCSB) key() string {
+	var idx uint64
+	if g.zipf != nil {
+		idx = g.zipf.Next() % g.cfg.Records
+	} else {
+		idx = uint64(g.rng.Int63n(int64(g.cfg.Records)))
+	}
+	return fmt.Sprintf("user%010d", idx)
+}
+
+// Next returns one serialized operation and whether it is a read.
+func (g *YCSB) Next() ([]byte, bool, error) {
+	read := g.rng.Float64() < g.cfg.ReadFraction
+	var op kvs.Op
+	if read {
+		op = kvs.Op{Kind: kvs.OpGet, Key: g.key()}
+	} else {
+		op = kvs.Op{Kind: kvs.OpPut, Key: g.key(), Value: g.value}
+	}
+	payload, err := kvs.EncodeOp(op)
+	return payload, read, err
+}
+
+// LoadOps returns the operations that preload the store with every record
+// (the YCSB load phase). count == 0 loads all records.
+func (g *YCSB) LoadOps(count uint64) ([][]byte, error) {
+	if count == 0 || count > g.cfg.Records {
+		count = g.cfg.Records
+	}
+	out := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		payload, err := kvs.EncodeOp(kvs.Op{
+			Kind:  kvs.OpPut,
+			Key:   fmt.Sprintf("user%010d", i),
+			Value: g.value,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload)
+	}
+	return out, nil
+}
+
+// Microbench generates the BFT-SMaRt microbenchmark payloads: opaque
+// requests of a fixed size answered by same-sized responses (the service
+// is an echo). Size 0 produces the 0/0 workload.
+type Microbench struct {
+	payload []byte
+}
+
+// NewMicrobench builds a generator for the given request size.
+func NewMicrobench(size int) (*Microbench, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("workload: negative payload size")
+	}
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return &Microbench{payload: p}, nil
+}
+
+// Next returns the next request payload.
+func (m *Microbench) Next() []byte { return m.payload }
+
+// EchoApp is the microbenchmark service: it returns a response of the
+// same size as the request (the "empty service" of §7.1).
+type EchoApp struct{}
+
+// Execute implements bft.Application.
+func (EchoApp) Execute(op []byte) []byte { return op }
+
+// Snapshot implements bft.Application.
+func (EchoApp) Snapshot() ([]byte, error) { return nil, nil }
+
+// Restore implements bft.Application.
+func (EchoApp) Restore([]byte) error { return nil }

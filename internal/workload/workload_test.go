@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lazarus/internal/apps/kvs"
+)
+
+func TestZipfianSkewAndBounds(t *testing.T) {
+	z, err := NewZipfian(1000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Hot-key property: key 0 must be far more popular than uniform.
+	if counts[0] < draws/100 {
+		t.Errorf("key 0 drawn %d times; zipfian skew missing", counts[0])
+	}
+	// But not everything: a decent spread of distinct keys.
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct keys in %d draws", len(counts), draws)
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	if _, err := NewZipfian(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty key space accepted")
+	}
+	if _, err := NewZipfian(10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestYCSBMix(t *testing.T) {
+	g, err := NewYCSB(YCSBConfig{Records: 100, ReadFraction: 0.5, ValueSize: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := 0, 0
+	for i := 0; i < 2000; i++ {
+		payload, isRead, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := kvs.DecodeOp(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isRead {
+			reads++
+			if op.Kind != kvs.OpGet {
+				t.Fatalf("read flagged but op kind %d", op.Kind)
+			}
+		} else {
+			writes++
+			if op.Kind != kvs.OpPut || len(op.Value) != 64 {
+				t.Fatalf("write op wrong: kind %d, %d bytes", op.Kind, len(op.Value))
+			}
+		}
+	}
+	frac := float64(reads) / float64(reads+writes)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("read fraction %.2f, want ~0.5", frac)
+	}
+}
+
+func TestYCSBValidation(t *testing.T) {
+	bad := []YCSBConfig{
+		{Records: 0, ReadFraction: 0.5, ValueSize: 1},
+		{Records: 10, ReadFraction: -0.1, ValueSize: 1},
+		{Records: 10, ReadFraction: 1.1, ValueSize: 1},
+		{Records: 10, ReadFraction: 0.5, ValueSize: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewYCSB(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestYCSBLoadOps(t *testing.T) {
+	g, err := NewYCSB(YCSBConfig{Records: 25, ReadFraction: 0.5, ValueSize: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := g.LoadOps(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 25 {
+		t.Fatalf("load ops = %d, want 25", len(ops))
+	}
+	op, err := kvs.DecodeOp(ops[3])
+	if err != nil || op.Kind != kvs.OpPut || op.Key != "user0000000003" {
+		t.Errorf("load op 3 = %+v, %v", op, err)
+	}
+}
+
+func TestMicrobench(t *testing.T) {
+	m, err := NewMicrobench(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Next()) != 1024 {
+		t.Errorf("payload size %d", len(m.Next()))
+	}
+	zero, err := NewMicrobench(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero.Next()) != 0 {
+		t.Error("0/0 payload not empty")
+	}
+	if _, err := NewMicrobench(-1); err == nil {
+		t.Error("negative size accepted")
+	}
+	// Echo app answers with the request itself.
+	var app EchoApp
+	if got := app.Execute(m.Next()); len(got) != 1024 {
+		t.Errorf("echo returned %d bytes", len(got))
+	}
+}
+
+// fakeInvoker simulates a service with fixed latency.
+type fakeInvoker struct {
+	delay time.Duration
+	calls atomic.Uint64
+	fail  bool
+}
+
+func (f *fakeInvoker) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	f.calls.Add(1)
+	if f.fail {
+		return nil, errors.New("boom")
+	}
+	select {
+	case <-time.After(f.delay):
+		return op, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	inv := []Invoker{
+		&fakeInvoker{delay: time.Millisecond},
+		&fakeInvoker{delay: time.Millisecond},
+	}
+	src := func() ([]byte, error) { return []byte("op"), nil }
+	res, err := RunClosedLoop(context.Background(), inv, src, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 100 {
+		t.Errorf("only %d ops in 200ms with 1ms latency × 2 clients", res.Ops)
+	}
+	if res.Throughput() < 500 {
+		t.Errorf("throughput %.0f ops/s, want ~2000", res.Throughput())
+	}
+	if res.Errors != 0 {
+		t.Errorf("unexpected errors: %d", res.Errors)
+	}
+}
+
+func TestRunClosedLoopValidation(t *testing.T) {
+	src := func() ([]byte, error) { return nil, nil }
+	if _, err := RunClosedLoop(context.Background(), nil, src, time.Second); err == nil {
+		t.Error("no clients accepted")
+	}
+	if _, err := RunClosedLoop(context.Background(), []Invoker{&fakeInvoker{}}, src, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	inv := []Invoker{&fakeInvoker{}, &fakeInvoker{}, &fakeInvoker{}}
+	ops := make([][]byte, 50)
+	for i := range ops {
+		ops[i] = []byte{byte(i)}
+	}
+	res, err := RunCount(context.Background(), inv, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 50 || res.Errors != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	total := uint64(0)
+	for _, i := range inv {
+		total += i.(*fakeInvoker).calls.Load()
+	}
+	if total != 50 {
+		t.Errorf("invoked %d times, want exactly 50", total)
+	}
+}
+
+func TestRunCountWithFailures(t *testing.T) {
+	inv := []Invoker{&fakeInvoker{fail: true}}
+	res, err := RunCount(context.Background(), inv, [][]byte{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 2 || res.Ops != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}

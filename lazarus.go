@@ -1,0 +1,119 @@
+// Package lazarus is the public facade of this repository: an
+// implementation of "Lazarus: Automatic Management of Diversity in BFT
+// Systems" (Garcia, Bessani, Neves — Middleware 2019).
+//
+// Lazarus is a control plane for BFT replicated services. It continuously
+// ingests vulnerability intelligence (NVD feeds, ExploitDB, vendor
+// advisories), clusters vulnerability descriptions to find weaknesses
+// that NVD reports against different products but that are likely
+// exploitable by variations of one attack, scores every vulnerability by
+// its current exploitability (CVSS adjusted by age, patch and exploit
+// availability), measures the risk that a replica set shares a weakness
+// (Equation 5 of the paper), and — when the risk crosses a threshold —
+// replaces replicas through a trusted deployment plane while the BFT
+// protocol preserves the service state (Algorithm 1).
+//
+// Typical embedded use:
+//
+//	ctrl, err := lazarus.NewController(lazarus.ControllerConfig{
+//		Net:          net,                   // execution-plane network
+//		App:          func() bft.Application { return kvs.New() },
+//		ClientKeys:   clientKeys,
+//		LTUSecret:    secret,
+//		InitialVulns: records,               // or Crawler for live feeds
+//	})
+//	err = ctrl.Bootstrap(ctx)                // lowest-risk diverse CONFIG
+//	for range time.Tick(24 * time.Hour) {
+//		ctrl.RefreshIntel(ctx)               // pull feeds, re-cluster
+//		ctrl.MonitorRound(ctx)               // Algorithm 1 + live swap
+//	}
+//
+// The evaluation harnesses (risk simulation for the paper's Figures 5–6,
+// the calibrated performance model for Figures 7–10) are exposed through
+// the RiskExperiment driver and the internal/perfmodel package; the
+// cmd/lazbench tool regenerates every table and figure.
+package lazarus
+
+import (
+	"lazarus/internal/cluster"
+	"lazarus/internal/controlplane"
+	"lazarus/internal/core"
+	"lazarus/internal/feeds"
+	"lazarus/internal/osint"
+	"lazarus/internal/riskim"
+)
+
+// Core risk-engine types (paper §4).
+type (
+	// Vulnerability is one consolidated OSINT record.
+	Vulnerability = osint.Vulnerability
+	// Replica identifies a replica's software stack for risk purposes.
+	Replica = core.Replica
+	// Config is a replica set (the paper's CONFIG).
+	Config = core.Config
+	// ScoreParams are the Equation 1–4 constants.
+	ScoreParams = core.ScoreParams
+	// Intel is the assembled threat-intelligence base.
+	Intel = core.Intel
+	// RiskEngine evaluates Equation 5 risk.
+	RiskEngine = core.RiskEngine
+	// Monitor runs Algorithm 1 over a replica-set lifecycle.
+	Monitor = core.Monitor
+	// Decision is one monitoring round's outcome.
+	Decision = core.Decision
+)
+
+// Control-plane types (paper §5).
+type (
+	// Controller is the Lazarus control plane.
+	Controller = controlplane.Controller
+	// ControllerConfig configures it.
+	ControllerConfig = controlplane.Config
+)
+
+// Experiment types (paper §6).
+type (
+	// RiskExperiment is the Figure 5/6 simulation driver.
+	RiskExperiment = riskim.Experiment
+	// Dataset is a historical vulnerability corpus.
+	Dataset = feeds.Dataset
+)
+
+// DefaultScoreParams returns the paper's scoring constants (Figure 2).
+func DefaultScoreParams() ScoreParams { return core.DefaultScoreParams() }
+
+// NewController builds the control plane (see ControllerConfig).
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	return controlplane.New(cfg)
+}
+
+// NewRiskEngine assembles a risk engine from a vulnerability corpus: the
+// descriptions are clustered (elbow-selected k unless cfg fixes it) and
+// Equation 5 evaluates direct sharing plus cluster-inferred sharing,
+// gated by description cosine similarity (same-cluster membership alone
+// over-links, since K-means assigns every record somewhere).
+func NewRiskEngine(corpus []*Vulnerability, params ScoreParams, clusterCfg cluster.Config) (*RiskEngine, error) {
+	model, err := cluster.BuildModel(corpus, clusterCfg)
+	if err != nil {
+		return nil, err
+	}
+	intel, err := core.NewIntel(corpus, model.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	intel.SetSimilarityGate(func(a, b string) bool {
+		return model.Cosine(a, b) >= 0.45
+	})
+	return core.NewRiskEngine(intel, params)
+}
+
+// GenerateDataset produces the seeded synthetic study corpus
+// (2014-01-01 … 2018-08-31 by default) with the paper's anchor CVEs
+// embedded.
+func GenerateDataset(seed int64) (*Dataset, error) {
+	return feeds.GenerateDataset(feeds.GenConfig{Seed: seed})
+}
+
+// StudyReplicas returns the 21-OS replica universe of the paper's §6
+// experiments.
+func StudyReplicas() []Replica { return feeds.Replicas() }
