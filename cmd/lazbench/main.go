@@ -13,6 +13,7 @@
 //	lazbench fig10           application throughput (KVS, SieveQ, Fabric)
 //	lazbench ablation        risk-metric ablations + threshold sweep
 //	lazbench leader          leader-placement analysis (paper §9)
+//	lazbench net             real-transport micro-run + frame/drop counters
 //	lazbench all             everything above (except the ablations)
 //
 // Absolute performance numbers come from the calibrated model
@@ -39,7 +40,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "dataset and experiment seed")
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|all)")
+		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|net|all)")
 	}
 	sub := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -58,9 +59,10 @@ func run(args []string) error {
 		"fig10":    func(int, int64) error { return fig10() },
 		"ablation": func(r int, s int64) error { return ablation(r, s) },
 		"leader":   func(int, int64) error { return leaderPlacement() },
+		"net":      func(int, int64) error { return netStats() },
 	}
 	if sub == "all" {
-		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig7", "fig8", "fig9", "fig10", "fig5", "fig6"} {
+		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig7", "fig8", "fig9", "fig10", "net", "fig5", "fig6"} {
 			if err := cmds[name](*runs, *seed); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

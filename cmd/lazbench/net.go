@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	gonet "net"
+	"time"
+
+	"lazarus/internal/transport"
+)
+
+// netStats exercises the two real transports — not the performance model
+// — and prints their counters: an in-memory burst with injected loss and
+// a TCP run on loopback with one black-holed peer, demonstrating the
+// non-blocking send path (a dead peer costs drops, not stalls).
+func netStats() error {
+	fmt.Println("== Transport counters (real send path, not the perf model) ==")
+	if err := netStatsMemory(); err != nil {
+		return err
+	}
+	return netStatsTCP()
+}
+
+func printStats(s transport.Stats) {
+	fmt.Printf("  %-22s %12s %12s\n", "", "frames", "bytes")
+	fmt.Printf("  %-22s %12d %12d\n", "sent", s.FramesSent, s.BytesSent)
+	fmt.Printf("  %-22s %12d %12d\n", "received", s.FramesRecv, s.BytesRecv)
+	fmt.Printf("  dials %d (failed %d, redials %d), write-deadline trips %d\n",
+		s.Dials, s.DialFailures, s.Redials, s.WriteDeadlineTrips)
+	fmt.Printf("  drops %d  (queue-full %d, inbox-full %d, auth %d, misrouted %d, write-fail %d, lossy %d)\n",
+		s.Drops(), s.DropsQueueFull, s.DropsInboxFull, s.DropsAuthFail,
+		s.DropsMisrouted, s.DropsWriteFail, s.DropsLossy)
+}
+
+func netStatsMemory() error {
+	const (
+		msgs    = 2000
+		payload = 256
+	)
+	net := transport.NewMemory(transport.MemoryConfig{QueueDepth: 64, DropRate: 0.10, Seed: 7})
+	defer net.Close()
+	a, err := net.Endpoint(1)
+	if err != nil {
+		return err
+	}
+	if _, err := net.Endpoint(2); err != nil {
+		return err
+	}
+	buf := make([]byte, payload)
+	for i := 0; i < msgs; i++ {
+		if err := a.Send(2, buf); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\n-- in-memory switchboard: %d×%dB burst, 10%% injected loss, inbox 64, receiver idle --\n",
+		msgs, payload)
+	printStats(net.Stats())
+	return nil
+}
+
+func netStatsTCP() error {
+	const (
+		msgs     = 2000 // to the healthy peer: fits the queue, all delivered
+		deadMsgs = 4000 // to the black-holed peer: overflows the queue
+		payload  = 256
+	)
+	addrs := map[transport.NodeID]string{}
+	// Two live nodes on pre-resolved loopback ports, one peer at a port
+	// where nothing answers.
+	for _, id := range []transport.NodeID{0, 1, 9} {
+		ln, err := gonet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[id] = ln.Addr().String()
+		ln.Close()
+	}
+	net, err := transport.NewTCP(transport.TCPConfig{
+		Addrs:            addrs,
+		Secret:           []byte("lazbench-net"),
+		SendQueueDepth:   2048,
+		DialTimeout:      200 * time.Millisecond,
+		WriteTimeout:     500 * time.Millisecond,
+		RedialBackoff:    10 * time.Millisecond,
+		RedialBackoffMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	sink, err := net.Endpoint(1)
+	if err != nil {
+		return err
+	}
+	src, err := net.Endpoint(0)
+	if err != nil {
+		return err
+	}
+	// Drain the healthy peer concurrently, counting what arrives; a
+	// quiet period means the wire is empty.
+	received := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+			_, err := sink.Recv(ctx)
+			cancel()
+			if err != nil {
+				received <- n
+				return
+			}
+			n++
+		}
+	}()
+	buf := make([]byte, payload)
+	start := time.Now()
+	for i := 0; i < deadMsgs; i++ {
+		if i < msgs {
+			if err := src.Send(1, buf); err != nil { // healthy peer
+				return err
+			}
+		}
+		if err := src.Send(9, buf); err != nil { // black-holed peer
+			return err
+		}
+	}
+	enqueue := time.Since(start)
+	var drained int
+	select {
+	case drained = <-received:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("healthy peer never went quiet")
+	}
+	fmt.Printf("\n-- TCP loopback: %d×%dB to a healthy peer interleaved with %d to a black-holed peer --\n",
+		msgs, payload, deadMsgs)
+	fmt.Printf("  enqueued %d sends in %v; healthy peer received %d/%d frames (wire quiet after %v)\n",
+		msgs+deadMsgs, enqueue.Round(time.Microsecond), drained, msgs, time.Since(start).Round(time.Millisecond))
+	printStats(net.Stats())
+	fmt.Println("  (dial failures + queue-full drops are the black-holed peer shedding load —")
+	fmt.Println("   every send returned immediately; no head-of-line blocking)")
+	return nil
+}

@@ -107,6 +107,14 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 		return nil, err
 	}
 
+	// Only replicas in this invocation's snapshot may vote: a retired
+	// replica (removed by a Lazarus reconfiguration, possibly because it
+	// was compromised) must not count toward the f+1 quorum.
+	member := make(map[transport.NodeID]bool, len(replicas))
+	for _, id := range replicas {
+		member[id] = true
+	}
+
 	votes := make(map[transport.NodeID][]byte)
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -136,6 +144,9 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 			reply, err := Decode(env.Payload)
 			if err != nil || reply.Type != MsgReply || reply.ReplySeq != seq {
 				continue // stale or foreign message
+			}
+			if !member[env.From] {
+				continue // sender is outside the replica-set snapshot
 			}
 			votes[env.From] = reply.Result
 			if result, ok := tally(votes, c.cfg.F+1); ok {

@@ -2,6 +2,7 @@ package bft
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -126,6 +127,81 @@ func TestClientIgnoresForgedReplies(t *testing.T) {
 		if decodeInt(res) != int64(i+1) {
 			t.Fatalf("result %d, want %d", decodeInt(res), i+1)
 		}
+	}
+}
+
+func TestClientIgnoresRetiredReplicaVotes(t *testing.T) {
+	// Two nodes OUTSIDE the client's replica-set snapshot (e.g. replicas
+	// retired by a Lazarus reconfiguration, possibly compromised) pump
+	// f+1 matching bogus replies at the client. The old code tallied
+	// votes from any sender, so the pair reached the quorum and the
+	// client accepted their fabricated result.
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer net.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := net.Endpoint(transport.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retiredA, err := net.Endpoint(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retiredB, err := net.Endpoint(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, priv := keypair(t)
+	cl, err := NewClient(ClientConfig{
+		ID:             transport.ClientIDBase,
+		Key:            priv,
+		Replicas:       []transport.NodeID{0, 1, 2, 3},
+		F:              1,
+		Net:            net,
+		RequestTimeout: 100 * time.Millisecond,
+		MaxAttempts:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, from := range []transport.NodeID{50, 51} {
+			payload, err := Encode(&Message{Type: MsgReply, From: from, ReplySeq: 1, Result: []byte("evil")})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			src := retiredA
+			if from == 51 {
+				src = retiredB
+			}
+			wg.Add(1)
+			go func(src transport.Endpoint, payload []byte) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					src.Send(transport.ClientIDBase, payload)
+					time.Sleep(5 * time.Millisecond)
+				}
+			}(src, payload)
+		}
+	}()
+
+	res, err := cl.Invoke(context.Background(), []byte("op"))
+	close(stop)
+	wg.Wait()
+	if err == nil {
+		t.Fatalf("invoke accepted result %q vouched only by retired replicas", res)
 	}
 }
 

@@ -47,6 +47,10 @@ func TestOrderingOverTCP(t *testing.T) {
 	tnet, err := transport.NewTCP(transport.TCPConfig{
 		Addrs:  addrs,
 		Secret: []byte("bft-over-tcp-test"),
+		// Tight deadlines: a wedged replica must cost milliseconds, not
+		// OS-default connect timeouts, even in this happy-path test.
+		DialTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -129,4 +133,13 @@ func TestOrderingOverTCP(t *testing.T) {
 		}
 		return true
 	})
+
+	// A full protocol run must be visible in the transport counters.
+	st := tnet.Stats()
+	if st.FramesSent == 0 || st.FramesRecv == 0 || st.Dials == 0 {
+		t.Errorf("transport counters silent after a BFT run: %+v", st)
+	}
+	if st.DropsAuthFail != 0 || st.DropsMisrouted != 0 {
+		t.Errorf("unexpected hostile-frame drops on a clean run: %+v", st)
+	}
 }

@@ -26,7 +26,8 @@ type MemoryConfig struct {
 // programmable latency, loss, per-link cuts and partitions. It is the
 // deterministic substrate for protocol tests.
 type Memory struct {
-	cfg MemoryConfig
+	cfg   MemoryConfig
+	stats counters
 
 	mu        sync.Mutex
 	endpoints map[NodeID]*memEndpoint
@@ -50,6 +51,9 @@ func NewMemory(cfg MemoryConfig) *Memory {
 }
 
 var _ Network = (*Memory)(nil)
+
+// Stats implements Network.
+func (m *Memory) Stats() Stats { return m.stats.snapshot() }
 
 type memEndpoint struct {
 	id     NodeID
@@ -146,6 +150,7 @@ func (ep *memEndpoint) ID() NodeID { return ep.id }
 // Send implements Endpoint.
 func (ep *memEndpoint) Send(to NodeID, payload []byte) error {
 	m := ep.net
+	st := &m.stats
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -159,6 +164,7 @@ func (ep *memEndpoint) Send(to NodeID, payload []byte) error {
 	}
 	if m.cut[link(ep.id, to)] {
 		m.mu.Unlock()
+		st.dropsLossy.Add(1)
 		return nil // silently lost, like a partitioned network
 	}
 	dst, ok := m.endpoints[to]
@@ -174,23 +180,36 @@ func (ep *memEndpoint) Send(to NodeID, payload []byte) error {
 			delay += time.Duration(m.rng.Int63n(int64(m.cfg.Jitter)))
 		}
 	}
+	delayed := !drop && delay > 0
+	if delayed {
+		// The Add must happen under m.mu, while closed is known false:
+		// Close marks the network closed under the same lock before
+		// calling Wait, so this Add is ordered before the Wait and can
+		// never race with it.
+		m.wg.Add(1)
+	}
 	m.mu.Unlock()
 	if drop {
+		st.dropsLossy.Add(1)
 		return nil
 	}
 	env := Envelope{From: ep.id, To: to, Payload: append([]byte(nil), payload...)}
+	st.framesSent.Add(1)
+	st.bytesSent.Add(int64(len(payload)))
 	deliver := func() {
 		select {
 		case dst.inbox <- env:
+			st.framesRecv.Add(1)
+			st.bytesRecv.Add(int64(len(env.Payload)))
 		case <-dst.closed:
 		default: // inbox full: lossy network drops
+			st.dropsInboxFull.Add(1)
 		}
 	}
-	if delay == 0 {
+	if !delayed {
 		deliver()
 		return nil
 	}
-	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
 		timer := time.NewTimer(delay)

@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMemoryCloseDuringDelayedSends hammers delayed Sends concurrently
+// with Close. The old code called wg.Add for the delivery goroutine
+// after releasing the network mutex, racing with Close's wg.Wait — a
+// WaitGroup Add-after-Wait misuse that panics (and trips the race
+// detector) under teardown.
+func TestMemoryCloseDuringDelayedSends(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		net := NewMemory(MemoryConfig{BaseDelay: time.Millisecond})
+		a, err := net.Endpoint(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Endpoint(2); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := a.Send(2, []byte("x")); err != nil {
+						return // network closed under us: expected
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond)
+		net.Close()
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestMemoryStats exercises every memory-side counter: delivered frames,
+// link-cut and injected-loss drops, and inbox-overflow drops.
+func TestMemoryStats(t *testing.T) {
+	net := NewMemory(MemoryConfig{QueueDepth: 2})
+	defer net.Close()
+	a, _ := net.Endpoint(1)
+	b, _ := net.Endpoint(2)
+
+	if err := a.Send(2, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Stats()
+	if s.FramesSent != 1 || s.FramesRecv != 1 || s.BytesSent != 3 || s.BytesRecv != 3 {
+		t.Errorf("after one delivery: %+v", s)
+	}
+
+	net.Cut(1, 2)
+	a.Send(2, []byte("severed"))
+	net.Heal(1, 2)
+	if s = net.Stats(); s.DropsLossy != 1 {
+		t.Errorf("cut-link drop not counted: %+v", s)
+	}
+
+	// Inbox capacity is 2 and one slot is taken: two more sends fit,
+	// the third overflows.
+	for i := 0; i < 3; i++ {
+		a.Send(2, []byte("flood"))
+	}
+	if s = net.Stats(); s.DropsInboxFull != 2 {
+		t.Errorf("inbox-overflow drops = %d, want 2: %+v", s.DropsInboxFull, s)
+	}
+	_ = b
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of a network's transport counters.
+// Both networks tally every frame they move and, crucially, every frame
+// they drop and why: the transports are deliberately lossy (Send never
+// blocks on a slow peer), so the drop counters are the only way to tell
+// "the network is quiet" apart from "the network is shedding load".
+type Stats struct {
+	// FramesSent and BytesSent count frames actually put on the wire
+	// (TCP) or dispatched toward an inbox (memory). Frames shed before
+	// that point appear under a drop counter instead.
+	FramesSent, BytesSent int64
+	// FramesRecv and BytesRecv count authenticated frames arriving at
+	// an endpoint, before inbox admission.
+	FramesRecv, BytesRecv int64
+
+	// Dials counts connection attempts; DialFailures the ones that
+	// failed; Redials the attempts made after a previously established
+	// connection broke (TCP only).
+	Dials, DialFailures, Redials int64
+	// WriteDeadlineTrips counts frame writes aborted because the peer
+	// stopped draining its socket within the write timeout (TCP only).
+	WriteDeadlineTrips int64
+
+	// DropsQueueFull counts frames shed because a peer's outbound
+	// queue was full — the peer is slow, wedged or unreachable (TCP).
+	DropsQueueFull int64
+	// DropsInboxFull counts frames shed at the receiver because its
+	// inbox was full.
+	DropsInboxFull int64
+	// DropsAuthFail counts inbound frames rejected by HMAC
+	// authentication (TCP).
+	DropsAuthFail int64
+	// DropsMisrouted counts authenticated frames addressed to a
+	// different node (TCP).
+	DropsMisrouted int64
+	// DropsWriteFail counts frames lost to a broken connection or a
+	// tripped write deadline (TCP).
+	DropsWriteFail int64
+	// DropsLossy counts frames shed by injected loss or severed links
+	// (memory).
+	DropsLossy int64
+}
+
+// Drops totals every drop cause.
+func (s Stats) Drops() int64 {
+	return s.DropsQueueFull + s.DropsInboxFull + s.DropsAuthFail +
+		s.DropsMisrouted + s.DropsWriteFail + s.DropsLossy
+}
+
+// String renders the nonzero counters on one line, for logs and the
+// lazbench output.
+func (s Stats) String() string {
+	var b strings.Builder
+	add := func(name string, v int64) {
+		if v == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, v)
+	}
+	add("sent", s.FramesSent)
+	add("sentB", s.BytesSent)
+	add("recv", s.FramesRecv)
+	add("recvB", s.BytesRecv)
+	add("dials", s.Dials)
+	add("dialFail", s.DialFailures)
+	add("redials", s.Redials)
+	add("wdeadline", s.WriteDeadlineTrips)
+	add("dropQueue", s.DropsQueueFull)
+	add("dropInbox", s.DropsInboxFull)
+	add("dropAuth", s.DropsAuthFail)
+	add("dropMisroute", s.DropsMisrouted)
+	add("dropWrite", s.DropsWriteFail)
+	add("dropLossy", s.DropsLossy)
+	if b.Len() == 0 {
+		return "idle"
+	}
+	return b.String()
+}
+
+// counters is the live, atomically updated form of Stats shared by every
+// endpoint of one network.
+type counters struct {
+	framesSent, bytesSent        atomic.Int64
+	framesRecv, bytesRecv        atomic.Int64
+	dials, dialFailures, redials atomic.Int64
+	writeDeadlineTrips           atomic.Int64
+	dropsQueueFull               atomic.Int64
+	dropsInboxFull               atomic.Int64
+	dropsAuthFail                atomic.Int64
+	dropsMisrouted               atomic.Int64
+	dropsWriteFail               atomic.Int64
+	dropsLossy                   atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		FramesSent:         c.framesSent.Load(),
+		BytesSent:          c.bytesSent.Load(),
+		FramesRecv:         c.framesRecv.Load(),
+		BytesRecv:          c.bytesRecv.Load(),
+		Dials:              c.dials.Load(),
+		DialFailures:       c.dialFailures.Load(),
+		Redials:            c.redials.Load(),
+		WriteDeadlineTrips: c.writeDeadlineTrips.Load(),
+		DropsQueueFull:     c.dropsQueueFull.Load(),
+		DropsInboxFull:     c.dropsInboxFull.Load(),
+		DropsAuthFail:      c.dropsAuthFail.Load(),
+		DropsMisrouted:     c.dropsMisrouted.Load(),
+		DropsWriteFail:     c.dropsWriteFail.Load(),
+		DropsLossy:         c.dropsLossy.Load(),
+	}
+}

@@ -5,15 +5,25 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrame bounds a single TCP frame (16 MiB), protecting receivers from
 // hostile length prefixes.
 const maxFrame = 16 << 20
+
+// frameOverhead is the on-wire size of a frame beyond its payload:
+// length prefix, routing header and MAC.
+const frameOverhead = 4 + 16 + sha256.Size
+
+// errAuthFail marks an inbound frame that failed HMAC authentication.
+var errAuthFail = errors.New("transport: frame failed authentication")
 
 // TCPConfig configures a TCP network.
 type TCPConfig struct {
@@ -25,6 +35,21 @@ type TCPConfig struct {
 	Secret []byte
 	// QueueDepth is the per-endpoint inbox capacity (default 4096).
 	QueueDepth int
+	// SendQueueDepth is the per-peer outbound queue capacity (default
+	// 1024). When a peer's queue is full — it is slow, wedged or
+	// unreachable — further frames to it are dropped and counted,
+	// never blocking the sender.
+	SendQueueDepth int
+	// DialTimeout bounds a single connection attempt (default 3s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds a single frame write (default 5s). A peer
+	// that stops draining its socket trips the deadline and loses the
+	// frame instead of wedging the writer.
+	WriteTimeout time.Duration
+	// RedialBackoff and RedialBackoffMax shape the capped exponential
+	// backoff (plus up to 50% jitter) between dial attempts to an
+	// unreachable peer (defaults 50ms and 2s).
+	RedialBackoff, RedialBackoffMax time.Duration
 }
 
 // TCP is a Network over real sockets with length-prefixed, HMAC-
@@ -32,11 +57,17 @@ type TCPConfig struct {
 //
 //	uint32 length | int64 from | int64 to | payload | 32-byte HMAC
 //
-// Connections are dialed lazily per destination and re-dialed on failure;
-// ordering across re-dials is not guaranteed, matching the asynchronous
-// model the BFT layer assumes.
+// Each destination is served by a dedicated per-peer writer: Send is a
+// non-blocking enqueue onto that writer's bounded queue, and the writer
+// alone dials (with timeout), writes (under a deadline) and re-dials
+// (with capped exponential backoff). A slow, stalled or dead peer can
+// therefore never block traffic to healthy peers — its queue simply
+// fills and overflow frames are dropped, matching the lossy-network
+// contract. Ordering across re-dials is not guaranteed, matching the
+// asynchronous model the BFT layer assumes.
 type TCP struct {
-	cfg TCPConfig
+	cfg   TCPConfig
+	stats counters
 
 	mu        sync.Mutex
 	endpoints map[NodeID]*tcpEndpoint
@@ -54,10 +85,28 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4096
 	}
+	if cfg.SendQueueDepth <= 0 {
+		cfg.SendQueueDepth = 1024
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 50 * time.Millisecond
+	}
+	if cfg.RedialBackoffMax <= 0 {
+		cfg.RedialBackoffMax = 2 * time.Second
+	}
 	return &TCP{cfg: cfg, endpoints: make(map[NodeID]*tcpEndpoint)}, nil
 }
 
 var _ Network = (*TCP)(nil)
+
+// Stats implements Network.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
 
 type tcpEndpoint struct {
 	id       NodeID
@@ -67,8 +116,12 @@ type tcpEndpoint struct {
 	closed   chan struct{}
 	once     sync.Once
 
+	// dialCtx is cancelled on Close so in-flight dials abort promptly.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+
 	mu      sync.Mutex
-	conns   map[NodeID]net.Conn
+	writers map[NodeID]*peerWriter
 	inbound map[net.Conn]struct{}
 	wg      sync.WaitGroup
 }
@@ -92,14 +145,17 @@ func (t *TCP) Endpoint(id NodeID) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	ep := &tcpEndpoint{
-		id:       id,
-		net:      t,
-		listener: ln,
-		inbox:    make(chan Envelope, t.cfg.QueueDepth),
-		closed:   make(chan struct{}),
-		conns:    make(map[NodeID]net.Conn),
-		inbound:  make(map[net.Conn]struct{}),
+		id:         id,
+		net:        t,
+		listener:   ln,
+		inbox:      make(chan Envelope, t.cfg.QueueDepth),
+		closed:     make(chan struct{}),
+		dialCtx:    ctx,
+		dialCancel: cancel,
+		writers:    make(map[NodeID]*peerWriter),
+		inbound:    make(map[net.Conn]struct{}),
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -142,8 +198,11 @@ func (ep *tcpEndpoint) acceptLoop() {
 		default:
 		}
 		ep.inbound[conn] = struct{}{}
-		ep.mu.Unlock()
+		// The Add must happen under ep.mu: Close marks the endpoint
+		// closed under the same lock before waiting, so this Add is
+		// ordered before Close's Wait.
 		ep.wg.Add(1)
+		ep.mu.Unlock()
 		go func() {
 			defer ep.wg.Done()
 			defer func() {
@@ -158,12 +217,19 @@ func (ep *tcpEndpoint) acceptLoop() {
 }
 
 func (ep *tcpEndpoint) readLoop(conn net.Conn) {
+	st := &ep.net.stats
 	for {
 		env, err := readFrame(conn, ep.net.cfg.Secret)
 		if err != nil {
+			if errors.Is(err, errAuthFail) {
+				st.dropsAuthFail.Add(1)
+			}
 			return
 		}
+		st.framesRecv.Add(1)
+		st.bytesRecv.Add(int64(frameOverhead + len(env.Payload)))
 		if env.To != ep.id {
+			st.dropsMisrouted.Add(1)
 			continue // misrouted or spoofed; drop
 		}
 		select {
@@ -171,6 +237,7 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 		case <-ep.closed:
 			return
 		default: // inbox full: drop, lossy-network semantics
+			st.dropsInboxFull.Add(1)
 		}
 	}
 }
@@ -178,46 +245,194 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 // ID implements Endpoint.
 func (ep *tcpEndpoint) ID() NodeID { return ep.id }
 
-// Send implements Endpoint.
+// Send implements Endpoint. It never touches the network itself: the
+// frame is encoded and enqueued onto the destination's writer, and a
+// full queue sheds the frame (counted) rather than blocking.
 func (ep *tcpEndpoint) Send(to NodeID, payload []byte) error {
 	select {
 	case <-ep.closed:
 		return ErrClosed
 	default:
 	}
-	conn, err := ep.conn(to)
+	pw, err := ep.writer(to)
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(conn, ep.net.cfg.Secret, Envelope{From: ep.id, To: to, Payload: payload}); err != nil {
-		// Connection broke: forget it so the next send re-dials.
-		ep.mu.Lock()
-		if ep.conns[to] == conn {
-			delete(ep.conns, to)
-		}
-		ep.mu.Unlock()
-		conn.Close()
-		return fmt.Errorf("transport: sending to %d: %w", to, err)
+	frame, err := encodeFrame(ep.net.cfg.Secret, Envelope{From: ep.id, To: to, Payload: payload})
+	if err != nil {
+		return err
 	}
-	return nil
+	select {
+	case pw.queue <- frame:
+		return nil
+	case <-ep.closed:
+		return ErrClosed
+	default:
+		ep.net.stats.dropsQueueFull.Add(1)
+		return nil // lossy-network contract: a wedged peer sheds load
+	}
 }
 
-func (ep *tcpEndpoint) conn(to NodeID) (net.Conn, error) {
+// writer returns the destination's peer writer, starting it on first
+// use. Creation is cheap — no dialing happens under the lock.
+func (ep *tcpEndpoint) writer(to NodeID) (*peerWriter, error) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	if c, ok := ep.conns[to]; ok {
-		return c, nil
+	select {
+	case <-ep.closed:
+		return nil, ErrClosed
+	default:
+	}
+	if pw, ok := ep.writers[to]; ok {
+		return pw, nil
 	}
 	addr, ok := ep.net.cfg.Addrs[to]
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for node %d", to)
 	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dialing %d at %s: %w", to, addr, err)
+	pw := &peerWriter{
+		to:    to,
+		addr:  addr,
+		ep:    ep,
+		queue: make(chan []byte, ep.net.cfg.SendQueueDepth),
 	}
-	ep.conns[to] = c
+	ep.writers[to] = pw
+	ep.wg.Add(1)
+	go pw.run()
+	return pw, nil
+}
+
+// peerWriter owns all outbound traffic to one destination: a bounded
+// queue of encoded frames drained by a single goroutine (singleflight —
+// at most one dial per peer at any time) that connects with a timeout,
+// writes under a per-frame deadline and re-dials with capped
+// exponential backoff plus jitter.
+type peerWriter struct {
+	to    NodeID
+	addr  string
+	ep    *tcpEndpoint
+	queue chan []byte
+
+	mu   sync.Mutex
+	conn net.Conn // owned by run(); Close shuts it to unblock a write
+}
+
+func (pw *peerWriter) run() {
+	ep := pw.ep
+	defer ep.wg.Done()
+	defer pw.closeConn()
+	cfg := &ep.net.cfg
+	st := &ep.net.stats
+	backoff := cfg.RedialBackoff
+	everConnected := false
+	for {
+		var frame []byte
+		select {
+		case <-ep.closed:
+			return
+		case frame = <-pw.queue:
+		}
+		// Deliver the frame, (re)connecting as needed. Dial failures
+		// back off and retry while the frame stays pending; meanwhile
+		// the queue absorbs — then sheds — new traffic.
+		for {
+			conn := pw.current()
+			if conn == nil {
+				c, err := pw.dial(everConnected)
+				if err != nil {
+					if !pw.sleep(backoff) {
+						return
+					}
+					backoff *= 2
+					if backoff > cfg.RedialBackoffMax {
+						backoff = cfg.RedialBackoffMax
+					}
+					continue
+				}
+				if !pw.setConn(c) {
+					return // closed while dialing
+				}
+				conn = c
+				everConnected = true
+				backoff = cfg.RedialBackoff
+			}
+			conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+			if _, err := conn.Write(frame); err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					st.writeDeadlineTrips.Add(1)
+				}
+				// The frame may be partially written; resending it on a
+				// fresh connection would corrupt the stream, so it is
+				// lost — the BFT layer's retransmissions absorb this.
+				st.dropsWriteFail.Add(1)
+				pw.closeConn()
+				break
+			}
+			st.framesSent.Add(1)
+			st.bytesSent.Add(int64(len(frame)))
+			break
+		}
+	}
+}
+
+func (pw *peerWriter) dial(redial bool) (net.Conn, error) {
+	st := &pw.ep.net.stats
+	st.dials.Add(1)
+	if redial {
+		st.redials.Add(1)
+	}
+	d := net.Dialer{Timeout: pw.ep.net.cfg.DialTimeout}
+	c, err := d.DialContext(pw.ep.dialCtx, "tcp", pw.addr)
+	if err != nil {
+		st.dialFailures.Add(1)
+		return nil, err
+	}
 	return c, nil
+}
+
+// sleep waits the backoff plus up to 50% jitter, or returns false if the
+// endpoint closes first.
+func (pw *peerWriter) sleep(d time.Duration) bool {
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-pw.ep.closed:
+		return false
+	}
+}
+
+func (pw *peerWriter) current() net.Conn {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.conn
+}
+
+// setConn registers a freshly dialed connection; if the endpoint closed
+// meanwhile, the connection is discarded and false is returned.
+func (pw *peerWriter) setConn(c net.Conn) bool {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	select {
+	case <-pw.ep.closed:
+		c.Close()
+		return false
+	default:
+	}
+	pw.conn = c
+	return true
+}
+
+func (pw *peerWriter) closeConn() {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	if pw.conn != nil {
+		pw.conn.Close()
+		pw.conn = nil
+	}
 }
 
 // Recv implements Endpoint.
@@ -232,16 +447,18 @@ func (ep *tcpEndpoint) Recv(ctx context.Context) (Envelope, error) {
 	}
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint. It is prompt even with dials in flight or
+// writes wedged: the dial context is cancelled and every connection is
+// closed, unblocking the writer and reader goroutines before Wait.
 func (ep *tcpEndpoint) Close() error {
 	ep.once.Do(func() {
-		close(ep.closed)
-		ep.listener.Close()
 		ep.mu.Lock()
-		for _, c := range ep.conns {
-			c.Close()
+		close(ep.closed)
+		ep.dialCancel()
+		ep.listener.Close()
+		for _, pw := range ep.writers {
+			pw.closeConn()
 		}
-		ep.conns = make(map[NodeID]net.Conn)
 		// Inbound connections must be closed too, or their read loops
 		// would block forever and Close would deadlock on wg.Wait.
 		for c := range ep.inbound {
@@ -253,8 +470,8 @@ func (ep *tcpEndpoint) Close() error {
 	return nil
 }
 
-// writeFrame serializes and MACs one envelope.
-func writeFrame(w io.Writer, secret []byte, env Envelope) error {
+// encodeFrame serializes and MACs one envelope.
+func encodeFrame(secret []byte, env Envelope) ([]byte, error) {
 	mac := hmac.New(sha256.New, secret)
 	var hdr [16]byte
 	binary.BigEndian.PutUint64(hdr[0:8], uint64(env.From))
@@ -265,14 +482,23 @@ func writeFrame(w io.Writer, secret []byte, env Envelope) error {
 
 	total := len(hdr) + len(env.Payload) + len(sum)
 	if total > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
 	}
 	buf := make([]byte, 4+total)
 	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
 	copy(buf[4:], hdr[:])
 	copy(buf[4+16:], env.Payload)
 	copy(buf[4+16+len(env.Payload):], sum)
-	_, err := w.Write(buf)
+	return buf, nil
+}
+
+// writeFrame serializes, MACs and writes one envelope.
+func writeFrame(w io.Writer, secret []byte, env Envelope) error {
+	buf, err := encodeFrame(secret, env)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 
@@ -297,7 +523,7 @@ func readFrame(r io.Reader, secret []byte) (Envelope, error) {
 	mac.Write(hdr)
 	mac.Write(payload)
 	if !hmac.Equal(mac.Sum(nil), sum) {
-		return Envelope{}, fmt.Errorf("transport: frame failed authentication")
+		return Envelope{}, errAuthFail
 	}
 	return Envelope{
 		From:    NodeID(binary.BigEndian.Uint64(hdr[0:8])),

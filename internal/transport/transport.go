@@ -52,6 +52,9 @@ type Network interface {
 	// Endpoint returns the endpoint of the given node, creating it if
 	// needed.
 	Endpoint(id NodeID) (Endpoint, error)
+	// Stats returns a snapshot of the network's transport counters
+	// (frames, bytes, dials and per-cause drops).
+	Stats() Stats
 	// Close shuts the network down.
 	Close() error
 }
