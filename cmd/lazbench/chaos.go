@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"lazarus/internal/controlplane"
+)
+
+// chaosRun drives the full control plane through a seeded fault schedule
+// — random boot failures, stalled boots, LTU faults, silent replicas and
+// link loss, plus forced boot-failure rounds — while closed-loop clients
+// hammer the replicated KVS. It prints the swap-engine counters, the
+// structured swap history and the transport statistics, and exits
+// non-zero if any invariant was violated: the group must hold exactly
+// n = 3f+1 live correct replicas and every failed swap must roll back
+// cleanly.
+func chaosRun(rounds int, seed int64) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	fmt.Printf("== chaos: %d monitor rounds, seed %d ==\n", rounds, seed)
+	rep, err := controlplane.RunChaos(ctx, controlplane.ChaosConfig{
+		Rounds:        rounds,
+		Seed:          seed,
+		ClientWorkers: 2,
+		// Two forced rounds bomb a critical CVE while every image refuses
+		// to boot, so the rollback path provably executes.
+		ForceBootFailRounds: []int{3, rounds/2 + 1},
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	st := rep.Stats
+	fmt.Println()
+	fmt.Printf("rounds          %d (%d with faults, %d bombs, %d round errors)\n",
+		rep.Rounds, rep.FaultRounds, rep.Bombs, rep.RoundErrors)
+	fmt.Printf("swaps           %d attempted: %d succeeded, %d rolled back, %d rolled forward, %d aborted (%d stage retries)\n",
+		st.Attempts, st.Successes, st.Rollbacks, st.RolledForward, st.RollbackFailures, st.Retries)
+	for stage, n := range st.StageFailures {
+		fmt.Printf("  stage %-10v %d failed attempts\n", stage, n)
+	}
+	fmt.Printf("client load     %d ops (%d errors)\n", rep.ClientOps, rep.ClientErrs)
+	fmt.Printf("transport       %+v\n", rep.Net)
+	fmt.Printf("final config    %v (epoch %d, members %v)\n",
+		rep.Final.Config, rep.Final.Epoch, rep.Final.Members)
+	fmt.Printf("census          %d tracked, %d running, %d orphans\n",
+		rep.Census.Tracked, len(rep.Census.Running), len(rep.Census.Orphans))
+
+	if len(rep.History) > 0 {
+		fmt.Println("\nswap history:")
+		for _, r := range rep.History {
+			line := fmt.Sprintf("  %-22s node %2d -> %2d  %-13v", r.Removed+" -> "+r.Added,
+				r.OldNode, r.NewNode, r.Outcome)
+			if r.Err != "" {
+				line += fmt.Sprintf("  [%v: %s]", r.FailedStage, r.Err)
+			}
+			fmt.Println(line)
+		}
+	}
+
+	if len(rep.Violations) > 0 {
+		fmt.Println("\nINVARIANT VIOLATIONS:")
+		for _, v := range rep.Violations {
+			fmt.Println("  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nall invariants held: n=3f+1 retained, every failed swap rolled back")
+	return nil
+}

@@ -14,7 +14,8 @@
 //	lazbench ablation        risk-metric ablations + threshold sweep
 //	lazbench leader          leader-placement analysis (paper §9)
 //	lazbench net             real-transport micro-run + frame/drop counters
-//	lazbench all             everything above (except the ablations)
+//	lazbench chaos [-rounds N]  control-plane chaos run: swaps under faults
+//	lazbench all             everything above (except ablations and chaos)
 //
 // Absolute performance numbers come from the calibrated model
 // (internal/perfmodel); risk numbers from the seeded synthetic dataset
@@ -38,9 +39,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("lazbench", flag.ContinueOnError)
 	runs := fs.Int("runs", 250, "runs per strategy for fig5/fig6 (paper: 1000)")
 	seed := fs.Int64("seed", 1, "dataset and experiment seed")
+	rounds := fs.Int("rounds", 25, "monitor rounds for the chaos run")
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|net|all)")
+		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|net|chaos|all)")
 	}
 	sub := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -60,6 +62,7 @@ func run(args []string) error {
 		"ablation": func(r int, s int64) error { return ablation(r, s) },
 		"leader":   func(int, int64) error { return leaderPlacement() },
 		"net":      func(int, int64) error { return netStats() },
+		"chaos":    func(_ int, s int64) error { return chaosRun(*rounds, s) },
 	}
 	if sub == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig7", "fig8", "fig9", "fig10", "net", "fig5", "fig6"} {

@@ -392,11 +392,12 @@ func (r *Replica) applyReconfig(op ReconfigOp) []byte {
 	r.updateStats(func(s *ReplicaStats) { s.Reconfigs++ })
 	r.cfg.Logf("replica %d: epoch %d membership %v", r.cfg.ID, next.Epoch, next.Replicas)
 
-	if op.Add {
-		// Take an immediate checkpoint so the joiner can fetch a state
-		// that already includes the new membership.
-		r.takeCheckpoint(r.lastExec)
-	}
+	// Take an immediate checkpoint so peers that missed this instance can
+	// fetch a state that already includes the new membership: the joiner
+	// needs it after an ADD, and after a REMOVE it is the fastest signal
+	// to any replica still at the old epoch (the vote carries the new
+	// epoch, which triggers its state transfer).
+	r.takeCheckpoint(r.lastExec)
 	if !op.Add && op.Replica == r.cfg.ID {
 		// This replica was removed: it stops participating (the control
 		// plane will power it off). Entering joining mode silences it.

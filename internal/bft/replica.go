@@ -158,7 +158,8 @@ type Replica struct {
 	vcArmed      bool
 
 	// State transfer state.
-	stReplies map[transport.NodeID]*Message
+	stReplies  map[transport.NodeID]*Message
+	epochProbe uint64 // highest epoch a state transfer was triggered for
 
 	// Lifecycle.
 	ctx    context.Context
@@ -312,6 +313,15 @@ func (r *Replica) dispatch(msg *Message) {
 		// execution state freezes.
 		return
 	}
+	// Epoch-gap detection: the ordering handlers silently drop messages
+	// from other epochs, so without this a replica that missed a
+	// reconfiguration would never learn it is behind — the group splits
+	// into epoch camps that cannot hear each other and, if neither camp
+	// is a quorum, wedges forever. Any authenticated member claiming a
+	// higher epoch triggers one state transfer per observed epoch value.
+	if msg.Epoch > r.membership.Epoch && r.membership.Contains(msg.From) {
+		r.maybeEpochSync(msg.Epoch)
+	}
 	switch msg.Type {
 	case MsgRequest:
 		r.onRequest(msg)
@@ -399,11 +409,16 @@ func (r *Replica) verifySigned(msg *Message) bool {
 // checkpoints and state transfer: the application state plus the
 // protocol metadata a joiner needs. Maps are flattened into sorted slices
 // because checkpoint agreement hashes these bytes — the encoding must be
-// deterministic across replicas.
+// deterministic across replicas. The view is deliberately NOT part of the
+// snapshot: it is protocol-local, replicas at the same sequence number
+// legitimately disagree about it mid-view-change, and including it made
+// same-state checkpoints hash differently (blocking stability) while
+// restoring it dragged recovering replicas back to stale views. A
+// restored replica keeps its own view and re-synchronizes through the
+// view-change protocol.
 type replicaSnapshot struct {
 	AppState []byte
 	LastExec uint64
-	View     uint64
 	Epoch    uint64
 	Members  []memberEntry
 	Clients  []clientEntry
@@ -427,7 +442,6 @@ func (r *Replica) encodeSnapshot() ([]byte, error) {
 	snap := replicaSnapshot{
 		AppState: appState,
 		LastExec: r.lastExec,
-		View:     r.view,
 		Epoch:    r.membership.Epoch,
 	}
 	for _, id := range r.membership.Replicas { // already sorted
@@ -471,7 +485,6 @@ func (r *Replica) restoreSnapshot(data []byte) error {
 	}
 	mem.Epoch = snap.Epoch
 	r.membership = mem
-	r.view = snap.View
 	r.lastExec = snap.LastExec
 	r.seq = snap.LastExec
 	r.lowWater = snap.LastExec

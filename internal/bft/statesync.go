@@ -11,7 +11,7 @@ import (
 // and by replicas that fell behind a stable checkpoint.
 func (r *Replica) requestStateTransfer() {
 	r.stReplies = make(map[transport.NodeID]*Message)
-	req := &Message{Type: MsgStateRequest, SeqNo: r.lastExec}
+	req := &Message{Type: MsgStateRequest, SeqNo: r.lastExec, Epoch: r.membership.Epoch}
 	for _, id := range r.cfg.Membership.Replicas {
 		if id != r.cfg.ID {
 			r.send(id, req)
@@ -27,8 +27,49 @@ func (r *Replica) requestStateTransfer() {
 	r.armProgressTimer() // retry if no usable replies arrive
 }
 
-// onStateRequest serves the latest stable snapshot to a lagging replica.
+// maybeEpochSync triggers a state transfer after an authenticated member
+// advertised a higher epoch than ours — at most once per observed epoch
+// value; the progress timer retries if it does not complete.
+func (r *Replica) maybeEpochSync(epoch uint64) {
+	if epoch <= r.epochProbe {
+		return
+	}
+	r.epochProbe = epoch
+	r.cfg.Logf("replica %d: behind epoch %d (at %d); requesting state",
+		r.cfg.ID, epoch, r.membership.Epoch)
+	r.requestStateTransfer()
+}
+
+// onStateRequest serves state to a lagging replica. Two cases:
+//
+//   - The requester is behind our stable checkpoint: serve the stable
+//     snapshot (the classic PBFT path).
+//   - The requester is at an older epoch but at (or past) our stable
+//     checkpoint: the stable snapshot cannot help it across the
+//     reconfiguration, so serve a fresh snapshot of current state. This
+//     is safe — the requester still demands f+1 matching copies, so a
+//     single faulty replica cannot feed it fabricated state — and it is
+//     the only recovery path for a replica that missed a reconfiguration
+//     whose quorum has since dissolved (e.g. the removed replica was
+//     powered off before a new checkpoint stabilized).
 func (r *Replica) onStateRequest(msg *Message) {
+	if msg.Epoch < r.membership.Epoch && msg.SeqNo < r.lastExec {
+		snap, err := r.encodeSnapshot()
+		if err != nil {
+			r.cfg.Logf("replica %d: snapshot for state request failed: %v", r.cfg.ID, err)
+			return
+		}
+		reply := &Message{
+			Type:      MsgStateReply,
+			SnapSeqNo: r.lastExec,
+			SnapView:  r.view,
+			Snapshot:  snap,
+		}
+		reply.From = r.cfg.ID
+		reply.Sign(r.cfg.Key)
+		r.send(msg.From, reply)
+		return
+	}
 	if r.lastSnap == nil || r.lowWater <= msg.SeqNo {
 		return // nothing newer to offer
 	}

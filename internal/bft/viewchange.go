@@ -40,6 +40,11 @@ func (r *Replica) onProgressTimeout() {
 	if r.cfg.Fault == FaultSilent {
 		return
 	}
+	if r.epochProbe > r.membership.Epoch {
+		// A member advertised a higher epoch and our state transfer has
+		// not completed: keep retrying it alongside the view change.
+		r.requestStateTransfer()
+	}
 	// Escalate past an incomplete view change: if we already volunteered
 	// for a higher view and it did not complete within the timeout, move
 	// one further (PBFT's exponential regency escalation, linearized).
@@ -52,8 +57,13 @@ func (r *Replica) onProgressTimeout() {
 
 // startViewChange suspects the current primary and volunteers for
 // newView: it broadcasts a signed VIEW-CHANGE carrying the last stable
-// checkpoint and every prepared-but-unexecuted batch, so the new primary
-// can re-propose them.
+// checkpoint and every prepared batch above it, so the new primary can
+// re-propose them. Executed instances are included too (PBFT carries
+// everything above the stable checkpoint): a peer that missed the commit
+// — e.g. it was mid-state-transfer when a reconfiguration batch executed
+// — can only obtain it through the new view's re-proposals, and dropping
+// executed proofs would instead re-propose a null batch at that sequence
+// number, permanently splitting the group across epochs.
 func (r *Replica) startViewChange(newView uint64) {
 	if newView <= r.view || r.joining {
 		return
@@ -64,7 +74,7 @@ func (r *Replica) startViewChange(newView uint64) {
 	}
 	var proofs []PreparedProof
 	for seq, in := range r.log {
-		if seq > r.lowWater && in.prepared && !in.executed && in.prePrepare != nil {
+		if seq > r.lowWater && in.prepared && in.prePrepare != nil {
 			proofs = append(proofs, PreparedProof{
 				View:        in.prePrepare.View,
 				SeqNo:       seq,

@@ -1,0 +1,480 @@
+// Control-plane chaos harness: runs the full Lazarus loop — intel
+// refresh, Algorithm 1 rounds, staged swaps — under client load while
+// randomly injecting boot failures, LTU faults, silent replicas and
+// transport loss, then verifies that the service invariant held (n=3f+1
+// live correct replicas, membership exactly mirroring the OS→node map)
+// and that every failed swap was compensated. `lazbench chaos` drives it
+// interactively; a deterministic seeded version runs in the test suite.
+package controlplane
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazarus/internal/apps/kvs"
+	"lazarus/internal/bft"
+	"lazarus/internal/catalog"
+	"lazarus/internal/deploy"
+	"lazarus/internal/feeds"
+	"lazarus/internal/ltu"
+	"lazarus/internal/osint"
+	"lazarus/internal/transport"
+)
+
+// ChaosConfig parameterizes a chaos run. The zero value gets sensible
+// defaults from fill.
+type ChaosConfig struct {
+	// Rounds is how many monitor rounds to run (default 25).
+	Rounds int
+	// Seed drives every random choice: the synthetic dataset, the
+	// controller, and the fault schedule.
+	Seed int64
+	// N is the replica-set size (default 4).
+	N int
+	// ClientWorkers is how many closed-loop KVS clients run throughout
+	// (default 2; 0 disables load).
+	ClientWorkers int
+
+	// Per-round fault probabilities.
+	BootFailProb  float64 // power-on failures for every image (default 0.2)
+	BootStallProb float64 // boots stall past the stage timeout (default 0.1)
+	LTUFailProb   float64 // LTU commands error out (default 0.15)
+	SilentProb    float64 // one member isolated for the round (default 0.2)
+	LinkLossProb  float64 // one replica pair cut for the round (default 0.2)
+	// BombProb is the chance a fresh critical shared CVE is published
+	// before a round (default 0.6) — the trigger that makes swaps happen.
+	BombProb float64
+	// ForceBootFailRounds lists rounds (0-based) that deterministically
+	// get both a CVE bomb and an all-images boot-failure policy, so runs
+	// exercise the rollback path regardless of the dice.
+	ForceBootFailRounds []int
+
+	// CatchUpTimeout and SwapStageTimeout override the controller's
+	// defaults (chaos wants short ones; defaults 2.5s and 2s).
+	CatchUpTimeout, SwapStageTimeout time.Duration
+	// Logf receives progress logging (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *ChaosConfig) fill() {
+	if c.Rounds <= 0 {
+		c.Rounds = 25
+	}
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.ClientWorkers < 0 {
+		c.ClientWorkers = 0
+	}
+	def := func(p *float64, v float64) {
+		if *p == 0 {
+			*p = v
+		} else if *p < 0 {
+			*p = 0
+		}
+	}
+	def(&c.BootFailProb, 0.2)
+	def(&c.BootStallProb, 0.1)
+	def(&c.LTUFailProb, 0.15)
+	def(&c.SilentProb, 0.2)
+	def(&c.LinkLossProb, 0.2)
+	def(&c.BombProb, 0.6)
+	if c.CatchUpTimeout <= 0 {
+		c.CatchUpTimeout = 2500 * time.Millisecond
+	}
+	if c.SwapStageTimeout <= 0 {
+		c.SwapStageTimeout = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// ChaosReport summarizes a chaos run.
+type ChaosReport struct {
+	// Rounds actually executed.
+	Rounds int
+	// Reconfigs is how many rounds decided a replacement.
+	Reconfigs int
+	// RoundErrors is how many rounds returned an error (failed swaps,
+	// exhausted pools under fault pressure, ...).
+	RoundErrors int
+	// Bombs is how many critical shared CVEs were published.
+	Bombs int
+	// FaultRounds counts rounds that had at least one fault active.
+	FaultRounds int
+	// Stats is the controller's final swap-engine telemetry.
+	Stats SwapStats
+	// History is the structured swap record.
+	History []SwapRecord
+	// Net is the transport's frame/drop counters.
+	Net transport.Stats
+	// Final is the controller's closing status.
+	Final Status
+	// Census is the closing execution-plane census.
+	Census Census
+	// ClientOps and ClientErrs tally the load clients' invokes.
+	ClientOps, ClientErrs uint64
+	// Violations lists every invariant violation observed (empty on a
+	// healthy run).
+	Violations []string
+}
+
+// ltuFaultMode is the per-round LTU fault switch.
+type ltuFaultMode int32
+
+const (
+	ltuHealthy  ltuFaultMode = iota
+	ltuFailing               // every command errors after authentication
+	ltuStalling              // every command stalls past the stage timeout
+)
+
+// RunChaos builds a controller over an in-memory execution plane and runs
+// the chaos loop. It returns an error only when the harness itself cannot
+// run (bootstrap failure); protocol-level trouble shows up in the
+// report's Violations instead.
+func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
+	cfg.fill()
+	rng := mrand.New(mrand.NewSource(cfg.Seed))
+
+	ds, err := feeds.GenerateDataset(feeds.GenConfig{
+		Seed:  cfg.Seed,
+		Start: time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	net := transport.NewMemory(transport.MemoryConfig{Seed: cfg.Seed})
+	defer net.Close()
+
+	// Hybrid clock: simulated days advance when intel is published, real
+	// time keeps flowing so catch-up deadlines expire on the wall clock.
+	base := time.Date(2018, 1, 15, 0, 0, 0, 0, time.UTC)
+	start := time.Now()
+	var simDays atomic.Int64
+	clock := func() time.Time {
+		return base.Add(time.Duration(simDays.Load())*24*time.Hour + time.Since(start))
+	}
+
+	// Register the load workers and the final liveness probe as clients.
+	probes := cfg.ClientWorkers + 1
+	clientKeys := make(map[transport.NodeID]ed25519.PublicKey, probes)
+	clientPrivs := make(map[transport.NodeID]ed25519.PrivateKey, probes)
+	for i := 0; i < probes; i++ {
+		pub, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		id := transport.ClientIDBase + transport.NodeID(1+i)
+		clientKeys[id] = pub
+		clientPrivs[id] = priv
+	}
+
+	var ltuMode atomic.Int32
+	ctrl, err := New(Config{
+		N:            cfg.N,
+		Seed:         cfg.Seed,
+		Clock:        clock,
+		InitialVulns: ds.All(),
+		Net:          net,
+		App:          func() bft.Application { return kvs.New() },
+		ClientKeys:   clientKeys,
+		LTUSecret:    []byte("chaos-ltu-secret"),
+		ReplicaTuning: func(rc *bft.ReplicaConfig) {
+			rc.CheckpointInterval = 8
+			rc.ViewChangeTimeout = 200 * time.Millisecond
+			rc.BatchDelay = time.Millisecond
+		},
+		CatchUpTimeout:   cfg.CatchUpTimeout,
+		SwapStageTimeout: cfg.SwapStageTimeout,
+		SwapAttempts:     2,
+		SwapBackoff:      25 * time.Millisecond,
+		SwapBackoffMax:   200 * time.Millisecond,
+		LTUInjector: func(node transport.NodeID, cmd ltu.Command) error {
+			switch ltuFaultMode(ltuMode.Load()) {
+			case ltuFailing:
+				return fmt.Errorf("chaos: injected LTU fault on node %d", node)
+			case ltuStalling:
+				time.Sleep(cfg.SwapStageTimeout + 250*time.Millisecond)
+				return fmt.Errorf("chaos: stalled LTU on node %d", node)
+			default:
+				return nil
+			}
+		},
+		Logf: cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Stop()
+
+	if err := ctrl.Bootstrap(ctx); err != nil {
+		return nil, fmt.Errorf("chaos bootstrap: %w", err)
+	}
+
+	// Client load: closed-loop KVS writers/readers that track the
+	// membership as it changes. Their errors are expected under faults
+	// and only tallied.
+	var ops, opErrs atomic.Uint64
+	loadCtx, stopLoad := context.WithCancel(ctx)
+	defer stopLoad()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.ClientWorkers; w++ {
+		id := transport.ClientIDBase + transport.NodeID(1+w)
+		cl, err := ctrl.ServiceClient(id, clientPrivs[id])
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(w int, cl *bft.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for i := 0; loadCtx.Err() == nil; i++ {
+				if i%8 == 0 {
+					var replicas []transport.NodeID
+					for _, id := range ctrl.Status().Nodes {
+						replicas = append(replicas, id)
+					}
+					cl.UpdateReplicas(replicas)
+				}
+				op, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: fmt.Sprintf("w%d-k%d", w, i%32), Value: []byte{byte(i)}})
+				ictx, cancel := context.WithTimeout(loadCtx, 2*time.Second)
+				_, err := cl.Invoke(ictx, op)
+				cancel()
+				if err != nil {
+					opErrs.Add(1)
+					// Back off instead of hammering a disrupted group.
+					select {
+					case <-loadCtx.Done():
+					case <-time.After(50 * time.Millisecond):
+					}
+					continue
+				}
+				ops.Add(1)
+			}
+		}(w, cl)
+	}
+
+	report := &ChaosReport{}
+	forced := make(map[int]bool, len(cfg.ForceBootFailRounds))
+	for _, r := range cfg.ForceBootFailRounds {
+		forced[r] = true
+	}
+	allImages := func() map[string]bool {
+		m := make(map[string]bool)
+		for _, os := range catalog.Deployable() {
+			m[os.ID] = true
+		}
+		return m
+	}()
+	bombSeq := 0
+	checkRound := func(tag string) {
+		for _, v := range checkInvariants(ctrl, cfg.N) {
+			report.Violations = append(report.Violations, fmt.Sprintf("%s: %s", tag, v))
+		}
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
+		report.Rounds++
+
+		// 1. Install this round's faults (last round's were cleared).
+		faulty := false
+		var isolated transport.NodeID = -1
+		var cutA, cutB transport.NodeID = -1, -1
+		bomb := rng.Float64() < cfg.BombProb
+		switch {
+		case forced[round]:
+			bomb = true
+			ctrl.SetFaultPolicy(&deploy.FaultPolicy{FailPowerOnOS: allImages})
+			faulty = true
+		case rng.Float64() < cfg.BootFailProb:
+			ctrl.SetFaultPolicy(&deploy.FaultPolicy{FailPowerOnOS: allImages})
+			faulty = true
+		case rng.Float64() < cfg.BootStallProb:
+			ctrl.SetFaultPolicy(&deploy.FaultPolicy{StallBoot: cfg.SwapStageTimeout + 300*time.Millisecond})
+			faulty = true
+		}
+		if !faulty && rng.Float64() < cfg.LTUFailProb {
+			if rng.Intn(2) == 0 {
+				ltuMode.Store(int32(ltuFailing))
+			} else {
+				ltuMode.Store(int32(ltuStalling))
+			}
+			faulty = true
+		}
+		members := ctrl.Status().Members
+		if len(members) > 0 && rng.Float64() < cfg.SilentProb {
+			isolated = members[rng.Intn(len(members))]
+			net.Isolate(isolated)
+			faulty = true
+		}
+		if len(members) > 1 && rng.Float64() < cfg.LinkLossProb {
+			cutA = members[rng.Intn(len(members))]
+			cutB = members[rng.Intn(len(members))]
+			if cutA != cutB {
+				net.Cut(cutA, cutB)
+				faulty = true
+			} else {
+				cutA, cutB = -1, -1
+			}
+		}
+		if faulty {
+			report.FaultRounds++
+		}
+		cfg.Logf("chaos: round %d: bomb=%v fault=%+v ltu=%d isolated=%d cut=%d-%d",
+			round, bomb, ctrl.builder.FaultPolicy(), ltuMode.Load(), isolated, cutA, cutB)
+
+		// 2. Maybe publish a fresh critical CVE shared by running OSes.
+		if bomb {
+			simDays.Add(1)
+			now := clock()
+			cfgOSes := ctrl.Status().Config
+			if len(cfgOSes) >= 3 {
+				var products []string
+				for _, id := range cfgOSes[:3] {
+					if os, err := catalog.ByID(id); err == nil {
+						products = append(products, os.CPEProduct)
+					}
+				}
+				bombSeq++
+				v := &osint.Vulnerability{
+					ID:          fmt.Sprintf("CVE-2018-77%03d", bombSeq),
+					Description: "Remote code execution in the shared hypervisor escape path allows full host compromise via crafted descriptors.",
+					Products:    products,
+					Published:   now.AddDate(0, 0, -1),
+					CVSS:        9.8,
+					ExploitAt:   now.AddDate(0, 0, -1),
+				}
+				if err := ctrl.RefreshIntel(ctx, v); err != nil {
+					report.Violations = append(report.Violations, fmt.Sprintf("round %d: refresh: %v", round, err))
+				}
+				report.Bombs++
+			}
+		}
+
+		// 3. One Algorithm 1 round with whatever faults are active.
+		d, err := ctrl.MonitorRound(ctx)
+		if err != nil {
+			report.RoundErrors++
+			cfg.Logf("chaos: round %d: %v", round, err)
+		}
+		if d.Reconfigured && err == nil {
+			report.Reconfigs++
+		}
+
+		// 4. Clear transient faults and verify the invariants held.
+		ctrl.SetFaultPolicy(nil)
+		ltuMode.Store(int32(ltuHealthy))
+		if isolated >= 0 {
+			net.Rejoin(isolated)
+		}
+		if cutA >= 0 {
+			net.Heal(cutA, cutB)
+		}
+		checkRound(fmt.Sprintf("round %d", round))
+	}
+
+	// Settling rounds with no faults: quarantined images requeue, and any
+	// pending replacement gets a clean shot.
+	for i := 0; i < 2 && ctx.Err() == nil; i++ {
+		if _, err := ctrl.MonitorRound(ctx); err != nil {
+			cfg.Logf("chaos: settling round: %v", err)
+		}
+	}
+	stopLoad()
+	wg.Wait()
+	checkRound("final")
+
+	// Closing liveness probe: the service must still order requests
+	// through the final membership.
+	probeID := transport.ClientIDBase + transport.NodeID(probes)
+	if cl, err := ctrl.ServiceClient(probeID, clientPrivs[probeID]); err == nil {
+		pctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		op, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: "chaos-final", Value: []byte("ok")})
+		if _, err := cl.Invoke(pctx, op); err != nil {
+			report.Violations = append(report.Violations, fmt.Sprintf("final liveness probe: %v", err))
+		}
+		cancel()
+		cl.Close()
+	} else {
+		report.Violations = append(report.Violations, fmt.Sprintf("final probe client: %v", err))
+	}
+
+	report.Stats = ctrl.SwapStats()
+	report.History = ctrl.SwapHistory()
+	report.Net = net.Stats()
+	report.Final = ctrl.Status()
+	report.Census = ctrl.Census()
+	report.ClientOps = ops.Load()
+	report.ClientErrs = opErrs.Load()
+	return report, nil
+}
+
+// checkInvariants verifies the chaos safety conditions against the
+// controller's current state:
+//
+//  1. the service runs exactly n=3f+1 replicas, all of them members;
+//  2. the membership mirrors the OS→node map exactly (no half-applied
+//     ADDs, no forgotten REMOVEs);
+//  3. no node runs outside the membership (no leaked joiners);
+//  4. the swap ledger balances: attempts = successes + rollbacks, with
+//     no failed compensations.
+func checkInvariants(c *Controller, n int) []string {
+	var v []string
+	st := c.Status()
+	census := c.Census()
+
+	if len(st.Config) != n {
+		v = append(v, fmt.Sprintf("config has %d OSes, want %d (%v)", len(st.Config), n, st.Config))
+	}
+	if len(st.Members) != n {
+		v = append(v, fmt.Sprintf("membership has %d replicas, want %d (%v)", len(st.Members), n, st.Members))
+	}
+	if len(st.Nodes) != n {
+		v = append(v, fmt.Sprintf("os->node map has %d entries, want %d (%v)", len(st.Nodes), n, st.Nodes))
+	}
+	// Membership and osToNode must be exactly the same node set.
+	nodeSet := make([]transport.NodeID, 0, len(st.Nodes))
+	for _, id := range st.Nodes {
+		nodeSet = append(nodeSet, id)
+	}
+	sort.Slice(nodeSet, func(i, j int) bool { return nodeSet[i] < nodeSet[j] })
+	members := append([]transport.NodeID(nil), st.Members...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	if fmt.Sprint(nodeSet) != fmt.Sprint(members) {
+		v = append(v, fmt.Sprintf("membership %v != os->node nodes %v", members, nodeSet))
+	}
+	// Every config OS maps to a node.
+	for _, osID := range st.Config {
+		if _, ok := st.Nodes[osID]; !ok {
+			v = append(v, fmt.Sprintf("config OS %s has no node", osID))
+		}
+	}
+	if len(census.Running) != n {
+		v = append(v, fmt.Sprintf("%d replicas running, want %d", len(census.Running), n))
+	}
+	if len(census.Orphans) > 0 {
+		v = append(v, fmt.Sprintf("leaked nodes running outside the membership: %v", census.Orphans))
+	}
+	stats := c.SwapStats()
+	if stats.RollbackFailures > 0 {
+		v = append(v, fmt.Sprintf("%d swap compensations failed", stats.RollbackFailures))
+	}
+	if stats.Attempts != stats.Successes+stats.Rollbacks+stats.RollbackFailures {
+		v = append(v, fmt.Sprintf("swap ledger unbalanced: %d attempts vs %d successes + %d rollbacks + %d aborts",
+			stats.Attempts, stats.Successes, stats.Rollbacks, stats.RollbackFailures))
+	}
+	return v
+}

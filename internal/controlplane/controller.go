@@ -68,8 +68,21 @@ type Config struct {
 	// ReplicaTuning adjusts replica protocol knobs.
 	ReplicaTuning func(*bft.ReplicaConfig)
 	// CatchUpTimeout bounds how long a joining replica may take to
-	// state-transfer in (default 30s).
+	// state-transfer in (default 30s), measured on Clock.
 	CatchUpTimeout time.Duration
+	// SwapStageTimeout bounds each attempt of a swap stage other than
+	// catch-up (default 15s, real time).
+	SwapStageTimeout time.Duration
+	// SwapAttempts is the per-stage attempt budget of the swap engine
+	// (default 3: one try plus two retries).
+	SwapAttempts int
+	// SwapBackoff and SwapBackoffMax shape the capped exponential backoff
+	// between stage retries (defaults 50ms and 1s, the transport's
+	// re-dial idiom).
+	SwapBackoff, SwapBackoffMax time.Duration
+	// LTUInjector, when set, is installed as the fault injector of every
+	// LTU the controller creates (chaos testing).
+	LTUInjector func(node transport.NodeID, cmd ltu.Command) error
 	// Logf receives controller logging (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -101,6 +114,18 @@ func (c *Config) fill() error {
 	}
 	if c.CatchUpTimeout <= 0 {
 		c.CatchUpTimeout = 30 * time.Second
+	}
+	if c.SwapStageTimeout <= 0 {
+		c.SwapStageTimeout = 15 * time.Second
+	}
+	if c.SwapAttempts <= 0 {
+		c.SwapAttempts = 3
+	}
+	if c.SwapBackoff <= 0 {
+		c.SwapBackoff = 50 * time.Millisecond
+	}
+	if c.SwapBackoffMax <= 0 {
+		c.SwapBackoffMax = time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -174,6 +199,14 @@ type Controller struct {
 	ltuSeq     uint64
 	client     *bft.Client
 	started    bool
+
+	// Swap-engine telemetry (see swap.go): counters plus a bounded ring
+	// of structured swap records.
+	swapMu   sync.Mutex
+	counters swapCounters
+	swapHist []SwapRecord
+	histNext int
+	histLen  int
 }
 
 // New validates the configuration and builds a controller (nothing runs
@@ -390,6 +423,9 @@ func (c *Controller) newSlotLocked(id transport.NodeID) (*nodeSlot, error) {
 	if err != nil {
 		return nil, err
 	}
+	if inject := c.cfg.LTUInjector; inject != nil {
+		unit.SetInjector(func(cmd ltu.Command) error { return inject(id, cmd) })
+	}
 	slot := &nodeSlot{node: node, ltu: unit}
 	c.nodes[id] = slot
 	return slot, nil
@@ -436,6 +472,7 @@ type Status struct {
 	Quarantine []string
 	Threshold  float64
 	Epoch      uint64
+	Members    []transport.NodeID
 	Nodes      map[string]transport.NodeID
 }
 
@@ -456,6 +493,7 @@ func (c *Controller) Status() Status {
 	}
 	if m := c.membership.Load(); m != nil {
 		st.Epoch = m.Epoch
+		st.Members = append([]transport.NodeID(nil), m.Replicas...)
 	}
 	for osID, node := range c.osToNode {
 		st.Nodes[osID] = node
@@ -480,9 +518,13 @@ func (c *Controller) ServiceClient(id transport.NodeID, key ed25519.PrivateKey) 
 }
 
 // MonitorRound runs one Algorithm 1 round at the clock's current time and
-// executes any resulting replica replacement on the execution plane. The
-// paper's corner cases are remediated automatically (raise threshold /
-// release the least-vulnerable quarantined replica).
+// executes any resulting replica replacement on the execution plane
+// through the staged swap engine (swap.go). The paper's corner cases are
+// remediated automatically (raise threshold / release the
+// least-vulnerable quarantined replica). When a swap fails and is rolled
+// back, the returned Decision still describes the attempted replacement
+// but the lifecycle sets have been reverted — the error reports the
+// failed stage, and SwapStats/SwapHistory record the attempt.
 func (c *Controller) MonitorRound(ctx context.Context) (core.Decision, error) {
 	c.mu.Lock()
 	if !c.started {
@@ -526,107 +568,8 @@ func (c *Controller) MonitorRound(ctx context.Context) (core.Decision, error) {
 	return decision, nil
 }
 
-// executeSwap performs the BFT-SMaRt-style replacement: boot the joiner,
-// ADD it to the group, wait for its state transfer, REMOVE the old
-// replica, then power its node off and leave the OS in quarantine.
-func (c *Controller) executeSwap(ctx context.Context, removed, added core.Replica) error {
-	c.mu.Lock()
-	newID := c.nextNode
-	c.nextNode++
-	slot, err := c.newSlotLocked(newID)
-	if err != nil {
-		c.mu.Unlock()
-		return err
-	}
-	oldID, ok := c.osToNode[removed.ID]
-	oldSlot := c.nodes[oldID]
-	client := c.client
-	c.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("controlplane: no node runs %s", removed.ID)
-	}
-
-	// 1. Boot the joiner (it will poll for state).
-	if err := func() error {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		return c.powerOnLocked(slot, added.ID, true)
-	}(); err != nil {
-		return err
-	}
-
-	// 2. Order the ADD.
-	pub, err := c.builder.PublicKey(newID)
-	if err != nil {
-		return err
-	}
-	addOp, err := bft.EncodeReconfigOp(bft.ReconfigOp{Add: true, Replica: newID, PubKey: pub})
-	if err != nil {
-		return err
-	}
-	if _, err := client.Invoke(ctx, addOp); err != nil {
-		return fmt.Errorf("ordering ADD of node %d: %w", newID, err)
-	}
-	next, err := c.membership.Load().WithAdded(newID, pub)
-	if err != nil {
-		return err
-	}
-	c.membership.Store(next)
-	client.UpdateReplicas(next.Replicas)
-
-	// 3. Wait for the joiner to catch up (state transfer + log replay).
-	joiner := slot.node.Replica()
-	deadline := time.Now().Add(c.cfg.CatchUpTimeout)
-	for {
-		if joiner != nil {
-			st := joiner.Stats()
-			if st.CurrentEpoch >= c.currentMembership().Epoch && st.MembershipSize > 0 && st.StateTransfers > 0 {
-				break
-			}
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("joiner %s on node %d did not catch up in %v", added.ID, newID, c.cfg.CatchUpTimeout)
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(25 * time.Millisecond):
-		}
-	}
-
-	// 4. Order the REMOVE of the quarantined replica's node.
-	rmOp, err := bft.EncodeReconfigOp(bft.ReconfigOp{Add: false, Replica: oldID})
-	if err != nil {
-		return err
-	}
-	if _, err := client.Invoke(ctx, rmOp); err != nil {
-		return fmt.Errorf("ordering REMOVE of node %d: %w", oldID, err)
-	}
-	next, err = c.membership.Load().WithRemoved(oldID)
-	if err != nil {
-		return err
-	}
-	c.membership.Store(next)
-	client.UpdateReplicas(next.Replicas)
-	c.mu.Lock()
-	delete(c.osToNode, removed.ID)
-	c.osToNode[added.ID] = newID
-	c.mu.Unlock()
-
-	// 5. Power the old node off (its OS image goes to quarantine for
-	// patching; Algorithm 1 already tracks that set).
-	if err := func() error {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		return c.powerOffLocked(oldSlot)
-	}(); err != nil {
-		return err
-	}
-	c.cfg.Logf("controlplane: swapped %s (node %d) for %s (node %d)", removed.ID, oldID, added.ID, newID)
-	return nil
-}
-
-// Stop powers off every node.
+// Stop retires every node (bypassing any injected lifecycle faults) and
+// closes the control client.
 func (c *Controller) Stop() {
 	c.mu.Lock()
 	slots := make([]*nodeSlot, 0, len(c.nodes))
@@ -639,7 +582,7 @@ func (c *Controller) Stop() {
 		client.Close()
 	}
 	for _, s := range slots {
-		_ = s.node.PowerOff()
+		s.node.Retire()
 	}
 }
 

@@ -1,0 +1,193 @@
+package controlplane
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"lazarus/internal/apps/kvs"
+	"lazarus/internal/bft"
+	"lazarus/internal/catalog"
+	"lazarus/internal/osint"
+	"lazarus/internal/transport"
+)
+
+// TestCatchUpTimeoutRollsBack is the regression test for the staged swap
+// engine's compensation path: the joiner boots but can never catch up
+// (its links to every member are cut), so the catch-up stage times out.
+// The engine must order a compensating REMOVE of the joiner, retire its
+// node, restore the monitor's lifecycle sets, and leave the group at
+// exactly n members — no powered-on orphan, no stray membership entry.
+// On the pre-compensation engine this leaked both.
+func TestCatchUpTimeoutRollsBack(t *testing.T) {
+	start := time.Now()
+	base := day(2018, 1, 16)
+	clock := func() time.Time { return base.Add(time.Since(start)) }
+
+	net := transport.NewMemory(transport.MemoryConfig{Seed: 1})
+	clientPub, clientPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientID := transport.ClientIDBase + transport.NodeID(1)
+	ctrl, err := New(Config{
+		N:            4,
+		Seed:         7,
+		Clock:        clock,
+		InitialVulns: smallCorpus(t),
+		Net:          net,
+		App:          func() bft.Application { return kvs.New() },
+		ClientKeys:   map[transport.NodeID]ed25519.PublicKey{clientID: clientPub},
+		LTUSecret:    []byte("test-ltu-secret"),
+		ReplicaTuning: func(cfg *bft.ReplicaConfig) {
+			cfg.CheckpointInterval = 8
+			cfg.ViewChangeTimeout = 200 * time.Millisecond
+			cfg.BatchDelay = time.Millisecond
+		},
+		CatchUpTimeout:   time.Second,
+		SwapStageTimeout: 3 * time.Second,
+		SwapAttempts:     2,
+		SwapBackoff:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctrl.Stop()
+		net.Close()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := ctrl.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := ctrl.ServiceClient(clientID, clientPriv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	putOp, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: "pre", Value: []byte("swap")})
+	if _, err := cl.Invoke(ctx, putOp); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+
+	// Bootstrap used nodes 0..3; the swap engine will mint node 4 for the
+	// joiner. Cut its future links to every member so it can never catch
+	// up. (Cut records the pair even before the endpoint exists.)
+	for id := transport.NodeID(0); id < 4; id++ {
+		net.Cut(4, id)
+	}
+
+	before := ctrl.Status()
+	bombOSes := make([]string, 3)
+	copy(bombOSes, before.Config[:3])
+	var products []string
+	for _, id := range bombOSes {
+		os, err := catalog.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		products = append(products, os.CPEProduct)
+	}
+	now := clock()
+	bomb := &osint.Vulnerability{
+		ID:          "CVE-2018-99002",
+		Description: "Remote code execution in the shared virtio network driver allows full host compromise via crafted descriptors.",
+		Products:    products,
+		Published:   now.AddDate(0, 0, -1),
+		CVSS:        9.8,
+		ExploitAt:   now.AddDate(0, 0, -1),
+	}
+	if err := ctrl.RefreshIntel(ctx, bomb); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ctrl.MonitorRound(ctx); err == nil {
+		t.Fatal("MonitorRound succeeded although the joiner could not catch up")
+	}
+
+	st := ctrl.SwapStats()
+	if st.Attempts != 1 || st.Rollbacks != 1 || st.RollbackFailures != 0 {
+		t.Errorf("stats = %+v, want 1 attempt, 1 rollback, 0 failures", st)
+	}
+	if st.StageFailures[StageCatchUp] == 0 {
+		t.Errorf("stage failures %v do not blame catch-up", st.StageFailures)
+	}
+	hist := ctrl.SwapHistory()
+	if len(hist) != 1 || hist[0].Outcome != SwapRolledBack ||
+		hist[0].FailedStage != StageCatchUp || hist[0].Err == "" {
+		t.Errorf("history = %+v", hist)
+	}
+
+	// The joiner must not linger: not in the membership, not tracked, not
+	// powered on. The removed OS is back in the configuration.
+	after := ctrl.Status()
+	if len(after.Config) != 4 || len(after.Members) != 4 {
+		t.Fatalf("after rollback: config %v members %v", after.Config, after.Members)
+	}
+	if !sameStrings(after.Config, before.Config) {
+		t.Errorf("config %v, want pre-swap %v", after.Config, before.Config)
+	}
+	for _, id := range after.Members {
+		if id == 4 {
+			t.Error("joiner node 4 still in membership")
+		}
+	}
+	census := ctrl.Census()
+	if len(census.Orphans) != 0 {
+		t.Errorf("orphan nodes leaked: %v", census.Orphans)
+	}
+	if census.Tracked != 4 {
+		t.Errorf("tracked nodes = %d, want 4", census.Tracked)
+	}
+	if len(after.Quarantine) != 0 {
+		t.Errorf("quarantine = %v after rollback, want empty", after.Quarantine)
+	}
+
+	// The group still serves reads and writes.
+	getOp, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpGet, Key: "pre"})
+	res, err := cl.Invoke(ctx, getOp)
+	if err != nil || string(res) != "VALswap" {
+		t.Fatalf("post-rollback read = %q, %v", res, err)
+	}
+
+	// The next round mints a fresh joiner (node 5, fully connected) and
+	// the swap goes through: the rollback left the control plane healthy.
+	d, err := ctrl.MonitorRound(ctx)
+	if err != nil {
+		t.Fatalf("MonitorRound after rollback: %v", err)
+	}
+	if !d.Reconfigured {
+		t.Fatal("no reconfiguration on retry round")
+	}
+	st = ctrl.SwapStats()
+	if st.Successes != 1 || st.Rollbacks != 1 {
+		t.Errorf("stats after retry = %+v", st)
+	}
+	final := ctrl.Status()
+	if len(final.Config) != 4 || len(final.Members) != 4 {
+		t.Errorf("final config %v members %v", final.Config, final.Members)
+	}
+	if len(final.Quarantine) != 1 || final.Quarantine[0] != d.Removed.ID {
+		t.Errorf("quarantine = %v, want [%s]", final.Quarantine, d.Removed.ID)
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := append([]string(nil), a...), append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -168,6 +168,42 @@ func (m *Monitor) ReleaseLeastVulnerable(now time.Time) (Replica, error) {
 	return r, nil
 }
 
+// RevertSwap undoes the set mutations of a reconfiguration decision whose
+// execution failed on the execution plane: the removed replica rejoins
+// CONFIG in place of the failed joiner, the joiner returns to POOL, and
+// the removed replica leaves QUARANTINE (or POOL, if it was already
+// requeued as fully patched in the same round). The next Monitor round
+// then sees exactly the pre-swap lifecycle state and is free to pick a
+// different candidate.
+func (m *Monitor) RevertSwap(removed, added Replica) error {
+	if !m.config.Contains(added.ID) {
+		return fmt.Errorf("core: revert: %s is not in the running configuration", added.ID)
+	}
+	if m.config.Contains(removed.ID) {
+		return fmt.Errorf("core: revert: %s is already in the running configuration", removed.ID)
+	}
+	dropFrom := func(set *[]Replica, id string) bool {
+		for i, r := range *set {
+			if r.ID == id {
+				*set = append((*set)[:i], (*set)[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	if !dropFrom(&m.quarantine, removed.ID) && !dropFrom(&m.pool, removed.ID) {
+		return fmt.Errorf("core: revert: %s is in neither quarantine nor pool", removed.ID)
+	}
+	for i, r := range m.config {
+		if r.ID == added.ID {
+			m.config[i] = removed
+			break
+		}
+	}
+	m.pool = append(m.pool, added)
+	return nil
+}
+
 // Monitor runs one round of Algorithm 1 at time now. It returns the
 // decision taken; ErrPoolExhausted / ErrNoCandidate signal the corner
 // cases in which reconfiguration could not proceed (the quarantine

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -431,3 +432,82 @@ func TestTriggerString(t *testing.T) {
 }
 
 var _ = time.Now // keep time import if fixtures change
+
+func TestRevertSwapRestoresSets(t *testing.T) {
+	m, _ := monitorFixture(t)
+	now := day(2018, 6, 1)
+	before := struct {
+		config, pool, quarantine []string
+	}{m.Config().IDs(), replicaIDs(m.Pool()), replicaIDs(m.Quarantine())}
+
+	d, err := m.Monitor(now)
+	if err != nil || !d.Reconfigured {
+		t.Fatalf("Monitor: %+v, %v", d, err)
+	}
+	if err := m.RevertSwap(d.Removed, d.Added); err != nil {
+		t.Fatalf("RevertSwap: %v", err)
+	}
+	// Exactly the pre-swap lifecycle state, so the next round is free to
+	// pick a different candidate.
+	if got := m.Config().IDs(); !sameSet(got, before.config) {
+		t.Errorf("config after revert = %v, want %v", got, before.config)
+	}
+	if got := replicaIDs(m.Pool()); !sameSet(got, before.pool) {
+		t.Errorf("pool after revert = %v, want %v", got, before.pool)
+	}
+	if got := replicaIDs(m.Quarantine()); !sameSet(got, before.quarantine) {
+		t.Errorf("quarantine after revert = %v, want %v", got, before.quarantine)
+	}
+	// The monitor remains functional: the same risk trigger fires again.
+	d2, err := m.Monitor(now)
+	if err != nil || !d2.Reconfigured {
+		t.Fatalf("Monitor after revert: %+v, %v", d2, err)
+	}
+}
+
+func TestRevertSwapValidates(t *testing.T) {
+	m, _ := monitorFixture(t)
+	now := day(2018, 6, 1)
+	d, err := m.Monitor(now)
+	if err != nil || !d.Reconfigured {
+		t.Fatalf("Monitor: %+v, %v", d, err)
+	}
+	// Added must be in config, removed must not.
+	if err := m.RevertSwap(d.Removed, d.Removed); err == nil {
+		t.Error("revert with non-member joiner accepted")
+	}
+	if err := m.RevertSwap(d.Added, d.Added); err == nil {
+		t.Error("revert of a current member accepted")
+	}
+	// A valid revert still works after the failed attempts.
+	if err := m.RevertSwap(d.Removed, d.Added); err != nil {
+		t.Errorf("RevertSwap: %v", err)
+	}
+	// Reverting twice must fail: the state was already restored.
+	if err := m.RevertSwap(d.Removed, d.Added); err == nil {
+		t.Error("double revert accepted")
+	}
+}
+
+func replicaIDs(rs []Replica) []string {
+	out := make([]string, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := append([]string(nil), a...), append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -9,14 +9,44 @@ package deploy
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lazarus/internal/bft"
 	"lazarus/internal/catalog"
 	"lazarus/internal/transport"
 )
+
+// Lifecycle errors.
+var (
+	// ErrInjectedFault marks failures produced by a FaultPolicy, so tests
+	// and the swap engine can tell injected faults from real ones.
+	ErrInjectedFault = errors.New("deploy: injected fault")
+	// ErrRetired: the node was retired by the controller and can never
+	// host a replica again.
+	ErrRetired = errors.New("deploy: node retired")
+)
+
+// FaultPolicy injects deterministic failures into the node lifecycle so
+// the control plane's failure handling is testable (Bedrock-style
+// fault-injection-first). The zero value injects nothing. Policies are
+// installed on the Builder and consulted by every Node it provisioned.
+type FaultPolicy struct {
+	// FailPowerOnOS fails PowerOn for exactly these OS image ids.
+	FailPowerOnOS map[string]bool
+	// FailAfterBoots fails every PowerOn once the builder has completed
+	// this many successful boots (0 = never).
+	FailAfterBoots int
+	// StallBoot adds this delay to every PowerOn before it takes effect,
+	// simulating an image that boots far slower than its profile.
+	StallBoot time.Duration
+	// FailPowerOff makes PowerOff return an error while leaving the
+	// replica running — a hung hypervisor that ignores the kill.
+	FailPowerOff bool
+}
 
 // AppFactory builds the replicated service instance for a fresh replica.
 type AppFactory func() bft.Application
@@ -42,9 +72,38 @@ type BuilderConfig struct {
 type Builder struct {
 	cfg BuilderConfig
 
+	fault atomic.Pointer[FaultPolicy]
+	boots atomic.Int64
+
 	mu   sync.Mutex
 	keys map[transport.NodeID]ed25519.PrivateKey
 	pubs map[transport.NodeID]ed25519.PublicKey
+}
+
+// SetFaultPolicy installs (or, with nil, clears) the failure-injection
+// policy consulted by every node of this builder.
+func (b *Builder) SetFaultPolicy(p *FaultPolicy) { b.fault.Store(p) }
+
+// FaultPolicy returns the active policy (nil = none).
+func (b *Builder) FaultPolicy() *FaultPolicy { return b.fault.Load() }
+
+// Boots returns how many successful PowerOns the builder has completed.
+func (b *Builder) Boots() int { return int(b.boots.Load()) }
+
+// powerOnFault evaluates the policy for a PowerOn of osID: the injected
+// error to fail with, plus any boot stall to apply first.
+func (b *Builder) powerOnFault(osID string) (time.Duration, error) {
+	p := b.fault.Load()
+	if p == nil {
+		return 0, nil
+	}
+	if p.FailPowerOnOS[osID] {
+		return p.StallBoot, fmt.Errorf("%w: power-on of %s", ErrInjectedFault, osID)
+	}
+	if p.FailAfterBoots > 0 && int(b.boots.Load()) >= p.FailAfterBoots {
+		return p.StallBoot, fmt.Errorf("%w: boot budget %d exhausted", ErrInjectedFault, p.FailAfterBoots)
+	}
+	return p.StallBoot, nil
 }
 
 // NewBuilder validates the configuration.
@@ -96,6 +155,7 @@ type Node struct {
 	os         catalog.OS
 	replica    *bft.Replica
 	bootedAt   time.Time
+	retired    bool
 }
 
 // NewNode allocates a node slot. membershipFn supplies the membership a
@@ -137,6 +197,8 @@ func (n *Node) Replica() *bft.Replica {
 
 // PowerOn implements ltu.Driver: provision the OS image and start the
 // replica. Boot latency follows the image profile scaled by BootScale.
+// Injected faults (FaultPolicy) and retirement are surfaced as errors so
+// the controller's swap engine can retry or compensate.
 func (n *Node) PowerOn(osID string, joining bool) error {
 	os, err := catalog.ByID(osID)
 	if err != nil {
@@ -146,12 +208,23 @@ func (n *Node) PowerOn(osID string, joining bool) error {
 		return fmt.Errorf("deploy: %s has no VM image", osID)
 	}
 	n.mu.Lock()
+	if n.retired {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: node %d", ErrRetired, n.id)
+	}
 	if n.replica != nil {
 		n.mu.Unlock()
 		return fmt.Errorf("deploy: node %d already running %s", n.id, n.os.ID)
 	}
 	n.mu.Unlock()
 
+	stall, injected := n.builder.powerOnFault(osID)
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if injected != nil {
+		return injected
+	}
 	if n.builder.cfg.BootScale > 0 {
 		time.Sleep(time.Duration(float64(os.VM.BootTime) * n.builder.cfg.BootScale))
 	}
@@ -181,18 +254,40 @@ func (n *Node) PowerOn(osID string, joining bool) error {
 	if err != nil {
 		return fmt.Errorf("deploy: node %d: %w", n.id, err)
 	}
-	replica.Start()
 
 	n.mu.Lock()
+	// Re-check under the lock: a stalled boot may have raced a Retire or
+	// a concurrent PowerOn, and a retired slot must never come back up.
+	if n.retired || n.replica != nil {
+		retired := n.retired
+		n.mu.Unlock()
+		if retired {
+			return fmt.Errorf("%w: node %d", ErrRetired, n.id)
+		}
+		return fmt.Errorf("deploy: node %d already running", n.id)
+	}
+	replica.Start()
 	n.os = os
 	n.replica = replica
 	n.bootedAt = time.Now()
 	n.mu.Unlock()
+	n.builder.boots.Add(1)
 	return nil
 }
 
-// PowerOff implements ltu.Driver: stop and wipe the replica.
+// PowerOff implements ltu.Driver: stop and wipe the replica. Powering off
+// an idle node is a no-op (the command is idempotent). A FailPowerOff
+// fault leaves the replica running and returns an error, like a
+// hypervisor that ignored the kill.
 func (n *Node) PowerOff() error {
+	if p := n.builder.fault.Load(); p != nil && p.FailPowerOff {
+		n.mu.Lock()
+		running := n.replica != nil
+		n.mu.Unlock()
+		if running {
+			return fmt.Errorf("%w: power-off of node %d", ErrInjectedFault, n.id)
+		}
+	}
 	n.mu.Lock()
 	replica := n.replica
 	n.replica = nil
@@ -202,4 +297,27 @@ func (n *Node) PowerOff() error {
 		replica.Stop()
 	}
 	return nil
+}
+
+// Retire is the controller's last-resort decommission: the machine is
+// wiped out-of-band, so it bypasses the LTU/driver path (and any injected
+// fault), stops whatever is running, and guarantees no in-flight or
+// future PowerOn can ever bring the slot back.
+func (n *Node) Retire() {
+	n.mu.Lock()
+	n.retired = true
+	replica := n.replica
+	n.replica = nil
+	n.os = catalog.OS{}
+	n.mu.Unlock()
+	if replica != nil {
+		replica.Stop()
+	}
+}
+
+// Retired reports whether the node has been decommissioned.
+func (n *Node) Retired() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.retired
 }

@@ -103,14 +103,31 @@ func open(secret, sealed []byte) (Command, error) {
 	return cmd, nil
 }
 
+// DefaultHistoryCap bounds the accepted-command history. A long-running
+// controller issues an unbounded stream of power commands; the LTU keeps
+// only the most recent window (a ring), enough for audit and debugging.
+const DefaultHistoryCap = 64
+
+// Injector is a fault hook consulted after a command authenticates but
+// before it reaches the driver. It may stall (sleep) to simulate a slow
+// control channel, and a non-nil error aborts the command — the sequence
+// number is still consumed, exactly like a real LTU that acknowledged an
+// order and then failed to carry it out.
+type Injector func(Command) error
+
 // LTU is one node's trusted unit.
 type LTU struct {
 	secret []byte
 	driver Driver
 
-	mu      sync.Mutex
-	lastSeq uint64
-	history []Command
+	mu       sync.Mutex
+	lastSeq  uint64
+	history  []Command // ring of the last histCap accepted commands
+	histNext int       // next write position in history
+	histLen  int       // filled entries (<= histCap)
+	histCap  int
+	injector Injector
+	accepted uint64
 }
 
 // New builds an LTU bound to its node driver.
@@ -121,7 +138,25 @@ func New(secret []byte, driver Driver) (*LTU, error) {
 	if driver == nil {
 		return nil, fmt.Errorf("ltu: nil driver")
 	}
-	return &LTU{secret: secret, driver: driver}, nil
+	return &LTU{secret: secret, driver: driver, histCap: DefaultHistoryCap}, nil
+}
+
+// SetHistoryCap resizes the command-history ring (minimum 1); existing
+// entries are discarded.
+func (l *LTU) SetHistoryCap(k int) {
+	if k < 1 {
+		k = 1
+	}
+	l.mu.Lock()
+	l.history, l.histNext, l.histLen, l.histCap = nil, 0, 0, k
+	l.mu.Unlock()
+}
+
+// SetInjector installs (or, with nil, clears) the fault hook.
+func (l *LTU) SetInjector(f Injector) {
+	l.mu.Lock()
+	l.injector = f
+	l.mu.Unlock()
 }
 
 // Execute verifies a sealed command and applies it to the node. Commands
@@ -137,9 +172,15 @@ func (l *LTU) Execute(sealed []byte) error {
 		return fmt.Errorf("%w: seq %d <= %d", ErrReplay, cmd.Seq, l.lastSeq)
 	}
 	l.lastSeq = cmd.Seq
-	l.history = append(l.history, cmd)
+	l.recordLocked(cmd)
+	inject := l.injector
 	l.mu.Unlock()
 
+	if inject != nil {
+		if err := inject(cmd); err != nil {
+			return fmt.Errorf("ltu: %v: %w", cmd.Action, err)
+		}
+	}
 	switch cmd.Action {
 	case ActionPowerOn:
 		if err := l.driver.PowerOn(cmd.OSID, cmd.Joining); err != nil {
@@ -156,9 +197,41 @@ func (l *LTU) Execute(sealed []byte) error {
 	}
 }
 
-// History returns the accepted commands, oldest first.
+// recordLocked appends to the history ring, overwriting the oldest entry
+// once the ring is full.
+func (l *LTU) recordLocked(cmd Command) {
+	l.accepted++
+	if l.history == nil {
+		l.history = make([]Command, l.histCap)
+	}
+	l.history[l.histNext] = cmd
+	l.histNext = (l.histNext + 1) % l.histCap
+	if l.histLen < l.histCap {
+		l.histLen++
+	}
+}
+
+// Accepted returns how many commands the LTU has accepted in total
+// (including any that have aged out of the bounded history).
+func (l *LTU) Accepted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// History returns the most recently accepted commands, oldest first. At
+// most the configured history cap (DefaultHistoryCap unless resized) is
+// retained.
 func (l *LTU) History() []Command {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Command(nil), l.history...)
+	out := make([]Command, 0, l.histLen)
+	start := l.histNext - l.histLen
+	if start < 0 {
+		start += l.histCap
+	}
+	for i := 0; i < l.histLen; i++ {
+		out = append(out, l.history[(start+i)%l.histCap])
+	}
+	return out
 }

@@ -133,3 +133,73 @@ func TestActionString(t *testing.T) {
 		t.Error("unknown action name wrong")
 	}
 }
+
+func TestHistoryRingBounded(t *testing.T) {
+	secret := []byte("s")
+	l, _ := New(secret, &fakeDriver{})
+	l.SetHistoryCap(5)
+	for seq := uint64(1); seq <= 12; seq++ {
+		if err := l.Execute(seal(t, secret, Command{Seq: seq, Action: ActionPowerOn, OSID: "UB16"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Accepted(); got != 12 {
+		t.Errorf("accepted = %d, want 12", got)
+	}
+	hist := l.History()
+	if len(hist) != 5 {
+		t.Fatalf("history holds %d entries, want 5", len(hist))
+	}
+	// Oldest-first window of the most recent commands: seqs 8..12.
+	for i, cmd := range hist {
+		if want := uint64(8 + i); cmd.Seq != want {
+			t.Errorf("history[%d].Seq = %d, want %d", i, cmd.Seq, want)
+		}
+	}
+}
+
+func TestDefaultHistoryCap(t *testing.T) {
+	secret := []byte("s")
+	l, _ := New(secret, &fakeDriver{})
+	for seq := uint64(1); seq <= DefaultHistoryCap+10; seq++ {
+		if err := l.Execute(seal(t, secret, Command{Seq: seq, Action: ActionPowerOff})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hist := l.History(); len(hist) != DefaultHistoryCap {
+		t.Errorf("history holds %d entries, want %d", len(hist), DefaultHistoryCap)
+	}
+	if got := l.Accepted(); got != DefaultHistoryCap+10 {
+		t.Errorf("accepted = %d", got)
+	}
+}
+
+func TestInjectorAbortsAfterSeqConsumed(t *testing.T) {
+	secret := []byte("s")
+	d := &fakeDriver{}
+	l, _ := New(secret, d)
+	boom := errors.New("control channel down")
+	l.SetInjector(func(Command) error { return boom })
+
+	sealed := seal(t, secret, Command{Seq: 1, Action: ActionPowerOn, OSID: "UB16"})
+	if err := l.Execute(sealed); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want injected fault", err)
+	}
+	if len(d.onCalls) != 0 {
+		t.Error("driver acted despite injected fault")
+	}
+	// The sequence number was consumed — like a real LTU that acknowledged
+	// the order and then failed to carry it out — so a retry of the same
+	// sealed command is a replay.
+	if err := l.Execute(sealed); !errors.Is(err, ErrReplay) {
+		t.Errorf("retry err = %v, want ErrReplay", err)
+	}
+	// Clearing the injector restores service at the next sequence number.
+	l.SetInjector(nil)
+	if err := l.Execute(seal(t, secret, Command{Seq: 2, Action: ActionPowerOn, OSID: "UB16"})); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.onCalls) != 1 {
+		t.Errorf("driver calls after recovery: %v", d.onCalls)
+	}
+}
