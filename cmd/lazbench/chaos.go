@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lazarus/internal/controlplane"
+	"lazarus/internal/metrics"
 )
 
 // chaosRun drives the full control plane through a seeded fault schedule
@@ -17,10 +18,12 @@ import (
 // non-zero if any invariant was violated: the group must hold exactly
 // n = 3f+1 live correct replicas and every failed swap must roll back
 // cleanly.
-func chaosRun(rounds int, seed int64) error {
+func chaosRun(rounds int, seed int64, metricsOut string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
+	reg := metrics.NewRegistry()
+	tr := metrics.NewTracer(16384)
 	fmt.Printf("== chaos: %d monitor rounds, seed %d ==\n", rounds, seed)
 	rep, err := controlplane.RunChaos(ctx, controlplane.ChaosConfig{
 		Rounds:        rounds,
@@ -29,6 +32,8 @@ func chaosRun(rounds int, seed int64) error {
 		// Two forced rounds bomb a critical CVE while every image refuses
 		// to boot, so the rollback path provably executes.
 		ForceBootFailRounds: []int{3, rounds/2 + 1},
+		Metrics:             reg,
+		Trace:               tr,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -63,6 +68,17 @@ func chaosRun(rounds int, seed int64) error {
 			}
 			fmt.Println(line)
 		}
+	}
+
+	if metricsOut != "" {
+		sum := summarize(reg, tr, seed, time.Second, 2, rep.ClientOps, rep.ClientErrs)
+		sum.Tool = "lazbench chaos"
+		sum.LoadSeconds = 0 // chaos load is fault-paced, not a timed phase
+		sum.OpsPerSec = 0
+		if err := writeBenchFile(metricsOut, sum); err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics baseline written to %s\n", metricsOut)
 	}
 
 	if len(rep.Violations) > 0 {

@@ -14,8 +14,10 @@
 //	lazbench ablation        risk-metric ablations + threshold sweep
 //	lazbench leader          leader-placement analysis (paper §9)
 //	lazbench net             real-transport micro-run + frame/drop counters
-//	lazbench chaos [-rounds N]  control-plane chaos run: swaps under faults
-//	lazbench all             everything above (except ablations and chaos)
+//	lazbench chaos [-rounds N] [-metrics-out F]  control-plane chaos run: swaps under faults
+//	lazbench perf [-metrics-out F]  live-cluster throughput, commit-latency and swap-stage quantiles
+//	lazbench metrics         instrumented micro-run; prints the registry snapshot as JSON
+//	lazbench all             everything above (except ablations, chaos, perf and metrics)
 //
 // Absolute performance numbers come from the calibrated model
 // (internal/perfmodel); risk numbers from the seeded synthetic dataset
@@ -40,9 +42,10 @@ func run(args []string) error {
 	runs := fs.Int("runs", 250, "runs per strategy for fig5/fig6 (paper: 1000)")
 	seed := fs.Int64("seed", 1, "dataset and experiment seed")
 	rounds := fs.Int("rounds", 25, "monitor rounds for the chaos run")
+	metricsOut := fs.String("metrics-out", "", "write the perf/chaos metrics baseline JSON to this file")
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|net|chaos|all)")
+		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|net|chaos|perf|metrics|all)")
 	}
 	sub := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -62,7 +65,9 @@ func run(args []string) error {
 		"ablation": func(r int, s int64) error { return ablation(r, s) },
 		"leader":   func(int, int64) error { return leaderPlacement() },
 		"net":      func(int, int64) error { return netStats() },
-		"chaos":    func(_ int, s int64) error { return chaosRun(*rounds, s) },
+		"chaos":    func(_ int, s int64) error { return chaosRun(*rounds, s, *metricsOut) },
+		"perf":     func(_ int, s int64) error { return perfCmd(s, *metricsOut) },
+		"metrics":  func(_ int, s int64) error { return metricsCmd(s) },
 	}
 	if sub == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig7", "fig8", "fig9", "fig10", "net", "fig5", "fig6"} {

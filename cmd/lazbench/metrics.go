@@ -1,0 +1,213 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazarus/internal/apps/kvs"
+	"lazarus/internal/bft"
+	"lazarus/internal/bft/bfttest"
+	"lazarus/internal/controlplane"
+	"lazarus/internal/metrics"
+	"lazarus/internal/transport"
+)
+
+// benchSummary is the machine-readable baseline `lazbench perf
+// -metrics-out` writes (BENCH_pr3.json): throughput and commit-latency
+// quantiles from a live cluster under closed-loop load, swap-stage
+// duration quantiles from a fault-free control-plane run, and the full
+// registry snapshot for everything else.
+type benchSummary struct {
+	Tool            string                               `json:"tool"`
+	Seed            int64                                `json:"seed"`
+	LoadSeconds     float64                              `json:"load_seconds"`
+	Workers         int                                  `json:"workers"`
+	Ops             uint64                               `json:"ops"`
+	OpErrors        uint64                               `json:"op_errors"`
+	OpsPerSec       float64                              `json:"ops_per_sec"`
+	CommitLatencyUS metrics.HistogramSnapshot            `json:"commit_latency_us"`
+	SwapStagesUS    map[string]metrics.HistogramSnapshot `json:"swap_stages_us"`
+	SwapTotalUS     metrics.HistogramSnapshot            `json:"swap_total_us"`
+	SwapOutcomes    map[string]int64                     `json:"swap_outcomes"`
+	TraceEvents     int                                  `json:"trace_events"`
+	TraceDropped    int64                                `json:"trace_dropped"`
+	Registry        metrics.Snapshot                     `json:"registry"`
+}
+
+// loadPhase runs a 4-replica in-process cluster with closed-loop KVS
+// clients reporting into reg/tr, and returns (ops, errors).
+func loadPhase(ctx context.Context, reg *metrics.Registry, tr *metrics.Tracer, workers int, dur time.Duration) (uint64, uint64, error) {
+	c, err := bfttest.Launch(func(transport.NodeID) bft.Application { return kvs.New() }, bfttest.Options{
+		Clients:    workers,
+		BatchDelay: time.Millisecond,
+		Metrics:    reg,
+		Trace:      tr,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Stop()
+
+	var ops, opErrs atomic.Uint64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(dur)
+	for w := 0; w < workers; w++ {
+		cl, err := c.Client(w)
+		if err != nil {
+			return 0, 0, err
+		}
+		wg.Add(1)
+		go func(w int, cl *bft.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for i := 0; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
+				op, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: fmt.Sprintf("w%d-k%d", w, i%64), Value: []byte{byte(i)}})
+				ictx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				_, err := cl.Invoke(ictx, op)
+				cancel()
+				if err != nil {
+					opErrs.Add(1)
+					continue
+				}
+				ops.Add(1)
+			}
+		}(w, cl)
+	}
+	wg.Wait()
+	return ops.Load(), opErrs.Load(), nil
+}
+
+// swapPhase runs a short fault-free control-plane loop with a CVE bomb
+// every round, so several clean swaps populate the per-stage duration
+// histograms (negative probabilities disable the chaos faults).
+func swapPhase(ctx context.Context, reg *metrics.Registry, tr *metrics.Tracer, seed int64, rounds int) error {
+	_, err := controlplane.RunChaos(ctx, controlplane.ChaosConfig{
+		Rounds:        rounds,
+		Seed:          seed,
+		ClientWorkers: 0,
+		BootFailProb:  -1,
+		BootStallProb: -1,
+		LTUFailProb:   -1,
+		SilentProb:    -1,
+		LinkLossProb:  -1,
+		BombProb:      1.0,
+		Metrics:       reg,
+		Trace:         tr,
+	})
+	return err
+}
+
+// summarize extracts the headline numbers from the registry snapshot.
+func summarize(reg *metrics.Registry, tr *metrics.Tracer, seed int64, dur time.Duration, workers int, ops, opErrs uint64) *benchSummary {
+	snap := reg.Snapshot()
+	sum := &benchSummary{
+		Tool:            "lazbench perf",
+		Seed:            seed,
+		LoadSeconds:     dur.Seconds(),
+		Workers:         workers,
+		Ops:             ops,
+		OpErrors:        opErrs,
+		OpsPerSec:       float64(ops) / dur.Seconds(),
+		CommitLatencyUS: snap.Histograms["bft.commit_latency_us"],
+		SwapStagesUS:    map[string]metrics.HistogramSnapshot{},
+		SwapTotalUS:     snap.Histograms["controlplane.swap_total_us"],
+		SwapOutcomes:    map[string]int64{},
+		TraceEvents:     len(tr.Events()),
+		TraceDropped:    tr.Dropped(),
+		Registry:        snap,
+	}
+	for name, h := range snap.Histograms {
+		if stage, ok := strings.CutPrefix(name, "controlplane.swap_stage_us."); ok {
+			sum.SwapStagesUS[stage] = h
+		}
+	}
+	for name, n := range snap.Counters {
+		if outcome, ok := strings.CutPrefix(name, "controlplane.swap_outcome."); ok {
+			sum.SwapOutcomes[outcome] = n
+		}
+	}
+	return sum
+}
+
+func writeBenchFile(path string, sum *benchSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// perfCmd measures the live stack: closed-loop KVS throughput and
+// commit-latency quantiles on a real cluster, then swap-stage timings
+// from a fault-free control-plane loop. With -metrics-out it writes the
+// machine-readable baseline (BENCH_pr3.json schema; see DESIGN.md).
+func perfCmd(seed int64, metricsOut string) error {
+	const (
+		workers = 3
+		loadDur = 3 * time.Second
+		rounds  = 4
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	reg := metrics.NewRegistry()
+	tr := metrics.NewTracer(16384)
+
+	fmt.Printf("== perf: %d closed-loop clients for %v, then %d swap rounds (seed %d) ==\n",
+		workers, loadDur, rounds, seed)
+	ops, opErrs, err := loadPhase(ctx, reg, tr, workers, loadDur)
+	if err != nil {
+		return err
+	}
+	if err := swapPhase(ctx, reg, tr, seed, rounds); err != nil {
+		return err
+	}
+
+	sum := summarize(reg, tr, seed, loadDur, workers, ops, opErrs)
+	lat := sum.CommitLatencyUS
+	fmt.Printf("throughput      %.0f ops/sec (%d ops, %d errors)\n", sum.OpsPerSec, sum.Ops, sum.OpErrors)
+	fmt.Printf("commit latency  p50 %dus  p95 %dus  p99 %dus  (n=%d, mean %.0fus)\n",
+		lat.P50, lat.P95, lat.P99, lat.Count, lat.Mean)
+	for stage, h := range sum.SwapStagesUS {
+		fmt.Printf("swap stage %-10s p50 %8dus  p95 %8dus  (n=%d)\n", stage, h.P50, h.P95, h.Count)
+	}
+	fmt.Printf("swap outcomes   %v\n", sum.SwapOutcomes)
+	fmt.Printf("trace           %d events retained (%d dropped)\n", sum.TraceEvents, sum.TraceDropped)
+	if metricsOut != "" {
+		if err := writeBenchFile(metricsOut, sum); err != nil {
+			return err
+		}
+		fmt.Printf("baseline        written to %s\n", metricsOut)
+	}
+	return nil
+}
+
+// metricsCmd runs the same instrumented pipeline as perf and prints the
+// raw registry snapshot as JSON on stdout (the same snapshot perf embeds
+// in its -metrics-out baseline).
+func metricsCmd(seed int64) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	reg := metrics.NewRegistry()
+	tr := metrics.NewTracer(16384)
+	if _, _, err := loadPhase(ctx, reg, tr, 2, time.Second); err != nil {
+		return err
+	}
+	if err := swapPhase(ctx, reg, tr, seed, 2); err != nil {
+		return err
+	}
+	return reg.Snapshot().WriteJSON(os.Stdout)
+}

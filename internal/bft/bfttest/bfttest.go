@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lazarus/internal/bft"
+	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	NetConfig transport.MemoryConfig
 	// Fault assigns Byzantine behaviour per replica (nil = all correct).
 	Fault func(id transport.NodeID) bft.FaultMode
+	// Metrics, when set, is shared by the network and every replica, so
+	// one registry aggregates the whole cluster.
+	Metrics *metrics.Registry
+	// Trace, when set, receives every replica's protocol events.
+	Trace *metrics.Tracer
 }
 
 // Cluster is a running in-process BFT deployment.
@@ -65,6 +71,9 @@ func Launch(appFactory AppFactory, opts Options) (*Cluster, error) {
 	}
 	if opts.Clients == 0 {
 		opts.Clients = 4
+	}
+	if opts.NetConfig.Metrics == nil {
+		opts.NetConfig.Metrics = opts.Metrics
 	}
 	c := &Cluster{
 		Net:        transport.NewMemory(opts.NetConfig),
@@ -140,6 +149,8 @@ func (c *Cluster) AddReplica(id transport.NodeID, joining bool) (*bft.Replica, e
 		ViewChangeTimeout:  c.opts.ViewChangeTimeout,
 		Joining:            joining,
 		Fault:              fault,
+		Metrics:            c.opts.Metrics,
+		Trace:              c.opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -168,6 +179,7 @@ func (c *Cluster) Client(i int) (*bft.Client, error) {
 		ID:             id,
 		Key:            priv,
 		Replicas:       c.Membership.Replicas,
+		ReplicaKeys:    c.pubs,
 		F:              c.Membership.F(),
 		Net:            c.Net,
 		RequestTimeout: 500 * time.Millisecond,
@@ -182,6 +194,7 @@ func (c *Cluster) Controller() (*bft.Client, error) {
 		ID:             transport.ClientIDBase + 999,
 		Key:            c.ctrlPriv,
 		Replicas:       c.Membership.Replicas,
+		ReplicaKeys:    c.pubs,
 		F:              c.Membership.F(),
 		Net:            c.Net,
 		RequestTimeout: 600 * time.Millisecond,

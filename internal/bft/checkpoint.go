@@ -3,6 +3,7 @@ package bft
 import (
 	"crypto/sha256"
 
+	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
 )
 
@@ -40,16 +41,34 @@ func (r *Replica) takeCheckpoint(seq uint64) {
 	msg.Sign(r.cfg.Key)
 	r.broadcast(msg)
 	r.updateStats(func(s *ReplicaStats) { s.Checkpoints++ })
+	r.ins.checkpoints.Inc()
 	r.checkStable(seq)
 }
 
-// onCheckpoint records a checkpoint vote.
+// onCheckpoint records a checkpoint vote. Votes are only tracked inside
+// the high-water window: r.ckpts is keyed by the vote's SeqNo, so
+// without the bound a single faulty member could spam arbitrary future
+// SeqNos and grow it without limit. Beyond-window claims are instead
+// folded into a per-member map (bounded by membership size); f+1
+// distinct members claiming checkpoints past our window prove the group
+// left us behind, and we state-transfer rather than tracking votes we
+// could never stabilize locally.
 func (r *Replica) onCheckpoint(msg *Message) {
 	if !r.fromMember(msg) || !r.verifySigned(msg) {
 		return
 	}
 	if msg.SeqNo <= r.lowWater {
 		return // already stable
+	}
+	if msg.SeqNo > r.lowWater+r.cfg.WindowSize {
+		r.ckptAhead[msg.From] = msg.SeqNo
+		if len(r.ckptAhead) > r.membership.F() {
+			r.ckptAhead = make(map[transport.NodeID]uint64)
+			r.cfg.Logf("replica %d: f+1 members checkpointed beyond window (low %d); requesting state",
+				r.cfg.ID, r.lowWater)
+			r.requestStateTransfer()
+		}
+		return
 	}
 	cs := r.ckpt(msg.SeqNo)
 	cs.votes[msg.From] = msg.StateDigest
@@ -78,6 +97,12 @@ func (r *Replica) checkStable(seq uint64) {
 		return
 	}
 	cs.stable = true
+	lag := int64(r.lastExec) - int64(seq)
+	r.ins.ckptStabilityLag.Observe(lag)
+	r.trace.Emit(metrics.Event{
+		Type: metrics.EvCheckpointStable, Node: int64(r.cfg.ID),
+		Seq: seq, Epoch: r.membership.Epoch, DurUS: lag,
+	})
 	if cs.snapshot == nil || cs.digest != winner {
 		// The group is provably at seq but this replica has no matching
 		// state: it fell behind (or diverged) and must transfer state.
@@ -100,11 +125,16 @@ func (r *Replica) advanceLowWater(seq uint64, snapshot []byte) {
 			delete(r.log, s)
 		}
 	}
+	// The stable entry itself goes too: votes at or below lowWater are
+	// rejected on arrival, so it can never be consulted again.
 	for s := range r.ckpts {
-		if s < seq {
+		if s <= seq {
 			delete(r.ckpts, s)
 		}
 	}
+	// Beyond-window claims may now be in (or behind) the moved window;
+	// members still ahead will say so again.
+	r.ckptAhead = make(map[transport.NodeID]uint64)
 	if r.seq < seq {
 		r.seq = seq
 	}

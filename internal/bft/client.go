@@ -28,6 +28,12 @@ type ClientConfig struct {
 	RequestTimeout time.Duration
 	// MaxAttempts bounds retransmissions before giving up (default 8).
 	MaxAttempts int
+	// ReplicaKeys maps replicas to their public keys. When non-empty,
+	// Invoke discards any reply whose signature does not verify against
+	// the sender's key — membership filtering alone lets anything able to
+	// spoof a member's transport id forge votes. Empty disables
+	// verification (only for tests exercising the unauthenticated path).
+	ReplicaKeys map[transport.NodeID]ed25519.PublicKey
 }
 
 // Client invokes operations on the replicated service and accepts a
@@ -39,6 +45,7 @@ type Client struct {
 
 	mu       sync.Mutex
 	replicas []transport.NodeID
+	keys     map[transport.NodeID]ed25519.PublicKey
 	seq      uint64
 }
 
@@ -68,7 +75,16 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg:      cfg,
 		ep:       ep,
 		replicas: append([]transport.NodeID(nil), cfg.Replicas...),
+		keys:     copyKeys(cfg.ReplicaKeys),
 	}, nil
+}
+
+func copyKeys(keys map[transport.NodeID]ed25519.PublicKey) map[transport.NodeID]ed25519.PublicKey {
+	out := make(map[transport.NodeID]ed25519.PublicKey, len(keys))
+	for id, pub := range keys {
+		out[id] = pub
+	}
+	return out
 }
 
 // UpdateReplicas installs a new replica set (after a Lazarus
@@ -78,6 +94,18 @@ func (c *Client) UpdateReplicas(replicas []transport.NodeID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.replicas = append([]transport.NodeID(nil), replicas...)
+}
+
+// UpdateMembership installs a new replica set together with its public
+// keys, keeping reply verification in step with reconfigurations. A nil
+// keys map leaves the current keys in place.
+func (c *Client) UpdateMembership(replicas []transport.NodeID, keys map[transport.NodeID]ed25519.PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas = append([]transport.NodeID(nil), replicas...)
+	if keys != nil {
+		c.keys = copyKeys(keys)
+	}
 }
 
 // Replicas returns the client's current replica set.
@@ -97,6 +125,7 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	c.seq++
 	seq := c.seq
 	replicas := append([]transport.NodeID(nil), c.replicas...)
+	keys := c.keys
 	c.mu.Unlock()
 
 	req := Request{Client: c.cfg.ID, Seq: seq, Op: op}
@@ -147,6 +176,12 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 			}
 			if !member[env.From] {
 				continue // sender is outside the replica-set snapshot
+			}
+			if len(keys) > 0 {
+				pub, ok := keys[env.From]
+				if !ok || !reply.VerifySig(pub) {
+					continue // forged or tampered: only signed votes count
+				}
 			}
 			votes[env.From] = reply.Result
 			if result, ok := tally(votes, c.cfg.F+1); ok {

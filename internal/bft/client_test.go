@@ -2,6 +2,7 @@ package bft
 
 import (
 	"context"
+	"crypto/ed25519"
 	"sync"
 	"testing"
 	"time"
@@ -202,6 +203,99 @@ func TestClientIgnoresRetiredReplicaVotes(t *testing.T) {
 	wg.Wait()
 	if err == nil {
 		t.Fatalf("invoke accepted result %q vouched only by retired replicas", res)
+	}
+}
+
+func TestClientRejectsUnsignedInMemberReplies(t *testing.T) {
+	// In-member spoofing: attackers holding the transport endpoints of
+	// CURRENT members 1 and 2 pump f+1 matching unsigned replies at the
+	// client. The membership filter alone cannot help — the senders are
+	// members — so before reply signing, those two votes reached the f+1
+	// quorum and the client accepted the fabricated result. With
+	// ReplicaKeys set, only properly signed votes count, and the genuine
+	// signed quorum (members 0 and 3) must win instead.
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer net.Close()
+	eps := make(map[transport.NodeID]transport.Endpoint)
+	keys := make(map[transport.NodeID]ed25519.PublicKey)
+	privs := make(map[transport.NodeID]ed25519.PrivateKey)
+	for i := 0; i < 4; i++ {
+		id := transport.NodeID(i)
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = ep
+		keys[id], privs[id] = keypair(t)
+	}
+	_, cpriv := keypair(t)
+	cl, err := NewClient(ClientConfig{
+		ID:             transport.ClientIDBase,
+		Key:            cpriv,
+		Replicas:       []transport.NodeID{0, 1, 2, 3},
+		ReplicaKeys:    keys,
+		F:              1,
+		Net:            net,
+		RequestTimeout: 200 * time.Millisecond,
+		MaxAttempts:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	encodeReply := func(from transport.NodeID, result string, sign bool) []byte {
+		msg := &Message{
+			Type: MsgReply, From: from, ReplySeq: 1,
+			ReplyClient: transport.ClientIDBase, Result: []byte(result),
+		}
+		if sign {
+			msg.Sign(privs[from])
+		}
+		payload, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	send := func(from transport.NodeID, payload []byte, delay time.Duration) {
+		defer wg.Done()
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-stop:
+			return
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			eps[from].Send(transport.ClientIDBase, payload)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// Forged votes flow first and alone for a while: if they count, they
+	// reach f+1 long before a genuine vote shows up.
+	wg.Add(4)
+	go send(1, encodeReply(1, "evil", false), 0)
+	go send(2, encodeReply(2, "evil", false), 0)
+	go send(0, encodeReply(0, "good", true), 100*time.Millisecond)
+	go send(3, encodeReply(3, "good", true), 100*time.Millisecond)
+
+	res, err := cl.Invoke(context.Background(), []byte("op"))
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("invoke with a genuine signed quorum failed: %v", err)
+	}
+	if string(res) != "good" {
+		t.Fatalf("invoke returned %q; unsigned in-member votes were counted", res)
 	}
 }
 

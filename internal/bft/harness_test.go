@@ -191,6 +191,7 @@ func (c *cluster) client(i int) *Client {
 		ID:             id,
 		Key:            c.clientPriv[id],
 		Replicas:       c.membership.Replicas,
+		ReplicaKeys:    c.pubs,
 		F:              c.membership.F(),
 		Net:            c.net,
 		RequestTimeout: 400 * time.Millisecond,
@@ -211,6 +212,7 @@ func (c *cluster) controller() *Client {
 		ID:             id,
 		Key:            c.ctrlPriv,
 		Replicas:       c.membership.Replicas,
+		ReplicaKeys:    c.pubs,
 		F:              c.membership.F(),
 		Net:            c.net,
 		RequestTimeout: 500 * time.Millisecond,

@@ -1,0 +1,48 @@
+package bft
+
+import (
+	"strings"
+
+	"lazarus/internal/metrics"
+)
+
+// replicaInstruments bundles the registry-backed instruments a replica
+// updates on its hot paths. All replicas sharing a registry share these
+// instruments, giving a cluster-level view; per-replica attribution goes
+// through the event trace (Event.Node). Built from a nil registry the
+// instruments still work, they are just unregistered.
+type replicaInstruments struct {
+	// commitLatencyUS measures propose→execute per consensus instance.
+	commitLatencyUS *metrics.Histogram
+	// batchOccupancy measures requests per proposed batch.
+	batchOccupancy *metrics.Histogram
+	// ckptStabilityLag measures how far execution ran past a checkpoint
+	// by the time it stabilized (sequence numbers).
+	ckptStabilityLag *metrics.Histogram
+
+	executedBatches *metrics.Counter
+	checkpoints     *metrics.Counter
+	viewChanges     *metrics.Counter
+	stateTransfers  *metrics.Counter
+	reconfigs       *metrics.Counter
+
+	// msgIn counts inbound protocol messages per type, indexed by MsgType.
+	msgIn [MsgStateReply + 1]*metrics.Counter
+}
+
+func newReplicaInstruments(reg *metrics.Registry) replicaInstruments {
+	ri := replicaInstruments{
+		commitLatencyUS:  reg.Histogram("bft.commit_latency_us"),
+		batchOccupancy:   reg.Histogram("bft.batch_occupancy"),
+		ckptStabilityLag: reg.Histogram("bft.checkpoint_stability_lag"),
+		executedBatches:  reg.Counter("bft.executed_batches"),
+		checkpoints:      reg.Counter("bft.checkpoints"),
+		viewChanges:      reg.Counter("bft.view_changes"),
+		stateTransfers:   reg.Counter("bft.state_transfers"),
+		reconfigs:        reg.Counter("bft.reconfigs"),
+	}
+	for t := MsgRequest; t <= MsgStateReply; t++ {
+		ri.msgIn[t] = reg.Counter("bft.msg_in." + strings.ToLower(t.String()))
+	}
+	return ri
+}

@@ -83,6 +83,13 @@ type Request struct {
 	Op []byte
 	// Sig authenticates the request with the client's key.
 	Sig []byte
+
+	// digest caches Digest(). Unexported, so gob never ships it and a
+	// decoded request recomputes on first use. Requests are immutable
+	// once built, and each replica's copies live on its single event-loop
+	// goroutine, so the cache needs no synchronization.
+	digest    Digest
+	digestSet bool
 }
 
 // digestInput returns the byte string covered by the client signature.
@@ -93,8 +100,16 @@ func (r *Request) digestInput() []byte {
 	return buf.Bytes()
 }
 
-// Digest hashes the request (excluding the signature).
-func (r *Request) Digest() Digest { return sha256.Sum256(r.digestInput()) }
+// Digest hashes the request (excluding the signature). The hash is
+// computed once and cached: execution and pending-queue compaction call
+// this O(pending) times per commit.
+func (r *Request) Digest() Digest {
+	if !r.digestSet {
+		r.digest = sha256.Sum256(r.digestInput())
+		r.digestSet = true
+	}
+	return r.digest
+}
 
 // Sign signs the request with the client's private key.
 func (r *Request) Sign(key ed25519.PrivateKey) {
@@ -198,6 +213,10 @@ func (m *Message) signedInput() []byte {
 		sum := sha256.Sum256(m.Snapshot)
 		buf.Write(sum[:])
 	}
+	// Reply fields: without these, a signed MsgReply would not bind the
+	// result, and any member could forge votes for arbitrary results.
+	fmt.Fprintf(&buf, "|r|%d|%d|%d|", m.ReplySeq, m.ReplyEpoch, m.ReplyClient)
+	buf.Write(m.Result)
 	return buf.Bytes()
 }
 

@@ -5,7 +5,9 @@ import (
 	"crypto/ed25519"
 	"encoding/gob"
 	"fmt"
+	"time"
 
+	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
 )
 
@@ -113,6 +115,7 @@ func (r *Replica) maybePropose() {
 	for i := range batch.Requests {
 		delete(r.pendingSet, batch.Requests[i].Digest())
 	}
+	r.ins.batchOccupancy.Observe(int64(n))
 	r.seq++
 	seq := r.seq
 
@@ -162,6 +165,9 @@ func (r *Replica) acceptPrePrepare(pp *Message) {
 	in.prePrepare = pp
 	in.batch = pp.Batch
 	in.digest = pp.BatchDigest
+	if in.startedAt.IsZero() {
+		in.startedAt = time.Now()
+	}
 	in.prepares[r.cfg.ID] = true
 	// The primary's pre-prepare stands in for its prepare (PBFT's
 	// prepared predicate: pre-prepare + 2f prepares from distinct
@@ -303,6 +309,15 @@ func (r *Replica) executeReady() {
 		}
 		r.compactPending()
 		r.updateStats(func(s *ReplicaStats) { s.Executed++ })
+		r.ins.executedBatches.Inc()
+		if !in.startedAt.IsZero() {
+			durUS := time.Since(in.startedAt).Microseconds()
+			r.ins.commitLatencyUS.Observe(durUS)
+			r.trace.Emit(metrics.Event{
+				Type: metrics.EvConsensusExecuted, Node: int64(r.cfg.ID),
+				Seq: next, Epoch: r.membership.Epoch, View: r.view, DurUS: durUS,
+			})
+		}
 		if r.lastExec%r.cfg.CheckpointInterval == 0 {
 			r.takeCheckpoint(r.lastExec)
 		}
@@ -321,7 +336,10 @@ func (r *Replica) executeReady() {
 // pendingSet) or were superseded by a later request from the same client.
 func (r *Replica) compactPending() {
 	kept := r.pending[:0]
-	for _, req := range r.pending {
+	// Iterate by index: Digest() caches into the element, and a value
+	// copy would throw the cache away every pass.
+	for i := range r.pending {
+		req := &r.pending[i]
 		if !r.pendingSet[req.Digest()] {
 			continue
 		}
@@ -329,7 +347,7 @@ func (r *Replica) compactPending() {
 			delete(r.pendingSet, req.Digest())
 			continue
 		}
-		kept = append(kept, req)
+		kept = append(kept, *req)
 	}
 	r.pending = kept
 }
@@ -361,6 +379,11 @@ func (r *Replica) executeRequest(req *Request) {
 		ReplyClient: req.Client,
 		Result:      result,
 	}
+	// Sign the reply so clients can tell a member's genuine vote from a
+	// vote forged in its name. From must be set first: the signature
+	// covers it, and send() would otherwise stamp it after signing.
+	reply.From = r.cfg.ID
+	reply.Sign(r.cfg.Key)
 	rec, ok := r.clients[req.Client]
 	if !ok {
 		rec = &clientRecord{}
@@ -390,6 +413,11 @@ func (r *Replica) applyReconfig(op ReconfigOp) []byte {
 	}
 	r.membership = next
 	r.updateStats(func(s *ReplicaStats) { s.Reconfigs++ })
+	r.ins.reconfigs.Inc()
+	r.trace.Emit(metrics.Event{
+		Type: metrics.EvReconfig, Node: int64(r.cfg.ID),
+		Epoch: next.Epoch, Detail: fmt.Sprintf("members=%v", next.Replicas),
+	})
 	r.cfg.Logf("replica %d: epoch %d membership %v", r.cfg.ID, next.Epoch, next.Replicas)
 
 	// Take an immediate checkpoint so peers that missed this instance can

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
 )
 
@@ -67,6 +68,13 @@ type ReplicaConfig struct {
 	Fault FaultMode
 	// Logf receives debug logging (nil = discard).
 	Logf func(format string, args ...any)
+	// Metrics optionally registers the replica's instruments (commit
+	// latency, batch occupancy, per-phase message counts, ...) under
+	// "bft.*". Replicas sharing a registry aggregate.
+	Metrics *metrics.Registry
+	// Trace optionally receives structured protocol events (consensus
+	// lifecycle, view changes, state transfers, checkpoints).
+	Trace *metrics.Tracer
 }
 
 func (c *ReplicaConfig) fill() error {
@@ -113,6 +121,9 @@ type instance struct {
 	prepared   bool
 	committed  bool
 	executed   bool
+	// startedAt stamps pre-prepare acceptance; execution observes the
+	// difference as this instance's commit latency.
+	startedAt time.Time
 }
 
 // clientRecord deduplicates client requests and caches the last reply.
@@ -147,6 +158,11 @@ type Replica struct {
 	pending    []Request
 	pendingSet map[Digest]bool
 	ckpts      map[uint64]*checkpointState
+	// ckptAhead records, per member, the latest beyond-window checkpoint
+	// SeqNo it claimed. Bounded by membership size — unlike keying ckpts
+	// on attacker-chosen SeqNos — and f+1 distinct claims prove the group
+	// moved past our window (see onCheckpoint).
+	ckptAhead map[transport.NodeID]uint64
 	lastSnap   []byte // snapshot at lowWater, for state transfer
 	joining    bool
 
@@ -170,6 +186,8 @@ type Replica struct {
 	// Observability (mutex-guarded; read from outside the loop).
 	statMu sync.Mutex
 	stats  ReplicaStats
+	ins    replicaInstruments
+	trace  *metrics.Tracer
 }
 
 // ReplicaStats exposes coarse counters for tests and monitoring.
@@ -208,12 +226,15 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		clients:     make(map[transport.NodeID]*clientRecord),
 		pendingSet:  make(map[Digest]bool),
 		ckpts:       make(map[uint64]*checkpointState),
+		ckptAhead:   make(map[transport.NodeID]uint64),
 		viewChanges: make(map[uint64]map[transport.NodeID]*Message),
 		stReplies:   make(map[transport.NodeID]*Message),
 		joining:     cfg.Joining,
 		ctx:         ctx,
 		cancel:      cancel,
 		inbox:       make(chan *Message, 1024),
+		ins:         newReplicaInstruments(cfg.Metrics),
+		trace:       cfg.Trace,
 	}
 	r.vcTimer = time.NewTimer(time.Hour)
 	if !r.vcTimer.Stop() {
@@ -321,6 +342,9 @@ func (r *Replica) dispatch(msg *Message) {
 	// higher epoch triggers one state transfer per observed epoch value.
 	if msg.Epoch > r.membership.Epoch && r.membership.Contains(msg.From) {
 		r.maybeEpochSync(msg.Epoch)
+	}
+	if msg.Type >= MsgRequest && msg.Type <= MsgStateReply {
+		r.ins.msgIn[msg.Type].Inc()
 	}
 	switch msg.Type {
 	case MsgRequest:
@@ -490,6 +514,7 @@ func (r *Replica) restoreSnapshot(data []byte) error {
 	r.lowWater = snap.LastExec
 	r.log = make(map[uint64]*instance)
 	r.ckpts = make(map[uint64]*checkpointState)
+	r.ckptAhead = make(map[transport.NodeID]uint64)
 	r.clients = make(map[transport.NodeID]*clientRecord)
 	for _, ce := range snap.Clients {
 		r.clients[ce.ID] = &clientRecord{lastSeq: ce.LastSeq}

@@ -3,6 +3,7 @@ package bft
 import (
 	"crypto/sha256"
 
+	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
 )
 
@@ -10,6 +11,10 @@ import (
 // by joining replicas (bootstrapping after a reconfiguration added them)
 // and by replicas that fell behind a stable checkpoint.
 func (r *Replica) requestStateTransfer() {
+	r.trace.Emit(metrics.Event{
+		Type: metrics.EvStateTransfer, Node: int64(r.cfg.ID),
+		Seq: r.lastExec, Epoch: r.membership.Epoch,
+	})
 	r.stReplies = make(map[transport.NodeID]*Message)
 	req := &Message{Type: MsgStateRequest, SeqNo: r.lastExec, Epoch: r.membership.Epoch}
 	for _, id := range r.cfg.Membership.Replicas {
@@ -124,6 +129,11 @@ func (r *Replica) onStateReply(msg *Message) {
 	wasJoining := r.joining
 	r.joining = !r.membership.Contains(r.cfg.ID)
 	r.updateStats(func(s *ReplicaStats) { s.StateTransfers++ })
+	r.ins.stateTransfers.Inc()
+	r.trace.Emit(metrics.Event{
+		Type: metrics.EvStateRestore, Node: int64(r.cfg.ID),
+		Seq: r.lastExec, Epoch: r.membership.Epoch,
+	})
 	r.cfg.Logf("replica %d: state transfer to seq %d (epoch %d, joining=%v->%v)",
 		r.cfg.ID, r.lastExec, r.membership.Epoch, wasJoining, r.joining)
 	if r.joining {

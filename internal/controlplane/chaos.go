@@ -24,6 +24,7 @@ import (
 	"lazarus/internal/deploy"
 	"lazarus/internal/feeds"
 	"lazarus/internal/ltu"
+	"lazarus/internal/metrics"
 	"lazarus/internal/osint"
 	"lazarus/internal/transport"
 )
@@ -59,6 +60,12 @@ type ChaosConfig struct {
 	// CatchUpTimeout and SwapStageTimeout override the controller's
 	// defaults (chaos wants short ones; defaults 2.5s and 2s).
 	CatchUpTimeout, SwapStageTimeout time.Duration
+	// Metrics, when set, aggregates the whole run: transport, every
+	// replica, and the controller all report into it.
+	Metrics *metrics.Registry
+	// Trace, when set, receives the run's structured protocol and swap
+	// events.
+	Trace *metrics.Tracer
 	// Logf receives progress logging (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -153,7 +160,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		return nil, err
 	}
 
-	net := transport.NewMemory(transport.MemoryConfig{Seed: cfg.Seed})
+	net := transport.NewMemory(transport.MemoryConfig{Seed: cfg.Seed, Metrics: cfg.Metrics})
 	defer net.Close()
 
 	// Hybrid clock: simulated days advance when intel is published, real
@@ -199,6 +206,8 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		SwapAttempts:     2,
 		SwapBackoff:      25 * time.Millisecond,
 		SwapBackoffMax:   200 * time.Millisecond,
+		Metrics:          cfg.Metrics,
+		Trace:            cfg.Trace,
 		LTUInjector: func(node transport.NodeID, cmd ltu.Command) error {
 			switch ltuFaultMode(ltuMode.Load()) {
 			case ltuFailing:
@@ -240,11 +249,11 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			defer cl.Close()
 			for i := 0; loadCtx.Err() == nil; i++ {
 				if i%8 == 0 {
-					var replicas []transport.NodeID
-					for _, id := range ctrl.Status().Nodes {
-						replicas = append(replicas, id)
+					// Follow reconfigurations with keys so reply
+					// verification tracks the current group.
+					if m := ctrl.Membership(); m != nil {
+						cl.UpdateMembership(m.Replicas, m.Keys)
 					}
-					cl.UpdateReplicas(replicas)
 				}
 				op, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: fmt.Sprintf("w%d-k%d", w, i%32), Value: []byte{byte(i)}})
 				ictx, cancel := context.WithTimeout(loadCtx, 2*time.Second)

@@ -23,6 +23,7 @@ import (
 	"lazarus/internal/core"
 	"lazarus/internal/deploy"
 	"lazarus/internal/ltu"
+	"lazarus/internal/metrics"
 	"lazarus/internal/osint"
 	"lazarus/internal/strategies"
 	"lazarus/internal/transport"
@@ -83,6 +84,15 @@ type Config struct {
 	// LTUInjector, when set, is installed as the fault injector of every
 	// LTU the controller creates (chaos testing).
 	LTUInjector func(node transport.NodeID, cmd ltu.Command) error
+	// Metrics, when set, receives the controller's instruments (intel
+	// refresh and clustering timings, monitor-round latency, per-stage
+	// swap durations and outcomes) and is handed to every replica the
+	// controller provisions, so one registry aggregates the whole
+	// deployment.
+	Metrics *metrics.Registry
+	// Trace, when set, receives structured swap events and every
+	// provisioned replica's protocol events.
+	Trace *metrics.Tracer
 	// Logf receives controller logging (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -188,6 +198,8 @@ type Controller struct {
 	builder  *deploy.Builder
 	ctrlPub  ed25519.PublicKey
 	ctrlPriv ed25519.PrivateKey
+	ins      cpInstruments
+	trace    *metrics.Tracer
 
 	mu sync.Mutex
 	// membership is read by freshly booting replicas while c.mu is held,
@@ -219,13 +231,23 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("controlplane: controller key: %w", err)
 	}
+	// Every provisioned replica reports into the controller's registry
+	// and tracer; the caller's tuning still runs last so it can override.
+	tuning := cfg.ReplicaTuning
+	instrumented := func(rc *bft.ReplicaConfig) {
+		rc.Metrics = cfg.Metrics
+		rc.Trace = cfg.Trace
+		if tuning != nil {
+			tuning(rc)
+		}
+	}
 	builder, err := deploy.NewBuilder(deploy.BuilderConfig{
 		Net:           cfg.Net,
 		ClientKeys:    cfg.ClientKeys,
 		ControllerKey: pub,
 		App:           cfg.App,
 		BootScale:     cfg.BootScale,
-		ReplicaTuning: cfg.ReplicaTuning,
+		ReplicaTuning: instrumented,
 	})
 	if err != nil {
 		return nil, err
@@ -238,6 +260,8 @@ func New(cfg Config) (*Controller, error) {
 		builder:  builder,
 		ctrlPub:  pub,
 		ctrlPriv: priv,
+		ins:      newCPInstruments(cfg.Metrics),
+		trace:    cfg.Trace,
 		nodes:    make(map[transport.NodeID]*nodeSlot),
 		osToNode: make(map[string]transport.NodeID),
 	}, nil
@@ -257,6 +281,7 @@ func replicaFor(os catalog.OS) core.Replica {
 // evaluates against (the Data manager + the analysis half of the Risk
 // manager).
 func (c *Controller) RefreshIntel(ctx context.Context, extra ...*osint.Vulnerability) error {
+	refreshStart := time.Now()
 	if err := c.store.UpsertAll(c.cfg.InitialVulns); err != nil {
 		return err
 	}
@@ -266,6 +291,8 @@ func (c *Controller) RefreshIntel(ctx context.Context, extra ...*osint.Vulnerabi
 	}
 	if c.cfg.Crawler != nil {
 		records, errs := c.cfg.Crawler.Crawl(ctx)
+		c.ins.crawlRecords.Add(int64(len(records)))
+		c.ins.crawlErrors.Add(int64(len(errs)))
 		for _, err := range errs {
 			c.cfg.Logf("controlplane: crawl: %v", err)
 		}
@@ -276,6 +303,7 @@ func (c *Controller) RefreshIntel(ctx context.Context, extra ...*osint.Vulnerabi
 		}
 	}
 	corpus := c.store.All()
+	c.ins.intelRecords.Set(int64(len(corpus)))
 	if len(corpus) == 0 {
 		return fmt.Errorf("controlplane: no vulnerability data ingested")
 	}
@@ -296,10 +324,12 @@ func (c *Controller) RefreshIntel(ctx context.Context, extra ...*osint.Vulnerabi
 	if vocab == 0 {
 		vocab = 600
 	}
+	clusterStart := time.Now()
 	model, err := cluster.BuildModel(corpus, cluster.Config{K: k, MaxVocabulary: vocab, Seed: c.cfg.Seed})
 	if err != nil {
 		return err
 	}
+	c.ins.clusterBuildUS.Observe(time.Since(clusterStart).Microseconds())
 	intel, err := core.NewIntel(corpus, model.Clusters)
 	if err != nil {
 		return err
@@ -314,6 +344,7 @@ func (c *Controller) RefreshIntel(ctx context.Context, extra ...*osint.Vulnerabi
 		return err
 	}
 	c.eval.set(engine)
+	c.ins.intelRefreshUS.Observe(time.Since(refreshStart).Microseconds())
 	c.cfg.Logf("controlplane: intel refreshed: %d records, %d clusters", len(corpus), model.Clusters.K)
 	return nil
 }
@@ -399,6 +430,7 @@ func (c *Controller) Bootstrap(ctx context.Context) error {
 		ID:             transport.ClientIDBase + 9999,
 		Key:            c.ctrlPriv,
 		Replicas:       membership.Replicas,
+		ReplicaKeys:    membership.Keys,
 		F:              membership.F(),
 		Net:            c.cfg.Net,
 		RequestTimeout: 800 * time.Millisecond,
@@ -509,12 +541,20 @@ func (c *Controller) ServiceClient(id transport.NodeID, key ed25519.PrivateKey) 
 		return nil, errors.New("controlplane: not bootstrapped")
 	}
 	return bft.NewClient(bft.ClientConfig{
-		ID:       id,
-		Key:      key,
-		Replicas: m.Replicas,
-		F:        m.F(),
-		Net:      c.cfg.Net,
+		ID:          id,
+		Key:         key,
+		Replicas:    m.Replicas,
+		ReplicaKeys: m.Keys,
+		F:           m.F(),
+		Net:         c.cfg.Net,
 	})
+}
+
+// Membership returns a clone of the controller's current view of the
+// replica group (nil before Bootstrap). Load clients use it to follow
+// reconfigurations, keys included, via Client.UpdateMembership.
+func (c *Controller) Membership() *bft.Membership {
+	return c.currentMembership()
 }
 
 // MonitorRound runs one Algorithm 1 round at the clock's current time and
@@ -535,6 +575,7 @@ func (c *Controller) MonitorRound(ctx context.Context) (core.Decision, error) {
 	c.mu.Unlock()
 
 	now := c.cfg.Clock()
+	roundStart := time.Now()
 	decision, err := monitor.Monitor(now)
 	switch {
 	case errors.Is(err, core.ErrPoolExhausted):
@@ -555,6 +596,9 @@ func (c *Controller) MonitorRound(ctx context.Context) (core.Decision, error) {
 			decision, err = monitor.Monitor(now)
 		}
 	}
+	// Algorithm 1 evaluation time, remediation included; swap execution
+	// is measured separately per stage.
+	c.ins.monitorRoundUS.Observe(time.Since(roundStart).Microseconds())
 	if err != nil && !errors.Is(err, core.ErrNoCandidate) && !errors.Is(err, core.ErrPoolExhausted) {
 		return decision, err
 	}

@@ -1,0 +1,51 @@
+package controlplane
+
+import "lazarus/internal/metrics"
+
+// cpInstruments bundles the controller's registry-backed instruments.
+// Built from a possibly-nil registry: a nil *metrics.Registry hands out
+// working unregistered instruments, so the instrumented paths never
+// guard.
+type cpInstruments struct {
+	// Risk-pipeline timings (RefreshIntel / MonitorRound).
+	intelRefreshUS *metrics.Histogram
+	clusterBuildUS *metrics.Histogram
+	monitorRoundUS *metrics.Histogram
+	intelRecords   *metrics.Gauge
+	crawlRecords   *metrics.Counter
+	crawlErrors    *metrics.Counter
+
+	// Swap-engine telemetry, mirroring SwapStats into the registry with
+	// per-stage duration histograms on top.
+	swapAttempts      *metrics.Counter
+	swapRetries       *metrics.Counter
+	swapTotalUS       *metrics.Histogram
+	swapOutcome       [SwapAborted + 1]*metrics.Counter
+	swapStageUS       [stageCount]*metrics.Histogram
+	swapStageFailures [stageCount]*metrics.Counter
+}
+
+func newCPInstruments(reg *metrics.Registry) cpInstruments {
+	ins := cpInstruments{
+		intelRefreshUS: reg.Histogram("controlplane.intel_refresh_us"),
+		clusterBuildUS: reg.Histogram("controlplane.cluster_build_us"),
+		monitorRoundUS: reg.Histogram("controlplane.monitor_round_us"),
+		intelRecords:   reg.Gauge("controlplane.intel_records"),
+		crawlRecords:   reg.Counter("controlplane.crawl_records"),
+		crawlErrors:    reg.Counter("controlplane.crawl_errors"),
+		swapAttempts:   reg.Counter("controlplane.swap_attempts"),
+		swapRetries:    reg.Counter("controlplane.swap_retries"),
+		swapTotalUS:    reg.Histogram("controlplane.swap_total_us"),
+	}
+	// Outcome 0 is never recorded but keeps the array total, so a stray
+	// zero-valued record cannot panic the bookkeeping.
+	ins.swapOutcome[0] = (*metrics.Registry)(nil).Counter("")
+	for o := SwapSucceeded; o <= SwapAborted; o++ {
+		ins.swapOutcome[o] = reg.Counter("controlplane.swap_outcome." + o.String())
+	}
+	for s := SwapStage(0); s < stageCount; s++ {
+		ins.swapStageUS[s] = reg.Histogram("controlplane.swap_stage_us." + s.String())
+		ins.swapStageFailures[s] = reg.Counter("controlplane.swap_stage_failures." + s.String())
+	}
+	return ins
+}

@@ -22,11 +22,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"lazarus/internal/bft"
 	"lazarus/internal/core"
 	"lazarus/internal/deploy"
+	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
 )
 
@@ -210,6 +212,15 @@ func (c *Controller) recordSwap(rec SwapRecord) {
 	case SwapAborted:
 		c.counters.aborts++
 	}
+	if rec.Outcome >= SwapSucceeded && rec.Outcome <= SwapAborted {
+		c.ins.swapOutcome[rec.Outcome].Inc()
+	}
+	c.ins.swapTotalUS.Observe(rec.Finished.Sub(rec.Started).Microseconds())
+	c.trace.Emit(metrics.Event{
+		Type:   metrics.EvSwapDone,
+		DurUS:  rec.Finished.Sub(rec.Started).Microseconds(),
+		Detail: fmt.Sprintf("%s->%s %s", rec.Removed, rec.Added, rec.Outcome),
+	})
 }
 
 // SetFaultPolicy installs (or clears, with nil) a deploy-layer failure
@@ -263,7 +274,8 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // runStage drives one stage: up to `attempts` tries, each bounded by
 // `timeout`, with capped exponential backoff between tries (the
 // transport's re-dial idiom). Failed attempts are tallied per stage.
-func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, stage SwapStage, attempts int, timeout time.Duration, fn func(context.Context) error) error {
+func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, stage SwapStage, attempts int, timeout time.Duration, fn func(context.Context, *stageAttempt) error) error {
+	stageStart := time.Now()
 	backoff := c.cfg.SwapBackoff
 	var last error
 	for a := 0; a < attempts; a++ {
@@ -271,6 +283,7 @@ func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, stage SwapSt
 			c.swapMu.Lock()
 			c.counters.retries++
 			c.swapMu.Unlock()
+			c.ins.swapRetries.Inc()
 			rec.Retries++
 			if err := sleepCtx(ctx, backoff); err != nil {
 				return fmt.Errorf("%v: %w", stage, err)
@@ -282,32 +295,86 @@ func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, stage SwapSt
 		}
 		last = attemptStage(ctx, timeout, fn)
 		if last == nil {
+			c.finishStage(rec, stage, stageStart, "ok")
 			return nil
 		}
 		c.swapMu.Lock()
 		c.counters.stageFailures[stage]++
 		c.swapMu.Unlock()
+		c.ins.swapStageFailures[stage].Inc()
 		c.cfg.Logf("controlplane: swap stage %v attempt %d/%d failed: %v", stage, a+1, attempts, last)
 		if ctx.Err() != nil {
 			break
 		}
 	}
+	c.finishStage(rec, stage, stageStart, "fail")
 	return fmt.Errorf("%v: %w", stage, last)
 }
 
-// attemptStage runs fn once under a real-time timeout. fn must honour its
-// context; a stage that cannot be cancelled (a stalled boot inside the
-// LTU) is abandoned to finish on its own — the node Retire/idempotency
-// rules make a late completion harmless.
-func attemptStage(ctx context.Context, timeout time.Duration, fn func(context.Context) error) error {
+// finishStage records one completed stage (all attempts and backoffs
+// included) in the per-stage duration histogram and the event trace.
+func (c *Controller) finishStage(rec *SwapRecord, stage SwapStage, start time.Time, verdict string) {
+	durUS := time.Since(start).Microseconds()
+	c.ins.swapStageUS[stage].Observe(durUS)
+	c.trace.Emit(metrics.Event{
+		Type:   metrics.EvSwapStage,
+		DurUS:  durUS,
+		Detail: fmt.Sprintf("%s->%s %v %s (retries %d)", rec.Removed, rec.Added, stage, verdict, rec.Retries),
+	})
+}
+
+// stageAttempt coordinates one attemptStage try with the goroutine
+// running it. When a try times out the controller abandons the goroutine
+// and moves on (to a retry, or to compensation) — but the goroutine may
+// still be holding a verdict it obtained just as the deadline fired, and
+// publishing it late would race with (and corrupt) the compensation
+// logic reading the same state. Every publication therefore goes through
+// settle, which the controller fences off with abandon.
+type stageAttempt struct {
+	mu        sync.Mutex
+	abandoned bool
+}
+
+// settle runs publish unless the attempt was abandoned, and reports
+// whether it ran. Publications by a live attempt are ordered before
+// abandon's critical section, which the controller enters before it
+// reads any of the published state — so settled writes are visible and
+// abandoned writes never happen.
+func (a *stageAttempt) settle(publish func()) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.abandoned {
+		return false
+	}
+	publish()
+	return true
+}
+
+// abandon marks the attempt as timed out: later settle calls become
+// no-ops.
+func (a *stageAttempt) abandon() {
+	a.mu.Lock()
+	a.abandoned = true
+	a.mu.Unlock()
+}
+
+// attemptStage runs fn once under a real-time timeout. fn must honour
+// its context; a stage that cannot be cancelled (a stalled boot inside
+// the LTU) is abandoned to finish on its own — the node
+// Retire/idempotency rules make a late completion harmless, and any
+// shared state fn wants to write on its way out must go through the
+// stageAttempt, which an abandoned goroutine can no longer settle.
+func attemptStage(ctx context.Context, timeout time.Duration, fn func(context.Context, *stageAttempt) error) error {
 	sctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
+	att := &stageAttempt{}
 	done := make(chan error, 1)
-	go func() { done <- fn(sctx) }()
+	go func() { done <- fn(sctx, att) }()
 	select {
 	case err := <-done:
 		return err
 	case <-sctx.Done():
+		att.abandon()
 		return fmt.Errorf("timed out after %v: %w", timeout, sctx.Err())
 	}
 }
@@ -337,6 +404,7 @@ func (c *Controller) executeSwap(ctx context.Context, removed, added core.Replic
 	c.swapMu.Lock()
 	c.counters.attempts++
 	c.swapMu.Unlock()
+	c.ins.swapAttempts.Inc()
 
 	c.mu.Lock()
 	oldID, ok := c.osToNode[removed.ID]
@@ -417,6 +485,10 @@ func (op *swapOp) run(ctx context.Context, rec *SwapRecord) error {
 	if err := c.runStage(ctx, rec, StageBoot, attempts, timeout, op.boot); err != nil {
 		return op.fail(ctx, rec, StageBoot, err)
 	}
+	// Pessimistic until a definitive reply: an ADD attempt that times out
+	// may have been ordered anyway, so compensation must assume it was
+	// unless a live attempt settled the question.
+	op.addUncertain = true
 	if err := c.runStage(ctx, rec, StageAdd, attempts, timeout, op.orderAdd); err != nil {
 		return op.fail(ctx, rec, StageAdd, err)
 	}
@@ -451,7 +523,7 @@ func (op *swapOp) run(ctx context.Context, rec *SwapRecord) error {
 // boot powers the joiner on through its LTU. A retry after a stalled
 // attempt that eventually landed sees the node already running the right
 // image and treats it as success.
-func (op *swapOp) boot(context.Context) error {
+func (op *swapOp) boot(context.Context, *stageAttempt) error {
 	err := func() error {
 		op.c.mu.Lock()
 		defer op.c.mu.Unlock()
@@ -489,11 +561,14 @@ func parseReconfigResult(res []byte) (reconfigResult, uint64) {
 	}
 }
 
-// orderAdd submits the ADD through consensus. An invoke error is
-// ambiguous (the command may have been ordered anyway) and marks the op
-// accordingly; a definitive reply clears the ambiguity — in particular a
-// retry answered "already a member" means an earlier attempt landed.
-func (op *swapOp) orderAdd(ctx context.Context) error {
+// orderAdd submits the ADD through consensus. The op enters this stage
+// marked addUncertain (see run): an attempt that dies without a
+// definitive reply — invoke error, or a timed-out goroutine whose late
+// verdict no longer settles — leaves the ADD possibly ordered, and only
+// a definitive reply from a live attempt clears the ambiguity. In
+// particular a retry answered "already a member" means an earlier
+// attempt landed.
+func (op *swapOp) orderAdd(ctx context.Context, att *stageAttempt) error {
 	pub, err := op.c.builder.PublicKey(op.newID)
 	if err != nil {
 		return err
@@ -504,10 +579,9 @@ func (op *swapOp) orderAdd(ctx context.Context) error {
 	}
 	res, err := op.client.Invoke(ctx, addOp)
 	if err != nil {
-		op.addUncertain = true
 		return fmt.Errorf("ordering ADD of node %d: %w", op.newID, err)
 	}
-	op.addUncertain = false
+	att.settle(func() { op.addUncertain = false })
 	switch verdict, _ := parseReconfigResult(res); verdict {
 	case reconfigApplied, reconfigAlreadyDone:
 		return nil
@@ -527,7 +601,7 @@ func (op *swapOp) commitAdd() error {
 		return err
 	}
 	op.c.membership.Store(next)
-	op.client.UpdateReplicas(next.Replicas)
+	op.client.UpdateMembership(next.Replicas, next.Keys)
 	op.addApplied = true
 	return nil
 }
@@ -535,7 +609,7 @@ func (op *swapOp) commitAdd() error {
 // waitCatchUp polls the joiner until it has state-transferred into the
 // current epoch. The deadline runs on the injected clock (cfg.Clock), so
 // tests control it without real sleeps.
-func (op *swapOp) waitCatchUp(ctx context.Context) error {
+func (op *swapOp) waitCatchUp(ctx context.Context, _ *stageAttempt) error {
 	c := op.c
 	deadline := c.cfg.Clock().Add(c.cfg.CatchUpTimeout)
 	for {
@@ -558,7 +632,7 @@ func (op *swapOp) waitCatchUp(ctx context.Context) error {
 
 // orderRemove submits the REMOVE of the quarantined replica's node. A
 // retry answered "not a member" means an earlier attempt landed.
-func (op *swapOp) orderRemove(ctx context.Context) error {
+func (op *swapOp) orderRemove(ctx context.Context, _ *stageAttempt) error {
 	rmOp, err := bft.EncodeReconfigOp(bft.ReconfigOp{Add: false, Replica: op.oldID})
 	if err != nil {
 		return err
@@ -581,7 +655,7 @@ func (op *swapOp) commitRemove() {
 	c := op.c
 	if next, err := c.membership.Load().WithRemoved(op.oldID); err == nil {
 		c.membership.Store(next)
-		op.client.UpdateReplicas(next.Replicas)
+		op.client.UpdateMembership(next.Replicas, next.Keys)
 	} else {
 		c.cfg.Logf("controlplane: commit REMOVE of node %d locally: %v", op.oldID, err)
 	}
@@ -634,7 +708,7 @@ func (c *Controller) membersSettled(m *bft.Membership) bool {
 }
 
 // powerOffOld orders the removed replica's node off through its LTU.
-func (op *swapOp) powerOffOld(context.Context) error {
+func (op *swapOp) powerOffOld(context.Context, *stageAttempt) error {
 	op.c.mu.Lock()
 	defer op.c.mu.Unlock()
 	return op.c.powerOffLocked(op.oldSlot)
@@ -706,13 +780,18 @@ func (op *swapOp) compensate(ctx context.Context, rec *SwapRecord) (SwapOutcome,
 	}
 	var verdict reconfigResult
 	var epoch uint64
-	invoke := func(sctx context.Context) error {
+	invoke := func(sctx context.Context, att *stageAttempt) error {
 		res, err := op.client.Invoke(sctx, rmOp)
 		if err != nil {
 			return fmt.Errorf("ordering compensating REMOVE of node %d: %w", op.newID, err)
 		}
-		verdict, epoch = parseReconfigResult(res)
-		if verdict == reconfigRejected {
+		v, e := parseReconfigResult(res)
+		if !att.settle(func() { verdict, epoch = v, e }) {
+			// Abandoned after a reply arrived: the retry (or the caller)
+			// owns the verdict now.
+			return fmt.Errorf("compensating REMOVE of node %d: attempt abandoned", op.newID)
+		}
+		if v == reconfigRejected {
 			return fmt.Errorf("compensating REMOVE of node %d rejected: %s", op.newID, res)
 		}
 		return nil
@@ -744,7 +823,7 @@ func (op *swapOp) compensate(ctx context.Context, rec *SwapRecord) (SwapOutcome,
 		if op.addApplied {
 			if next, err := op.c.membership.Load().WithRemoved(op.newID); err == nil {
 				op.c.membership.Store(next)
-				op.client.UpdateReplicas(next.Replicas)
+				op.client.UpdateMembership(next.Replicas, next.Keys)
 			}
 		} else {
 			// The ADD had landed even though its invoke failed: the group
@@ -752,7 +831,7 @@ func (op *swapOp) compensate(ctx context.Context, rec *SwapRecord) (SwapOutcome,
 			next := op.pre.Clone()
 			next.Epoch = epoch
 			op.c.membership.Store(next)
-			op.client.UpdateReplicas(next.Replicas)
+			op.client.UpdateMembership(next.Replicas, next.Keys)
 		}
 		op.discardJoiner()
 		return SwapRolledBack, nil
@@ -761,7 +840,7 @@ func (op *swapOp) compensate(ctx context.Context, rec *SwapRecord) (SwapOutcome,
 		if op.addApplied {
 			// Local view had the joiner but the group never did.
 			op.c.membership.Store(op.pre.Clone())
-			op.client.UpdateReplicas(op.pre.Replicas)
+			op.client.UpdateMembership(op.pre.Replicas, op.pre.Keys)
 		}
 		op.discardJoiner()
 		return SwapRolledBack, nil

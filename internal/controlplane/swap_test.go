@@ -191,3 +191,44 @@ func sameStrings(a, b []string) bool {
 	}
 	return true
 }
+
+// TestAttemptStageAbandonBlocksLateSettle is the regression test for the
+// timed-out-attempt race: a stage goroutine that outlives its attempt
+// timeout must not be able to publish a verdict afterwards — the
+// controller has already moved on to a retry or to compensation, and a
+// late write (e.g. orderAdd clearing addUncertain) would race with and
+// corrupt the compensation decision.
+func TestAttemptStageAbandonBlocksLateSettle(t *testing.T) {
+	release := make(chan struct{})
+	settled := make(chan bool, 1)
+	err := attemptStage(context.Background(), 10*time.Millisecond, func(ctx context.Context, att *stageAttempt) error {
+		<-release // ignore the context: outlive the timeout on purpose
+		settled <- att.settle(func() {})
+		return nil
+	})
+	if err == nil {
+		t.Fatal("attemptStage returned nil, want timeout error")
+	}
+	close(release) // attemptStage has returned, so the attempt is abandoned
+	if <-settled {
+		t.Fatal("abandoned attempt settled its verdict after the timeout")
+	}
+}
+
+// TestAttemptStageLiveSettle: an attempt that finishes within its budget
+// publishes normally.
+func TestAttemptStageLiveSettle(t *testing.T) {
+	published := false
+	err := attemptStage(context.Background(), time.Second, func(ctx context.Context, att *stageAttempt) error {
+		if !att.settle(func() { published = true }) {
+			t.Error("live attempt reported abandoned")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("attemptStage: %v", err)
+	}
+	if !published {
+		t.Fatal("live attempt's publish did not run")
+	}
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Error("counter lookup not idempotent")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilRegistryHandsOutWorkingInstruments(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(2)
+	r.Histogram("x").Observe(3)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	if r.Names() != nil {
+		t.Error("nil registry has names")
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	last := -1
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < last {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, last)
+		}
+		if i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("bucketLow(%d) = %d > value %d", i, lo, v)
+		}
+		last = i
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// Uniform 1..1000: p50 ~ 500, p95 ~ 950, p99 ~ 990 within the 25%
+	// relative bucket error.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if s.Mean < 500 || s.Mean > 501 {
+		t.Errorf("mean = %f, want ~500.5", s.Mean)
+	}
+	within := func(got, want int64, rel float64) bool {
+		d := float64(got) - float64(want)
+		if d < 0 {
+			d = -d
+		}
+		return d <= rel*float64(want)
+	}
+	if !within(s.P50, 500, 0.30) {
+		t.Errorf("p50 = %d, want ~500", s.P50)
+	}
+	if !within(s.P95, 950, 0.30) {
+		t.Errorf("p95 = %d, want ~950", s.P95)
+	}
+	if !within(s.P99, 990, 0.30) {
+		t.Errorf("p99 = %d, want ~990", s.P99)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: %d %d %d", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(2)
+	}
+	s := h.Snapshot()
+	if s.P50 != 2 || s.P99 != 2 {
+		t.Errorf("constant-2 histogram: p50=%d p99=%d", s.P50, s.P99)
+	}
+	if s.Min != 2 || s.Max != 2 {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.Count != 1 {
+		t.Errorf("negative observation: %+v", s)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h").Observe(10)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["c"] != 3 || back.Gauges["g"] != -1 || back.Histograms["h"].Count != 1 {
+		t.Errorf("round-tripped snapshot = %+v", back)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "c" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Observe(int64(j))
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestTracerRingAndJSONL(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	i := 0
+	tr.SetClock(func() time.Time { i++; return base.Add(time.Duration(i) * time.Second) })
+	for n := 0; n < 6; n++ {
+		tr.Emit(Event{Type: EvSwapStage, Seq: uint64(n)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Errorf("ring order wrong: first=%d last=%d", evs[0].Seq, evs[3].Seq)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("jsonl lines = %d, want 4", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil || e.Type != EvSwapStage {
+		t.Errorf("jsonl line does not parse: %v %+v", err, e)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: "x"})
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer retained state")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the instrumented subsystems. The set is open —
+// these constants just keep the spellings consistent across packages.
+const (
+	// EvConsensusExecuted closes one consensus instance lifecycle: the
+	// batch at Seq committed and executed (DurUS = propose→execute).
+	EvConsensusExecuted = "consensus.executed"
+	// EvViewChange marks a replica volunteering into a view change.
+	EvViewChange = "view.change"
+	// EvViewAdopt marks a replica adopting a new view.
+	EvViewAdopt = "view.adopt"
+	// EvStateTransfer marks a state-transfer trigger (Detail = why).
+	EvStateTransfer = "state.transfer"
+	// EvStateRestore marks a state transfer completing at Seq.
+	EvStateRestore = "state.restore"
+	// EvCheckpointStable marks a checkpoint reaching quorum stability.
+	EvCheckpointStable = "checkpoint.stable"
+	// EvReconfig marks an ordered membership change executing.
+	EvReconfig = "reconfig.apply"
+	// EvSwapStage marks one swap-engine stage transition (Detail =
+	// stage and verdict, DurUS = stage duration).
+	EvSwapStage = "swap.stage"
+	// EvSwapDone closes one swap (Detail = outcome).
+	EvSwapDone = "swap.done"
+)
+
+// Event is one structured trace record. Fields are optional except T
+// and Type; Node disambiguates emitters sharing a tracer.
+type Event struct {
+	T      time.Time `json:"t"`
+	Type   string    `json:"type"`
+	Node   int64     `json:"node,omitempty"`
+	Seq    uint64    `json:"seq,omitempty"`
+	Epoch  uint64    `json:"epoch,omitempty"`
+	View   uint64    `json:"view,omitempty"`
+	DurUS  int64     `json:"dur_us,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded in-memory ring of events. Writers never block and
+// never allocate beyond the ring; when full, the oldest events are
+// overwritten. A nil *Tracer discards everything, so callers can leave
+// tracing unwired without nil checks.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	count int
+	clock func() time.Time
+	drops int64
+}
+
+// NewTracer builds a tracer holding at most capacity events (default
+// 4096 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{ring: make([]Event, capacity), clock: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (t *Tracer) SetClock(clock func() time.Time) {
+	if t == nil || clock == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Emit records one event, stamping T if unset. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if e.T.IsZero() {
+		e.T = t.clock()
+	}
+	if t.count == len(t.ring) {
+		t.drops++ // overwriting the oldest
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. Nil-safe.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.count)
+	start := t.next - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped reports how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+// WriteJSONL dumps the retained events as JSON lines, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
+
+	"lazarus/internal/metrics"
 )
 
 // FeedSpec points the crawler at one auxiliary OSINT source.
@@ -30,6 +33,9 @@ type CrawlerConfig struct {
 	Workers int
 	// Client is the HTTP client to use (default http.DefaultClient).
 	Client *http.Client
+	// Metrics, when set, receives feed-parse throughput instruments
+	// (records, enrichments, per-source errors, crawl duration).
+	Metrics *metrics.Registry
 }
 
 // Crawler fetches vulnerability intelligence from an NVD feed and a set of
@@ -40,6 +46,11 @@ type CrawlerConfig struct {
 type Crawler struct {
 	cfg    CrawlerConfig
 	client *http.Client
+
+	crawlUS     *metrics.Histogram
+	records     *metrics.Counter
+	enrichments *metrics.Counter
+	sourceErrs  *metrics.Counter
 }
 
 // NewCrawler validates the configuration and returns a Crawler.
@@ -54,7 +65,14 @@ func NewCrawler(cfg CrawlerConfig) (*Crawler, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Crawler{cfg: cfg, client: client}, nil
+	return &Crawler{
+		cfg:         cfg,
+		client:      client,
+		crawlUS:     cfg.Metrics.Histogram("osint.crawl_us"),
+		records:     cfg.Metrics.Counter("osint.feed_records"),
+		enrichments: cfg.Metrics.Counter("osint.feed_enrichments"),
+		sourceErrs:  cfg.Metrics.Counter("osint.feed_errors"),
+	}, nil
 }
 
 // fetchResult carries one source's parse output to the merge stage.
@@ -71,6 +89,8 @@ type fetchResult struct {
 // are returned in errs; the crawl is usable as long as the NVD baseline
 // was ingested (a dead auxiliary site must not take down monitoring).
 func (c *Crawler) Crawl(ctx context.Context) (map[string]*Vulnerability, []error) {
+	crawlStart := time.Now()
+	defer func() { c.crawlUS.Observe(time.Since(crawlStart).Microseconds()) }()
 	jobs := make(chan func() fetchResult)
 	results := make(chan fetchResult)
 
@@ -114,8 +134,10 @@ func (c *Crawler) Crawl(ctx context.Context) (map[string]*Vulnerability, []error
 	for res := range results {
 		switch {
 		case res.err != nil:
+			c.sourceErrs.Inc()
 			errs = append(errs, fmt.Errorf("osint: source %s: %w", res.source, res.err))
 		case res.vulns != nil:
+			c.records.Add(int64(len(res.vulns)))
 			for _, v := range res.vulns {
 				if existing, ok := byID[v.ID]; ok {
 					if err := existing.Merge(v); err != nil {
@@ -126,6 +148,7 @@ func (c *Crawler) Crawl(ctx context.Context) (map[string]*Vulnerability, []error
 				}
 			}
 		default:
+			c.enrichments.Add(int64(len(res.enrichments)))
 			pending = append(pending, res.enrichments...)
 		}
 	}

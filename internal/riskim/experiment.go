@@ -12,6 +12,7 @@ import (
 	"lazarus/internal/cluster"
 	"lazarus/internal/core"
 	"lazarus/internal/feeds"
+	"lazarus/internal/metrics"
 	"lazarus/internal/osint"
 	"lazarus/internal/strategies"
 )
@@ -46,6 +47,9 @@ type Experiment struct {
 	Strategies []string
 	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// Metrics, when set, receives experiment timings (clustering, table
+	// precomputation, per-slot scan duration) and run counts.
+	Metrics *metrics.Registry
 }
 
 // Validate checks the experiment configuration.
@@ -133,10 +137,12 @@ func (e *Experiment) prepareWith(learnEnd, start, end time.Time, checkVulns []*o
 	if vocab == 0 {
 		vocab = 600
 	}
+	clusterStart := time.Now()
 	model, err := cluster.BuildModel(learning, cluster.Config{K: k, MaxVocabulary: vocab, Seed: e.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("riskim: clustering learning corpus: %w", err)
 	}
+	e.Metrics.Histogram("riskim.cluster_build_us").Observe(time.Since(clusterStart).Microseconds())
 	visible := e.Dataset.PublishedBefore(end.AddDate(0, 0, 1))
 	for _, v := range visible {
 		model.Extend(v) // no-op for learning-corpus members
@@ -160,10 +166,12 @@ func (e *Experiment) prepareWith(learnEnd, start, end time.Time, checkVulns []*o
 	}
 	day0 := start.AddDate(0, 0, -1)
 	days := int(end.Sub(day0).Hours()/24) + 2
+	tablesStart := time.Now()
 	tables, err := NewTables(engine, e.Universe, day0, days)
 	if err != nil {
 		return nil, err
 	}
+	e.Metrics.Histogram("riskim.tables_build_us").Observe(time.Since(tablesStart).Microseconds())
 	return &prepared{
 		tables:     tables,
 		checkVulns: checkVulns,
@@ -234,6 +242,10 @@ func diffCount(prev, next core.Config) int {
 
 // runAll fans the Runs × strategies grid across workers.
 func (e *Experiment) runAll(p *prepared, label string) (*MonthResult, error) {
+	scanStart := time.Now()
+	defer func() {
+		e.Metrics.Histogram("riskim.scan_us").Observe(time.Since(scanStart).Microseconds())
+	}()
 	res := &MonthResult{
 		Month:       p.start,
 		Runs:        e.Runs,
@@ -264,6 +276,7 @@ func (e *Experiment) runAll(p *prepared, label string) (*MonthResult, error) {
 			jobs = append(jobs, job{name, r})
 		}
 	}
+	e.Metrics.Counter("riskim.runs").Add(int64(len(jobs)))
 	workers := e.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

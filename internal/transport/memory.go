@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"lazarus/internal/metrics"
 )
 
 // MemoryConfig shapes the simulated network.
@@ -20,6 +22,9 @@ type MemoryConfig struct {
 	DropRate float64
 	// Seed drives the loss/jitter randomness.
 	Seed int64
+	// Metrics optionally registers the network's counters under
+	// "transport.memory.*"; nil keeps them Stats()-only.
+	Metrics *metrics.Registry
 }
 
 // Memory is an in-process switchboard connecting endpoints by NodeID, with
@@ -42,12 +47,14 @@ func NewMemory(cfg MemoryConfig) *Memory {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4096
 	}
-	return &Memory{
+	m := &Memory{
 		cfg:       cfg,
 		endpoints: make(map[NodeID]*memEndpoint),
 		cut:       make(map[[2]NodeID]bool),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
+	m.stats.init(cfg.Metrics, "transport.memory")
+	return m
 }
 
 var _ Network = (*Memory)(nil)

@@ -3,7 +3,8 @@ package transport
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
+
+	"lazarus/internal/metrics"
 )
 
 // Stats is a point-in-time snapshot of a network's transport counters.
@@ -88,35 +89,58 @@ func (s Stats) String() string {
 }
 
 // counters is the live, atomically updated form of Stats shared by every
-// endpoint of one network.
+// endpoint of one network. Each field is a registry-backed instrument:
+// wire a *metrics.Registry into the network's config and the same
+// numbers that Stats() reports appear in the registry snapshot under
+// "<prefix>.<name>". With no registry the instruments still work, they
+// are just unregistered — Stats() is unchanged either way.
 type counters struct {
-	framesSent, bytesSent        atomic.Int64
-	framesRecv, bytesRecv        atomic.Int64
-	dials, dialFailures, redials atomic.Int64
-	writeDeadlineTrips           atomic.Int64
-	dropsQueueFull               atomic.Int64
-	dropsInboxFull               atomic.Int64
-	dropsAuthFail                atomic.Int64
-	dropsMisrouted               atomic.Int64
-	dropsWriteFail               atomic.Int64
-	dropsLossy                   atomic.Int64
+	framesSent, bytesSent        *metrics.Counter
+	framesRecv, bytesRecv        *metrics.Counter
+	dials, dialFailures, redials *metrics.Counter
+	writeDeadlineTrips           *metrics.Counter
+	dropsQueueFull               *metrics.Counter
+	dropsInboxFull               *metrics.Counter
+	dropsAuthFail                *metrics.Counter
+	dropsMisrouted               *metrics.Counter
+	dropsWriteFail               *metrics.Counter
+	dropsLossy                   *metrics.Counter
+}
+
+// init binds every counter to the registry under prefix. A nil registry
+// hands out working unregistered counters, so init must still run.
+func (c *counters) init(reg *metrics.Registry, prefix string) {
+	c.framesSent = reg.Counter(prefix + ".frames_sent")
+	c.bytesSent = reg.Counter(prefix + ".bytes_sent")
+	c.framesRecv = reg.Counter(prefix + ".frames_recv")
+	c.bytesRecv = reg.Counter(prefix + ".bytes_recv")
+	c.dials = reg.Counter(prefix + ".dials")
+	c.dialFailures = reg.Counter(prefix + ".dial_failures")
+	c.redials = reg.Counter(prefix + ".redials")
+	c.writeDeadlineTrips = reg.Counter(prefix + ".write_deadline_trips")
+	c.dropsQueueFull = reg.Counter(prefix + ".drops_queue_full")
+	c.dropsInboxFull = reg.Counter(prefix + ".drops_inbox_full")
+	c.dropsAuthFail = reg.Counter(prefix + ".drops_auth_fail")
+	c.dropsMisrouted = reg.Counter(prefix + ".drops_misrouted")
+	c.dropsWriteFail = reg.Counter(prefix + ".drops_write_fail")
+	c.dropsLossy = reg.Counter(prefix + ".drops_lossy")
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		FramesSent:         c.framesSent.Load(),
-		BytesSent:          c.bytesSent.Load(),
-		FramesRecv:         c.framesRecv.Load(),
-		BytesRecv:          c.bytesRecv.Load(),
-		Dials:              c.dials.Load(),
-		DialFailures:       c.dialFailures.Load(),
-		Redials:            c.redials.Load(),
-		WriteDeadlineTrips: c.writeDeadlineTrips.Load(),
-		DropsQueueFull:     c.dropsQueueFull.Load(),
-		DropsInboxFull:     c.dropsInboxFull.Load(),
-		DropsAuthFail:      c.dropsAuthFail.Load(),
-		DropsMisrouted:     c.dropsMisrouted.Load(),
-		DropsWriteFail:     c.dropsWriteFail.Load(),
-		DropsLossy:         c.dropsLossy.Load(),
+		FramesSent:         c.framesSent.Value(),
+		BytesSent:          c.bytesSent.Value(),
+		FramesRecv:         c.framesRecv.Value(),
+		BytesRecv:          c.bytesRecv.Value(),
+		Dials:              c.dials.Value(),
+		DialFailures:       c.dialFailures.Value(),
+		Redials:            c.redials.Value(),
+		WriteDeadlineTrips: c.writeDeadlineTrips.Value(),
+		DropsQueueFull:     c.dropsQueueFull.Value(),
+		DropsInboxFull:     c.dropsInboxFull.Value(),
+		DropsAuthFail:      c.dropsAuthFail.Value(),
+		DropsMisrouted:     c.dropsMisrouted.Value(),
+		DropsWriteFail:     c.dropsWriteFail.Value(),
+		DropsLossy:         c.dropsLossy.Value(),
 	}
 }

@@ -1,0 +1,38 @@
+package transport
+
+import (
+	"testing"
+
+	"lazarus/internal/metrics"
+)
+
+// TestMemoryStatsMirroredInRegistry checks that a network built with a
+// registry reports the same counts through Stats() and the registry.
+func TestMemoryStatsMirroredInRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMemory(MemoryConfig{Metrics: reg})
+	defer m.Close()
+	a, err := m.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Endpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send(2, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.FramesSent != 5 {
+		t.Fatalf("FramesSent = %d, want 5", st.FramesSent)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["transport.memory.frames_sent"]; got != st.FramesSent {
+		t.Errorf("registry frames_sent = %d, Stats = %d", got, st.FramesSent)
+	}
+	if got := snap.Counters["transport.memory.bytes_sent"]; got != st.BytesSent {
+		t.Errorf("registry bytes_sent = %d, Stats = %d", got, st.BytesSent)
+	}
+}

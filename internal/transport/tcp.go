@@ -12,6 +12,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"lazarus/internal/metrics"
 )
 
 // maxFrame bounds a single TCP frame (16 MiB), protecting receivers from
@@ -50,6 +52,9 @@ type TCPConfig struct {
 	// backoff (plus up to 50% jitter) between dial attempts to an
 	// unreachable peer (defaults 50ms and 2s).
 	RedialBackoff, RedialBackoffMax time.Duration
+	// Metrics optionally registers the network's counters under
+	// "transport.tcp.*"; nil keeps them Stats()-only.
+	Metrics *metrics.Registry
 }
 
 // TCP is a Network over real sockets with length-prefixed, HMAC-
@@ -100,7 +105,9 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	if cfg.RedialBackoffMax <= 0 {
 		cfg.RedialBackoffMax = 2 * time.Second
 	}
-	return &TCP{cfg: cfg, endpoints: make(map[NodeID]*tcpEndpoint)}, nil
+	t := &TCP{cfg: cfg, endpoints: make(map[NodeID]*tcpEndpoint)}
+	t.stats.init(cfg.Metrics, "transport.tcp")
+	return t, nil
 }
 
 var _ Network = (*TCP)(nil)
