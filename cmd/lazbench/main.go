@@ -15,7 +15,8 @@
 //	lazbench leader          leader-placement analysis (paper §9)
 //	lazbench net             real-transport micro-run + frame/drop counters
 //	lazbench chaos [-rounds N] [-metrics-out F]  control-plane chaos run: swaps under faults
-//	lazbench perf [-metrics-out F]  live-cluster throughput, commit-latency and swap-stage quantiles
+//	lazbench perf [-out F]   live-cluster throughput, commit-latency and swap-stage quantiles
+//	                         (baseline JSON written to -out, default BENCH_pr3.json)
 //	lazbench metrics         instrumented micro-run; prints the registry snapshot as JSON
 //	lazbench all             everything above (except ablations, chaos, perf and metrics)
 //
@@ -43,6 +44,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "dataset and experiment seed")
 	rounds := fs.Int("rounds", 25, "monitor rounds for the chaos run")
 	metricsOut := fs.String("metrics-out", "", "write the perf/chaos metrics baseline JSON to this file")
+	out := fs.String("out", "BENCH_pr3.json", "perf baseline artifact path (-metrics-out overrides)")
 	if len(args) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|net|chaos|perf|metrics|all)")
@@ -66,8 +68,14 @@ func run(args []string) error {
 		"leader":   func(int, int64) error { return leaderPlacement() },
 		"net":      func(int, int64) error { return netStats() },
 		"chaos":    func(_ int, s int64) error { return chaosRun(*rounds, s, *metricsOut) },
-		"perf":     func(_ int, s int64) error { return perfCmd(s, *metricsOut) },
-		"metrics":  func(_ int, s int64) error { return metricsCmd(s) },
+		"perf": func(_ int, s int64) error {
+			path := *out
+			if *metricsOut != "" {
+				path = *metricsOut
+			}
+			return perfCmd(s, path)
+		},
+		"metrics": func(_ int, s int64) error { return metricsCmd(s) },
 	}
 	if sub == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig7", "fig8", "fig9", "fig10", "net", "fig5", "fig6"} {

@@ -83,6 +83,7 @@ func netStatsTCP() error {
 		WriteTimeout:     500 * time.Millisecond,
 		RedialBackoff:    10 * time.Millisecond,
 		RedialBackoffMax: 100 * time.Millisecond,
+		Seed:             1, // jitter replays across runs of this micro-benchmark
 	})
 	if err != nil {
 		return err

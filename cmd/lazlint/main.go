@@ -1,0 +1,86 @@
+// Command lazlint runs the project's static-analysis suite: six rules
+// enforcing the BFT determinism and concurrency invariants the compiler
+// cannot check (map-iteration order reaching digests, global math/rand
+// in seeded code, wall-clock reads in consensus paths, blocking calls
+// under mutexes, goroutines without lifecycle ties, discarded signature
+// verifications). See DESIGN.md §"Invariants and lint rules".
+//
+// Usage:
+//
+//	lazlint [-json] [packages]
+//
+// Packages default to ./... and accept directory patterns relative to
+// the working directory (./internal/bft, ./internal/...). The exit code
+// is 0 when clean, 1 when findings were reported, 2 on usage or load
+// errors, so CI can gate on it directly:
+//
+//	go run ./cmd/lazlint ./...
+//
+// Findings are suppressed one line at a time with a justified directive:
+//
+//	//lazlint:allow wallclock(commit-latency metric, not protocol state)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lazarus/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("lazlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	listRules := fs.Bool("rules", false, "list the rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: lazlint [-json] [-rules] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-18s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lazlint: %v\n", err)
+		return 2
+	}
+	findings := lint.Run(pkgs)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "lazlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "lazlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module and chdirs
+// into it for the duration of the test.
+func writeModule(t *testing.T, src string) {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"x/x.go": src,
+	}
+	for name, content := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+}
+
+// TestExitCodeOnViolation pins the CI contract: a reintroduced
+// violation makes the CLI exit 1; a clean tree exits 0.
+func TestExitCodeOnViolation(t *testing.T) {
+	writeModule(t, `package x
+
+import "math/rand"
+
+func Jitter(d int64) int64 {
+	return d + rand.Int63n(d/2+1)
+}
+`)
+	if code := run([]string{"./..."}); code != 1 {
+		t.Fatalf("violating module: exit %d, want 1", code)
+	}
+}
+
+func TestExitCodeClean(t *testing.T) {
+	writeModule(t, `package x
+
+func Jitter(d int64) int64 {
+	return d + d/4
+}
+`)
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("clean module: exit %d, want 0", code)
+	}
+}
+
+func TestExitCodeBadPattern(t *testing.T) {
+	writeModule(t, `package x
+
+func F() {}
+`)
+	if code := run([]string{"./nosuchdir"}); code != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+}

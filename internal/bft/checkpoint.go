@@ -1,7 +1,9 @@
 package bft
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"sort"
 
 	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
@@ -86,13 +88,24 @@ func (r *Replica) checkStable(seq uint64) {
 	for _, d := range cs.votes {
 		counts[d]++
 	}
-	var winner Digest
+	// Collect every digest at quorum and take the byte-wise smallest.
+	// With honest vote accounting two digests can never both reach 2f+1
+	// votes, but the winner must not depend on map iteration order: all
+	// replicas must agree on which state became stable even if vote
+	// bookkeeping is ever wrong.
+	var candidates []Digest
 	for d, n := range counts {
 		if n >= r.membership.Quorum() {
-			winner = d
-			break
+			candidates = append(candidates, d)
 		}
 	}
+	if len(candidates) == 0 {
+		return
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return bytes.Compare(candidates[i][:], candidates[j][:]) < 0
+	})
+	winner := candidates[0]
 	if winner.IsZero() {
 		return
 	}

@@ -61,6 +61,60 @@ func TestCheckpointSpamBounded(t *testing.T) {
 	}
 }
 
+// TestCheckStableTieBelowQuorum pins the tally hardening: two digests
+// splitting the votes evenly below quorum must never stabilize the
+// checkpoint, regardless of the order the tally map is iterated in.
+// (n=4 needs 2f+1=3 matching votes; a 2/2 split has no winner.)
+func TestCheckStableTieBelowQuorum(t *testing.T) {
+	// A handful of iterations crosses several randomized map orders.
+	for i := 0; i < 8; i++ {
+		c := newCluster(t, 4, 0, nil)
+		r := c.replicas[0]
+		seq := r.cfg.CheckpointInterval
+
+		cs := r.ckpt(seq)
+		cs.votes[0] = Digest{1}
+		cs.votes[1] = Digest{1}
+		cs.votes[2] = Digest{2}
+		cs.votes[3] = Digest{2}
+		r.checkStable(seq)
+
+		if cs.stable {
+			t.Fatalf("iteration %d: checkpoint stabilized on a 2/2 digest split below quorum", i)
+		}
+		if r.lowWater != 0 {
+			t.Fatalf("iteration %d: lowWater advanced to %d on an unstable checkpoint", i, r.lowWater)
+		}
+		c.net.Close()
+	}
+}
+
+// TestCheckStableQuorumWithDissent checks that a quorum of matching
+// votes stabilizes the checkpoint and advances the watermark even with
+// a dissenting vote present, and that the dissenting digest never wins.
+func TestCheckStableQuorumWithDissent(t *testing.T) {
+	c := newCluster(t, 4, 0, nil)
+	defer c.net.Close()
+	r := c.replicas[0]
+	seq := r.cfg.CheckpointInterval
+
+	cs := r.ckpt(seq)
+	cs.snapshot = []byte("snap")
+	cs.digest = Digest{2}
+	cs.votes[0] = Digest{2}
+	cs.votes[1] = Digest{2}
+	cs.votes[2] = Digest{2}
+	cs.votes[3] = Digest{1}
+	r.checkStable(seq)
+
+	if !cs.stable {
+		t.Fatal("checkpoint with 3/4 matching votes (quorum) did not stabilize")
+	}
+	if r.lowWater != seq {
+		t.Fatalf("lowWater = %d, want %d after stabilizing", r.lowWater, seq)
+	}
+}
+
 // TestAdvanceLowWaterGC checks that installing a stable checkpoint
 // garbage-collects every checkpoint entry at or below it, including the
 // stable entry itself (votes at or below lowWater are rejected on

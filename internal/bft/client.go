@@ -155,9 +155,9 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 				continue
 			}
 		}
-		deadline := time.Now().Add(c.cfg.RequestTimeout)
+		deadline := time.Now().Add(c.cfg.RequestTimeout) //lazlint:allow wallclock(client-side request timeout; never enters replica state)
 		for {
-			remaining := time.Until(deadline)
+			remaining := time.Until(deadline) //lazlint:allow wallclock(client-side request timeout; never enters replica state)
 			if remaining <= 0 {
 				break
 			}

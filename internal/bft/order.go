@@ -166,7 +166,7 @@ func (r *Replica) acceptPrePrepare(pp *Message) {
 	in.batch = pp.Batch
 	in.digest = pp.BatchDigest
 	if in.startedAt.IsZero() {
-		in.startedAt = time.Now()
+		in.startedAt = time.Now() //lazlint:allow wallclock(commit-latency metric start; never hashed, voted on or executed)
 	}
 	in.prepares[r.cfg.ID] = true
 	// The primary's pre-prepare stands in for its prepare (PBFT's
@@ -311,7 +311,7 @@ func (r *Replica) executeReady() {
 		r.updateStats(func(s *ReplicaStats) { s.Executed++ })
 		r.ins.executedBatches.Inc()
 		if !in.startedAt.IsZero() {
-			durUS := time.Since(in.startedAt).Microseconds()
+			durUS := time.Since(in.startedAt).Microseconds() //lazlint:allow wallclock(commit-latency metric; observability only)
 			r.ins.commitLatencyUS.Observe(durUS)
 			r.trace.Emit(metrics.Event{
 				Type: metrics.EvConsensusExecuted, Node: int64(r.cfg.ID),

@@ -163,8 +163,8 @@ type Replica struct {
 	// on attacker-chosen SeqNos — and f+1 distinct claims prove the group
 	// moved past our window (see onCheckpoint).
 	ckptAhead map[transport.NodeID]uint64
-	lastSnap   []byte // snapshot at lowWater, for state transfer
-	joining    bool
+	lastSnap  []byte // snapshot at lowWater, for state transfer
+	joining   bool
 
 	// View change state.
 	viewChanges  map[uint64]map[transport.NodeID]*Message

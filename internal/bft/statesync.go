@@ -2,6 +2,7 @@ package bft
 
 import (
 	"crypto/sha256"
+	"sort"
 
 	"lazarus/internal/metrics"
 	"lazarus/internal/transport"
@@ -99,15 +100,23 @@ func (r *Replica) onStateReply(msg *Message) {
 		return
 	}
 	r.stReplies[msg.From] = msg
-	// Count matching (seq, digest) pairs.
+	// Count matching (seq, digest) pairs, scanning replies in sorted
+	// sender order: if two snapshot groups ever tie at the same seq,
+	// which one gets restored must not depend on map iteration order.
 	type key struct {
 		seq uint64
 		d   Digest
 	}
+	ids := make([]transport.NodeID, 0, len(r.stReplies))
+	for id := range r.stReplies {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	counts := make(map[key]int)
 	var best *Message
 	f := r.membership.F()
-	for _, m := range r.stReplies {
+	for _, id := range ids {
+		m := r.stReplies[id]
 		k := key{m.SnapSeqNo, sha256.Sum256(m.Snapshot)}
 		counts[k]++
 		if counts[k] >= f+1 && (best == nil || m.SnapSeqNo > best.SnapSeqNo) {

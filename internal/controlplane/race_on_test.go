@@ -1,0 +1,8 @@
+//go:build race
+
+package controlplane
+
+// raceEnabled reports whether the race detector is compiled in; slow
+// replay-comparison tests skip under it to keep the package inside the
+// CI time budget (they still run in the plain `go test` pass).
+const raceEnabled = true

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowDirective is the suppression syntax:
+//
+//	//lazlint:allow <rule>(<reason>)
+//
+// The directive suppresses findings of <rule> on its own line and on the
+// line directly below it (so it can ride at end-of-line or stand above
+// the offending statement). The reason is mandatory: a suppression
+// without a recorded justification is itself a finding.
+const allowPrefix = "lazlint:allow"
+
+var allowRE = regexp.MustCompile(`^([a-z][a-z0-9-]*)\((.*)\)$`)
+
+// allowIndex maps file -> line -> suppressed rule names.
+type allowIndex map[string]map[int]map[string]bool
+
+// suppresses reports whether a finding of rule at pos is covered by a
+// directive on the same line or the line above.
+func (ai allowIndex) suppresses(rule string, pos token.Position) bool {
+	lines := ai[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
+}
+
+// collectAllows scans a package's comments for allow directives,
+// returning the index plus findings for malformed ones.
+func collectAllows(p *Package) (allowIndex, []Finding) {
+	idx := allowIndex{}
+	var bad []Finding
+	known := map[string]bool{}
+	for _, name := range RuleNames() {
+		known[name] = true
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(strings.TrimSpace(rest))
+				if m == nil {
+					bad = append(bad, finding(p.Fset, c.Pos(), "bad-directive",
+						"malformed directive %q; want //lazlint:allow rule(reason)", text))
+					continue
+				}
+				rule, reason := m[1], strings.TrimSpace(m[2])
+				if !known[rule] {
+					bad = append(bad, finding(p.Fset, c.Pos(), "bad-directive",
+						"directive names unknown rule %q (known: %s)", rule, strings.Join(RuleNames(), ", ")))
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, finding(p.Fset, c.Pos(), "bad-directive",
+						"directive for %q has no reason; suppressions must be justified", rule))
+					continue
+				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][rule] = true
+			}
+		}
+	}
+	return idx, bad
+}

@@ -1,0 +1,129 @@
+// Package lint is lazlint's engine: a dependency-free static-analysis
+// suite over go/ast and go/types that enforces the project invariants
+// the Go compiler cannot see. Lazarus's correctness rests on replicas
+// being deterministic state machines (paper §5's replica-coordination
+// assumption): nondeterministic map iteration or wall-clock reads that
+// feed a Digest silently fork checkpoint state, a global math/rand call
+// breaks seeded-harness reproducibility, and a blocking call under a
+// mutex is how both swap-engine races of PR 2/PR 3 started. Each rule
+// here encodes one such invariant so every PR is gated on it by
+// `go run ./cmd/lazlint ./...` and the in-process golden test.
+//
+// Findings are suppressed, one line at a time, with a directive carrying
+// a mandatory reason:
+//
+//	//lazlint:allow wallclock(commit-latency metric, not protocol state)
+//
+// placed on the offending line or the line directly above it. A
+// malformed directive (unknown rule, missing reason) is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	// Rule is the reporting rule's name (e.g. "maprange-digest").
+	Rule string `json:"rule"`
+	// Pos locates the violation.
+	Pos token.Position `json:"-"`
+	// File, Line and Col mirror Pos for JSON output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message explains the violation and the expected remedy.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Rule is one invariant checker. Rules are pure: they read the
+// type-checked package and report findings, never mutating shared state.
+type Rule interface {
+	// Name is the rule's identifier, used in output and allow directives.
+	Name() string
+	// Doc is a one-line description of the invariant the rule protects.
+	Doc() string
+	// Check analyzes one package.
+	Check(p *Package) []Finding
+}
+
+// Rules returns the full lazlint suite in reporting order.
+func Rules() []Rule {
+	return []Rule{
+		ruleMapRangeDigest{},
+		ruleGlobalRand{},
+		ruleWallClock{},
+		ruleLockedBlocking{},
+		ruleNakedGoroutine{},
+		ruleUncheckedVerify{},
+	}
+}
+
+// RuleNames returns the names of every rule in the suite.
+func RuleNames() []string {
+	rules := Rules()
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name()
+	}
+	return names
+}
+
+// Run checks every package with every rule, applies allow directives and
+// returns the surviving findings sorted by position.
+func Run(pkgs []*Package) []Finding {
+	return RunRules(pkgs, Rules())
+}
+
+// RunRules is Run with an explicit rule set (tests exercise rules in
+// isolation through it).
+func RunRules(pkgs []*Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		allows, bad := collectAllows(p)
+		out = append(out, bad...)
+		for _, r := range rules {
+			for _, f := range r.Check(p) {
+				f.normalize()
+				if allows.suppresses(r.Name(), f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// normalize fills the JSON mirror fields from Pos.
+func (f *Finding) normalize() {
+	f.File = f.Pos.Filename
+	f.Line = f.Pos.Line
+	f.Col = f.Pos.Column
+}
+
+// finding is the rules' construction helper.
+func finding(fset *token.FileSet, pos token.Pos, rule, format string, args ...any) Finding {
+	f := Finding{Rule: rule, Pos: fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+	f.normalize()
+	return f
+}

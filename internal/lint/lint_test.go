@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoClean is the golden gate: the whole module must lint clean.
+// Any new violation of a suite rule — or a suppression without a
+// justified reason — fails `go test ./internal/lint` exactly as it
+// fails `go run ./cmd/lazlint ./...` in CI.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check is slow")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := findModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	findings := Run(pkgs)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

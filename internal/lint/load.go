@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Fset is the shared file set (positions resolve through it).
+	Fset *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks the packages matching the patterns.
+// Supported patterns, resolved against dir (or the working directory
+// when dir is empty):
+//
+//	./...        every package under dir's module root
+//	./x/y/...    every package under x/y
+//	./x/y, x/y   the single package in that directory
+//
+// Test files are skipped: the rules target production code, and the
+// harness packages' own randomized tests are free to use test-local
+// randomness.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		base, recursive := dir, false
+		switch {
+		case pat == "./..." || pat == "...":
+			base, recursive = dir, true
+		case strings.HasSuffix(pat, "/..."):
+			base, recursive = filepath.Join(dir, strings.TrimSuffix(pat, "/...")), true
+		default:
+			base = filepath.Join(dir, pat)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				dirs[base] = true
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				dirs[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	l := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		parsed:  map[string]*rawPackage{},
+		checked: map[string]*Package{},
+	}
+	l.fallback = importer.ForCompiler(l.fset, "source", nil)
+
+	var paths []string
+	for d := range dirs {
+		p, err := l.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			paths = append(paths, p.path)
+		}
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if sourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func sourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// rawPackage is a parsed-but-unchecked package.
+type rawPackage struct {
+	path  string
+	dir   string
+	files []*ast.File
+}
+
+// loader type-checks module packages in dependency order, resolving
+// intra-module imports from its own results and everything else (the
+// standard library — the module has no other dependencies) through the
+// stdlib source importer.
+type loader struct {
+	fset     *token.FileSet
+	root     string
+	modPath  string
+	fallback types.Importer
+	parsed   map[string]*rawPackage // import path -> parsed
+	checked  map[string]*Package    // import path -> checked
+	checking []string               // DFS stack for cycle reporting
+}
+
+func (l *loader) parseDir(dir string) (*rawPackage, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.modPath
+	if rel != "." {
+		path = l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	if p, ok := l.parsed[path]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &rawPackage{path: path, dir: dir}
+	for _, e := range ents {
+		if !sourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		return nil, nil
+	}
+	l.parsed[path] = p
+	return p, nil
+}
+
+// check type-checks one module package, recursively checking its
+// intra-module imports first.
+func (l *loader) check(path string) (*Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	for _, on := range l.checking {
+		if on == path {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+	}
+	raw, ok := l.parsed[path]
+	if !ok {
+		// An intra-module import outside the requested patterns: parse it
+		// on demand so the requested packages still type-check.
+		rel := strings.TrimPrefix(path, l.modPath)
+		p, err := l.parseDir(filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(rel, "/"))))
+		if err != nil || p == nil {
+			return nil, fmt.Errorf("lint: cannot resolve import %q: %v", path, err)
+		}
+		raw = p
+	}
+	l.checking = append(l.checking, path)
+	defer func() { l.checking = l.checking[:len(l.checking)-1] }()
+
+	// Check dependencies first so the importer below finds them ready.
+	for _, f := range raw.files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if ip == l.modPath || strings.HasPrefix(ip, l.modPath+"/") {
+				if _, err := l.check(ip); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, raw.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		Path:  path,
+		Dir:   raw.dir,
+		Fset:  l.fset,
+		Files: raw.files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.checked[path] = p
+	return p, nil
+}
+
+// loaderImporter resolves imports during type checking: module packages
+// from the loader's own results, the rest from the source importer.
+type loaderImporter loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(li)
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if from, ok := l.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, l.root, 0)
+	}
+	return l.fallback.Import(path)
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleGlobalRand flags uses of the global math/rand source. The chaos
+// harness, the synthetic feed generator and `lazbench` all promise that
+// a `-seed` reproduces a run bit-for-bit; one call to the process-global
+// source (seeded from runtime entropy since Go 1.20) breaks that promise
+// for every component downstream. Constructors are exempt: the required
+// pattern is an injected `*rand.Rand` built via rand.New(rand.NewSource)
+// and owned by a single goroutine.
+type ruleGlobalRand struct{}
+
+func (ruleGlobalRand) Name() string { return "globalrand" }
+func (ruleGlobalRand) Doc() string {
+	return "no global math/rand source; inject a seeded *rand.Rand"
+}
+
+// globalRandExempt lists math/rand package functions that do not draw
+// from the global source.
+var globalRandExempt = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func (r ruleGlobalRand) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || f.Pkg() == nil {
+				return true
+			}
+			path := f.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on an injected *rand.Rand are the fix
+			}
+			if globalRandExempt[f.Name()] {
+				return true
+			}
+			out = append(out, finding(p.Fset, sel.Pos(), r.Name(),
+				"rand.%s draws from the process-global source and breaks seeded reproducibility; inject a *rand.Rand", f.Name()))
+			return true
+		})
+	}
+	return out
+}

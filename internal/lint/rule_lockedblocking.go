@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ruleLockedBlocking flags potentially-blocking operations performed
+// while a sync.Mutex/RWMutex is held: channel sends (outside a select
+// with a default), net.Conn reads/writes, and transport Send calls.
+// Both lock/lifecycle races the chaos harness caught in the staged swap
+// engine (PR 2, PR 3) grew from exactly this shape — a send or network
+// call under a lock that a second goroutine needed to make progress.
+// Under a mutex, "slow" becomes "deadlocked" the moment the unblocking
+// party wants the same lock.
+//
+// The analysis is a per-function scan that tracks Lock/RLock...Unlock
+// pairs in source order, treating `defer mu.Unlock()` as held-to-end
+// and branch-local unlocks (the `if bad { mu.Unlock(); return }` guard
+// idiom) as not releasing the outer path. Goroutine literals start with
+// a clean slate: they run after the spawning statement returns the lock.
+type ruleLockedBlocking struct{}
+
+func (ruleLockedBlocking) Name() string { return "locked-blocking" }
+func (ruleLockedBlocking) Doc() string {
+	return "no channel sends, net.Conn I/O or transport sends while a mutex is held"
+}
+
+func (r ruleLockedBlocking) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		funcBodies(file, func(node ast.Node, body *ast.BlockStmt) {
+			s := &lockScan{p: p, rule: r.Name()}
+			s.block(body, map[string]bool{})
+			out = append(out, s.out...)
+		})
+	}
+	return out
+}
+
+// lockScan walks one function body tracking held locks by the printed
+// receiver expression ("mu", "c.swapMu", ...).
+type lockScan struct {
+	p    *Package
+	rule string
+	out  []Finding
+}
+
+// lockCall classifies a statement as Lock/RLock (+1), Unlock/RUnlock
+// (-1) on a mutex, returning the receiver key.
+func (s *lockScan) lockCall(stmt ast.Stmt) (key string, delta int) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", 0
+	}
+	return s.lockExpr(es.X)
+}
+
+func (s *lockScan) lockExpr(x ast.Expr) (string, int) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return "", 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	var delta int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = +1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0
+	}
+	if !isMutex(s.p.Info.TypeOf(sel.X)) {
+		return "", 0
+	}
+	return types.ExprString(sel.X), delta
+}
+
+// block scans a statement list with the incoming held-lock set, returns
+// the set held after the list runs to completion.
+func (s *lockScan) block(b *ast.BlockStmt, held map[string]bool) map[string]bool {
+	return s.stmts(b.List, held)
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (s *lockScan) stmts(list []ast.Stmt, held map[string]bool) map[string]bool {
+	held = copySet(held)
+	for _, stmt := range list {
+		if key, delta := s.lockCall(stmt); delta != 0 {
+			if delta > 0 {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			continue
+		}
+		switch st := stmt.(type) {
+		case *ast.DeferStmt:
+			if key, delta := s.lockExpr(st.Call); delta < 0 {
+				// defer mu.Unlock(): held for the rest of the function,
+				// which is exactly what the scan models by keeping it in
+				// the set — no change needed; record nothing.
+				_ = key
+				continue
+			}
+			// Other defers run at return; their bodies execute with
+			// whatever is held *then*, which we approximate as "nothing"
+			// for FuncLit defers (they overwhelmingly run post-unlock).
+			continue
+		case *ast.BlockStmt:
+			held = s.block(st, held)
+		case *ast.IfStmt:
+			if st.Init != nil {
+				s.checkNode(st.Init, held)
+			}
+			s.checkNode(st.Cond, held)
+			thenOut := s.block(st.Body, held)
+			elseOut := copySet(held)
+			if st.Else != nil {
+				switch e := st.Else.(type) {
+				case *ast.BlockStmt:
+					elseOut = s.stmts(e.List, held)
+					if terminates(e.List) {
+						elseOut = copySet(held)
+					}
+				case *ast.IfStmt:
+					elseOut = s.stmts([]ast.Stmt{e}, held)
+				}
+			}
+			if terminates(st.Body.List) {
+				// Early-exit branch: its lock changes don't reach here.
+				held = elseOut
+			} else {
+				// Keep a lock only if every surviving path still holds it
+				// (under-report rather than false-positive).
+				held = intersect(thenOut, elseOut)
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			s.checkNode(st, held)
+			// Conservatively assume these neither acquire nor release
+			// across their boundary (checkNode flags their bodies with the
+			// incoming set; internal Lock/Unlock pairs stay internal).
+		default:
+			s.checkNode(st, held)
+		}
+	}
+	return held
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// checkNode flags blocking operations in the subtree given the held
+// set. It does not descend into FuncLits: a spawned or deferred closure
+// does not run under the spawning statement's locks.
+func (s *lockScan) checkNode(n ast.Node, held map[string]bool) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			// A select with a default never blocks; without one it does.
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				// Case bodies still run under the lock; keep descending
+				// into them but skip the comm operations themselves.
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CommClause)
+					for _, st := range cc.Body {
+						s.checkNode(st, held)
+					}
+				}
+				return false
+			}
+			s.report(n.Pos(), held, "blocking select (no default case)")
+			return false
+		case *ast.SendStmt:
+			s.report(n.Pos(), held, "channel send")
+			return true
+		case *ast.CallExpr:
+			if name, ok := s.blockingCall(n); ok {
+				s.report(n.Pos(), held, name)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can block on the network or on a
+// peer goroutine.
+func (s *lockScan) blockingCall(call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(s.p.Info, call)
+	if f == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	switch f.Name() {
+	case "Write", "Read":
+		if typeName(recv) == "net.Conn" || implementsNetConn(recv) {
+			return "net.Conn " + f.Name(), true
+		}
+	case "Send":
+		if pathHasSuffix(typePkgPath(recv), "internal/transport") {
+			return "transport Send", true
+		}
+	}
+	return "", false
+}
+
+// implementsNetConn reports whether the receiver is a named type from
+// package net whose underlying is an interface (net.Conn and friends)
+// or a concrete net connection type.
+func implementsNetConn(t types.Type) bool {
+	if typePkgPath(t) != "net" {
+		return false
+	}
+	switch typeName(t) {
+	case "net.Conn", "net.TCPConn", "net.UDPConn", "net.UnixConn":
+		return true
+	}
+	return false
+}
+
+func (s *lockScan) report(pos token.Pos, held map[string]bool, what string) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.out = append(s.out, finding(s.p.Fset, pos, s.rule,
+		"%s while holding %s: a peer needing the lock to drain this wedges both goroutines; move the operation outside the critical section", what, strings.Join(keys, ", ")))
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ruleMapRangeDigest flags map iterations whose order can reach a
+// digest: Go randomizes map-range order per run, so any hash, signed
+// message or serialized state whose bytes depend on that order differs
+// across replicas executing the same command — the exact determinism the
+// paper's replica-coordination assumption (§5) forbids losing. A forked
+// checkpoint digest is silent until quorum stability fails.
+//
+// Within the body of a `for k, v := range m` over a map, the rule
+// reports:
+//
+//   - a range-bound variable flowing into a crypto hash call
+//     (sha256.Sum256 and friends, hash.Hash Write/Sum, fmt.Fprintf into
+//     a hash.Hash);
+//   - a range-bound variable flowing into a gob Encode (serialized
+//     message or snapshot bytes);
+//   - a range-bound variable assigned to a Digest-typed (or [N]byte
+//     array) variable declared outside the loop (order decides which
+//     digest wins — the checkStable tally bug class).
+//
+// The fix is the pattern used throughout the repo: flatten the map into
+// a slice, sort it, then hash/encode the slice.
+type ruleMapRangeDigest struct{}
+
+func (ruleMapRangeDigest) Name() string { return "maprange-digest" }
+func (ruleMapRangeDigest) Doc() string {
+	return "map iteration order must not reach a digest, hash or serialized message"
+}
+
+// hashPkgs are packages whose calls consume bytes into a digest.
+var hashPkgs = map[string]bool{
+	"crypto/sha256": true,
+	"crypto/sha512": true,
+	"crypto/sha1":   true,
+	"crypto/md5":    true,
+	"crypto/hmac":   true,
+	"hash/fnv":      true,
+}
+
+func isHashRecv(t types.Type) bool {
+	p := typePkgPath(t)
+	return p == "hash" || strings.HasPrefix(p, "crypto/") || strings.HasPrefix(p, "hash/")
+}
+
+func (r ruleMapRangeDigest) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			bound := map[types.Object]bool{}
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				id, ok := e.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := p.Info.Defs[id]; obj != nil {
+					bound[obj] = true
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					bound[obj] = true
+				}
+			}
+			if len(bound) == 0 {
+				// Even `for range m` bodies can observe order through the
+				// map itself, but without bound variables the common
+				// counter loops are safe; skip.
+				return true
+			}
+			out = append(out, r.checkLoop(p, rs, bound)...)
+			return true
+		})
+	}
+	return out
+}
+
+func (r ruleMapRangeDigest) checkLoop(p *Package, rs *ast.RangeStmt, bound map[types.Object]bool) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, finding(p.Fset, n.Pos(), r.Name(), format, args...))
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			f := calleeFunc(p.Info, n)
+			if f == nil {
+				return true
+			}
+			argsUse := false
+			for _, a := range n.Args {
+				if usesAny(p.Info, a, bound) {
+					argsUse = true
+					break
+				}
+			}
+			switch {
+			case f.Pkg() != nil && hashPkgs[f.Pkg().Path()] && argsUse:
+				report(n, "map iteration value reaches %s.%s; iterate a sorted slice instead",
+					f.Pkg().Name(), f.Name())
+			case (f.Name() == "Write" || f.Name() == "Sum") && argsUse &&
+				methodOn(p.Info, n, f.Name(), func(pkg string) bool {
+					return pkg == "hash" || strings.HasPrefix(pkg, "crypto/")
+				}):
+				report(n, "map iteration value written into a hash; iterate a sorted slice instead")
+			case f.Name() == "Encode" && argsUse &&
+				methodOn(p.Info, n, "Encode", func(pkg string) bool { return pkg == "encoding/gob" }):
+				report(n, "map iteration value gob-encoded in iteration order; flatten and sort first")
+			case isPkgFunc(p.Info, n, "fmt", "Fprintf", "Fprint", "Fprintln") && len(n.Args) > 0:
+				if isHashRecv(p.Info.TypeOf(n.Args[0])) {
+					rest := false
+					for _, a := range n.Args[1:] {
+						if usesAny(p.Info, a, bound) {
+							rest = true
+							break
+						}
+					}
+					if rest {
+						report(n, "map iteration value printed into a hash; iterate a sorted slice instead")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if !usesAny(p.Info, rhs, bound) {
+					continue
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[id] // plain `=`: target declared elsewhere
+				if obj == nil {
+					continue
+				}
+				if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+					continue // loop-local temporary
+				}
+				if !digestLike(obj.Type()) {
+					continue
+				}
+				report(n, "map iteration order decides which digest lands in %q; tally over sorted candidates instead", id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// digestLike reports whether t is a content-hash value: a named type
+// called Digest, or a fixed [N]byte array (sha sums).
+func digestLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj() != nil && named.Obj().Name() == "Digest" {
+			return true
+		}
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		if basic, ok := arr.Elem().(*types.Basic); ok && basic.Kind() == types.Byte {
+			return true
+		}
+	}
+	return false
+}

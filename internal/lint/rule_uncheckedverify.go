@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleUncheckedVerify flags signature verifications whose boolean result
+// is discarded. An unchecked ed25519.Verify (or a project Verify /
+// VerifySig method) authenticates nothing: the message is processed as
+// if the check passed, which in a BFT protocol converts "tolerates f
+// forgeries" into "accepts any forgery". Both swap-engine audits found
+// the call sites easy to get subtly wrong, so the result must feed a
+// branch or be explicitly consumed — never dropped on the floor.
+type ruleUncheckedVerify struct{}
+
+func (ruleUncheckedVerify) Name() string { return "unchecked-verify" }
+func (ruleUncheckedVerify) Doc() string {
+	return "the result of ed25519.Verify (and Verify/VerifySig methods) must be used"
+}
+
+// verifyCall reports whether the call is a signature verification
+// returning a single bool.
+func verifyCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return "", false
+	}
+	if basic, ok := sig.Results().At(0).Type().(*types.Basic); !ok || basic.Kind() != types.Bool {
+		return "", false
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "crypto/ed25519" && f.Name() == "Verify" && sig.Recv() == nil {
+		return "ed25519.Verify", true
+	}
+	if sig.Recv() != nil && (f.Name() == "Verify" || f.Name() == "VerifySig") {
+		return f.Name(), true
+	}
+	return "", false
+}
+
+func (r ruleUncheckedVerify) Check(p *Package) []Finding {
+	var out []Finding
+	report := func(call *ast.CallExpr, name string) {
+		out = append(out, finding(p.Fset, call.Pos(), r.Name(),
+			"result of %s discarded: the signature check has no effect; branch on it or reject the message", name))
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := verifyCall(p.Info, call); ok {
+						report(call, name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := verifyCall(p.Info, n.Call); ok {
+					report(n.Call, name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := verifyCall(p.Info, n.Call); ok {
+					report(n.Call, name)
+				}
+			case *ast.AssignStmt:
+				// `_ = req.Verify(pub)` and friends: every target blank.
+				allBlank := true
+				for _, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						allBlank = false
+						break
+					}
+				}
+				if !allBlank {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						if name, ok := verifyCall(p.Info, call); ok {
+							report(call, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleWallClock flags wall-clock reads inside the consensus package.
+// Replicas must be deterministic state machines: a time.Now() whose
+// value influences protocol state (what gets proposed, hashed or voted
+// on) makes replicas diverge even when they execute the same command
+// stream. Timeout scheduling and latency metrics are legitimate — those
+// sites carry a `//lazlint:allow wallclock(reason)` directive — but the
+// default in `internal/bft` is that clock reads are suspect.
+type ruleWallClock struct{}
+
+func (ruleWallClock) Name() string { return "wallclock" }
+func (ruleWallClock) Doc() string {
+	return "no time.Now/time.Since in consensus decision paths (internal/bft)"
+}
+
+func (r ruleWallClock) Check(p *Package) []Finding {
+	if !pathHasSuffix(p.Path, "internal/bft") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" {
+				return true
+			}
+			switch f.Name() {
+			case "Now", "Since", "Until":
+			default:
+				return true
+			}
+			out = append(out, finding(p.Fset, sel.Pos(), r.Name(),
+				"time.%s in consensus code: replicas fork if this feeds protocol state; if it is a timeout or metric, add //lazlint:allow wallclock(reason)", f.Name()))
+			return true
+		})
+	}
+	return out
+}

@@ -120,6 +120,88 @@ func TestHistogramNegativeClampsToZero(t *testing.T) {
 	}
 }
 
+func TestHistogramZeroSampleSnapshot(t *testing.T) {
+	h := newHistogram()
+	snap := h.Snapshot()
+	if snap != (HistogramSnapshot{}) {
+		t.Errorf("empty histogram snapshot = %+v, want zero value", snap)
+	}
+	// In particular Min must read 0, not the internal MaxInt64 sentinel.
+	if snap.Min != 0 {
+		t.Errorf("empty histogram Min = %d, want 0", snap.Min)
+	}
+}
+
+func TestHistogramSingleBucketSaturation(t *testing.T) {
+	// Every observation identical: one bucket holds the entire
+	// population and every quantile clamps exactly to that value, both
+	// for an exact small-value bucket and a log bucket with sub-bucket
+	// rounding.
+	for _, v := range []int64{3, 1000} {
+		h := newHistogram()
+		const n = 10_000
+		for i := 0; i < n; i++ {
+			h.Observe(v)
+		}
+		snap := h.Snapshot()
+		if snap.Count != n || snap.Sum != n*v {
+			t.Errorf("v=%d: count=%d sum=%d, want %d and %d", v, snap.Count, snap.Sum, n, int64(n*v))
+		}
+		if snap.Min != v || snap.Max != v {
+			t.Errorf("v=%d: min=%d max=%d, want both %d", v, snap.Min, snap.Max, v)
+		}
+		for _, q := range []int64{snap.P50, snap.P95, snap.P99} {
+			if q != v {
+				t.Errorf("v=%d: quantile = %d, want exactly %d (midpoint must clamp to min/max)", v, q, v)
+			}
+		}
+		var inBuckets, nonEmpty int64
+		for i := range h.buckets {
+			if c := h.buckets[i].Load(); c != 0 {
+				inBuckets += c
+				nonEmpty++
+			}
+		}
+		if nonEmpty != 1 || inBuckets != n {
+			t.Errorf("v=%d: %d non-empty buckets holding %d, want 1 bucket holding %d", v, nonEmpty, inBuckets, n)
+		}
+	}
+}
+
+func TestHistogramTopBucketAccounting(t *testing.T) {
+	// Values at the top of the int64 range must land in the final
+	// buckets without panicking or losing counts, and quantiles must
+	// stay within [min, max].
+	h := newHistogram()
+	top := []int64{math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64 / 2, 1 << 62, 1}
+	for _, v := range top {
+		h.Observe(v)
+	}
+	idx := bucketIndex(math.MaxInt64)
+	if idx >= numBuckets {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, outside the %d-bucket array", idx, numBuckets)
+	}
+	var inBuckets int64
+	for i := range h.buckets {
+		inBuckets += h.buckets[i].Load()
+	}
+	if inBuckets != int64(len(top)) {
+		t.Errorf("buckets hold %d observations, want %d", inBuckets, len(top))
+	}
+	snap := h.Snapshot()
+	if snap.Max != math.MaxInt64 || snap.Min != 1 {
+		t.Errorf("min=%d max=%d, want 1 and MaxInt64", snap.Min, snap.Max)
+	}
+	for _, q := range []int64{snap.P50, snap.P95, snap.P99} {
+		if q < snap.Min || q > snap.Max {
+			t.Errorf("quantile %d outside [min=%d, max=%d]", q, snap.Min, snap.Max)
+		}
+	}
+	if snap.P99 < math.MaxInt64/2 {
+		t.Errorf("p99 = %d implausibly low for a MaxInt64-heavy population", snap.P99)
+	}
+}
+
 func TestSnapshotJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c").Add(3)

@@ -52,6 +52,11 @@ type TCPConfig struct {
 	// backoff (plus up to 50% jitter) between dial attempts to an
 	// unreachable peer (defaults 50ms and 2s).
 	RedialBackoff, RedialBackoffMax time.Duration
+	// Seed keys the per-peer backoff-jitter RNGs: each (endpoint, peer)
+	// writer derives its own rand.Rand from it, so two networks built
+	// with the same seed replay identical jitter sequences and seeded
+	// harness runs stay reproducible. Zero is a valid seed.
+	Seed int64
 	// Metrics optionally registers the network's counters under
 	// "transport.tcp.*"; nil keeps them Stats()-only.
 	Metrics *metrics.Registry
@@ -302,6 +307,11 @@ func (ep *tcpEndpoint) writer(to NodeID) (*peerWriter, error) {
 		addr:  addr,
 		ep:    ep,
 		queue: make(chan []byte, ep.net.cfg.SendQueueDepth),
+		// Jitter must come from a writer-local seeded source, not the
+		// global math/rand: the chaos harness replays whole runs from one
+		// seed, and a global draw would interleave with every other
+		// goroutine's. The (endpoint, peer) mix keeps streams distinct.
+		rng: rand.New(rand.NewSource(jitterSeed(ep.net.cfg.Seed, ep.id, to))),
 	}
 	ep.writers[to] = pw
 	ep.wg.Add(1)
@@ -319,6 +329,7 @@ type peerWriter struct {
 	addr  string
 	ep    *tcpEndpoint
 	queue chan []byte
+	rng   *rand.Rand // jitter source; used only by the run goroutine
 
 	mu   sync.Mutex
 	conn net.Conn // owned by run(); Close shuts it to unblock a write
@@ -398,10 +409,17 @@ func (pw *peerWriter) dial(redial bool) (net.Conn, error) {
 	return c, nil
 }
 
+// jitterSeed derives the per-(endpoint, peer) backoff-jitter seed: fully
+// determined by the network seed, distinct per directed pair so writers
+// don't march in lockstep.
+func jitterSeed(seed int64, self, to NodeID) int64 {
+	return seed ^ int64(self)<<32 ^ int64(to)
+}
+
 // sleep waits the backoff plus up to 50% jitter, or returns false if the
 // endpoint closes first.
 func (pw *peerWriter) sleep(d time.Duration) bool {
-	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	d += time.Duration(pw.rng.Int63n(int64(d)/2 + 1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
