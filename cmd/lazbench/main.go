@@ -15,8 +15,12 @@
 //	lazbench leader          leader-placement analysis (paper §9)
 //	lazbench net             real-transport micro-run + frame/drop counters
 //	lazbench chaos [-rounds N] [-metrics-out F]  control-plane chaos run: swaps under faults
-//	lazbench perf [-out F]   live-cluster throughput, commit-latency and swap-stage quantiles
-//	                         (baseline JSON written to -out, default BENCH_pr3.json)
+//	lazbench perf [-out F] [-sweep] [-baseline F]
+//	                         live-cluster throughput, commit-latency and swap-stage
+//	                         quantiles (baseline JSON written to -out, default
+//	                         BENCH_pr6.json); -sweep adds a batch-size × pipeline-depth
+//	                         grid, -baseline fails the run if ops/s regresses more than
+//	                         30% below a checked-in baseline artifact
 //	lazbench metrics         instrumented micro-run; prints the registry snapshot as JSON
 //	lazbench all             everything above (except ablations, chaos, perf and metrics)
 //
@@ -44,7 +48,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "dataset and experiment seed")
 	rounds := fs.Int("rounds", 25, "monitor rounds for the chaos run")
 	metricsOut := fs.String("metrics-out", "", "write the perf/chaos metrics baseline JSON to this file")
-	out := fs.String("out", "BENCH_pr3.json", "perf baseline artifact path (-metrics-out overrides)")
+	out := fs.String("out", "BENCH_pr6.json", "perf baseline artifact path (-metrics-out overrides)")
+	sweep := fs.Bool("sweep", false, "perf: also sweep batch size × pipeline depth")
+	baseline := fs.String("baseline", "", "perf: fail if ops/s drops >30% below this baseline JSON")
 	if len(args) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig5|fig6|table2|fig7|fig8|fig9|fig10|ablation|leader|net|chaos|perf|metrics|all)")
@@ -73,7 +79,7 @@ func run(args []string) error {
 			if *metricsOut != "" {
 				path = *metricsOut
 			}
-			return perfCmd(s, path)
+			return perfCmd(s, path, *sweep, *baseline)
 		},
 		"metrics": func(_ int, s int64) error { return metricsCmd(s) },
 	}

@@ -18,11 +18,12 @@ import (
 	"lazarus/internal/transport"
 )
 
-// benchSummary is the machine-readable baseline `lazbench perf
-// -metrics-out` writes (BENCH_pr3.json): throughput and commit-latency
-// quantiles from a live cluster under closed-loop load, swap-stage
-// duration quantiles from a fault-free control-plane run, and the full
-// registry snapshot for everything else.
+// benchSummary is the machine-readable baseline `lazbench perf` writes
+// (BENCH_pr6.json): throughput and commit-latency quantiles from a live
+// cluster under closed-loop load, the batch-size × pipeline-depth sweep
+// (when run with -sweep), swap-stage duration quantiles from a
+// fault-free control-plane run, and the full registry snapshot for
+// everything else.
 type benchSummary struct {
 	Tool            string                               `json:"tool"`
 	Seed            int64                                `json:"seed"`
@@ -32,6 +33,7 @@ type benchSummary struct {
 	OpErrors        uint64                               `json:"op_errors"`
 	OpsPerSec       float64                              `json:"ops_per_sec"`
 	CommitLatencyUS metrics.HistogramSnapshot            `json:"commit_latency_us"`
+	Sweep           []sweepPoint                         `json:"sweep,omitempty"`
 	SwapStagesUS    map[string]metrics.HistogramSnapshot `json:"swap_stages_us"`
 	SwapTotalUS     metrics.HistogramSnapshot            `json:"swap_total_us"`
 	SwapOutcomes    map[string]int64                     `json:"swap_outcomes"`
@@ -40,14 +42,37 @@ type benchSummary struct {
 	Registry        metrics.Snapshot                     `json:"registry"`
 }
 
+// sweepPoint is one cell of the batch-size × pipeline-depth grid.
+type sweepPoint struct {
+	BatchSize     int     `json:"batch_size"`
+	PipelineDepth int     `json:"pipeline_depth"`
+	Workers       int     `json:"workers"`
+	Ops           uint64  `json:"ops"`
+	OpErrors      uint64  `json:"op_errors"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50US         int64   `json:"p50_us"`
+	P95US         int64   `json:"p95_us"`
+}
+
+// loadOpts tunes one closed-loop load run.
+type loadOpts struct {
+	workers       int
+	dur           time.Duration
+	batchSize     int // 0 = replica default
+	pipelineDepth int // 0 = replica default
+}
+
 // loadPhase runs a 4-replica in-process cluster with closed-loop KVS
 // clients reporting into reg/tr, and returns (ops, errors).
-func loadPhase(ctx context.Context, reg *metrics.Registry, tr *metrics.Tracer, workers int, dur time.Duration) (uint64, uint64, error) {
+func loadPhase(ctx context.Context, reg *metrics.Registry, tr *metrics.Tracer, lo loadOpts) (uint64, uint64, error) {
+	workers, dur := lo.workers, lo.dur
 	c, err := bfttest.Launch(func(transport.NodeID) bft.Application { return kvs.New() }, bfttest.Options{
-		Clients:    workers,
-		BatchDelay: time.Millisecond,
-		Metrics:    reg,
-		Trace:      tr,
+		Clients:       workers,
+		BatchDelay:    time.Millisecond,
+		BatchSize:     lo.batchSize,
+		PipelineDepth: lo.pipelineDepth,
+		Metrics:       reg,
+		Trace:         tr,
 	})
 	if err != nil {
 		return 0, 0, err
@@ -149,11 +174,69 @@ func writeBenchFile(path string, sum *benchSummary) error {
 	return f.Close()
 }
 
+// sweepGrid measures ops/s and commit latency across batch size ×
+// pipeline depth, one fresh cluster and registry per cell so the
+// histograms do not bleed between cells.
+func sweepGrid(ctx context.Context, seed int64) ([]sweepPoint, error) {
+	const (
+		workers = 8
+		cellDur = 1500 * time.Millisecond
+	)
+	var points []sweepPoint
+	fmt.Printf("-- sweep: batch size x pipeline depth, %d closed-loop clients, %v per cell --\n", workers, cellDur)
+	fmt.Printf("%8s %9s %10s %9s %9s\n", "batch", "depth", "ops/sec", "p50(us)", "p95(us)")
+	for _, batch := range []int{1, 8, 16} {
+		for _, depth := range []int{1, 4, 8} {
+			reg := metrics.NewRegistry()
+			tr := metrics.NewTracer(4096)
+			ops, opErrs, err := loadPhase(ctx, reg, tr, loadOpts{
+				workers: workers, dur: cellDur, batchSize: batch, pipelineDepth: depth,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sweep batch=%d depth=%d: %w", batch, depth, err)
+			}
+			lat := reg.Snapshot().Histograms["bft.commit_latency_us"]
+			pt := sweepPoint{
+				BatchSize: batch, PipelineDepth: depth, Workers: workers,
+				Ops: ops, OpErrors: opErrs,
+				OpsPerSec: float64(ops) / cellDur.Seconds(),
+				P50US:     lat.P50, P95US: lat.P95,
+			}
+			points = append(points, pt)
+			fmt.Printf("%8d %9d %10.0f %9d %9d\n", batch, depth, pt.OpsPerSec, pt.P50US, pt.P95US)
+		}
+	}
+	return points, nil
+}
+
+// checkBaseline compares the measured throughput against a checked-in
+// baseline artifact and fails on a >30% regression — noisy CI runners
+// get headroom, a real fast-path regression does not.
+func checkBaseline(path string, cur *benchSummary) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchSummary
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	floor := 0.7 * base.OpsPerSec
+	if cur.OpsPerSec < floor {
+		return fmt.Errorf("throughput regression: %.0f ops/s is below 70%% of the %s baseline (%.0f ops/s)",
+			cur.OpsPerSec, path, base.OpsPerSec)
+	}
+	fmt.Printf("baseline check  %.0f ops/s >= %.0f (70%% of %s's %.0f)\n",
+		cur.OpsPerSec, floor, path, base.OpsPerSec)
+	return nil
+}
+
 // perfCmd measures the live stack: closed-loop KVS throughput and
-// commit-latency quantiles on a real cluster, then swap-stage timings
-// from a fault-free control-plane loop. With -metrics-out it writes the
-// machine-readable baseline (BENCH_pr3.json schema; see DESIGN.md).
-func perfCmd(seed int64, metricsOut string) error {
+// commit-latency quantiles on a real cluster, optionally the batch ×
+// pipeline sweep, then swap-stage timings from a fault-free
+// control-plane loop. The machine-readable baseline goes to metricsOut
+// (BENCH_pr6.json schema; see DESIGN.md).
+func perfCmd(seed int64, metricsOut string, sweep bool, baselinePath string) error {
 	const (
 		workers = 3
 		loadDur = 3 * time.Second
@@ -167,15 +250,22 @@ func perfCmd(seed int64, metricsOut string) error {
 
 	fmt.Printf("== perf: %d closed-loop clients for %v, then %d swap rounds (seed %d) ==\n",
 		workers, loadDur, rounds, seed)
-	ops, opErrs, err := loadPhase(ctx, reg, tr, workers, loadDur)
+	ops, opErrs, err := loadPhase(ctx, reg, tr, loadOpts{workers: workers, dur: loadDur})
 	if err != nil {
 		return err
+	}
+	var sweepPoints []sweepPoint
+	if sweep {
+		if sweepPoints, err = sweepGrid(ctx, seed); err != nil {
+			return err
+		}
 	}
 	if err := swapPhase(ctx, reg, tr, seed, rounds); err != nil {
 		return err
 	}
 
 	sum := summarize(reg, tr, seed, loadDur, workers, ops, opErrs)
+	sum.Sweep = sweepPoints
 	lat := sum.CommitLatencyUS
 	fmt.Printf("throughput      %.0f ops/sec (%d ops, %d errors)\n", sum.OpsPerSec, sum.Ops, sum.OpErrors)
 	fmt.Printf("commit latency  p50 %dus  p95 %dus  p99 %dus  (n=%d, mean %.0fus)\n",
@@ -191,6 +281,11 @@ func perfCmd(seed int64, metricsOut string) error {
 		}
 		fmt.Printf("baseline        written to %s\n", metricsOut)
 	}
+	if baselinePath != "" {
+		if err := checkBaseline(baselinePath, sum); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -203,7 +298,7 @@ func metricsCmd(seed int64) error {
 
 	reg := metrics.NewRegistry()
 	tr := metrics.NewTracer(16384)
-	if _, _, err := loadPhase(ctx, reg, tr, 2, time.Second); err != nil {
+	if _, _, err := loadPhase(ctx, reg, tr, loadOpts{workers: 2, dur: time.Second}); err != nil {
 		return err
 	}
 	if err := swapPhase(ctx, reg, tr, seed, 2); err != nil {

@@ -30,6 +30,12 @@ type Options struct {
 	BatchSize int
 	// BatchDelay overrides the replica default.
 	BatchDelay time.Duration
+	// PipelineDepth overrides the replica default (consensus instances
+	// in flight).
+	PipelineDepth int
+	// VerifyWorkers overrides the replica default (signature-verification
+	// pool size).
+	VerifyWorkers int
 	// ViewChangeTimeout overrides the replica default.
 	ViewChangeTimeout time.Duration
 	// NetConfig shapes the in-memory network.
@@ -145,6 +151,8 @@ func (c *Cluster) AddReplica(id transport.NodeID, joining bool) (*bft.Replica, e
 		ControllerKey:      c.ctrlPub,
 		BatchSize:          c.opts.BatchSize,
 		BatchDelay:         c.opts.BatchDelay,
+		PipelineDepth:      c.opts.PipelineDepth,
+		VerifyWorkers:      c.opts.VerifyWorkers,
 		CheckpointInterval: c.opts.CheckpointInterval,
 		ViewChangeTimeout:  c.opts.ViewChangeTimeout,
 		Joining:            joining,

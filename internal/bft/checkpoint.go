@@ -151,4 +151,7 @@ func (r *Replica) advanceLowWater(seq uint64, snapshot []byte) {
 	if r.seq < seq {
 		r.seq = seq
 	}
+	// The window just slid forward: a primary that stalled against the
+	// high watermark can propose again immediately.
+	r.maybePropose()
 }

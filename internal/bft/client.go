@@ -177,6 +177,11 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 			if !member[env.From] {
 				continue // sender is outside the replica-set snapshot
 			}
+			if _, dup := votes[env.From]; dup {
+				// Already hold this replica's verified vote; retransmitted
+				// replies are identical, so skip the signature check.
+				continue
+			}
 			if len(keys) > 0 {
 				pub, ok := keys[env.From]
 				if !ok || !reply.VerifySig(pub) {

@@ -1,0 +1,180 @@
+package bft
+
+import (
+	"reflect"
+	"testing"
+
+	"lazarus/internal/transport"
+)
+
+// codecMessages covers every fast-codec type (with empty and populated
+// variants) plus a gob-path type, so Encode/Decode round-trips are
+// checked across both formats.
+func codecMessages() []*Message {
+	req := Request{Client: transport.ClientIDBase + 3, Seq: 42, Op: []byte("put k v"), Sig: make([]byte, 64)}
+	for i := range req.Sig {
+		req.Sig[i] = byte(i)
+	}
+	empty := Request{Client: transport.ClientIDBase, Seq: 1}
+	return []*Message{
+		{Type: MsgRequest, From: transport.ClientIDBase + 3, Request: &req},
+		{Type: MsgRequest, From: transport.ClientIDBase, Request: &empty},
+		{Type: MsgPrePrepare, From: 0, View: 3, SeqNo: 17, Epoch: 2,
+			Batch: &Batch{Requests: []Request{req, empty}}, BatchDigest: Digest{9, 9}},
+		{Type: MsgPrePrepare, From: 1, View: 0, SeqNo: 1, Batch: &Batch{}},
+		{Type: MsgPrepare, From: 2, View: 1, SeqNo: 5, Epoch: 1, BatchDigest: Digest{1, 2, 3}},
+		{Type: MsgCommit, From: 3, View: 1, SeqNo: 5, Epoch: 1, BatchDigest: Digest{4, 5, 6}},
+		{Type: MsgReply, From: 2, View: 1, Epoch: 1, ReplySeq: 42, ReplyEpoch: 1,
+			ReplyClient: transport.ClientIDBase + 3, Result: []byte("ok"), Sig: make([]byte, 64)},
+		{Type: MsgReply, From: 0},
+		// Gob path: a signed checkpoint vote.
+		{Type: MsgCheckpoint, From: 1, SeqNo: 8, Epoch: 1, StateDigest: Digest{7}, Sig: []byte("sig")},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, want := range codecMessages() {
+		payload, err := Encode(want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Type, err)
+		}
+		got, err := Decode(payload)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Type, err)
+		}
+		// Normalize the representations the codec does not preserve
+		// bit-for-bit: nil vs empty slices.
+		if got.Type == MsgPrePrepare && len(got.Batch.Requests) == 0 {
+			got.Batch.Requests = nil
+		}
+		normReq := func(r *Request) {
+			if r == nil {
+				return
+			}
+			if len(r.Op) == 0 {
+				r.Op = nil
+			}
+			if len(r.Sig) == 0 {
+				r.Sig = nil
+			}
+		}
+		normReq(got.Request)
+		if got.Batch != nil {
+			for i := range got.Batch.Requests {
+				normReq(&got.Batch.Requests[i])
+			}
+		}
+		if len(got.Result) == 0 {
+			got.Result = nil
+		}
+		if len(got.Sig) == 0 {
+			got.Sig = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+// TestCodecDigestsSurviveRoundTrip: the digests protocol handlers
+// compute from decoded messages must match the sender's, or quorums
+// would never form.
+func TestCodecDigestsSurviveRoundTrip(t *testing.T) {
+	req := Request{Client: transport.ClientIDBase, Seq: 7, Op: []byte("add 1"), Sig: make([]byte, 64)}
+	batch := &Batch{Requests: []Request{req}}
+	m := &Message{Type: MsgPrePrepare, From: 0, SeqNo: 1, Batch: batch, BatchDigest: batch.Digest()}
+	payload, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Batch.Digest() != m.BatchDigest {
+		t.Error("batch digest changed across the wire")
+	}
+	if got.Batch.Requests[0].Digest() != req.Digest() {
+		t.Error("request digest changed across the wire")
+	}
+}
+
+// TestCodecRejectsTruncatedPayloads: every truncation of a valid fast
+// payload must fail cleanly, never panic or decode to garbage silently.
+func TestCodecRejectsTruncatedPayloads(t *testing.T) {
+	for _, msg := range codecMessages() {
+		payload, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			if m, err := Decode(payload[:cut]); err == nil {
+				// Gob tolerates some truncations structurally; fast-codec
+				// payloads must not.
+				if payload[0] == wireFast {
+					t.Fatalf("%v truncated to %d bytes decoded to %+v", msg.Type, cut, m)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecRejectsHostileLengths: a length prefix claiming more bytes
+// than the payload holds must fail without huge allocations.
+func TestCodecRejectsHostileLengths(t *testing.T) {
+	m := &Message{Type: MsgRequest, From: transport.ClientIDBase,
+		Request: &Request{Client: transport.ClientIDBase, Seq: 1, Op: []byte("x")}}
+	payload, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Op length prefix sits after tag+type+4 header fields+client+seq.
+	off := 2 + 8*4 + 16
+	hostile := append([]byte(nil), payload...)
+	hostile[off] = 0xff // claim ~4 GiB of Op bytes
+	if _, err := Decode(hostile); err == nil {
+		t.Fatal("hostile length prefix decoded successfully")
+	}
+	// Hostile pre-prepare batch count.
+	pp := &Message{Type: MsgPrePrepare, From: 0, SeqNo: 1, Batch: &Batch{}}
+	payload, err = Encode(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile = append([]byte(nil), payload...)
+	hostile[len(hostile)-4] = 0xff // batch count is the trailing u32
+	if _, err := Decode(hostile); err == nil {
+		t.Fatal("hostile batch count decoded successfully")
+	}
+}
+
+func BenchmarkCodecDecodePrepare(b *testing.B) {
+	payload, err := Encode(&Message{Type: MsgPrepare, From: 1, View: 0, SeqNo: 9, BatchDigest: Digest{1, 2, 3}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodePrePrepare16(b *testing.B) {
+	batch := &Batch{}
+	for i := 0; i < 16; i++ {
+		batch.Requests = append(batch.Requests, Request{
+			Client: transport.ClientIDBase, Seq: uint64(i), Op: []byte("put k v"), Sig: make([]byte, 64)})
+	}
+	payload, err := Encode(&Message{Type: MsgPrePrepare, From: 0, SeqNo: 9, Batch: batch, BatchDigest: batch.Digest()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,12 +19,23 @@ type replicaInstruments struct {
 	// ckptStabilityLag measures how far execution ran past a checkpoint
 	// by the time it stabilized (sequence numbers).
 	ckptStabilityLag *metrics.Histogram
+	// pipelineInflight samples, at each proposal, how many consensus
+	// instances are in flight (proposed but not yet executed).
+	pipelineInflight *metrics.Histogram
 
 	executedBatches *metrics.Counter
 	checkpoints     *metrics.Counter
 	viewChanges     *metrics.Counter
 	stateTransfers  *metrics.Counter
 	reconfigs       *metrics.Counter
+
+	// verifyOps counts ed25519 request verifications actually performed;
+	// verifyCacheHits counts verifications skipped via the verdict cache;
+	// verifyOffloaded counts messages handed to the verify pool rather
+	// than verified inline on the event loop.
+	verifyOps       *metrics.Counter
+	verifyCacheHits *metrics.Counter
+	verifyOffloaded *metrics.Counter
 
 	// msgIn counts inbound protocol messages per type, indexed by MsgType.
 	msgIn [MsgStateReply + 1]*metrics.Counter
@@ -35,11 +46,15 @@ func newReplicaInstruments(reg *metrics.Registry) replicaInstruments {
 		commitLatencyUS:  reg.Histogram("bft.commit_latency_us"),
 		batchOccupancy:   reg.Histogram("bft.batch_occupancy"),
 		ckptStabilityLag: reg.Histogram("bft.checkpoint_stability_lag"),
+		pipelineInflight: reg.Histogram("bft.pipeline_inflight"),
 		executedBatches:  reg.Counter("bft.executed_batches"),
 		checkpoints:      reg.Counter("bft.checkpoints"),
 		viewChanges:      reg.Counter("bft.view_changes"),
 		stateTransfers:   reg.Counter("bft.state_transfers"),
 		reconfigs:        reg.Counter("bft.reconfigs"),
+		verifyOps:        reg.Counter("bft.verify_ops"),
+		verifyCacheHits:  reg.Counter("bft.verify_cache_hits"),
+		verifyOffloaded:  reg.Counter("bft.verify_offloaded"),
 	}
 	for t := MsgRequest; t <= MsgStateReply; t++ {
 		ri.msgIn[t] = reg.Counter("bft.msg_in." + strings.ToLower(t.String()))

@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"lazarus/internal/transport"
 )
@@ -125,18 +126,27 @@ func (r *Request) Verify(pub ed25519.PublicKey) bool {
 // instance.
 type Batch struct {
 	Requests []Request
+
+	// digest caches Digest() under the same single-goroutine, immutable-
+	// once-built discipline as Request.digest.
+	digest    Digest
+	digestSet bool
 }
 
-// Digest hashes the batch contents.
+// Digest hashes the batch contents. Cached: the agreement phases and
+// view-change validation re-digest the same batch repeatedly.
 func (b *Batch) Digest() Digest {
+	if b.digestSet {
+		return b.digest
+	}
 	h := sha256.New()
 	for i := range b.Requests {
 		d := b.Requests[i].Digest()
 		h.Write(d[:])
 	}
-	var out Digest
-	h.Sum(out[:0])
-	return out
+	h.Sum(b.digest[:0])
+	b.digestSet = true
+	return b.digest
 }
 
 // Message is the wire-level protocol message; exactly the fields for its
@@ -186,6 +196,13 @@ type Message struct {
 	// Sig authenticates signed message types (view change, new view,
 	// checkpoint, state reply).
 	Sig []byte
+
+	// authDone/authOK carry request-authentication verdicts computed by
+	// the verify pool (see verify.go): authOK[i] is the verdict for the
+	// i'th request the message carries. Unexported so gob never ships
+	// them — verdicts are local trust, not wire state.
+	authDone bool
+	authOK   []bool
 }
 
 // PreparedProof records that a batch prepared at (view, seq) — carried in
@@ -230,20 +247,47 @@ func (m *Message) VerifySig(pub ed25519.PublicKey) bool {
 	return len(m.Sig) == ed25519.SignatureSize && ed25519.Verify(pub, m.signedInput(), m.Sig)
 }
 
-// Encode serializes the message for the transport.
+// encodeBufs recycles the scratch buffers gob encoding grows; a steady
+// workload otherwise re-grows a fresh multi-KB buffer per message.
+var encodeBufs = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// Encode serializes the message for the transport: the binary fast
+// codec for the ordering hot path, gob (behind a format tag) for the
+// cold message types. See codec.go.
 func Encode(m *Message) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+	if out, ok := encodeFast(nil, m); ok {
+		return out, nil
+	}
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteByte(wireGob)
+	if err := gob.NewEncoder(buf).Encode(m); err != nil {
+		encodeBufs.Put(buf)
 		return nil, fmt.Errorf("bft: encoding %v: %w", m.Type, err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encodeBufs.Put(buf)
+	return out, nil
 }
 
 // Decode deserializes a message.
 func Decode(payload []byte) (*Message, error) {
-	var m Message
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
-		return nil, fmt.Errorf("bft: decoding message: %w", err)
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("bft: decoding message: empty payload")
 	}
-	return &m, nil
+	switch payload[0] {
+	case wireFast:
+		return decodeFast(payload[1:])
+	case wireGob:
+		var m Message
+		if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&m); err != nil {
+			return nil, fmt.Errorf("bft: decoding message: %w", err)
+		}
+		return &m, nil
+	default:
+		return nil, fmt.Errorf("bft: decoding message: unknown format tag %#x", payload[0])
+	}
 }

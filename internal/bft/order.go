@@ -50,10 +50,17 @@ func decodeReconfigOp(payload []byte) (ReconfigOp, bool) {
 	return op, true
 }
 
-// onRequest handles a client request: deduplicate, authenticate, queue
-// (primary) and arm the progress timer (all replicas).
+// onRequest handles a client request: authenticate, deduplicate, queue
+// (primary) and arm the progress timer (all replicas). Authentication
+// comes first — serving the reply cache to unauthenticated senders would
+// let anyone who can name a client id trigger reply traffic toward it
+// (traffic amplification aimed at the client).
 func (r *Replica) onRequest(msg *Message) {
 	if msg.Request == nil {
+		return
+	}
+	if !r.requestOK(msg, 0) {
+		r.cfg.Logf("replica %d: rejecting unauthenticated request from %d", r.cfg.ID, msg.Request.Client)
 		return
 	}
 	req := *msg.Request
@@ -66,10 +73,6 @@ func (r *Replica) onRequest(msg *Message) {
 		}
 		return
 	}
-	if !r.verifyRequest(&req) {
-		r.cfg.Logf("replica %d: rejecting unauthenticated request from %d", r.cfg.ID, req.Client)
-		return
-	}
 	d := req.Digest()
 	if !r.pendingSet[d] {
 		r.pendingSet[d] = true
@@ -79,6 +82,9 @@ func (r *Replica) onRequest(msg *Message) {
 	// if the primary does not order them in time, a view change starts.
 	r.armProgressTimer()
 	r.updateStats(func(*ReplicaStats) {})
+	// The primary proposes eagerly: a ready batch must not wait for the
+	// next BatchDelay tick.
+	r.maybePropose()
 }
 
 // verifyRequest authenticates a request against the client key registry
@@ -94,46 +100,80 @@ func (r *Replica) verifyRequest(req *Request) bool {
 	return req.Verify(pub)
 }
 
-// maybePropose lets the primary start consensus on the pending batch.
+// maybePropose is the eager proposal path: it proposes immediately when
+// a batch is full, or when nothing is in flight (so a lone request never
+// waits out a BatchDelay tick). While the pipeline is busy, partial
+// batches keep accumulating until the tick sweeps them via proposeAll —
+// proposing every request the instant it arrives would degenerate into
+// singleton batches and forfeit amortization.
 func (r *Replica) maybePropose() {
-	if r.joining || r.inViewChange || !r.primary() || len(r.pending) == 0 {
+	r.propose(false)
+}
+
+// proposeAll is the BatchDelay tick path: it drains pending requests into
+// proposals regardless of batch occupancy, bounded only by the window and
+// the pipeline depth.
+func (r *Replica) proposeAll() {
+	r.propose(true)
+}
+
+// propose starts consensus on pending batches. It keeps proposing —
+// pipelining multiple consensus instances — while requests are pending,
+// the checkpoint window has room, and fewer than PipelineDepth instances
+// are in flight (proposed but not yet executed). Unless force is set,
+// partial batches are proposed only into an idle pipeline.
+func (r *Replica) propose(force bool) {
+	if r.joining || r.inViewChange || !r.primary() {
 		return
 	}
 	if r.cfg.Fault == FaultSilent {
 		return
 	}
-	// Respect the window: do not run ahead of checkpointing.
-	if r.seq >= r.lowWater+r.cfg.WindowSize {
-		return
+	// A replica that just became primary may have executed past its own
+	// proposal counter (it executed instances the old primary proposed);
+	// new sequence numbers must start above everything executed.
+	if r.seq < r.lastExec {
+		r.seq = r.lastExec
 	}
-	n := len(r.pending)
-	if n > r.cfg.BatchSize {
-		n = r.cfg.BatchSize
-	}
-	batch := &Batch{Requests: append([]Request(nil), r.pending[:n]...)}
-	r.pending = r.pending[n:]
-	for i := range batch.Requests {
-		delete(r.pendingSet, batch.Requests[i].Digest())
-	}
-	r.ins.batchOccupancy.Observe(int64(n))
-	r.seq++
-	seq := r.seq
+	depth := uint64(r.cfg.PipelineDepth)
+	for len(r.pending) > 0 &&
+		// Respect the window: do not run ahead of checkpointing.
+		r.seq < r.lowWater+r.cfg.WindowSize &&
+		// Respect the pipeline depth: bound optimistic work in flight.
+		r.seq-r.lastExec < depth &&
+		// Eager calls propose partial batches only when nothing is in
+		// flight; the tick sweeps the rest.
+		(force || len(r.pending) >= r.cfg.BatchSize || r.seq == r.lastExec) {
+		n := len(r.pending)
+		if n > r.cfg.BatchSize {
+			n = r.cfg.BatchSize
+		}
+		batch := &Batch{Requests: append([]Request(nil), r.pending[:n]...)}
+		r.pending = r.pending[n:]
+		for i := range batch.Requests {
+			delete(r.pendingSet, batch.Requests[i].Digest())
+		}
+		r.ins.batchOccupancy.Observe(int64(n))
+		r.seq++
+		seq := r.seq
+		r.ins.pipelineInflight.Observe(int64(seq - r.lastExec))
 
-	if r.cfg.Fault == FaultEquivocate {
-		r.proposeEquivocating(seq, batch)
-		return
+		if r.cfg.Fault == FaultEquivocate {
+			r.proposeEquivocating(seq, batch)
+			return
+		}
+		pp := &Message{
+			Type:        MsgPrePrepare,
+			From:        r.cfg.ID,
+			View:        r.view,
+			SeqNo:       seq,
+			Epoch:       r.membership.Epoch,
+			Batch:       batch,
+			BatchDigest: batch.Digest(),
+		}
+		r.broadcast(pp)
+		r.acceptPrePrepare(pp) // the primary pre-prepares locally
 	}
-	pp := &Message{
-		Type:        MsgPrePrepare,
-		From:        r.cfg.ID,
-		View:        r.view,
-		SeqNo:       seq,
-		Epoch:       r.membership.Epoch,
-		Batch:       batch,
-		BatchDigest: batch.Digest(),
-	}
-	r.broadcast(pp)
-	r.acceptPrePrepare(pp) // the primary pre-prepares locally
 }
 
 // proposeEquivocating is the Byzantine primary: it sends batch A to half
@@ -168,11 +208,11 @@ func (r *Replica) acceptPrePrepare(pp *Message) {
 	if in.startedAt.IsZero() {
 		in.startedAt = time.Now() //lazlint:allow wallclock(commit-latency metric start; never hashed, voted on or executed)
 	}
-	in.prepares[r.cfg.ID] = true
+	in.prepares[r.cfg.ID] = pp.BatchDigest
 	// The primary's pre-prepare stands in for its prepare (PBFT's
 	// prepared predicate: pre-prepare + 2f prepares from distinct
 	// replicas).
-	in.prepares[pp.From] = true
+	in.prepares[pp.From] = pp.BatchDigest
 	if !r.primary() {
 		prep := &Message{
 			Type:        MsgPrepare,
@@ -211,9 +251,11 @@ func (r *Replica) onPrePrepare(msg *Message) {
 		return
 	}
 	// Authenticate every request in the batch: a Byzantine primary must
-	// not inject operations no client signed.
+	// not inject operations no client signed. The verify pool normally
+	// resolved these before dispatch (verdicts ride on the message); the
+	// cached fallback covers direct calls and evicted verdicts.
 	for i := range msg.Batch.Requests {
-		if !r.verifyRequest(&msg.Batch.Requests[i]) {
+		if !r.requestOK(msg, i) {
 			r.cfg.Logf("replica %d: batch at seq %d carries unauthenticated request", r.cfg.ID, msg.SeqNo)
 			return
 		}
@@ -223,7 +265,10 @@ func (r *Replica) onPrePrepare(msg *Message) {
 	r.armProgressTimer()
 }
 
-// onPrepare counts prepare votes.
+// onPrepare counts prepare votes. A vote arriving before the pre-prepare
+// is buffered together with the digest it voted for: tallying buffered
+// votes blindly would let a Byzantine peer's votes for a *different*
+// batch count toward this instance's quorum once the pre-prepare lands.
 func (r *Replica) onPrepare(msg *Message) {
 	if r.joining || r.inViewChange || !r.fromMember(msg) {
 		return
@@ -235,8 +280,20 @@ func (r *Replica) onPrepare(msg *Message) {
 	if in.prePrepare != nil && msg.BatchDigest != in.digest {
 		return // vote for a different proposal
 	}
-	in.prepares[msg.From] = true
+	in.prepares[msg.From] = msg.BatchDigest
 	r.checkPrepared(msg.SeqNo)
+}
+
+// countVotes tallies votes matching the instance's fixed digest. Only
+// meaningful once the pre-prepare set in.digest.
+func countVotes(votes map[transport.NodeID]Digest, digest Digest) int {
+	n := 0
+	for _, d := range votes {
+		if d == digest {
+			n++
+		}
+	}
+	return n
 }
 
 // checkPrepared advances to the commit phase once 2f+1 replicas (self
@@ -246,11 +303,11 @@ func (r *Replica) checkPrepared(seq uint64) {
 	if in.prepared || in.prePrepare == nil {
 		return
 	}
-	if len(in.prepares) < r.membership.Quorum() {
+	if countVotes(in.prepares, in.digest) < r.membership.Quorum() {
 		return
 	}
 	in.prepared = true
-	in.commits[r.cfg.ID] = true
+	in.commits[r.cfg.ID] = in.digest
 	cm := &Message{
 		Type:        MsgCommit,
 		View:        r.view,
@@ -262,7 +319,8 @@ func (r *Replica) checkPrepared(seq uint64) {
 	r.checkCommitted(seq)
 }
 
-// onCommit counts commit votes.
+// onCommit counts commit votes, buffering early votes with their digest
+// exactly like onPrepare.
 func (r *Replica) onCommit(msg *Message) {
 	if r.joining || r.inViewChange || !r.fromMember(msg) {
 		return
@@ -274,7 +332,7 @@ func (r *Replica) onCommit(msg *Message) {
 	if in.prePrepare != nil && msg.BatchDigest != in.digest {
 		return
 	}
-	in.commits[msg.From] = true
+	in.commits[msg.From] = msg.BatchDigest
 	r.checkCommitted(msg.SeqNo)
 }
 
@@ -284,7 +342,7 @@ func (r *Replica) checkCommitted(seq uint64) {
 	if in.committed || !in.prepared {
 		return
 	}
-	if len(in.commits) < r.membership.Quorum() {
+	if countVotes(in.commits, in.digest) < r.membership.Quorum() {
 		return
 	}
 	in.committed = true
@@ -330,6 +388,8 @@ func (r *Replica) executeReady() {
 	if len(r.pending) > 0 {
 		r.armProgressTimer()
 	}
+	// Execution freed pipeline slots (and possibly window room): refill.
+	r.maybePropose()
 }
 
 // compactPending drops pending entries that executed (their digest left

@@ -52,9 +52,18 @@ type ReplicaConfig struct {
 	ControllerKey ed25519.PublicKey
 	// BatchSize caps requests per consensus instance (default 16).
 	BatchSize int
-	// BatchDelay is how long the primary waits to fill a batch
-	// (default 2ms).
+	// BatchDelay is the fallback proposal tick (default 2ms). The
+	// primary proposes eagerly as requests arrive; the tick only sweeps
+	// up requests left pending by a full pipeline or window.
 	BatchDelay time.Duration
+	// PipelineDepth caps consensus instances in flight — proposed but
+	// not yet executed — letting agreement rounds for several batches
+	// overlap instead of running serially (default 8; 1 restores
+	// one-at-a-time ordering).
+	PipelineDepth int
+	// VerifyWorkers sizes the pool that verifies request signatures off
+	// the event loop (default 4).
+	VerifyWorkers int
 	// CheckpointInterval is K, the period of checkpoints (default 128).
 	CheckpointInterval uint64
 	// WindowSize is L, the log window (default 2K).
@@ -96,6 +105,12 @@ func (c *ReplicaConfig) fill() error {
 	if c.BatchDelay <= 0 {
 		c.BatchDelay = 2 * time.Millisecond
 	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 8
+	}
+	if c.VerifyWorkers <= 0 {
+		c.VerifyWorkers = 4
+	}
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = 128
 	}
@@ -111,13 +126,17 @@ func (c *ReplicaConfig) fill() error {
 	return nil
 }
 
-// instance is the per-sequence-number agreement state.
+// instance is the per-sequence-number agreement state. Prepare and
+// commit votes record the digest each sender voted for: votes can arrive
+// before the pre-prepare fixes the instance's digest, and tallying
+// buffered votes without their digests would let votes for different
+// proposals count toward one quorum.
 type instance struct {
 	prePrepare *Message
 	batch      *Batch
 	digest     Digest
-	prepares   map[transport.NodeID]bool
-	commits    map[transport.NodeID]bool
+	prepares   map[transport.NodeID]Digest
+	commits    map[transport.NodeID]Digest
 	prepared   bool
 	committed  bool
 	executed   bool
@@ -177,6 +196,11 @@ type Replica struct {
 	stReplies  map[transport.NodeID]*Message
 	epochProbe uint64 // highest epoch a state transfer was triggered for
 
+	// Request authentication (see verify.go). verified is loop-owned;
+	// verifyJobs feeds the worker pool and is nil until Start.
+	verified   *verdictCache
+	verifyJobs chan *Message
+
 	// Lifecycle.
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -230,6 +254,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		viewChanges: make(map[uint64]map[transport.NodeID]*Message),
 		stReplies:   make(map[transport.NodeID]*Message),
 		joining:     cfg.Joining,
+		verified:    newVerdictCache(4096),
 		ctx:         ctx,
 		cancel:      cancel,
 		inbox:       make(chan *Message, 1024),
@@ -266,8 +291,13 @@ func (r *Replica) updateStats(f func(*ReplicaStats)) {
 	r.statMu.Unlock()
 }
 
-// Start launches the receive pump and the event loop.
+// Start launches the receive pump, the verify pool and the event loop.
 func (r *Replica) Start() {
+	r.verifyJobs = make(chan *Message, 4*r.cfg.VerifyWorkers)
+	r.wg.Add(r.cfg.VerifyWorkers)
+	for i := 0; i < r.cfg.VerifyWorkers; i++ {
+		go r.verifyWorker()
+	}
 	r.wg.Add(2)
 	go r.pump()
 	go r.loop()
@@ -320,7 +350,7 @@ func (r *Replica) loop() {
 		case msg := <-r.inbox:
 			r.dispatch(msg)
 		case <-batchTicker.C:
-			r.maybePropose()
+			r.proposeAll()
 		case <-r.vcTimer.C:
 			r.vcArmed = false
 			r.onProgressTimeout()
@@ -348,8 +378,19 @@ func (r *Replica) dispatch(msg *Message) {
 	}
 	switch msg.Type {
 	case MsgRequest:
+		if !r.ensureAuth(msg) {
+			return // offloaded; re-enters the inbox with verdicts
+		}
 		r.onRequest(msg)
 	case MsgPrePrepare:
+		// Cheap structural checks first, so signature work is never
+		// spent on proposals that cannot be accepted anyway.
+		if !r.prePrepareAdmissible(msg) {
+			return
+		}
+		if !r.ensureAuth(msg) {
+			return // offloaded; re-enters the inbox with verdicts
+		}
 		r.onPrePrepare(msg)
 	case MsgPrepare:
 		r.onPrepare(msg)
@@ -383,11 +424,22 @@ func (r *Replica) send(to transport.NodeID, msg *Message) {
 	}
 }
 
-// broadcast sends to every current member (except self).
+// broadcast sends to every current member (except self), encoding the
+// message once: per-peer re-encoding was pure waste (the pre-prepare's
+// batch alone could be kilobytes, gob-encoded n-1 times), and no peer
+// mutates the shared payload.
 func (r *Replica) broadcast(msg *Message) {
+	msg.From = r.cfg.ID
+	payload, err := Encode(msg)
+	if err != nil {
+		r.cfg.Logf("replica %d: encode: %v", r.cfg.ID, err)
+		return
+	}
 	for _, id := range r.membership.Replicas {
 		if id != r.cfg.ID {
-			r.send(id, msg)
+			if err := r.ep.Send(id, payload); err != nil {
+				r.cfg.Logf("replica %d: send to %d: %v", r.cfg.ID, id, err)
+			}
 		}
 	}
 }
@@ -407,8 +459,8 @@ func (r *Replica) inst(seq uint64) *instance {
 	in, ok := r.log[seq]
 	if !ok {
 		in = &instance{
-			prepares: make(map[transport.NodeID]bool),
-			commits:  make(map[transport.NodeID]bool),
+			prepares: make(map[transport.NodeID]Digest),
+			commits:  make(map[transport.NodeID]Digest),
 		}
 		r.log[seq] = in
 	}

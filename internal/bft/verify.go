@@ -1,0 +1,243 @@
+package bft
+
+// This file implements the asynchronous request-authentication path: a
+// bounded worker pool verifies ed25519 request signatures off the event
+// loop, and a digest-keyed verdict cache amortizes verification across
+// the places the same request is seen (client submission, the batched
+// pre-prepare carrying it, re-proposals after view changes).
+//
+// Protocol state stays single-threaded: workers only compute signature
+// verdicts on messages the loop has handed off (channel handoff orders
+// the memory accesses), attach the verdicts to the message, and re-inject
+// it into the inbox. The loop alone reads and writes the verdict cache.
+//
+// Deadlock freedom: the loop never blocks feeding the pool (enqueue is
+// non-blocking, falling back to inline verification when the pool is
+// saturated), and workers block only on the inbox, which the loop always
+// drains.
+
+// verdictCache remembers digests of requests that verified, bounded by a
+// two-generation rotation: inserts go to the current generation, lookups
+// consult both, and when the current generation fills it becomes the
+// previous one (dropping the old previous wholesale). Eviction therefore
+// never depends on map iteration order. Only positive verdicts are
+// cached: a digest covers the request minus its signature, so caching a
+// failure would let an attacker poison a digest by sending a garbage-
+// signature copy ahead of the genuine one.
+type verdictCache struct {
+	cur, prev map[Digest]struct{}
+	cap       int
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cur: make(map[Digest]struct{}, capacity),
+		cap: capacity,
+	}
+}
+
+func (c *verdictCache) has(d Digest) bool {
+	if _, ok := c.cur[d]; ok {
+		return true
+	}
+	_, ok := c.prev[d]
+	return ok
+}
+
+func (c *verdictCache) add(d Digest) {
+	if _, ok := c.cur[d]; ok {
+		return
+	}
+	c.cur[d] = struct{}{}
+	if len(c.cur) >= c.cap {
+		c.prev = c.cur
+		c.cur = make(map[Digest]struct{}, c.cap)
+	}
+}
+
+// numAuthReqs returns how many client requests the message carries that
+// need authentication before its handler may run.
+func numAuthReqs(msg *Message) int {
+	switch msg.Type {
+	case MsgRequest:
+		if msg.Request != nil {
+			return 1
+		}
+	case MsgPrePrepare:
+		if msg.Batch != nil {
+			return len(msg.Batch.Requests)
+		}
+	}
+	return 0
+}
+
+// authReq returns request i of the message, aliasing the message's own
+// storage so digest caching sticks.
+func authReq(msg *Message, i int) *Request {
+	if msg.Type == MsgRequest {
+		return msg.Request
+	}
+	return &msg.Batch.Requests[i]
+}
+
+// ensureAuth resolves every request verdict a message needs before its
+// handler runs. It returns true when the message is ready to dispatch;
+// false means it was handed to the verify pool and will re-enter the
+// inbox with verdicts attached. Runs on the event loop.
+func (r *Replica) ensureAuth(msg *Message) bool {
+	if msg.authDone {
+		// The pool (or a previous pass) resolved this message; fold the
+		// positive verdicts into the cache so future sightings of the
+		// same requests skip verification entirely.
+		r.adoptVerdicts(msg)
+		return true
+	}
+	n := numAuthReqs(msg)
+	if n == 0 {
+		msg.authDone = true
+		return true
+	}
+	// Fast path: every request already has a cached positive verdict.
+	allCached := true
+	for i := 0; i < n; i++ {
+		if !r.verified.has(authReq(msg, i).Digest()) {
+			allCached = false
+			break
+		}
+	}
+	if allCached {
+		msg.authOK = make([]bool, n)
+		for i := range msg.authOK {
+			msg.authOK[i] = true
+		}
+		msg.authDone = true
+		r.ins.verifyCacheHits.Add(int64(n))
+		return true
+	}
+	// Slow path: hand the whole message to the pool. If the pool is
+	// saturated (or not running), verify inline on the loop — correct,
+	// just slower, and it bounds memory instead of queueing unboundedly.
+	if r.verifyJobs != nil {
+		select {
+		case r.verifyJobs <- msg:
+			r.ins.verifyOffloaded.Inc()
+			return false
+		default:
+		}
+	}
+	r.authMessage(msg)
+	r.adoptVerdicts(msg)
+	return true
+}
+
+// authMessage computes the signature verdicts for every request the
+// message carries and attaches them. Safe off the event loop: it touches
+// only the message itself (owned by the caller during verification) and
+// immutable replica configuration (client and controller keys).
+func (r *Replica) authMessage(msg *Message) {
+	n := numAuthReqs(msg)
+	msg.authOK = make([]bool, n)
+	for i := 0; i < n; i++ {
+		req := authReq(msg, i)
+		req.Digest() // warm the digest cache while off the hot loop
+		msg.authOK[i] = r.verifyRequest(req)
+		r.ins.verifyOps.Inc()
+	}
+	msg.authDone = true
+}
+
+// adoptVerdicts folds a resolved message's positive verdicts into the
+// loop-owned cache. Runs on the event loop only.
+func (r *Replica) adoptVerdicts(msg *Message) {
+	if len(msg.authOK) == 0 {
+		return
+	}
+	n := numAuthReqs(msg)
+	for i := 0; i < n && i < len(msg.authOK); i++ {
+		if msg.authOK[i] {
+			r.verified.add(authReq(msg, i).Digest())
+		}
+	}
+}
+
+// requestOK reports whether request i of the message authenticated. The
+// dispatch path resolved verdicts up front (pool or cache); direct calls
+// — re-proposals installed by a new view, white-box tests — fall back to
+// the cached synchronous check.
+func (r *Replica) requestOK(msg *Message, i int) bool {
+	if msg.authDone {
+		return i < len(msg.authOK) && msg.authOK[i]
+	}
+	if i >= numAuthReqs(msg) {
+		return false
+	}
+	return r.verifyRequestCached(authReq(msg, i))
+}
+
+// verifyRequestCached is the synchronous cached verification used off
+// the dispatch path. Event loop only.
+func (r *Replica) verifyRequestCached(req *Request) bool {
+	if r.verified.has(req.Digest()) {
+		r.ins.verifyCacheHits.Inc()
+		return true
+	}
+	r.ins.verifyOps.Inc()
+	if !r.verifyRequest(req) {
+		return false
+	}
+	r.verified.add(req.Digest())
+	return true
+}
+
+// verifyBatchCached authenticates every request of a batch through the
+// verdict cache. Used for re-proposals carried by view changes, where the
+// batch normally verified already under the old view and the whole scan
+// collapses to cache hits.
+func (r *Replica) verifyBatchCached(batch *Batch) bool {
+	if batch == nil {
+		return true
+	}
+	for i := range batch.Requests {
+		if !r.verifyRequestCached(&batch.Requests[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyWorker is one verification worker: it takes messages the loop
+// offloaded, computes their verdicts, and re-injects them into the inbox.
+func (r *Replica) verifyWorker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case msg := <-r.verifyJobs:
+			r.authMessage(msg)
+			select {
+			case r.inbox <- msg:
+			case <-r.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// prePrepareAdmissible runs the cheap structural checks on a pre-prepare
+// before any signature work is spent on it: only the current primary's
+// proposal for the current view, epoch and window is worth verifying.
+// onPrePrepare re-checks after verification — the view may have changed
+// while the pool held the message.
+func (r *Replica) prePrepareAdmissible(msg *Message) bool {
+	if r.joining || r.inViewChange || !r.fromMember(msg) {
+		return false
+	}
+	if msg.View != r.view || msg.From != r.membership.Primary(r.view) {
+		return false
+	}
+	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
+		return false
+	}
+	return true
+}

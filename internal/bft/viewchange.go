@@ -276,6 +276,13 @@ func (r *Replica) onNewView(msg *Message) {
 			got.View != msg.NewView || got.Batch == nil || got.Batch.Digest() != got.BatchDigest {
 			return
 		}
+		// Authenticate the re-proposed requests. In the honest case every
+		// request already verified under the old view and this collapses to
+		// verdict-cache hits; it only costs signature checks when the view
+		// change carries batches we never saw.
+		if !r.verifyBatchCached(msg.PrePrepares[i].Batch) {
+			return
+		}
 	}
 	r.installNewView(msg.NewView, msg.PrePrepares, maxStable(msg.NewViewMsgs))
 }
@@ -330,4 +337,7 @@ func (r *Replica) installNewView(newView uint64, prePrepares []Message, stable u
 		View: newView, Epoch: r.membership.Epoch, Seq: r.lastExec,
 	})
 	r.cfg.Logf("replica %d: installed view %d (primary %d)", r.cfg.ID, newView, r.membership.Primary(newView))
+	// If we are the new primary and requests queued up during the view
+	// change, propose now rather than waiting for the batch tick.
+	r.maybePropose()
 }

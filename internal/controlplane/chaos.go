@@ -200,6 +200,9 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			rc.CheckpointInterval = 8
 			rc.ViewChangeTimeout = 200 * time.Millisecond
 			rc.BatchDelay = time.Millisecond
+			// Chaos runs exercise the pipelined fast path: swap-history
+			// replay must stay deterministic with instances in flight.
+			rc.PipelineDepth = 4
 		},
 		CatchUpTimeout:   cfg.CatchUpTimeout,
 		SwapStageTimeout: cfg.SwapStageTimeout,

@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math/rand"
 	"net"
@@ -230,8 +231,11 @@ func (ep *tcpEndpoint) acceptLoop() {
 
 func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 	st := &ep.net.stats
+	// One HMAC state per connection, reset per frame: hmac.New runs two
+	// SHA-256 key schedules, pure waste to repeat per frame.
+	mac := hmac.New(sha256.New, ep.net.cfg.Secret)
 	for {
-		env, err := readFrame(conn, ep.net.cfg.Secret)
+		env, err := readFrameMAC(conn, mac)
 		if err != nil {
 			if errors.Is(err, errAuthFail) {
 				st.dropsAuthFail.Add(1)
@@ -258,24 +262,26 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 func (ep *tcpEndpoint) ID() NodeID { return ep.id }
 
 // Send implements Endpoint. It never touches the network itself: the
-// frame is encoded and enqueued onto the destination's writer, and a
-// full queue sheds the frame (counted) rather than blocking.
+// envelope is enqueued onto the destination's writer — which encodes and
+// MACs it into a reused per-writer buffer — and a full queue sheds it
+// (counted) rather than blocking. Enqueueing the envelope instead of an
+// encoded frame means a broadcast's shared payload is queued n-1 times
+// by reference, not copied n-1 times up front.
 func (ep *tcpEndpoint) Send(to NodeID, payload []byte) error {
 	select {
 	case <-ep.closed:
 		return ErrClosed
 	default:
 	}
+	if total := 16 + len(payload) + sha256.Size; total > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
 	pw, err := ep.writer(to)
 	if err != nil {
 		return err
 	}
-	frame, err := encodeFrame(ep.net.cfg.Secret, Envelope{From: ep.id, To: to, Payload: payload})
-	if err != nil {
-		return err
-	}
 	select {
-	case pw.queue <- frame:
+	case pw.queue <- Envelope{From: ep.id, To: to, Payload: payload}:
 		return nil
 	case <-ep.closed:
 		return ErrClosed
@@ -306,7 +312,8 @@ func (ep *tcpEndpoint) writer(to NodeID) (*peerWriter, error) {
 		to:    to,
 		addr:  addr,
 		ep:    ep,
-		queue: make(chan []byte, ep.net.cfg.SendQueueDepth),
+		queue: make(chan Envelope, ep.net.cfg.SendQueueDepth),
+		mac:   hmac.New(sha256.New, ep.net.cfg.Secret),
 		// Jitter must come from a writer-local seeded source, not the
 		// global math/rand: the chaos harness replays whole runs from one
 		// seed, and a global draw would interleave with every other
@@ -320,16 +327,19 @@ func (ep *tcpEndpoint) writer(to NodeID) (*peerWriter, error) {
 }
 
 // peerWriter owns all outbound traffic to one destination: a bounded
-// queue of encoded frames drained by a single goroutine (singleflight —
-// at most one dial per peer at any time) that connects with a timeout,
-// writes under a per-frame deadline and re-dials with capped
+// queue of envelopes drained by a single goroutine (singleflight — at
+// most one dial per peer at any time) that encodes each frame into a
+// reused scratch buffer with a reused HMAC state, connects with a
+// timeout, writes under a per-frame deadline and re-dials with capped
 // exponential backoff plus jitter.
 type peerWriter struct {
-	to    NodeID
-	addr  string
-	ep    *tcpEndpoint
-	queue chan []byte
-	rng   *rand.Rand // jitter source; used only by the run goroutine
+	to      NodeID
+	addr    string
+	ep      *tcpEndpoint
+	queue   chan Envelope
+	mac     hash.Hash  // frame authenticator; used only by the run goroutine
+	scratch []byte     // frame encode buffer; reused across frames by run
+	rng     *rand.Rand // jitter source; used only by the run goroutine
 
 	mu   sync.Mutex
 	conn net.Conn // owned by run(); Close shuts it to unblock a write
@@ -344,12 +354,18 @@ func (pw *peerWriter) run() {
 	backoff := cfg.RedialBackoff
 	everConnected := false
 	for {
-		var frame []byte
+		var env Envelope
 		select {
 		case <-ep.closed:
 			return
-		case frame = <-pw.queue:
+		case env = <-pw.queue:
 		}
+		frame, err := appendFrame(pw.scratch[:0], pw.mac, env)
+		if err != nil {
+			st.dropsWriteFail.Add(1) // oversized despite the Send check
+			continue
+		}
+		pw.scratch = frame[:0]
 		// Deliver the frame, (re)connecting as needed. Dial failures
 		// back off and retry while the frame stays pending; meanwhile
 		// the queue absorbs — then sheds — new traffic.
@@ -495,26 +511,30 @@ func (ep *tcpEndpoint) Close() error {
 	return nil
 }
 
-// encodeFrame serializes and MACs one envelope.
-func encodeFrame(secret []byte, env Envelope) ([]byte, error) {
-	mac := hmac.New(sha256.New, secret)
+// appendFrame serializes and MACs one envelope, appending the frame to
+// buf (reusing its capacity) and resetting mac for reuse.
+func appendFrame(buf []byte, mac hash.Hash, env Envelope) ([]byte, error) {
 	var hdr [16]byte
 	binary.BigEndian.PutUint64(hdr[0:8], uint64(env.From))
 	binary.BigEndian.PutUint64(hdr[8:16], uint64(env.To))
+	mac.Reset()
 	mac.Write(hdr[:])
 	mac.Write(env.Payload)
-	sum := mac.Sum(nil)
 
-	total := len(hdr) + len(env.Payload) + len(sum)
+	total := len(hdr) + len(env.Payload) + mac.Size()
 	if total > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
 	}
-	buf := make([]byte, 4+total)
-	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
-	copy(buf[4:], hdr[:])
-	copy(buf[4+16:], env.Payload)
-	copy(buf[4+16+len(env.Payload):], sum)
-	return buf, nil
+	buf = binary.BigEndian.AppendUint32(buf, uint32(total))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, env.Payload...)
+	return mac.Sum(buf), nil
+}
+
+// encodeFrame serializes and MACs one envelope with a one-shot HMAC
+// state (hot paths hold a reusable state and call appendFrame directly).
+func encodeFrame(secret []byte, env Envelope) ([]byte, error) {
+	return appendFrame(nil, hmac.New(sha256.New, secret), env)
 }
 
 // writeFrame serializes, MACs and writes one envelope.
@@ -527,8 +547,16 @@ func writeFrame(w io.Writer, secret []byte, env Envelope) error {
 	return err
 }
 
-// readFrame reads and authenticates one envelope.
+// readFrame reads and authenticates one envelope with a one-shot HMAC
+// state.
 func readFrame(r io.Reader, secret []byte) (Envelope, error) {
+	return readFrameMAC(r, hmac.New(sha256.New, secret))
+}
+
+// readFrameMAC reads and authenticates one envelope, resetting mac for
+// reuse. The returned payload is freshly allocated — ownership passes to
+// the consumer, so the read buffer cannot be recycled.
+func readFrameMAC(r io.Reader, mac hash.Hash) (Envelope, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return Envelope{}, err
@@ -544,7 +572,7 @@ func readFrame(r io.Reader, secret []byte) (Envelope, error) {
 	payloadLen := int(total) - 16 - sha256.Size
 	hdr, payload, sum := buf[:16], buf[16:16+payloadLen], buf[16+payloadLen:]
 
-	mac := hmac.New(sha256.New, secret)
+	mac.Reset()
 	mac.Write(hdr)
 	mac.Write(payload)
 	if !hmac.Equal(mac.Sum(nil), sum) {
