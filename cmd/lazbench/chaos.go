@@ -13,18 +13,22 @@ import (
 // chaosRun drives the full control plane through a seeded fault schedule
 // — random boot failures, stalled boots, LTU faults, silent replicas and
 // link loss, plus forced boot-failure rounds — while closed-loop clients
-// hammer the replicated KVS. It prints the swap-engine counters, the
-// structured swap history and the transport statistics, and exits
+// hammer the replicated KVS. With controllerFaults the harness also
+// kills the controller a few WAL appends into random rounds (usually
+// mid-swap) and recovers a successor from the WAL, which must resolve
+// the interrupted swap; walPath backs the log with a file so restart
+// also exercises on-disk replay. It prints the swap-engine counters,
+// the structured swap history and the transport statistics, and exits
 // non-zero if any invariant was violated: the group must hold exactly
 // n = 3f+1 live correct replicas and every failed swap must roll back
 // cleanly.
-func chaosRun(rounds int, seed int64, metricsOut string) error {
+func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults bool, walPath string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
 	reg := metrics.NewRegistry()
 	tr := metrics.NewTracer(16384)
-	fmt.Printf("== chaos: %d monitor rounds, seed %d ==\n", rounds, seed)
+	fmt.Printf("== chaos: %d monitor rounds, seed %d, controller faults %v ==\n", rounds, seed, controllerFaults)
 	rep, err := controlplane.RunChaos(ctx, controlplane.ChaosConfig{
 		Rounds:        rounds,
 		Seed:          seed,
@@ -32,6 +36,8 @@ func chaosRun(rounds int, seed int64, metricsOut string) error {
 		// Two forced rounds bomb a critical CVE while every image refuses
 		// to boot, so the rollback path provably executes.
 		ForceBootFailRounds: []int{3, rounds/2 + 1},
+		ControllerFaults:    controllerFaults,
+		WALPath:             walPath,
 		Metrics:             reg,
 		Trace:               tr,
 		Logf: func(format string, args ...any) {
@@ -52,6 +58,11 @@ func chaosRun(rounds int, seed int64, metricsOut string) error {
 		fmt.Printf("  stage %-10v %d failed attempts\n", stage, n)
 	}
 	fmt.Printf("client load     %d ops (%d errors)\n", rep.ClientOps, rep.ClientErrs)
+	if controllerFaults {
+		fmt.Printf("controller      %d kills, %d recoveries (final generation %d), %d/%d down-probes served, %d WAL records\n",
+			rep.ControllerKills, rep.Recoveries, rep.Generation,
+			rep.DownProbes-rep.DownProbeErrs, rep.DownProbes, rep.WALRecords)
+	}
 	fmt.Printf("transport       %+v\n", rep.Net)
 	fmt.Printf("final config    %v (epoch %d, members %v)\n",
 		rep.Final.Config, rep.Final.Epoch, rep.Final.Members)

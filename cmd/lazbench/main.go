@@ -14,7 +14,10 @@
 //	lazbench ablation        risk-metric ablations + threshold sweep
 //	lazbench leader          leader-placement analysis (paper §9)
 //	lazbench net             real-transport micro-run + frame/drop counters
-//	lazbench chaos [-rounds N] [-metrics-out F]  control-plane chaos run: swaps under faults
+//	lazbench chaos [-rounds N] [-metrics-out F] [-controller-faults] [-wal F]
+//	                         control-plane chaos run: swaps under faults;
+//	                         -controller-faults also kills and WAL-recovers the
+//	                         controller mid-swap (-wal backs it with a file WAL)
 //	lazbench perf [-out F] [-sweep] [-baseline F]
 //	                         live-cluster throughput, commit-latency and swap-stage
 //	                         quantiles (baseline JSON written to -out, default
@@ -47,6 +50,8 @@ func run(args []string) error {
 	runs := fs.Int("runs", 250, "runs per strategy for fig5/fig6 (paper: 1000)")
 	seed := fs.Int64("seed", 1, "dataset and experiment seed")
 	rounds := fs.Int("rounds", 25, "monitor rounds for the chaos run")
+	ctrlFaults := fs.Bool("controller-faults", false, "chaos: kill and WAL-recover the controller mid-swap")
+	walPath := fs.String("wal", "", "chaos: back the control plane with a file WAL at this path")
 	metricsOut := fs.String("metrics-out", "", "write the perf/chaos metrics baseline JSON to this file")
 	out := fs.String("out", "BENCH_pr6.json", "perf baseline artifact path (-metrics-out overrides)")
 	sweep := fs.Bool("sweep", false, "perf: also sweep batch size × pipeline depth")
@@ -73,7 +78,7 @@ func run(args []string) error {
 		"ablation": func(r int, s int64) error { return ablation(r, s) },
 		"leader":   func(int, int64) error { return leaderPlacement() },
 		"net":      func(int, int64) error { return netStats() },
-		"chaos":    func(_ int, s int64) error { return chaosRun(*rounds, s, *metricsOut) },
+		"chaos":    func(_ int, s int64) error { return chaosRun(*rounds, s, *metricsOut, *ctrlFaults, *walPath) },
 		"perf": func(_ int, s int64) error {
 			path := *out
 			if *metricsOut != "" {

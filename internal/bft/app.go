@@ -99,7 +99,7 @@ func (m *Membership) Clone() *Membership {
 // advanced.
 func (m *Membership) WithAdded(id transport.NodeID, key ed25519.PublicKey) (*Membership, error) {
 	if m.Contains(id) {
-		return nil, fmt.Errorf("bft: replica %d already a member", id)
+		return nil, fmt.Errorf("replica %d: %w", id, ErrAlreadyMember)
 	}
 	out := m.Clone()
 	out.Epoch++
@@ -113,10 +113,10 @@ func (m *Membership) WithAdded(id transport.NodeID, key ed25519.PublicKey) (*Mem
 // epoch advanced.
 func (m *Membership) WithRemoved(id transport.NodeID) (*Membership, error) {
 	if !m.Contains(id) {
-		return nil, fmt.Errorf("bft: replica %d not a member", id)
+		return nil, fmt.Errorf("replica %d: %w", id, ErrNotMember)
 	}
 	if m.N() <= 4 {
-		return nil, fmt.Errorf("bft: removing replica %d would leave %d replicas (minimum 4)", id, m.N()-1)
+		return nil, fmt.Errorf("removing replica %d would leave %d replicas: %w", id, m.N()-1, ErrGroupTooSmall)
 	}
 	out := m.Clone()
 	out.Epoch++

@@ -135,6 +135,65 @@ func TestViewChangeOnEquivocatingPrimary(t *testing.T) {
 	})
 }
 
+// TestViewChangeCatchesUpStraggler pins the commit re-announcement in
+// installNewView. A replica that misses committed instances while
+// partitioned (below the first checkpoint boundary, so state transfer
+// cannot help) re-prepares them from the new view's re-proposals — but
+// the peers that already executed them take checkPrepared's
+// already-prepared early return and never resend their commit votes.
+// Without the re-announcement the straggler holds one commit vote
+// forever, cannot execute, and the group livelocks once its replies are
+// needed for a client quorum.
+func TestViewChangeCatchesUpStraggler(t *testing.T) {
+	c := newCluster(t, 4, 1, nil)
+	c.start()
+	defer c.stop()
+	cl := c.client(0)
+	defer cl.Close()
+
+	want := int64(1)
+	if got := decodeInt(invoke(t, cl, "add 1")); got != want {
+		t.Fatalf("baseline = %d, want %d", got, want)
+	}
+
+	// Partition replica 3 and commit ops it misses entirely. The op
+	// count stays far below CheckpointInterval (128): catch-up can only
+	// come through the new view's re-proposals, never a snapshot.
+	c.net.Isolate(3)
+	for i := 0; i < 5; i++ {
+		want += 2
+		if got := decodeInt(invoke(t, cl, "add 2")); got != want {
+			t.Fatalf("partitioned-phase result = %d, want %d", got, want)
+		}
+	}
+	c.net.Rejoin(3)
+
+	// Silence the view-0 primary. Replicas 1 and 2 time out on the next
+	// request, replica 3 joins the view change via the f+1 boost, and
+	// the view-1 primary re-proposes everything replica 3 missed.
+	c.net.Isolate(0)
+	defer c.net.Rejoin(0)
+
+	// With replica 0 down, ordering this request needs a quorum of 1, 2
+	// and 3 — i.e. replica 3 must take part in the view change and the
+	// new primary must re-propose everything it missed.
+	want += 7
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := cl.Invoke(ctx, []byte("add 7"))
+	if err != nil {
+		t.Fatalf("post-view-change invoke (straggler must catch up): %v", err)
+	}
+	if got := decodeInt(res); got != want {
+		t.Fatalf("post-view-change result = %d, want %d", got, want)
+	}
+	// The client returns on f+1 matching replies, so replica 3 may still
+	// be applying the final instance; what must never stall is the gap.
+	eventually(t, 5*time.Second, "straggler to execute all 7 instances", func() bool {
+		return c.replicas[3].Stats().LastExecuted >= 7
+	})
+}
+
 func TestClientSurvivesCorruptReplies(t *testing.T) {
 	c := newCluster(t, 4, 1, func(cfg *ReplicaConfig) {
 		if cfg.ID == 2 {
@@ -280,8 +339,8 @@ func TestReconfigurationAddThenRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := invoke(t, ctrl, string(addOp)); !bytes.Contains(res, []byte("reconfig ok")) {
-		t.Fatalf("add reconfig result: %q", res)
+	if rr, err := DecodeReconfigResult(invoke(t, ctrl, string(addOp))); err != nil || rr.Status != ReconfigApplied || rr.Epoch != 1 {
+		t.Fatalf("add reconfig result: %+v, err %v", rr, err)
 	}
 	// The joiner must state-transfer in and reach the group's state.
 	eventually(t, 15*time.Second, "joiner catch-up", func() bool {
@@ -301,8 +360,8 @@ func TestReconfigurationAddThenRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := invoke(t, ctrl, string(rmOp)); !bytes.Contains(res, []byte("reconfig ok")) {
-		t.Fatalf("remove reconfig result: %q", res)
+	if rr, err := DecodeReconfigResult(invoke(t, ctrl, string(rmOp))); err != nil || rr.Status != ReconfigApplied || rr.Epoch != 2 {
+		t.Fatalf("remove reconfig result: %+v, err %v", rr, err)
 	}
 	// The group (now 1,2,3,4) keeps serving. Removing the view-0 primary
 	// forces a view change first.

@@ -270,10 +270,37 @@ func (r *Replica) onPrePrepare(msg *Message) {
 // votes blindly would let a Byzantine peer's votes for a *different*
 // batch count toward this instance's quorum once the pre-prepare lands.
 func (r *Replica) onPrepare(msg *Message) {
-	if r.joining || r.inViewChange || !r.fromMember(msg) {
+	if r.joining || !r.fromMember(msg) {
 		return
 	}
-	if msg.View != r.view || msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
+	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
+		return
+	}
+	// Catch-up responder: a prepare for an instance we already executed
+	// means the sender is rebuilding it — from a new-view re-proposal or
+	// the stuck-instance retry in onProgressTimeout — and is missing
+	// votes we counted long ago. Answer the sender directly with our
+	// commit and prepare at the current view. The commit goes first and
+	// the response is suppressed once we hold the sender's commit vote,
+	// so two caught-up replicas cannot ping-pong responses at each other.
+	if in, ok := r.log[msg.SeqNo]; ok && in.executed && in.digest == msg.BatchDigest {
+		if _, seen := in.commits[msg.From]; !seen {
+			base := Message{
+				SeqNo:       msg.SeqNo,
+				View:        r.view,
+				Epoch:       r.membership.Epoch,
+				BatchDigest: in.digest,
+			}
+			cm := base
+			cm.Type = MsgCommit
+			r.send(msg.From, &cm)
+			pm := base
+			pm.Type = MsgPrepare
+			r.send(msg.From, &pm)
+		}
+		return
+	}
+	if r.inViewChange || msg.View != r.view {
 		return
 	}
 	in := r.inst(msg.SeqNo)
@@ -320,9 +347,14 @@ func (r *Replica) checkPrepared(seq uint64) {
 }
 
 // onCommit counts commit votes, buffering early votes with their digest
-// exactly like onPrepare.
+// exactly like onPrepare. Votes are tallied even mid-view-change: commit
+// semantics here are digest-based (a committed digest is stable across
+// views, so a matching vote never goes stale), and a replica that
+// volunteered for a view change is exactly the one that needs racing
+// catch-up votes to land — installNewView keeps same-digest tallies, so
+// nothing collected here is thrown away.
 func (r *Replica) onCommit(msg *Message) {
-	if r.joining || r.inViewChange || !r.fromMember(msg) {
+	if r.joining || !r.fromMember(msg) {
 		return
 	}
 	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
@@ -454,7 +486,9 @@ func (r *Replica) executeRequest(req *Request) {
 	r.send(req.Client, reply)
 }
 
-// applyReconfig executes an ordered membership change.
+// applyReconfig executes an ordered membership change. The reply is an
+// encoded ReconfigResult — a typed outcome, not a log string — so the
+// control plane can classify it without scraping text.
 func (r *Replica) applyReconfig(op ReconfigOp) []byte {
 	var (
 		next *Membership
@@ -462,14 +496,14 @@ func (r *Replica) applyReconfig(op ReconfigOp) []byte {
 	)
 	if op.Add {
 		if len(op.PubKey) != ed25519.PublicKeySize {
-			return []byte("reconfig error: bad public key")
+			return ReconfigResult{Status: ReconfigInvalid, Detail: "bad public key"}.Encode()
 		}
 		next, err = r.membership.WithAdded(op.Replica, ed25519.PublicKey(op.PubKey))
 	} else {
 		next, err = r.membership.WithRemoved(op.Replica)
 	}
 	if err != nil {
-		return []byte("reconfig error: " + err.Error())
+		return ReconfigResult{Status: classifyReconfigErr(err), Detail: err.Error()}.Encode()
 	}
 	r.membership = next
 	r.updateStats(func(s *ReplicaStats) { s.Reconfigs++ })
@@ -491,5 +525,5 @@ func (r *Replica) applyReconfig(op ReconfigOp) []byte {
 		// plane will power it off). Entering joining mode silences it.
 		r.joining = true
 	}
-	return []byte(fmt.Sprintf("reconfig ok: epoch %d", next.Epoch))
+	return ReconfigResult{Status: ReconfigApplied, Epoch: next.Epoch}.Encode()
 }

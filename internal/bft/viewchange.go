@@ -46,6 +46,36 @@ func (r *Replica) onProgressTimeout() {
 		// not completed: keep retrying it alongside the view change.
 		r.requestStateTransfer()
 	}
+	// Re-drive catch-up before escalating: re-broadcast our votes for
+	// instances we hold but cannot execute yet. Peers that executed them
+	// answer a stale prepare directly with their own votes (the catch-up
+	// responder in onPrepare), which gives a straggler a retransmission
+	// path that does not depend on assembling f+1 view-change volunteers
+	// it may never get — once the rest of the group drained its pending
+	// queue, nobody else's timer is running.
+	var stuck []uint64
+	for seq, in := range r.log {
+		if seq > r.lastExec && in.prePrepare != nil && !in.executed {
+			stuck = append(stuck, seq)
+		}
+	}
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	for _, seq := range stuck {
+		in := r.log[seq]
+		pm := &Message{
+			Type:        MsgPrepare,
+			View:        r.view,
+			SeqNo:       seq,
+			Epoch:       r.membership.Epoch,
+			BatchDigest: in.digest,
+		}
+		r.broadcast(pm)
+		if in.prepared {
+			cm := *pm
+			cm.Type = MsgCommit
+			r.broadcast(&cm)
+		}
+	}
 	// Escalate past an incomplete view change: if we already volunteered
 	// for a higher view and it did not complete within the timeout, move
 	// one further (PBFT's exponential regency escalation, linearized).
@@ -299,9 +329,25 @@ func (r *Replica) installNewView(newView uint64, prePrepares []Message, stable u
 			delete(r.viewChanges, nv)
 		}
 	}
-	// Drop un-executed instances; they are superseded by O.
-	for seq := range r.log {
-		if seq > r.lastExec {
+	// Reconcile the log with O rather than dropping everything un-executed:
+	// an in-flight instance whose digest matches its re-proposal keeps its
+	// vote tallies (votes are digest-keyed, so votes that raced ahead of
+	// our NEW-VIEW — peers install the view in no particular order — stay
+	// valid), as do vote-only buffers with no pre-prepare yet. Only
+	// proposals superseded by O (different digest, or not re-proposed at
+	// all) are discarded. Wiping matching instances here is what used to
+	// strand stragglers: a replica that missed a commit round lost the
+	// buffered votes with every view change and could never assemble a
+	// commit quorum again.
+	proposed := make(map[uint64]Digest, len(prePrepares))
+	for i := range prePrepares {
+		proposed[prePrepares[i].SeqNo] = prePrepares[i].BatchDigest
+	}
+	for seq, in := range r.log {
+		if seq <= r.lastExec || in.prePrepare == nil {
+			continue
+		}
+		if d, ok := proposed[seq]; !ok || in.digest != d {
 			delete(r.log, seq)
 		}
 	}
@@ -311,14 +357,38 @@ func (r *Replica) installNewView(newView uint64, prePrepares []Message, stable u
 		if pp.SeqNo > maxSeq {
 			maxSeq = pp.SeqNo
 		}
-		if pp.SeqNo <= r.lastExec {
-			// Already executed here; prepare votes keep the quorum
-			// moving for peers that have not.
+		// An instance we already prepared (usually: already executed) in an
+		// earlier view needs its commit vote RE-ANNOUNCED under the new
+		// view. acceptPrePrepare re-broadcasts our prepare, but
+		// checkPrepared early-returns on in.prepared and never resends the
+		// commit — and a peer that missed the original commit round can
+		// only assemble a commit quorum from votes sent after this
+		// re-proposal. Without the re-announcement the straggler re-prepares
+		// but holds a single commit vote forever: it cannot execute, its
+		// progress timer keeps firing, and the group livelocks in a
+		// view-change storm.
+		reannounce := false
+		if in, ok := r.log[pp.SeqNo]; ok && in.prepared && in.digest == pp.BatchDigest {
+			reannounce = true
 		}
 		ppCopy := pp
 		// The new primary implicitly prepares its re-proposals.
 		ppCopy.From = r.membership.Primary(newView)
 		r.acceptPrePrepare(&ppCopy)
+		if reannounce {
+			cm := &Message{
+				Type:        MsgCommit,
+				View:        newView,
+				SeqNo:       pp.SeqNo,
+				Epoch:       r.membership.Epoch,
+				BatchDigest: pp.BatchDigest,
+			}
+			r.broadcast(cm)
+		}
+		// Kept tallies (or votes buffered while we were mid-view-change)
+		// may already complete the instance; checkPrepared's early return
+		// skips this check for instances that were prepared coming in.
+		r.checkCommitted(pp.SeqNo)
 	}
 	if r.seq < maxSeq {
 		r.seq = maxSeq

@@ -57,6 +57,25 @@ type ChaosConfig struct {
 	// exercise the rollback path regardless of the dice.
 	ForceBootFailRounds []int
 
+	// ControllerFaults enables controller kill/restart chaos: rounds
+	// randomly arm a crash plan that kills the controller a few WAL
+	// appends into the round — usually mid-swap, between an intent record
+	// and its outcome. The harness then probes the service while the
+	// control plane is down and Recovers a successor from the WAL, which
+	// must resolve the interrupted swap (resume, roll back, or roll
+	// forward) without leaking nodes or unbalancing the ledger.
+	ControllerFaults bool
+	// ControllerKillProb is the per-round probability of arming a kill
+	// when ControllerFaults is on (default 0.35). The kill dice use
+	// their own rng stream, so enabling controller faults does not
+	// perturb the dataset, fault, or swap-decision schedule of the
+	// same seed.
+	ControllerKillProb float64
+	// WALPath, when set, backs the control plane with a file WAL at this
+	// path, so crash-restart cycles also exercise on-disk replay (torn
+	// tails, checksums). Empty keeps the WAL in memory.
+	WALPath string
+
 	// CatchUpTimeout and SwapStageTimeout override the controller's
 	// defaults (chaos wants short ones; defaults 2.5s and 2s).
 	CatchUpTimeout, SwapStageTimeout time.Duration
@@ -93,6 +112,7 @@ func (c *ChaosConfig) fill() {
 	def(&c.SilentProb, 0.2)
 	def(&c.LinkLossProb, 0.2)
 	def(&c.BombProb, 0.6)
+	def(&c.ControllerKillProb, 0.35)
 	if c.CatchUpTimeout <= 0 {
 		c.CatchUpTimeout = 2500 * time.Millisecond
 	}
@@ -129,6 +149,20 @@ type ChaosReport struct {
 	Census Census
 	// ClientOps and ClientErrs tally the load clients' invokes.
 	ClientOps, ClientErrs uint64
+	// ControllerKills and Recoveries count crash-restart cycles
+	// (ControllerFaults runs; every kill must be matched by a recovery).
+	ControllerKills, Recoveries int
+	// DownProbes and DownProbeErrs tally the service probes issued while
+	// the controller was dead. Individual probes may fail under
+	// concurrent network faults; a kill round where none succeed is a
+	// Violation (the execution plane must not depend on the control
+	// plane for liveness).
+	DownProbes, DownProbeErrs int
+	// Generation is the final controller's recovery generation
+	// (0 = the bootstrap controller survived the whole run).
+	Generation int
+	// WALRecords is the closing length of the control-plane WAL.
+	WALRecords int
 	// Violations lists every invariant violation observed (empty on a
 	// healthy run).
 	Violations []string
@@ -150,6 +184,10 @@ const (
 func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	cfg.fill()
 	rng := mrand.New(mrand.NewSource(cfg.Seed))
+	// The kill dice live on their own stream so controller faults never
+	// shift the main schedule (dataset, faults, swap decisions) of a
+	// given seed — runs with and without kills stay comparable.
+	killRng := mrand.New(mrand.NewSource(cfg.Seed ^ 0x6b696c6c))
 
 	ds, err := feeds.GenerateDataset(feeds.GenConfig{
 		Seed:  cfg.Seed,
@@ -172,8 +210,9 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		return base.Add(time.Duration(simDays.Load())*24*time.Hour + time.Since(start))
 	}
 
-	// Register the load workers and the final liveness probe as clients.
-	probes := cfg.ClientWorkers + 1
+	// Register the load workers, the controller-down probe, and the final
+	// liveness probe as clients.
+	probes := cfg.ClientWorkers + 2
 	clientKeys := make(map[transport.NodeID]ed25519.PublicKey, probes)
 	clientPrivs := make(map[transport.NodeID]ed25519.PrivateKey, probes)
 	for i := 0; i < probes; i++ {
@@ -186,51 +225,93 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		clientPrivs[id] = priv
 	}
 
+	// One WAL outlives every controller incarnation: the bootstrap
+	// controller writes it, each recovered successor replays and extends
+	// it.
+	var wal WAL
+	if cfg.WALPath != "" {
+		fw, err := OpenFileWAL(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		defer fw.Close()
+		wal = fw
+	} else {
+		wal = NewMemWAL()
+	}
+
+	// published accumulates everything the OSINT layer has seen — the
+	// synthetic corpus plus every bomb — because a recovering controller
+	// rebuilds its risk state from the feeds, not the WAL.
+	published := append([]*osint.Vulnerability(nil), ds.All()...)
+
 	var ltuMode atomic.Int32
-	ctrl, err := New(Config{
-		N:            cfg.N,
-		Seed:         cfg.Seed,
-		Clock:        clock,
-		InitialVulns: ds.All(),
-		Net:          net,
-		App:          func() bft.Application { return kvs.New() },
-		ClientKeys:   clientKeys,
-		LTUSecret:    []byte("chaos-ltu-secret"),
-		ReplicaTuning: func(rc *bft.ReplicaConfig) {
-			rc.CheckpointInterval = 8
-			rc.ViewChangeTimeout = 200 * time.Millisecond
-			rc.BatchDelay = time.Millisecond
-			// Chaos runs exercise the pipelined fast path: swap-history
-			// replay must stay deterministic with instances in flight.
-			rc.PipelineDepth = 4
-		},
-		CatchUpTimeout:   cfg.CatchUpTimeout,
-		SwapStageTimeout: cfg.SwapStageTimeout,
-		SwapAttempts:     2,
-		SwapBackoff:      25 * time.Millisecond,
-		SwapBackoffMax:   200 * time.Millisecond,
-		Metrics:          cfg.Metrics,
-		Trace:            cfg.Trace,
-		LTUInjector: func(node transport.NodeID, cmd ltu.Command) error {
-			switch ltuFaultMode(ltuMode.Load()) {
-			case ltuFailing:
-				return fmt.Errorf("chaos: injected LTU fault on node %d", node)
-			case ltuStalling:
-				time.Sleep(cfg.SwapStageTimeout + 250*time.Millisecond)
-				return fmt.Errorf("chaos: stalled LTU on node %d", node)
-			default:
-				return nil
-			}
-		},
-		Logf: cfg.Logf,
-	})
+	mkConfig := func(vulns []*osint.Vulnerability) Config {
+		return Config{
+			N:            cfg.N,
+			Seed:         cfg.Seed,
+			Clock:        clock,
+			InitialVulns: vulns,
+			Net:          net,
+			App:          func() bft.Application { return kvs.New() },
+			ClientKeys:   clientKeys,
+			LTUSecret:    []byte("chaos-ltu-secret"),
+			ReplicaTuning: func(rc *bft.ReplicaConfig) {
+				rc.CheckpointInterval = 8
+				rc.ViewChangeTimeout = 200 * time.Millisecond
+				rc.BatchDelay = time.Millisecond
+				// Chaos runs exercise the pipelined fast path: swap-history
+				// replay must stay deterministic with instances in flight.
+				rc.PipelineDepth = 4
+			},
+			CatchUpTimeout:   cfg.CatchUpTimeout,
+			SwapStageTimeout: cfg.SwapStageTimeout,
+			SwapAttempts:     2,
+			SwapBackoff:      25 * time.Millisecond,
+			SwapBackoffMax:   200 * time.Millisecond,
+			WAL:              wal,
+			Metrics:          cfg.Metrics,
+			Trace:            cfg.Trace,
+			LTUInjector: func(node transport.NodeID, cmd ltu.Command) error {
+				switch ltuFaultMode(ltuMode.Load()) {
+				case ltuFailing:
+					return fmt.Errorf("chaos: injected LTU fault on node %d", node)
+				case ltuStalling:
+					time.Sleep(cfg.SwapStageTimeout + 250*time.Millisecond)
+					return fmt.Errorf("chaos: stalled LTU on node %d", node)
+				default:
+					return nil
+				}
+			},
+			Logf: cfg.Logf,
+		}
+	}
+	ctrl, err := New(mkConfig(published))
 	if err != nil {
 		return nil, err
 	}
-	defer ctrl.Stop()
+	// The live controller moves on crash-restart; everything long-lived
+	// (load workers, invariant checks, the closing report) reads it
+	// through this pointer. A killed predecessor is never Stop()ped — its
+	// nodes belong to the successor now — only its control client dies.
+	var ctrlP atomic.Pointer[Controller]
+	ctrlP.Store(ctrl)
+	defer func() { ctrlP.Load().Stop() }()
 
 	if err := ctrl.Bootstrap(ctx); err != nil {
 		return nil, fmt.Errorf("chaos bootstrap: %w", err)
+	}
+
+	// The controller-down probe client: used only while the control plane
+	// is dead, to prove the execution plane keeps serving on its own.
+	var downCl *bft.Client
+	if cfg.ControllerFaults {
+		downID := transport.ClientIDBase + transport.NodeID(cfg.ClientWorkers+1)
+		downCl, err = ctrl.ServiceClient(downID, clientPrivs[downID])
+		if err != nil {
+			return nil, err
+		}
+		defer downCl.Close()
 	}
 
 	// Client load: closed-loop KVS writers/readers that track the
@@ -253,8 +334,9 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			for i := 0; loadCtx.Err() == nil; i++ {
 				if i%8 == 0 {
 					// Follow reconfigurations with keys so reply
-					// verification tracks the current group.
-					if m := ctrl.Membership(); m != nil {
+					// verification tracks the current group (through the
+					// pointer — the controller changes on crash-restart).
+					if m := ctrlP.Load().Membership(); m != nil {
 						cl.UpdateMembership(m.Replicas, m.Keys)
 					}
 				}
@@ -290,7 +372,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	}()
 	bombSeq := 0
 	checkRound := func(tag string) {
-		for _, v := range checkInvariants(ctrl, cfg.N) {
+		for _, v := range checkInvariants(ctrlP.Load(), cfg.N) {
 			report.Violations = append(report.Violations, fmt.Sprintf("%s: %s", tag, v))
 		}
 	}
@@ -300,6 +382,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			break
 		}
 		report.Rounds++
+		cur := ctrlP.Load()
 
 		// 1. Install this round's faults (last round's were cleared).
 		faulty := false
@@ -309,13 +392,13 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		switch {
 		case forced[round]:
 			bomb = true
-			ctrl.SetFaultPolicy(&deploy.FaultPolicy{FailPowerOnOS: allImages})
+			cur.SetFaultPolicy(&deploy.FaultPolicy{FailPowerOnOS: allImages})
 			faulty = true
 		case rng.Float64() < cfg.BootFailProb:
-			ctrl.SetFaultPolicy(&deploy.FaultPolicy{FailPowerOnOS: allImages})
+			cur.SetFaultPolicy(&deploy.FaultPolicy{FailPowerOnOS: allImages})
 			faulty = true
 		case rng.Float64() < cfg.BootStallProb:
-			ctrl.SetFaultPolicy(&deploy.FaultPolicy{StallBoot: cfg.SwapStageTimeout + 300*time.Millisecond})
+			cur.SetFaultPolicy(&deploy.FaultPolicy{StallBoot: cfg.SwapStageTimeout + 300*time.Millisecond})
 			faulty = true
 		}
 		if !faulty && rng.Float64() < cfg.LTUFailProb {
@@ -326,7 +409,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			}
 			faulty = true
 		}
-		members := ctrl.Status().Members
+		members := cur.Status().Members
 		if len(members) > 0 && rng.Float64() < cfg.SilentProb {
 			isolated = members[rng.Intn(len(members))]
 			net.Isolate(isolated)
@@ -346,13 +429,13 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			report.FaultRounds++
 		}
 		cfg.Logf("chaos: round %d: bomb=%v fault=%+v ltu=%d isolated=%d cut=%d-%d",
-			round, bomb, ctrl.builder.FaultPolicy(), ltuMode.Load(), isolated, cutA, cutB)
+			round, bomb, cur.builder.FaultPolicy(), ltuMode.Load(), isolated, cutA, cutB)
 
 		// 2. Maybe publish a fresh critical CVE shared by running OSes.
 		if bomb {
 			simDays.Add(1)
 			now := clock()
-			cfgOSes := ctrl.Status().Config
+			cfgOSes := cur.Status().Config
 			if len(cfgOSes) >= 3 {
 				var products []string
 				for _, id := range cfgOSes[:3] {
@@ -369,16 +452,82 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 					CVSS:        9.8,
 					ExploitAt:   now.AddDate(0, 0, -1),
 				}
-				if err := ctrl.RefreshIntel(ctx, v); err != nil {
+				published = append(published, v)
+				if err := cur.RefreshIntel(ctx, v); err != nil {
 					report.Violations = append(report.Violations, fmt.Sprintf("round %d: refresh: %v", round, err))
 				}
 				report.Bombs++
 			}
 		}
 
+		// 2b. Maybe arm a controller kill: the crash plan fires a few WAL
+		// appends into the round, which on a swap round lands between a
+		// stage intent and its outcome — the worst window.
+		if cfg.ControllerFaults && killRng.Float64() < cfg.ControllerKillProb {
+			left := new(atomic.Int64)
+			left.Store(int64(1 + killRng.Intn(12)))
+			cur.ScheduleCrash(func(WALRecord) bool { return left.Add(-1) == 0 })
+		}
+
 		// 3. One Algorithm 1 round with whatever faults are active.
-		d, err := ctrl.MonitorRound(ctx)
-		if err != nil {
+		d, err := cur.MonitorRound(ctx)
+		cur.ScheduleCrash(nil)
+		if cur.isCrashed() {
+			report.ControllerKills++
+			cfg.Logf("chaos: round %d: controller killed (generation %d)", round, cur.Generation())
+
+			// The execution plane must not depend on the control plane:
+			// order requests through the dead controller's last membership
+			// view. Individual probes may lose to the round's network
+			// faults; all of them failing is a violation.
+			if downCl != nil {
+				if m := cur.Membership(); m != nil {
+					downCl.UpdateMembership(m.Replicas, m.Keys)
+				}
+				served := 0
+				for p := 0; p < 2; p++ {
+					report.DownProbes++
+					op, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: fmt.Sprintf("down-r%d-p%d", round, p), Value: []byte("ok")})
+					ictx, cancel := context.WithTimeout(ctx, 3*time.Second)
+					_, perr := downCl.Invoke(ictx, op)
+					cancel()
+					if perr != nil {
+						report.DownProbeErrs++
+					} else {
+						served++
+					}
+				}
+				if served == 0 {
+					report.Violations = append(report.Violations,
+						fmt.Sprintf("round %d: service unavailable while controller down", round))
+				}
+			}
+
+			// Clear the injected faults before recovery, like a restart
+			// that outlives the transient failure, then bring up the
+			// successor from the shared WAL and the surviving plant.
+			cur.SetFaultPolicy(nil)
+			ltuMode.Store(int32(ltuHealthy))
+			if isolated >= 0 {
+				net.Rejoin(isolated)
+				isolated = -1
+			}
+			if cutA >= 0 {
+				net.Heal(cutA, cutB)
+				cutA, cutB = -1, -1
+			}
+			next, rerr := Recover(ctx, mkConfig(append([]*osint.Vulnerability(nil), published...)), cur.Plant())
+			if rerr != nil {
+				report.Violations = append(report.Violations, fmt.Sprintf("round %d: recover: %v", round, rerr))
+				break
+			}
+			report.Recoveries++
+			if cur.client != nil {
+				cur.client.Close()
+			}
+			ctrlP.Store(next)
+			cur = next
+		} else if err != nil {
 			report.RoundErrors++
 			cfg.Logf("chaos: round %d: %v", round, err)
 		}
@@ -387,7 +536,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		}
 
 		// 4. Clear transient faults and verify the invariants held.
-		ctrl.SetFaultPolicy(nil)
+		cur.SetFaultPolicy(nil)
 		ltuMode.Store(int32(ltuHealthy))
 		if isolated >= 0 {
 			net.Rejoin(isolated)
@@ -401,7 +550,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	// Settling rounds with no faults: quarantined images requeue, and any
 	// pending replacement gets a clean shot.
 	for i := 0; i < 2 && ctx.Err() == nil; i++ {
-		if _, err := ctrl.MonitorRound(ctx); err != nil {
+		if _, err := ctrlP.Load().MonitorRound(ctx); err != nil {
 			cfg.Logf("chaos: settling round: %v", err)
 		}
 	}
@@ -412,7 +561,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	// Closing liveness probe: the service must still order requests
 	// through the final membership.
 	probeID := transport.ClientIDBase + transport.NodeID(probes)
-	if cl, err := ctrl.ServiceClient(probeID, clientPrivs[probeID]); err == nil {
+	if cl, err := ctrlP.Load().ServiceClient(probeID, clientPrivs[probeID]); err == nil {
 		pctx, cancel := context.WithTimeout(ctx, 15*time.Second)
 		op, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: "chaos-final", Value: []byte("ok")})
 		if _, err := cl.Invoke(pctx, op); err != nil {
@@ -424,13 +573,24 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		report.Violations = append(report.Violations, fmt.Sprintf("final probe client: %v", err))
 	}
 
-	report.Stats = ctrl.SwapStats()
-	report.History = ctrl.SwapHistory()
+	fin := ctrlP.Load()
+	report.Stats = fin.SwapStats()
+	report.History = fin.SwapHistory()
 	report.Net = net.Stats()
-	report.Final = ctrl.Status()
-	report.Census = ctrl.Census()
+	report.Final = fin.Status()
+	report.Census = fin.Census()
 	report.ClientOps = ops.Load()
 	report.ClientErrs = opErrs.Load()
+	report.Generation = fin.Generation()
+	switch w := wal.(type) {
+	case *MemWAL:
+		report.WALRecords = w.Len()
+	default:
+		n := 0
+		if err := wal.Replay(func(WALRecord) error { n++; return nil }); err == nil {
+			report.WALRecords = n
+		}
+	}
 	return report, nil
 }
 

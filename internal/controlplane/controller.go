@@ -84,6 +84,11 @@ type Config struct {
 	// LTUInjector, when set, is installed as the fault injector of every
 	// LTU the controller creates (chaos testing).
 	LTUInjector func(node transport.NodeID, cmd ltu.Command) error
+	// WAL is the write-ahead control-plane store (wal.go). The controller
+	// records its census, membership, swap history, and every swap stage
+	// transition in it, so a successor can Recover after a crash. Nil
+	// defaults to an in-memory log (same record protocol, no file).
+	WAL WAL
 	// Metrics, when set, receives the controller's instruments (intel
 	// refresh and clustering timings, monitor-round latency, per-stage
 	// swap durations and outcomes) and is handed to every replica the
@@ -140,7 +145,39 @@ func (c *Config) fill() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.WAL == nil {
+		c.WAL = NewMemWAL()
+	}
 	return nil
+}
+
+// countingSource wraps the seeded source and counts source-level draws.
+// Both Int63 and Uint64 advance math/rand's generator by exactly one
+// step, so the census can record the draw count and a recovering
+// controller can burn the same number of Int63 calls to land on the
+// identical rng state — deterministic replay survives the crash.
+type countingSource struct {
+	src   mrand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: mrand.NewSource(seed).(mrand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
 }
 
 // swapEvaluator delegates risk queries to the engine built from the most
@@ -192,6 +229,7 @@ type Controller struct {
 	store *vulndb.Store
 	eval  *swapEvaluator
 	rng   *mrand.Rand
+	src   *countingSource // rng's source; census records its draw count
 
 	monitor *core.Monitor
 
@@ -200,6 +238,16 @@ type Controller struct {
 	ctrlPriv ed25519.PrivateKey
 	ins      cpInstruments
 	trace    *metrics.Tracer
+
+	// Durability (wal.go / recover.go): every state transition is
+	// appended to wal before its side effect runs. generation counts how
+	// many controller processes have owned this log (0 = the bootstrap
+	// process). crashed flips when a scheduled crash point fires; from
+	// then on the controller refuses all WAL writes and side effects.
+	wal        WAL
+	generation int
+	crashed    atomic.Bool
+	crashPlan  atomic.Pointer[CrashPlan]
 
 	mu sync.Mutex
 	// membership is read by freshly booting replicas while c.mu is held,
@@ -219,7 +267,94 @@ type Controller struct {
 	swapHist []SwapRecord
 	histNext int
 	histLen  int
+	swapSeq  uint64 // WAL swap-record IDs, monotonic per log
 }
+
+// CrashPlan decides, after a WAL record has been appended, whether the
+// controller crashes at that point (chaos testing). The record is
+// durable when the plan fires: the crash simulates dying between the
+// append and the side effect (intent records) or between the side
+// effect and the next intent (outcome records).
+type CrashPlan func(WALRecord) bool
+
+// ErrControllerCrashed is returned by every operation once a scheduled
+// crash point has fired: the process is dead for simulation purposes
+// and must not run side effects, record history, or compensate.
+var ErrControllerCrashed = errors.New("controlplane: controller crashed")
+
+// ScheduleCrash arms (or, with nil, disarms) a crash plan.
+func (c *Controller) ScheduleCrash(plan CrashPlan) {
+	if plan == nil {
+		c.crashPlan.Store(nil)
+		return
+	}
+	c.crashPlan.Store(&plan)
+}
+
+// isCrashed reports whether a crash point has fired.
+func (c *Controller) isCrashed() bool { return c.crashed.Load() }
+
+// walAppend writes one record through the intent/outcome protocol: the
+// record is appended and synced BEFORE the caller runs the side effect
+// it announces. A fired crash plan marks the controller dead after the
+// triggering record is durable — exactly the "crashed between the log
+// write and the action" window recovery must handle.
+func (c *Controller) walAppend(rec WALRecord) error {
+	if c.crashed.Load() {
+		return ErrControllerCrashed
+	}
+	if err := c.wal.Append(rec); err != nil {
+		return err
+	}
+	if err := c.wal.Sync(); err != nil {
+		return err
+	}
+	c.ins.walAppends.Inc()
+	if plan := c.crashPlan.Load(); plan != nil && (*plan)(rec) {
+		// The record IS durable; the error tells the caller the process
+		// died before running whatever the record announced.
+		c.crashed.Store(true)
+		c.cfg.Logf("controlplane: crash point fired after %s record", rec.Kind)
+		return ErrControllerCrashed
+	}
+	return nil
+}
+
+// Crash kills the controller immediately (chaos testing): from this point
+// every WAL write and side-effect boundary refuses to run. In-flight
+// stage attempts are abandoned at their next boundary check; the WAL and
+// the plant are what a successor recovers from.
+func (c *Controller) Crash() {
+	c.crashed.Store(true)
+	c.cfg.Logf("controlplane: controller killed")
+}
+
+// Plant is the execution-plane substrate that outlives a controller
+// process: the deploy builder (which owns per-node signing keys and the
+// controller's reconfiguration authority) and the tracked node slots with
+// their LTUs. In a real deployment these are the physical machines; here
+// they are the handles a crashed in-process controller leaves behind for
+// Recover to re-adopt.
+type Plant struct {
+	builder *deploy.Builder
+	nodes   map[transport.NodeID]*nodeSlot
+}
+
+// Plant hands the surviving substrate to a successor (typically called on
+// a crashed controller).
+func (c *Controller) Plant() Plant {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nodes := make(map[transport.NodeID]*nodeSlot, len(c.nodes))
+	for id, slot := range c.nodes {
+		nodes[id] = slot
+	}
+	return Plant{builder: c.builder, nodes: nodes}
+}
+
+// Generation reports which controller process owns the WAL (0 = the
+// bootstrap process, +1 per recovery).
+func (c *Controller) Generation() int { return c.generation }
 
 // New validates the configuration and builds a controller (nothing runs
 // until Bootstrap).
@@ -252,16 +387,19 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	src := newCountingSource(cfg.Seed)
 	return &Controller{
 		cfg:      cfg,
 		store:    vulndb.New(),
 		eval:     &swapEvaluator{},
-		rng:      mrand.New(mrand.NewSource(cfg.Seed)),
+		rng:      mrand.New(src),
+		src:      src,
 		builder:  builder,
 		ctrlPub:  pub,
 		ctrlPriv: priv,
 		ins:      newCPInstruments(cfg.Metrics),
 		trace:    cfg.Trace,
+		wal:      cfg.WAL,
 		nodes:    make(map[transport.NodeID]*nodeSlot),
 		osToNode: make(map[string]transport.NodeID),
 	}, nil
@@ -441,9 +579,76 @@ func (c *Controller) Bootstrap(ctx context.Context) error {
 	}
 	c.client = client
 	c.started = true
+
+	// Durably record what a successor needs to re-adopt this deployment:
+	// identity first (the WAL's one immutable record), then the group,
+	// then the full census.
+	if err := c.walAppend(WALRecord{Kind: WALBootstrap, CtrlKey: c.ctrlPriv, N: c.cfg.N}); err != nil {
+		return err
+	}
+	if err := c.walMembership(membership); err != nil {
+		return err
+	}
+	if err := c.walCensusLocked(); err != nil {
+		return err
+	}
 	c.cfg.Logf("controlplane: bootstrapped CONFIG %v at risk %.1f (threshold %.1f)",
 		initial.IDs(), risk, threshold)
 	return nil
+}
+
+// walMembership records the replica group after a committed change.
+func (c *Controller) walMembership(m *bft.Membership) error {
+	keys := make(map[transport.NodeID][]byte, len(m.Keys))
+	for id, k := range m.Keys {
+		keys[id] = append([]byte(nil), k...)
+	}
+	return c.walAppend(WALRecord{
+		Kind:       WALMembership,
+		Epoch:      m.Epoch,
+		Members:    append([]transport.NodeID(nil), m.Replicas...),
+		MemberKeys: keys,
+	})
+}
+
+// walCensusLocked snapshots the control plane into the WAL. Caller holds
+// c.mu.
+func (c *Controller) walCensusLocked() error {
+	rec := WALRecord{
+		Kind:     WALCensus,
+		NextNode: c.nextNode,
+		LTUSeq:   c.ltuSeq,
+		OSNodes:  make(map[string]transport.NodeID, len(c.osToNode)),
+	}
+	for osID, node := range c.osToNode {
+		rec.OSNodes[osID] = node
+	}
+	if c.monitor != nil {
+		rec.Config = c.monitor.Config().IDs()
+		for _, r := range c.monitor.Pool() {
+			rec.Pool = append(rec.Pool, r.ID)
+		}
+		for _, r := range c.monitor.Quarantine() {
+			rec.Quarantine = append(rec.Quarantine, r.ID)
+		}
+		rec.Threshold = c.monitor.Threshold()
+	}
+	rec.RandDraws = c.src.draws
+	stats := c.SwapStats()
+	rec.Stats = &stats
+	return c.walAppend(rec)
+}
+
+// walCensus takes c.mu and snapshots; failures are logged, not fatal —
+// a missed census only costs recovery precision, and a fired crash
+// point makes every append a deliberate no-op anyway.
+func (c *Controller) walCensus() {
+	c.mu.Lock()
+	err := c.walCensusLocked()
+	c.mu.Unlock()
+	if err != nil && !errors.Is(err, ErrControllerCrashed) {
+		c.cfg.Logf("controlplane: census WAL append: %v", err)
+	}
 }
 
 func (c *Controller) newSlotLocked(id transport.NodeID) (*nodeSlot, error) {
@@ -566,6 +771,9 @@ func (c *Controller) Membership() *bft.Membership {
 // but the lifecycle sets have been reverted — the error reports the
 // failed stage, and SwapStats/SwapHistory record the attempt.
 func (c *Controller) MonitorRound(ctx context.Context) (core.Decision, error) {
+	if c.isCrashed() {
+		return core.Decision{}, ErrControllerCrashed
+	}
 	c.mu.Lock()
 	if !c.started {
 		c.mu.Unlock()
@@ -603,12 +811,15 @@ func (c *Controller) MonitorRound(ctx context.Context) (core.Decision, error) {
 		return decision, err
 	}
 	if !decision.Reconfigured {
+		c.walCensus()
 		return decision, nil
 	}
 	if swapErr := c.executeSwap(ctx, decision.Removed, decision.Added); swapErr != nil {
+		c.walCensus()
 		return decision, fmt.Errorf("controlplane: executing swap %s -> %s: %w",
 			decision.Removed.ID, decision.Added.ID, swapErr)
 	}
+	c.walCensus()
 	return decision, nil
 }
 

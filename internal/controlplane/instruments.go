@@ -23,6 +23,13 @@ type cpInstruments struct {
 	swapOutcome       [SwapAborted + 1]*metrics.Counter
 	swapStageUS       [stageCount]*metrics.Histogram
 	swapStageFailures [stageCount]*metrics.Counter
+
+	// Durability telemetry (wal.go / recover.go): appends through the
+	// intent/outcome protocol, replay cost on recovery, and how each
+	// interrupted swap was resolved (indexed like swapOutcome).
+	walAppends    *metrics.Counter
+	walReplayUS   *metrics.Histogram
+	resumeOutcome [SwapAborted + 1]*metrics.Counter
 }
 
 func newCPInstruments(reg *metrics.Registry) cpInstruments {
@@ -36,12 +43,16 @@ func newCPInstruments(reg *metrics.Registry) cpInstruments {
 		swapAttempts:   reg.Counter("controlplane.swap_attempts"),
 		swapRetries:    reg.Counter("controlplane.swap_retries"),
 		swapTotalUS:    reg.Histogram("controlplane.swap_total_us"),
+		walAppends:     reg.Counter("controlplane.wal_appends"),
+		walReplayUS:    reg.Histogram("controlplane.wal_replay_us"),
 	}
 	// Outcome 0 is never recorded but keeps the array total, so a stray
 	// zero-valued record cannot panic the bookkeeping.
 	ins.swapOutcome[0] = (*metrics.Registry)(nil).Counter("")
+	ins.resumeOutcome[0] = (*metrics.Registry)(nil).Counter("")
 	for o := SwapSucceeded; o <= SwapAborted; o++ {
 		ins.swapOutcome[o] = reg.Counter("controlplane.swap_outcome." + o.String())
+		ins.resumeOutcome[o] = reg.Counter("controlplane.resume_outcome." + o.String())
 	}
 	for s := SwapStage(0); s < stageCount; s++ {
 		ins.swapStageUS[s] = reg.Histogram("controlplane.swap_stage_us." + s.String())

@@ -20,8 +20,8 @@ package controlplane
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -190,9 +190,28 @@ func (c *Controller) SwapHistory() []SwapRecord {
 	return out
 }
 
-func (c *Controller) recordSwap(rec SwapRecord) {
+func (c *Controller) recordSwap(swapID uint64, rec SwapRecord) {
+	// Close the swap in the WAL first: once the end record is durable a
+	// successor will not try to resume this swap.
+	if err := c.walAppend(WALRecord{Kind: WALSwapEnd, SwapID: swapID, Swap: &rec}); err != nil {
+		if errors.Is(err, ErrControllerCrashed) {
+			// Dead (possibly ON this very record, which is then durable):
+			// the successor owns the ledger from here; updating this
+			// process's ring and metrics would double-count against it.
+			return
+		}
+		c.cfg.Logf("controlplane: swap-end WAL append: %v", err)
+	}
 	c.swapMu.Lock()
 	defer c.swapMu.Unlock()
+	c.recordSwapLocked(rec)
+}
+
+// histAppendLocked inserts one record into the bounded ring. Caller
+// holds c.swapMu. Recovery uses it directly to rebuild the ring from
+// replayed swap-end records without touching the counters (those are
+// reconstructed separately, census snapshot + deltas).
+func (c *Controller) histAppendLocked(rec SwapRecord) {
 	if c.swapHist == nil {
 		c.swapHist = make([]SwapRecord, swapHistoryCap)
 	}
@@ -201,6 +220,12 @@ func (c *Controller) recordSwap(rec SwapRecord) {
 	if c.histLen < swapHistoryCap {
 		c.histLen++
 	}
+}
+
+// recordSwapLocked updates the in-memory ring and counters. Caller holds
+// c.swapMu.
+func (c *Controller) recordSwapLocked(rec SwapRecord) {
+	c.histAppendLocked(rec)
 	switch rec.Outcome {
 	case SwapSucceeded:
 		c.counters.successes++
@@ -271,14 +296,35 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// stageLog identifies a stage execution in the WAL: which swap, which
+// stage, and whether the compensation path (whose REMOVE targets the
+// joiner, not the quarantined replica) is running it.
+type stageLog struct {
+	swapID       uint64
+	stage        SwapStage
+	compensating bool
+}
+
 // runStage drives one stage: up to `attempts` tries, each bounded by
 // `timeout`, with capped exponential backoff between tries (the
 // transport's re-dial idiom). Failed attempts are tallied per stage.
-func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, stage SwapStage, attempts int, timeout time.Duration, fn func(context.Context, *stageAttempt) error) error {
+// The stage intent is appended to the WAL before any attempt runs and
+// the outcome after the stage settles, so a successor can always bound
+// what this stage may have done.
+func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, sw stageLog, attempts int, timeout time.Duration, fn func(context.Context, *stageAttempt) error) error {
+	stage := sw.stage
+	if err := c.walAppend(WALRecord{Kind: WALStageIntent, SwapID: sw.swapID, Stage: stage, Compensating: sw.compensating}); err != nil {
+		// A crash point firing on the intent record surfaces here: the
+		// process dies between the log write and the side effect.
+		return fmt.Errorf("%v: %w", stage, err)
+	}
 	stageStart := time.Now()
 	backoff := c.cfg.SwapBackoff
 	var last error
 	for a := 0; a < attempts; a++ {
+		if c.isCrashed() {
+			return fmt.Errorf("%v: %w", stage, ErrControllerCrashed)
+		}
 		if a > 0 {
 			c.swapMu.Lock()
 			c.counters.retries++
@@ -296,6 +342,7 @@ func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, stage SwapSt
 		last = attemptStage(ctx, timeout, fn)
 		if last == nil {
 			c.finishStage(rec, stage, stageStart, "ok")
+			c.walStageOutcome(sw, true, nil)
 			return nil
 		}
 		c.swapMu.Lock()
@@ -308,7 +355,21 @@ func (c *Controller) runStage(ctx context.Context, rec *SwapRecord, stage SwapSt
 		}
 	}
 	c.finishStage(rec, stage, stageStart, "fail")
+	c.walStageOutcome(sw, false, last)
 	return fmt.Errorf("%v: %w", stage, last)
+}
+
+// walStageOutcome closes a stage in the WAL. Best-effort: if the append
+// itself is the crash point, the missing/last outcome is exactly the
+// ambiguity recovery is built to resolve.
+func (c *Controller) walStageOutcome(sw stageLog, ok bool, cause error) {
+	rec := WALRecord{Kind: WALStageOutcome, SwapID: sw.swapID, Stage: sw.stage, Compensating: sw.compensating, OK: ok}
+	if cause != nil {
+		rec.Err = cause.Error()
+	}
+	if err := c.walAppend(rec); err != nil && !errors.Is(err, ErrControllerCrashed) {
+		c.cfg.Logf("controlplane: stage-outcome WAL append: %v", err)
+	}
 }
 
 // finishStage records one completed stage (all attempts and backoffs
@@ -382,6 +443,7 @@ func attemptStage(ctx context.Context, timeout time.Duration, fn func(context.Co
 // swapOp carries the state of one in-flight replacement.
 type swapOp struct {
 	c              *Controller
+	swapID         uint64 // WAL identity of this swap
 	removed, added core.Replica
 	oldID, newID   transport.NodeID
 	oldSlot, slot  *nodeSlot
@@ -401,8 +463,13 @@ type swapOp struct {
 // reverted and the error is returned; a rolled-forward recovery returns
 // nil like any other success.
 func (c *Controller) executeSwap(ctx context.Context, removed, added core.Replica) error {
+	if c.isCrashed() {
+		return ErrControllerCrashed
+	}
 	c.swapMu.Lock()
 	c.counters.attempts++
+	c.swapSeq++
+	swapID := c.swapSeq
 	c.swapMu.Unlock()
 	c.ins.swapAttempts.Inc()
 
@@ -411,22 +478,38 @@ func (c *Controller) executeSwap(ctx context.Context, removed, added core.Replic
 	if !ok {
 		c.mu.Unlock()
 		err := fmt.Errorf("no node runs %s", removed.ID)
-		c.failBeforeStart(removed, added, err)
+		c.walSwapBegin(swapID, removed, added, 0, 0)
+		c.failBeforeStart(swapID, removed, added, err)
 		return err
 	}
 	oldSlot := c.nodes[oldID]
 	client := c.client
 	newID := c.nextNode
 	c.nextNode++
+	// Open the swap in the log before provisioning the joiner's slot —
+	// the first side effect — then snapshot the post-decision census
+	// (lifecycle sets, rng position) a successor would resume from.
+	if werr := c.walSwapBegin(swapID, removed, added, oldID, newID); werr != nil {
+		c.mu.Unlock()
+		return werr
+	}
 	slot, err := c.newSlotLocked(newID)
+	var werr error
+	if err == nil {
+		werr = c.walCensusLocked()
+	}
 	c.mu.Unlock()
 	if err != nil {
-		c.failBeforeStart(removed, added, err)
+		c.failBeforeStart(swapID, removed, added, err)
 		return err
+	}
+	if werr != nil {
+		return werr
 	}
 
 	op := &swapOp{
 		c:       c,
+		swapID:  swapID,
 		removed: removed,
 		added:   added,
 		oldID:   oldID,
@@ -443,19 +526,35 @@ func (c *Controller) executeSwap(ctx context.Context, removed, added core.Replic
 		NewNode: newID,
 		Started: c.cfg.Clock(),
 	}
-	err = op.run(ctx, &rec)
+	err = op.runFrom(ctx, &rec, StageBoot)
+	if errors.Is(err, ErrControllerCrashed) {
+		// The dying process records nothing more; its successor resolves
+		// this swap from the WAL.
+		return err
+	}
 	rec.Finished = c.cfg.Clock()
-	c.recordSwap(rec)
+	c.recordSwap(swapID, rec)
 	return err
+}
+
+// walSwapBegin opens a swap in the log. Best-effort on the degenerate
+// paths (a crash here leaves a begin-without-stages record recovery
+// closes as a rollback).
+func (c *Controller) walSwapBegin(swapID uint64, removed, added core.Replica, oldID, newID transport.NodeID) error {
+	return c.walAppend(WALRecord{
+		Kind: WALSwapBegin, SwapID: swapID,
+		RemovedOS: removed.ID, AddedOS: added.ID,
+		OldNode: oldID, NewNode: newID,
+	})
 }
 
 // failBeforeStart handles pre-stage failures (no slot was provisioned):
 // the monitor is reverted and the non-swap is recorded as a clean
 // rollback.
-func (c *Controller) failBeforeStart(removed, added core.Replica, cause error) {
+func (c *Controller) failBeforeStart(swapID uint64, removed, added core.Replica, cause error) {
 	c.revertMonitor(removed, added)
 	now := c.cfg.Clock()
-	c.recordSwap(SwapRecord{
+	c.recordSwap(swapID, SwapRecord{
 		Removed: removed.ID, Added: added.ID,
 		Started: now, Finished: now,
 		Outcome: SwapRolledBack, FailedStage: StageBoot,
@@ -477,41 +576,87 @@ func (c *Controller) revertMonitor(removed, added core.Replica) {
 	}
 }
 
-// run drives the five stages and dispatches to compensation on failure.
-func (op *swapOp) run(ctx context.Context, rec *SwapRecord) error {
+// runFrom drives the stages from `start` onward and dispatches to
+// compensation on failure. The normal path starts at StageBoot; a
+// recovering controller starts at whatever stage the WAL evidence and
+// cluster probes put the crashed swap in — every stage is idempotent
+// under re-execution (a boot retry sees the node already running, a
+// retried ADD answered "already a member" is a success, a retried
+// REMOVE answered "not a member" is a success, power-off of an idle
+// node is a no-op).
+func (op *swapOp) runFrom(ctx context.Context, rec *SwapRecord, start SwapStage) error {
 	c := op.c
 	attempts, timeout := c.cfg.SwapAttempts, c.cfg.SwapStageTimeout
+	log := func(stage SwapStage) stageLog { return stageLog{swapID: op.swapID, stage: stage} }
 
-	if err := c.runStage(ctx, rec, StageBoot, attempts, timeout, op.boot); err != nil {
-		return op.fail(ctx, rec, StageBoot, err)
+	if start <= StageBoot {
+		if err := c.runStage(ctx, rec, log(StageBoot), attempts, timeout, op.boot); err != nil {
+			return op.fail(ctx, rec, StageBoot, err)
+		}
+		if c.isCrashed() {
+			return ErrControllerCrashed
+		}
 	}
-	// Pessimistic until a definitive reply: an ADD attempt that times out
-	// may have been ordered anyway, so compensation must assume it was
-	// unless a live attempt settled the question.
-	op.addUncertain = true
-	if err := c.runStage(ctx, rec, StageAdd, attempts, timeout, op.orderAdd); err != nil {
-		return op.fail(ctx, rec, StageAdd, err)
+	if start <= StageAdd {
+		// Pessimistic until a definitive reply: an ADD attempt that times
+		// out may have been ordered anyway, so compensation must assume
+		// it was unless a live attempt settled the question.
+		op.addUncertain = true
+		if err := c.runStage(ctx, rec, log(StageAdd), attempts, timeout, op.orderAdd); err != nil {
+			return op.fail(ctx, rec, StageAdd, err)
+		}
+		if err := op.commitAdd(); err != nil {
+			return op.fail(ctx, rec, StageAdd, err)
+		}
+		if c.isCrashed() {
+			return ErrControllerCrashed
+		}
 	}
-	if err := op.commitAdd(); err != nil {
-		return op.fail(ctx, rec, StageAdd, err)
+	if start <= StageCatchUp {
+		if !op.addApplied {
+			// Resuming past the ADD: install the post-ADD membership view
+			// the predecessor confirmed but may not have committed locally.
+			if err := op.commitAdd(); err != nil {
+				return op.fail(ctx, rec, StageCatchUp, err)
+			}
+		}
+		// Catch-up is one attempt: its budget is the CatchUpTimeout itself
+		// (measured on the injected clock); the stage timeout below is only
+		// a real-time backstop against a frozen test clock.
+		if err := c.runStage(ctx, rec, log(StageCatchUp), 1, c.cfg.CatchUpTimeout+timeout, op.waitCatchUp); err != nil {
+			return op.fail(ctx, rec, StageCatchUp, err)
+		}
+		if c.isCrashed() {
+			return ErrControllerCrashed
+		}
 	}
-	// Catch-up is one attempt: its budget is the CatchUpTimeout itself
-	// (measured on the injected clock); the stage timeout below is only a
-	// real-time backstop against a frozen test clock.
-	if err := c.runStage(ctx, rec, StageCatchUp, 1, c.cfg.CatchUpTimeout+timeout, op.waitCatchUp); err != nil {
-		return op.fail(ctx, rec, StageCatchUp, err)
-	}
-	if err := c.runStage(ctx, rec, StageRemove, attempts, timeout, op.orderRemove); err != nil {
-		return op.fail(ctx, rec, StageRemove, err)
+	if start <= StageRemove {
+		if !op.addApplied {
+			if err := op.commitAdd(); err != nil {
+				return op.fail(ctx, rec, StageRemove, err)
+			}
+		}
+		if err := c.runStage(ctx, rec, log(StageRemove), attempts, timeout, op.orderRemove); err != nil {
+			return op.fail(ctx, rec, StageRemove, err)
+		}
 	}
 	op.commitRemove()
+	if c.isCrashed() {
+		return ErrControllerCrashed
+	}
 	c.settleEpoch(ctx)
-	if err := c.runStage(ctx, rec, StagePowerOff, attempts, timeout, op.powerOffOld); err != nil {
+	if err := c.runStage(ctx, rec, log(StagePowerOff), attempts, timeout, op.powerOffOld); err != nil {
+		if errors.Is(err, ErrControllerCrashed) {
+			return err
+		}
 		// The membership change is already committed; a node that will
 		// not power off is retired out-of-band below rather than undoing
 		// a completed swap.
 		c.cfg.Logf("controlplane: swap %s->%s: power-off of node %d failed (%v); retiring out-of-band",
 			op.removed.ID, op.added.ID, op.oldID, err)
+	}
+	if c.isCrashed() {
+		return ErrControllerCrashed
 	}
 	op.decommissionOld()
 	rec.Outcome = SwapSucceeded
@@ -545,19 +690,25 @@ const (
 	reconfigRejected
 )
 
-func parseReconfigResult(res []byte) (reconfigResult, uint64) {
-	s := string(res)
-	switch {
-	case strings.HasPrefix(s, "reconfig ok"):
-		var epoch uint64
-		fmt.Sscanf(s, "reconfig ok: epoch %d", &epoch)
-		return reconfigApplied, epoch
-	case strings.Contains(s, "already a member"), strings.Contains(s, "not a member"):
-		return reconfigAlreadyDone, 0
-	case strings.Contains(s, "minimum 4"):
-		return reconfigTooSmall, 0
+// parseReconfigResult decodes the structured bft.ReconfigResult reply.
+// A reply that does not decode is an error, not a verdict: the caller
+// must treat the operation's fate as unknown rather than mapping garbage
+// to "rejected" (the old Sscanf scrape silently read epoch 0 out of any
+// string starting with "reconfig ok").
+func parseReconfigResult(res []byte) (reconfigResult, uint64, error) {
+	rr, err := bft.DecodeReconfigResult(res)
+	if err != nil {
+		return reconfigRejected, 0, err
+	}
+	switch rr.Status {
+	case bft.ReconfigApplied:
+		return reconfigApplied, rr.Epoch, nil
+	case bft.ReconfigAlreadyMember, bft.ReconfigNotMember:
+		return reconfigAlreadyDone, 0, nil
+	case bft.ReconfigTooSmall:
+		return reconfigTooSmall, 0, nil
 	default:
-		return reconfigRejected, 0
+		return reconfigRejected, 0, nil
 	}
 }
 
@@ -581,8 +732,14 @@ func (op *swapOp) orderAdd(ctx context.Context, att *stageAttempt) error {
 	if err != nil {
 		return fmt.Errorf("ordering ADD of node %d: %w", op.newID, err)
 	}
+	verdict, _, perr := parseReconfigResult(res)
+	if perr != nil {
+		// A reply we cannot decode is not a verdict: the ADD may or may
+		// not have been ordered, so addUncertain must stay set.
+		return fmt.Errorf("ADD of node %d: %w", op.newID, perr)
+	}
 	att.settle(func() { op.addUncertain = false })
-	switch verdict, _ := parseReconfigResult(res); verdict {
+	switch verdict {
 	case reconfigApplied, reconfigAlreadyDone:
 		return nil
 	default:
@@ -590,19 +747,30 @@ func (op *swapOp) orderAdd(ctx context.Context, att *stageAttempt) error {
 	}
 }
 
-// commitAdd installs the post-ADD membership locally.
+// commitAdd installs the post-ADD membership locally and records it. A
+// recovering controller whose restored view already includes the joiner
+// (the predecessor's membership record landed before the crash) treats
+// the commit as already done.
 func (op *swapOp) commitAdd() error {
 	pub, err := op.c.builder.PublicKey(op.newID)
 	if err != nil {
 		return err
 	}
-	next, err := op.c.membership.Load().WithAdded(op.newID, pub)
-	if err != nil {
+	cur := op.c.membership.Load()
+	next, err := cur.WithAdded(op.newID, pub)
+	switch {
+	case err == nil:
+	case errors.Is(err, bft.ErrAlreadyMember):
+		next = cur
+	default:
 		return err
 	}
 	op.c.membership.Store(next)
 	op.client.UpdateMembership(next.Replicas, next.Keys)
 	op.addApplied = true
+	if werr := op.c.walMembership(next); werr != nil && !errors.Is(werr, ErrControllerCrashed) {
+		op.c.cfg.Logf("controlplane: membership WAL append after ADD: %v", werr)
+	}
 	return nil
 }
 
@@ -641,7 +809,11 @@ func (op *swapOp) orderRemove(ctx context.Context, _ *stageAttempt) error {
 	if err != nil {
 		return fmt.Errorf("ordering REMOVE of node %d: %w", op.oldID, err)
 	}
-	switch verdict, _ := parseReconfigResult(res); verdict {
+	verdict, _, perr := parseReconfigResult(res)
+	if perr != nil {
+		return fmt.Errorf("REMOVE of node %d: %w", op.oldID, perr)
+	}
+	switch verdict {
 	case reconfigApplied, reconfigAlreadyDone:
 		return nil
 	default:
@@ -656,6 +828,12 @@ func (op *swapOp) commitRemove() {
 	if next, err := c.membership.Load().WithRemoved(op.oldID); err == nil {
 		c.membership.Store(next)
 		op.client.UpdateMembership(next.Replicas, next.Keys)
+		if werr := c.walMembership(next); werr != nil && !errors.Is(werr, ErrControllerCrashed) {
+			c.cfg.Logf("controlplane: membership WAL append after REMOVE: %v", werr)
+		}
+	} else if errors.Is(err, bft.ErrNotMember) {
+		// Recovery path: the restored membership already excludes the old
+		// replica.
 	} else {
 		c.cfg.Logf("controlplane: commit REMOVE of node %d locally: %v", op.oldID, err)
 	}
@@ -738,12 +916,20 @@ func (op *swapOp) discardJoiner() {
 // failed, error returned).
 func (op *swapOp) fail(ctx context.Context, rec *SwapRecord, stage SwapStage, cause error) error {
 	c := op.c
+	if errors.Is(cause, ErrControllerCrashed) || c.isCrashed() {
+		// The process is dead: no compensation, no bookkeeping. The
+		// successor resolves this swap from the WAL.
+		return ErrControllerCrashed
+	}
 	rec.FailedStage = stage
 	rec.Err = cause.Error()
 	c.cfg.Logf("controlplane: swap %s->%s failed at %v (%v); compensating",
 		op.removed.ID, op.added.ID, stage, cause)
 
 	outcome, compErr := op.compensate(ctx, rec)
+	if errors.Is(compErr, ErrControllerCrashed) {
+		return compErr
+	}
 	rec.Outcome = outcome
 	switch outcome {
 	case SwapRolledBack:
@@ -785,8 +971,13 @@ func (op *swapOp) compensate(ctx context.Context, rec *SwapRecord) (SwapOutcome,
 		if err != nil {
 			return fmt.Errorf("ordering compensating REMOVE of node %d: %w", op.newID, err)
 		}
-		v, e := parseReconfigResult(res)
-		if !att.settle(func() { verdict, epoch = v, e }) {
+		v, ep, perr := parseReconfigResult(res)
+		if perr != nil {
+			// No verdict to settle: the fate of the compensating REMOVE
+			// is unknown, so let the retry discipline try again.
+			return fmt.Errorf("compensating REMOVE of node %d: %w", op.newID, perr)
+		}
+		if !att.settle(func() { verdict, epoch = v, ep }) {
 			// Abandoned after a reply arrived: the retry (or the caller)
 			// owns the verdict now.
 			return fmt.Errorf("compensating REMOVE of node %d: attempt abandoned", op.newID)
@@ -796,8 +987,12 @@ func (op *swapOp) compensate(ctx context.Context, rec *SwapRecord) (SwapOutcome,
 		}
 		return nil
 	}
-	if err := op.c.runStage(ctx, rec, StageRemove, op.c.cfg.SwapAttempts, op.c.cfg.SwapStageTimeout, invoke); err != nil {
+	sw := stageLog{swapID: op.swapID, stage: StageRemove, compensating: true}
+	if err := op.c.runStage(ctx, rec, sw, op.c.cfg.SwapAttempts, op.c.cfg.SwapStageTimeout, invoke); err != nil {
 		return SwapAborted, err
+	}
+	if op.c.isCrashed() {
+		return SwapAborted, ErrControllerCrashed
 	}
 
 	switch verdict {
@@ -806,6 +1001,9 @@ func (op *swapOp) compensate(ctx context.Context, rec *SwapRecord) (SwapOutcome,
 		// the group must already be at n with the old replica gone, which
 		// proves the original REMOVE was ordered. Complete the swap.
 		op.commitRemove()
+		if op.c.isCrashed() {
+			return SwapAborted, ErrControllerCrashed
+		}
 		op.c.settleEpoch(ctx)
 		if err := func() error {
 			op.c.mu.Lock()

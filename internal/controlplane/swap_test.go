@@ -177,6 +177,46 @@ func TestCatchUpTimeoutRollsBack(t *testing.T) {
 	}
 }
 
+// TestParseReconfigResultMalformed is the regression test for the old
+// log-string scrape: `fmt.Sscanf(s, "reconfig ok: epoch %d", &epoch)`
+// ignored its error, so a malformed reply parsed as "applied at epoch 0".
+// The structured decoder must refuse such replies outright — and a refusal
+// is an error, never a verdict.
+func TestParseReconfigResultMalformed(t *testing.T) {
+	malformed := [][]byte{
+		nil,
+		[]byte("reconfig ok: epoch banana"), // old scrape read epoch 0 out of this
+		[]byte("reconfig ok"),
+		[]byte("reconfig error: bad public key"),
+		[]byte("\x00BFT-RECONFIG-RESULT\x00{\"status\":"), // truncated payload
+		[]byte("arbitrary app reply"),
+	}
+	for _, reply := range malformed {
+		if v, ep, err := parseReconfigResult(reply); err == nil {
+			t.Errorf("parseReconfigResult(%q) = (%v, %d, nil), want error", reply, v, ep)
+		}
+	}
+
+	valid := []struct {
+		reply   []byte
+		verdict reconfigResult
+		epoch   uint64
+	}{
+		{bft.ReconfigResult{Status: bft.ReconfigApplied, Epoch: 9}.Encode(), reconfigApplied, 9},
+		{bft.ReconfigResult{Status: bft.ReconfigAlreadyMember}.Encode(), reconfigAlreadyDone, 0},
+		{bft.ReconfigResult{Status: bft.ReconfigNotMember}.Encode(), reconfigAlreadyDone, 0},
+		{bft.ReconfigResult{Status: bft.ReconfigTooSmall}.Encode(), reconfigTooSmall, 0},
+		{bft.ReconfigResult{Status: bft.ReconfigInvalid, Detail: "bad public key"}.Encode(), reconfigRejected, 0},
+	}
+	for _, tc := range valid {
+		v, ep, err := parseReconfigResult(tc.reply)
+		if err != nil || v != tc.verdict || ep != tc.epoch {
+			t.Errorf("parseReconfigResult(%q) = (%v, %d, %v), want (%v, %d, nil)",
+				tc.reply, v, ep, err, tc.verdict, tc.epoch)
+		}
+	}
+}
+
 func sameStrings(a, b []string) bool {
 	if len(a) != len(b) {
 		return false

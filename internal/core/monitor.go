@@ -126,6 +126,29 @@ func NewMonitor(engine RiskEvaluator, initial Config, pool []Replica, cfg Monito
 	}, nil
 }
 
+// RestoreMonitor rebuilds a Monitor from persisted lifecycle sets — a
+// recovering control plane re-adopting state written by a predecessor.
+// Unlike NewMonitor it accepts a non-empty quarantine; the no-duplicate
+// validation spans all three sets.
+func RestoreMonitor(engine RiskEvaluator, config Config, pool, quarantine []Replica, cfg MonitorConfig) (*Monitor, error) {
+	m, err := NewMonitor(engine, config, pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, r := range append(config.Clone(), pool...) {
+		seen[r.ID] = true
+	}
+	for _, r := range quarantine {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("core: replica %s appears twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	m.quarantine = append([]Replica(nil), quarantine...)
+	return m, nil
+}
+
 // Config returns the running configuration.
 func (m *Monitor) Config() Config { return m.config.Clone() }
 

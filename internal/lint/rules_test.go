@@ -315,6 +315,49 @@ func work() {}
 	wantFindings(t, got, "naked-goroutine", 13)
 }
 
+// TestNakedGoroutineFsyncWorker pins the FileWAL fsync-worker shape
+// (controlplane/wal.go): a method spawned with `go w.syncLoop()` whose
+// body defers wg.Done and ranges over a kick channel that Close closes.
+// Both ties must keep recognizing it — if a rule edit starts flagging
+// this idiom, the WAL needs an allow directive or the rule is wrong.
+func TestNakedGoroutineFsyncWorker(t *testing.T) {
+	got := runRule(t, ruleNakedGoroutine{}, "lazarus/internal/x", `package x
+
+import "sync"
+
+type FW struct {
+	mu   sync.Mutex
+	kick chan struct{}
+	wg   sync.WaitGroup
+}
+
+func open() *FW {
+	w := &FW{kick: make(chan struct{}, 1)}
+	w.wg.Add(1)
+	go w.syncLoop()
+	return w
+}
+
+func (w *FW) syncLoop() {
+	defer w.wg.Done()
+	for range w.kick {
+		w.fsync()
+	}
+}
+
+func (w *FW) fsync() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+}
+
+func (w *FW) close() {
+	close(w.kick)
+	w.wg.Wait()
+}
+`)
+	wantFindings(t, got, "naked-goroutine")
+}
+
 func TestUncheckedVerify(t *testing.T) {
 	got := runRule(t, ruleUncheckedVerify{}, "lazarus/internal/x", `package x
 

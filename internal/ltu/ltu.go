@@ -211,6 +211,16 @@ func (l *LTU) recordLocked(cmd Command) {
 	}
 }
 
+// LastSeq returns the highest command sequence number the LTU has
+// accepted. A recovering controller probes this to resume its command
+// counter above anything its predecessor issued (the LTU rejects
+// non-increasing sequence numbers as replays).
+func (l *LTU) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
 // Accepted returns how many commands the LTU has accepted in total
 // (including any that have aged out of the bounded history).
 func (l *LTU) Accepted() uint64 {
