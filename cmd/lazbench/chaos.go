@@ -21,14 +21,18 @@ import (
 // the structured swap history and the transport statistics, and exits
 // non-zero if any invariant was violated: the group must hold exactly
 // n = 3f+1 live correct replicas and every failed swap must roll back
-// cleanly.
-func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults bool, walPath string) error {
+// cleanly. With byzFaults, rounds additionally turn f members into
+// attacker replicas — equivocation, stale-vote replay, corrupted state
+// snapshots, censoring primaries — and the run also asserts that no two
+// replicas diverged and no forged reply was accepted.
+func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults, byzFaults bool, walPath string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
 	reg := metrics.NewRegistry()
 	tr := metrics.NewTracer(16384)
-	fmt.Printf("== chaos: %d monitor rounds, seed %d, controller faults %v ==\n", rounds, seed, controllerFaults)
+	fmt.Printf("== chaos: %d monitor rounds, seed %d, controller faults %v, byzantine faults %v ==\n",
+		rounds, seed, controllerFaults, byzFaults)
 	rep, err := controlplane.RunChaos(ctx, controlplane.ChaosConfig{
 		Rounds:        rounds,
 		Seed:          seed,
@@ -37,9 +41,13 @@ func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults bool, 
 		// to boot, so the rollback path provably executes.
 		ForceBootFailRounds: []int{3, rounds/2 + 1},
 		ControllerFaults:    controllerFaults,
-		WALPath:             walPath,
-		Metrics:             reg,
-		Trace:               tr,
+		ByzFaults:           byzFaults,
+		// Force the first four eligible rounds Byzantine so even short
+		// runs cycle through every attack kind.
+		ForceByzRounds: []int{0, 1, 2, 3},
+		WALPath:        walPath,
+		Metrics:        reg,
+		Trace:          tr,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -62,6 +70,11 @@ func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults bool, 
 		fmt.Printf("controller      %d kills, %d recoveries (final generation %d), %d/%d down-probes served, %d WAL records\n",
 			rep.ControllerKills, rep.Recoveries, rep.Generation,
 			rep.DownProbes-rep.DownProbeErrs, rep.DownProbes, rep.WALRecords)
+	}
+	if byzFaults {
+		fmt.Printf("byzantine       %d attack rounds, %d/%d in-attack probes served, actions %+v\n",
+			rep.ByzRounds, rep.ByzProbes-rep.ByzProbeErrs, rep.ByzProbes, rep.ByzStats)
+		fmt.Printf("  schedule      %v\n", rep.ByzSchedule)
 	}
 	fmt.Printf("transport       %+v\n", rep.Net)
 	fmt.Printf("final config    %v (epoch %d, members %v)\n",

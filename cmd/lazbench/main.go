@@ -14,14 +14,17 @@
 //	lazbench ablation        risk-metric ablations + threshold sweep
 //	lazbench leader          leader-placement analysis (paper §9)
 //	lazbench net             real-transport micro-run + frame/drop counters
-//	lazbench chaos [-rounds N] [-metrics-out F] [-controller-faults] [-wal F]
+//	lazbench chaos [-rounds N] [-metrics-out F] [-controller-faults] [-byz-faults] [-wal F]
 //	                         control-plane chaos run: swaps under faults;
 //	                         -controller-faults also kills and WAL-recovers the
-//	                         controller mid-swap (-wal backs it with a file WAL)
+//	                         controller mid-swap (-wal backs it with a file WAL);
+//	                         -byz-faults turns f members into attacker replicas
+//	                         (equivocation, replay, corrupted state, censoring
+//	                         primary) and asserts safety and liveness throughout
 //	lazbench perf [-out F] [-sweep] [-baseline F]
 //	                         live-cluster throughput, commit-latency and swap-stage
 //	                         quantiles (baseline JSON written to -out, default
-//	                         BENCH_pr6.json); -sweep adds a batch-size × pipeline-depth
+//	                         BENCH_pr8.json); -sweep adds a batch-size × pipeline-depth
 //	                         grid, -baseline fails the run if ops/s regresses more than
 //	                         30% below a checked-in baseline artifact
 //	lazbench metrics         instrumented micro-run; prints the registry snapshot as JSON
@@ -51,9 +54,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "dataset and experiment seed")
 	rounds := fs.Int("rounds", 25, "monitor rounds for the chaos run")
 	ctrlFaults := fs.Bool("controller-faults", false, "chaos: kill and WAL-recover the controller mid-swap")
+	byzFaults := fs.Bool("byz-faults", false, "chaos: turn f members into Byzantine attacker replicas per round")
 	walPath := fs.String("wal", "", "chaos: back the control plane with a file WAL at this path")
 	metricsOut := fs.String("metrics-out", "", "write the perf/chaos metrics baseline JSON to this file")
-	out := fs.String("out", "BENCH_pr6.json", "perf baseline artifact path (-metrics-out overrides)")
+	out := fs.String("out", "BENCH_pr8.json", "perf baseline artifact path (-metrics-out overrides)")
 	sweep := fs.Bool("sweep", false, "perf: also sweep batch size × pipeline depth")
 	baseline := fs.String("baseline", "", "perf: fail if ops/s drops >30% below this baseline JSON")
 	if len(args) == 0 {
@@ -78,7 +82,9 @@ func run(args []string) error {
 		"ablation": func(r int, s int64) error { return ablation(r, s) },
 		"leader":   func(int, int64) error { return leaderPlacement() },
 		"net":      func(int, int64) error { return netStats() },
-		"chaos":    func(_ int, s int64) error { return chaosRun(*rounds, s, *metricsOut, *ctrlFaults, *walPath) },
+		"chaos": func(_ int, s int64) error {
+			return chaosRun(*rounds, s, *metricsOut, *ctrlFaults, *byzFaults, *walPath)
+		},
 		"perf": func(_ int, s int64) error {
 			path := *out
 			if *metricsOut != "" {

@@ -19,7 +19,7 @@ import (
 )
 
 // benchSummary is the machine-readable baseline `lazbench perf` writes
-// (BENCH_pr6.json): throughput and commit-latency quantiles from a live
+// (BENCH_pr8.json): throughput and commit-latency quantiles from a live
 // cluster under closed-loop load, the batch-size × pipeline-depth sweep
 // (when run with -sweep), swap-stage duration quantiles from a
 // fault-free control-plane run, and the full registry snapshot for
@@ -235,7 +235,7 @@ func checkBaseline(path string, cur *benchSummary) error {
 // commit-latency quantiles on a real cluster, optionally the batch ×
 // pipeline sweep, then swap-stage timings from a fault-free
 // control-plane loop. The machine-readable baseline goes to metricsOut
-// (BENCH_pr6.json schema; see DESIGN.md).
+// (BENCH_pr8.json schema; see DESIGN.md).
 func perfCmd(seed int64, metricsOut string, sweep bool, baselinePath string) error {
 	const (
 		workers = 3

@@ -64,8 +64,16 @@ func (m *Membership) N() int { return len(m.Replicas) }
 // F returns the fault threshold: the largest f with n >= 3f+1.
 func (m *Membership) F() int { return (m.N() - 1) / 3 }
 
-// Quorum returns the Byzantine quorum size 2f+1.
-func (m *Membership) Quorum() int { return 2*m.F() + 1 }
+// Quorum returns the Byzantine quorum size: the smallest q where any
+// two quorums intersect in at least f+1 replicas, q = ⌈(n+f+1)/2⌉. At
+// the steady-state n=3f+1 this is the familiar 2f+1 — but the
+// add-then-remove reconfiguration runs the group at n=3f+2 between the
+// ADD and the REMOVE, where two 2f+1 quorums can intersect in a single,
+// possibly Byzantine, replica. The chaos harness caught the fallout: a
+// batch committed through one 3-of-5 quorum while a view change
+// assembled from a disjoint-but-one 3-of-5 quorum saw no prepared
+// certificate for it and nulled out an executed sequence number.
+func (m *Membership) Quorum() int { return (m.N() + m.F() + 2) / 2 }
 
 // Contains reports whether the id is a member.
 func (m *Membership) Contains(id transport.NodeID) bool {

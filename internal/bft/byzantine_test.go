@@ -1,0 +1,131 @@
+package bft
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+
+	"lazarus/internal/transport"
+)
+
+func attackerForTest(t *testing.T, kind AttackKind) (*Attacker, ed25519.PublicKey) {
+	t.Helper()
+	pub, priv := keypair(t)
+	return NewAttacker(0, priv, kind, 99), pub
+}
+
+func mustEncode(t *testing.T, m *Message) []byte {
+	t.Helper()
+	p, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAttackerEquivocatesByDestination: the equivocating primary sends
+// the genuine proposal to even peers and a validly signed conflicting
+// one to odd peers — same (view, seq), different batch.
+func TestAttackerEquivocatesByDestination(t *testing.T) {
+	atk, pub := attackerForTest(t, AttackEquivocate)
+	batch := &Batch{Requests: []Request{{Client: transport.ClientIDBase, Seq: 1, Op: []byte("add 1")}}}
+	pp := &Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: 3, Batch: batch, BatchDigest: batch.Digest()}
+	pp.Sign(atk.key)
+	payload := mustEncode(t, pp)
+
+	even := atk.Intercept(2, payload)
+	if len(even) != 1 || !bytes.Equal(even[0], payload) {
+		t.Fatal("even-numbered peer did not get the genuine proposal")
+	}
+	odd := atk.Intercept(1, payload)
+	if len(odd) != 1 || bytes.Equal(odd[0], payload) {
+		t.Fatal("odd-numbered peer did not get a conflicting proposal")
+	}
+	forged, err := Decode(odd[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forged.View != pp.View || forged.SeqNo != pp.SeqNo {
+		t.Fatalf("forged proposal moved to (%d,%d), want same slot (%d,%d)",
+			forged.View, forged.SeqNo, pp.View, pp.SeqNo)
+	}
+	if forged.BatchDigest == pp.BatchDigest {
+		t.Fatal("forged proposal carries the same batch")
+	}
+	if !forged.VerifySig(pub) {
+		t.Fatal("forged proposal is not validly signed — it would be trivially rejected")
+	}
+}
+
+// TestAttackerReplayIsSeededDeterministic: identical seeds and inputs
+// yield identical replay schedules, so chaos runs reproduce.
+func TestAttackerReplayIsSeededDeterministic(t *testing.T) {
+	_, priv := keypair(t)
+	run := func() [][]byte {
+		atk := NewAttacker(0, priv, AttackReplay, 7)
+		var out [][]byte
+		for seq := uint64(1); seq <= 20; seq++ {
+			m := &Message{Type: MsgPrepare, From: 0, View: 0, SeqNo: seq, BatchDigest: Digest{byte(seq)}}
+			m.Sign(priv)
+			out = append(out, atk.Intercept(1, mustEncode(t, m))...)
+		}
+		if atk.Stats().Replayed == 0 {
+			t.Fatal("20 intercepted prepares produced no replays")
+		}
+		return out
+	}
+	first, second := run(), run()
+	if len(first) != len(second) {
+		t.Fatalf("replay schedules diverged: %d vs %d payloads", len(first), len(second))
+	}
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Fatalf("payload %d diverged between identically seeded attackers", i)
+		}
+	}
+}
+
+// TestAttackerCorruptsSnapshotsValidlySigned: the poisoned snapshot
+// differs from the original but still verifies against the compromised
+// replica's key — only f+1 matching-copy counting can keep it out.
+func TestAttackerCorruptsSnapshotsValidlySigned(t *testing.T) {
+	atk, pub := attackerForTest(t, AttackCorruptState)
+	reply := &Message{Type: MsgStateReply, From: 0, SnapSeqNo: 16, Snapshot: bytes.Repeat([]byte("state"), 20)}
+	reply.Sign(atk.key)
+
+	out := atk.Intercept(1, mustEncode(t, reply))
+	if len(out) != 1 {
+		t.Fatalf("got %d payloads, want 1", len(out))
+	}
+	forged, err := Decode(out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(forged.Snapshot, reply.Snapshot) {
+		t.Fatal("snapshot was not corrupted")
+	}
+	if !forged.VerifySig(pub) {
+		t.Fatal("corrupted snapshot is not validly signed")
+	}
+}
+
+// TestAttackerCensorsPrimaryTraffic: pre-prepares and replies vanish,
+// everything else passes — the stall that must cost the attacker its
+// primaryship.
+func TestAttackerCensorsPrimaryTraffic(t *testing.T) {
+	atk, _ := attackerForTest(t, AttackCensor)
+	pp := &Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: 1, Batch: &Batch{}}
+	pp.BatchDigest = pp.Batch.Digest()
+	pp.Sign(atk.key)
+	if out := atk.Intercept(1, mustEncode(t, pp)); len(out) != 0 {
+		t.Fatalf("censored pre-prepare was delivered (%d payloads)", len(out))
+	}
+	vc := &Message{Type: MsgViewChange, From: 0, NewView: 1}
+	vc.Sign(atk.key)
+	if out := atk.Intercept(1, mustEncode(t, vc)); len(out) != 1 {
+		t.Fatal("non-censored traffic did not pass through")
+	}
+	if atk.Stats().Censored != 1 {
+		t.Fatalf("censored count %d, want 1", atk.Stats().Censored)
+	}
+}

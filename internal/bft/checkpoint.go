@@ -38,9 +38,13 @@ func (r *Replica) takeCheckpoint(seq uint64) {
 		SeqNo:       seq,
 		Epoch:       r.membership.Epoch,
 		StateDigest: digest,
+		// LastStable advertises our stable point so peers can tell a
+		// straggler's vote (see onCheckpoint) from routine traffic.
+		LastStable: r.lowWater,
 	}
 	msg.From = r.cfg.ID
 	msg.Sign(r.cfg.Key)
+	r.lastCkptVote = msg
 	r.broadcast(msg)
 	r.updateStats(func(s *ReplicaStats) { s.Checkpoints++ })
 	r.ins.checkpoints.Inc()
@@ -58,6 +62,20 @@ func (r *Replica) takeCheckpoint(seq uint64) {
 func (r *Replica) onCheckpoint(msg *Message) {
 	if !r.fromMember(msg) || !r.verifySigned(msg) {
 		return
+	}
+	// Straggler rescue: the sender's stable point trails ours, so it may
+	// be missing the quorum votes that stabilized our checkpoint — votes
+	// are broadcast exactly once, and a member whose copies were garbled
+	// by a faulty peer has no other way to re-collect them. Its window
+	// then jams against the stale low watermark and it stops proposing;
+	// during the reconfiguration window's n=3f+2 quorums that one silent
+	// replica stalls the whole group. Answer with our newest signed vote.
+	// No ping-pong: we only answer senders strictly behind our stable
+	// point, and our answer carries a LastStable at least theirs.
+	if msg.LastStable < r.lowWater && r.lastCkptVote != nil {
+		r.cfg.Logf("replica %d: answering straggler %d (stable %d < %d) with checkpoint vote at %d",
+			r.cfg.ID, msg.From, msg.LastStable, r.lowWater, r.lastCkptVote.SeqNo)
+		r.send(msg.From, r.lastCkptVote)
 	}
 	if msg.SeqNo <= r.lowWater {
 		return // already stable
@@ -133,6 +151,15 @@ func (r *Replica) advanceLowWater(seq uint64, snapshot []byte) {
 	}
 	r.lowWater = seq
 	r.lastSnap = snapshot
+	// Keep the retained vote's advertised stable point current (re-sign:
+	// the signature covers LastStable). Two replicas answer each other's
+	// votes only when each advertises a stable point strictly behind the
+	// other's — impossible when advertisements are truthful — so a stale
+	// advertisement here could turn straggler rescue into a message loop.
+	if r.lastCkptVote != nil && r.lastCkptVote.LastStable != seq {
+		r.lastCkptVote.LastStable = seq
+		r.lastCkptVote.Sign(r.cfg.Key)
+	}
 	for s := range r.log {
 		if s <= seq {
 			delete(r.log, s)

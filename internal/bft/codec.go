@@ -70,11 +70,15 @@ func encodeFast(buf []byte, m *Message) ([]byte, bool) {
 		buf = appendRequest(buf, m.Request)
 	case MsgPrePrepare:
 		buf = append(buf, m.BatchDigest[:]...)
+		buf = appendBlob(buf, m.Sig)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Batch.Requests)))
 		for i := range m.Batch.Requests {
 			buf = appendRequest(buf, &m.Batch.Requests[i])
 		}
-	case MsgPrepare, MsgCommit:
+	case MsgPrepare:
+		buf = append(buf, m.BatchDigest[:]...)
+		buf = appendBlob(buf, m.Sig)
+	case MsgCommit:
 		buf = append(buf, m.BatchDigest[:]...)
 	case MsgReply:
 		buf = appendU64(buf, m.ReplySeq)
@@ -166,6 +170,7 @@ func decodeFast(payload []byte) (*Message, error) {
 		m.Request = req
 	case MsgPrePrepare:
 		m.BatchDigest = r.digest()
+		m.Sig = r.blob()
 		n := int(r.u32())
 		// A request takes at least 24 bytes on the wire; cap the batch
 		// allocation by what the payload could possibly hold.
@@ -179,7 +184,10 @@ func decodeFast(payload []byte) (*Message, error) {
 			}
 			m.Batch = batch
 		}
-	case MsgPrepare, MsgCommit:
+	case MsgPrepare:
+		m.BatchDigest = r.digest()
+		m.Sig = r.blob()
+	case MsgCommit:
 		m.BatchDigest = r.digest()
 	case MsgReply:
 		m.ReplySeq = r.u64()

@@ -21,6 +21,13 @@ func signedReq(c *cluster, client transport.NodeID, seq uint64, op string) Reque
 	return req
 }
 
+// signedMsg signs a hand-crafted replica message with its sender's key
+// (pre-prepares and prepares are signature-checked before votes count).
+func signedMsg(c *cluster, m *Message) *Message {
+	m.Sign(c.keys[m.From])
+	return m
+}
+
 // TestPrepareQuorumIgnoresMismatchedDigests is the digest-blind vote
 // counting regression: prepare votes arriving before the pre-prepare
 // used to be buffered without the digest they voted for, so votes for a
@@ -38,10 +45,10 @@ func TestPrepareQuorumIgnoresMismatchedDigests(t *testing.T) {
 	// Byzantine peers 2 and 3 vote early — before the pre-prepare — for a
 	// different digest.
 	for _, from := range []transport.NodeID{2, 3} {
-		r.onPrepare(&Message{Type: MsgPrepare, From: from, View: 0, SeqNo: 1, BatchDigest: badDigest})
+		r.onPrepare(signedMsg(c, &Message{Type: MsgPrepare, From: from, View: 0, SeqNo: 1, BatchDigest: badDigest}))
 	}
-	r.onPrePrepare(&Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: 1,
-		Batch: batch, BatchDigest: good})
+	r.onPrePrepare(signedMsg(c, &Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: 1,
+		Batch: batch, BatchDigest: good}))
 
 	in := r.log[1]
 	if in == nil {
@@ -53,7 +60,7 @@ func TestPrepareQuorumIgnoresMismatchedDigests(t *testing.T) {
 	// Positive control: one matching vote completes the quorum (self +
 	// primary + one peer = 2f+1 = 3), so the digest filter is not simply
 	// rejecting everything.
-	r.onPrepare(&Message{Type: MsgPrepare, From: 2, View: 0, SeqNo: 1, BatchDigest: good})
+	r.onPrepare(signedMsg(c, &Message{Type: MsgPrepare, From: 2, View: 0, SeqNo: 1, BatchDigest: good}))
 	if !in.prepared {
 		t.Fatal("matching prepare votes did not reach quorum")
 	}
@@ -73,10 +80,10 @@ func TestCommitQuorumIgnoresMismatchedDigests(t *testing.T) {
 	for _, from := range []transport.NodeID{2, 3} {
 		r.onCommit(&Message{Type: MsgCommit, From: from, View: 0, SeqNo: 1, BatchDigest: badDigest})
 	}
-	r.onPrePrepare(&Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: 1,
-		Batch: batch, BatchDigest: good})
+	r.onPrePrepare(signedMsg(c, &Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: 1,
+		Batch: batch, BatchDigest: good}))
 	for _, from := range []transport.NodeID{2, 3} {
-		r.onPrepare(&Message{Type: MsgPrepare, From: from, View: 0, SeqNo: 1, BatchDigest: good})
+		r.onPrepare(signedMsg(c, &Message{Type: MsgPrepare, From: from, View: 0, SeqNo: 1, BatchDigest: good}))
 	}
 
 	in := r.log[1]
@@ -161,12 +168,12 @@ func TestPipelinedCommitsExecuteInOrder(t *testing.T) {
 	for seq := uint64(1); seq <= 3; seq++ {
 		batch := &Batch{Requests: []Request{signedReq(c, cid, seq, ops[seq])}}
 		digests[seq] = batch.Digest()
-		r.onPrePrepare(&Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: seq,
-			Batch: batch, BatchDigest: batch.Digest()})
+		r.onPrePrepare(signedMsg(c, &Message{Type: MsgPrePrepare, From: 0, View: 0, SeqNo: seq,
+			Batch: batch, BatchDigest: batch.Digest()}))
 	}
 	commit := func(seq uint64) {
 		for _, from := range []transport.NodeID{2, 3} {
-			r.onPrepare(&Message{Type: MsgPrepare, From: from, View: 0, SeqNo: seq, BatchDigest: digests[seq]})
+			r.onPrepare(signedMsg(c, &Message{Type: MsgPrepare, From: from, View: 0, SeqNo: seq, BatchDigest: digests[seq]}))
 			r.onCommit(&Message{Type: MsgCommit, From: from, View: 0, SeqNo: seq, BatchDigest: digests[seq]})
 		}
 	}

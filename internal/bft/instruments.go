@@ -38,7 +38,7 @@ type replicaInstruments struct {
 	verifyOffloaded *metrics.Counter
 
 	// msgIn counts inbound protocol messages per type, indexed by MsgType.
-	msgIn [MsgStateReply + 1]*metrics.Counter
+	msgIn [MsgCatchUp + 1]*metrics.Counter
 }
 
 func newReplicaInstruments(reg *metrics.Registry) replicaInstruments {
@@ -56,7 +56,7 @@ func newReplicaInstruments(reg *metrics.Registry) replicaInstruments {
 		verifyCacheHits:  reg.Counter("bft.verify_cache_hits"),
 		verifyOffloaded:  reg.Counter("bft.verify_offloaded"),
 	}
-	for t := MsgRequest; t <= MsgStateReply; t++ {
+	for t := MsgRequest; t <= MsgCatchUp; t++ {
 		ri.msgIn[t] = reg.Counter("bft.msg_in." + strings.ToLower(t.String()))
 	}
 	return ri

@@ -34,6 +34,7 @@ const (
 	MsgNewView
 	MsgStateRequest
 	MsgStateReply
+	MsgCatchUp
 )
 
 // String names the message type.
@@ -59,6 +60,8 @@ func (t MsgType) String() string {
 		return "STATE-REQUEST"
 	case MsgStateReply:
 		return "STATE-REPLY"
+	case MsgCatchUp:
+		return "CATCH-UP"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -179,7 +182,8 @@ type Message struct {
 	// Checkpoint fields.
 	StateDigest Digest
 
-	// ViewChange fields.
+	// ViewChange fields. Prepared also carries the single certificate of
+	// a MsgCatchUp response (see onCatchUp).
 	NewView    uint64
 	LastStable uint64
 	Prepared   []PreparedProof
@@ -203,14 +207,32 @@ type Message struct {
 	// them — verdicts are local trust, not wire state.
 	authDone bool
 	authOK   []bool
+
+	// repSigDone/repSigOK carry the replica-signature verdict for
+	// pre-prepares and prepares, computed against repSigKey (captured on
+	// the event loop, where membership is owned, before pool offload).
+	// Unexported for the same reason as authDone.
+	repSigDone bool
+	repSigOK   bool
+	repSigKey  ed25519.PublicKey
 }
 
 // PreparedProof records that a batch prepared at (view, seq) — carried in
-// view changes so the new primary re-proposes it.
+// view changes so the new primary re-proposes it. The certificate fields
+// (PrePrepare plus 2f matching Prepares, all signed) let any replica
+// validate the claim without trusting the view-change sender: a Byzantine
+// replica can otherwise fabricate a high-view proof and steer the new
+// primary into re-proposing a batch that never prepared.
 type PreparedProof struct {
 	View, SeqNo uint64
 	BatchDigest Digest
 	Batch       *Batch
+	// PrePrepare is the primary's signed proposal for (View, SeqNo).
+	PrePrepare *Message
+	// Prepares are signed prepare votes from distinct non-primary
+	// replicas matching BatchDigest; 2f of them plus the pre-prepare
+	// form the prepared certificate.
+	Prepares []Message
 }
 
 // signedInput returns the byte string covered by replica signatures. It
@@ -224,6 +246,18 @@ func (m *Message) signedInput() []byte {
 	for _, p := range m.Prepared {
 		fmt.Fprintf(&buf, "p|%d|%d|", p.View, p.SeqNo)
 		buf.Write(p.BatchDigest[:])
+		// Bind the certificate messages too (their signatures cover their
+		// own semantic content, and the batch is bound via BatchDigest), so
+		// a relayer cannot strip or swap certificates without invalidating
+		// the view-change signature.
+		if p.PrePrepare != nil {
+			fmt.Fprintf(&buf, "pp|%d|", p.PrePrepare.From)
+			buf.Write(p.PrePrepare.Sig)
+		}
+		for i := range p.Prepares {
+			fmt.Fprintf(&buf, "pr|%d|", p.Prepares[i].From)
+			buf.Write(p.Prepares[i].Sig)
+		}
 	}
 	fmt.Fprintf(&buf, "|%d|%d|", m.SnapSeqNo, m.SnapView)
 	if len(m.Snapshot) > 0 {

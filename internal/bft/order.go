@@ -171,6 +171,10 @@ func (r *Replica) propose(force bool) {
 			Batch:       batch,
 			BatchDigest: batch.Digest(),
 		}
+		// Sign the proposal (From is already set; the signature covers it).
+		// Backups verify before voting, and the signed pre-prepare anchors
+		// the prepared certificates carried by view changes.
+		pp.Sign(r.cfg.Key)
 		r.broadcast(pp)
 		r.acceptPrePrepare(pp) // the primary pre-prepares locally
 	}
@@ -182,10 +186,14 @@ func (r *Replica) propose(force bool) {
 // removes the primary — the behaviour the tests assert.
 func (r *Replica) proposeEquivocating(seq uint64, batch *Batch) {
 	alt := &Batch{} // conflicting empty proposal
-	ppA := &Message{Type: MsgPrePrepare, View: r.view, SeqNo: seq,
+	ppA := &Message{Type: MsgPrePrepare, From: r.cfg.ID, View: r.view, SeqNo: seq,
 		Epoch: r.membership.Epoch, Batch: batch, BatchDigest: batch.Digest()}
-	ppB := &Message{Type: MsgPrePrepare, View: r.view, SeqNo: seq,
+	ppB := &Message{Type: MsgPrePrepare, From: r.cfg.ID, View: r.view, SeqNo: seq,
 		Epoch: r.membership.Epoch, Batch: alt, BatchDigest: alt.Digest()}
+	// Both variants are properly signed: equivocation is two *valid*
+	// conflicting proposals, not two forgeries.
+	ppA.Sign(r.cfg.Key)
+	ppB.Sign(r.cfg.Key)
 	for i, id := range r.membership.Replicas {
 		if id == r.cfg.ID {
 			continue
@@ -202,6 +210,14 @@ func (r *Replica) proposeEquivocating(seq uint64, batch *Batch) {
 // PREPARE.
 func (r *Replica) acceptPrePrepare(pp *Message) {
 	in := r.inst(pp.SeqNo)
+	// An executed instance's digest is immutable: nothing — not even a
+	// new-view re-proposal — may rebind the sequence number to another
+	// batch after execution. Without this guard a malicious new primary
+	// could overwrite in.digest and desynchronize the catch-up responder.
+	if in.executed && in.digest != pp.BatchDigest {
+		r.cfg.Logf("replica %d: ignoring conflicting proposal for executed seq %d", r.cfg.ID, pp.SeqNo)
+		return
+	}
 	in.prePrepare = pp
 	in.batch = pp.Batch
 	in.digest = pp.BatchDigest
@@ -216,11 +232,16 @@ func (r *Replica) acceptPrePrepare(pp *Message) {
 	if !r.primary() {
 		prep := &Message{
 			Type:        MsgPrepare,
+			From:        r.cfg.ID,
 			View:        pp.View,
 			SeqNo:       pp.SeqNo,
 			Epoch:       r.membership.Epoch,
 			BatchDigest: pp.BatchDigest,
 		}
+		// Signed so peers can count it toward certificate-grade quorums;
+		// From must be set before Sign (the signature covers it).
+		prep.Sign(r.cfg.Key)
+		in.prepareMsgs[r.cfg.ID] = prep
 		r.broadcast(prep)
 	}
 	r.checkPrepared(pp.SeqNo)
@@ -239,6 +260,13 @@ func (r *Replica) onPrePrepare(msg *Message) {
 	}
 	if msg.Batch == nil || msg.Batch.Digest() != msg.BatchDigest {
 		r.cfg.Logf("replica %d: pre-prepare digest mismatch at seq %d", r.cfg.ID, msg.SeqNo)
+		return
+	}
+	// The primary's signature must verify before the proposal fixes this
+	// instance's digest: an unsigned proposal could commit a batch whose
+	// prepared certificate can never validate in a later view change.
+	if !r.replicaSigOK(msg) {
+		r.cfg.Logf("replica %d: pre-prepare at seq %d fails signature check", r.cfg.ID, msg.SeqNo)
 		return
 	}
 	in := r.inst(msg.SeqNo)
@@ -276,15 +304,32 @@ func (r *Replica) onPrepare(msg *Message) {
 	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
 		return
 	}
+	// Verify the sender's signature before the vote touches any state —
+	// including the catch-up responder below, which would otherwise be a
+	// traffic amplifier for unauthenticated prepares. An unverified vote
+	// counted toward a prepared quorum poisons the certificate: the
+	// quorum looks satisfied locally, but the certificate carried into a
+	// view change lacks 2f valid prepares and honest peers discard it,
+	// re-proposing a null batch where this replica may already have
+	// executed the real one.
+	if !r.replicaSigOK(msg) {
+		return
+	}
 	// Catch-up responder: a prepare for an instance we already executed
 	// means the sender is rebuilding it — from a new-view re-proposal or
 	// the stuck-instance retry in onProgressTimeout — and is missing
 	// votes we counted long ago. Answer the sender directly with our
-	// commit and prepare at the current view. The commit goes first and
-	// the response is suppressed once we hold the sender's commit vote,
-	// so two caught-up replicas cannot ping-pong responses at each other.
-	if in, ok := r.log[msg.SeqNo]; ok && in.executed && in.digest == msg.BatchDigest {
-		if _, seen := in.commits[msg.From]; !seen {
+	// commit, our prepare at the current view, and the prepared
+	// certificate itself: the certificate is self-authenticating, so a
+	// straggler that can no longer assemble a same-view prepare quorum
+	// (its pre-prepare is from a view the group has left behind) adopts
+	// it wholesale instead of waiting for group progress that may itself
+	// be blocked on the straggler. The commit goes first and the response
+	// is suppressed once we hold the sender's commit vote FOR OUR DIGEST
+	// (a buffered vote for a different digest means the sender still
+	// disagrees), so two caught-up replicas cannot ping-pong responses.
+	if in, ok := r.log[msg.SeqNo]; ok && in.executed {
+		if d, seen := in.commits[msg.From]; !seen || d != in.digest {
 			base := Message{
 				SeqNo:       msg.SeqNo,
 				View:        r.view,
@@ -296,7 +341,15 @@ func (r *Replica) onPrepare(msg *Message) {
 			r.send(msg.From, &cm)
 			pm := base
 			pm.Type = MsgPrepare
+			pm.From = r.cfg.ID
+			pm.Sign(r.cfg.Key)
 			r.send(msg.From, &pm)
+			if in.cert != nil {
+				cu := base
+				cu.Type = MsgCatchUp
+				cu.Prepared = []PreparedProof{*in.cert}
+				r.send(msg.From, &cu)
+			}
 		}
 		return
 	}
@@ -308,6 +361,9 @@ func (r *Replica) onPrepare(msg *Message) {
 		return // vote for a different proposal
 	}
 	in.prepares[msg.From] = msg.BatchDigest
+	// Keep the signed message: it may become part of this instance's
+	// prepared certificate (filtered by digest and view at cert build).
+	in.prepareMsgs[msg.From] = msg
 	r.checkPrepared(msg.SeqNo)
 }
 
@@ -324,7 +380,7 @@ func countVotes(votes map[transport.NodeID]Digest, digest Digest) int {
 }
 
 // checkPrepared advances to the commit phase once 2f+1 replicas (self
-// included) prepared the same digest.
+// included) prepared the same digest — and the quorum is provable.
 func (r *Replica) checkPrepared(seq uint64) {
 	in := r.inst(seq)
 	if in.prepared || in.prePrepare == nil {
@@ -333,7 +389,25 @@ func (r *Replica) checkPrepared(seq uint64) {
 	if countVotes(in.prepares, in.digest) < r.membership.Quorum() {
 		return
 	}
+	// The digest tally alone is not proof. Votes retained across a view
+	// change — including the old AND new primaries' implicit pre-prepare
+	// votes, two tally entries backed by zero signed prepares — can reach
+	// a quorum while too few prepares were signed in THIS pre-prepare's
+	// view. Declaring prepared on such a tally is unsafe, not merely
+	// unprovable: this replica's commit vote helps the batch execute
+	// somewhere, yet the certificate it later carries into a view change
+	// is discarded by validPreparedProof, the next primary re-proposes a
+	// null batch at the sequence number, and replicas that had not yet
+	// executed diverge from those that had. Wait for certificate-grade
+	// evidence instead — after a view installs, every honest peer
+	// re-broadcasts a fresh same-view prepare (acceptPrePrepare on the
+	// re-proposals), so the provable quorum always re-forms.
+	cert := r.preparedCert(seq, in)
+	if cert == nil || len(cert.Prepares) < r.membership.Quorum()-1 {
+		return
+	}
 	in.prepared = true
+	in.cert = cert
 	in.commits[r.cfg.ID] = in.digest
 	cm := &Message{
 		Type:        MsgCommit,
@@ -361,9 +435,12 @@ func (r *Replica) onCommit(msg *Message) {
 		return
 	}
 	in := r.inst(msg.SeqNo)
-	if in.prePrepare != nil && msg.BatchDigest != in.digest {
-		return
-	}
+	// Record the vote even when it conflicts with our current proposal:
+	// tallying is digest-filtered (countVotes), so a mismatched vote is
+	// inert until proven right — and if a catch-up certificate later
+	// shows OUR digest was the stale one (onCatchUp adopts it), the
+	// buffered votes complete the commit quorum immediately instead of
+	// waiting for peers to re-answer a retransmission round.
 	in.commits[msg.From] = msg.BatchDigest
 	r.checkCommitted(msg.SeqNo)
 }
@@ -391,6 +468,7 @@ func (r *Replica) executeReady() {
 		}
 		in.executed = true
 		r.lastExec = next
+		r.recordExec(next, in.digest)
 		for i := range in.batch.Requests {
 			r.executeRequest(&in.batch.Requests[i])
 			// Executed requests leave every replica's pending queue
@@ -408,7 +486,10 @@ func (r *Replica) executeReady() {
 				Seq: next, Epoch: r.membership.Epoch, View: r.view, DurUS: durUS,
 			})
 		}
-		if r.lastExec%r.cfg.CheckpointInterval == 0 {
+		if r.ckptDue || r.lastExec%r.cfg.CheckpointInterval == 0 {
+			// One canonical checkpoint per seq, taken only after the whole
+			// batch executed (ckptDue marks a reconfiguration in the batch).
+			r.ckptDue = false
 			r.takeCheckpoint(r.lastExec)
 		}
 	}
@@ -422,6 +503,26 @@ func (r *Replica) executeReady() {
 	}
 	// Execution freed pipeline slots (and possibly window room): refill.
 	r.maybePropose()
+}
+
+// requeueInstance returns an abandoned (unexecuted) instance's requests
+// to the pending queue so a later proposal can re-order them. Requests a
+// client already got executed elsewhere are skipped, as are ones still
+// queued.
+func (r *Replica) requeueInstance(in *instance) {
+	if in.batch == nil || in.executed {
+		return
+	}
+	for i := range in.batch.Requests {
+		req := &in.batch.Requests[i]
+		if rec, ok := r.clients[req.Client]; ok && req.Seq <= rec.lastSeq {
+			continue
+		}
+		if d := req.Digest(); !r.pendingSet[d] {
+			r.pendingSet[d] = true
+			r.pending = append(r.pending, *req)
+		}
+	}
 }
 
 // compactPending drops pending entries that executed (their digest left
@@ -506,6 +607,38 @@ func (r *Replica) applyReconfig(op ReconfigOp) []byte {
 		return ReconfigResult{Status: classifyReconfigErr(err), Detail: err.Error()}.Encode()
 	}
 	r.membership = next
+	// Epoch fence: every consensus instance must be decided entirely
+	// within one membership epoch. An instance pipelined past this
+	// reconfiguration was proposed — and gathered its prepared
+	// certificate — under the OLD epoch's membership, whose quorum
+	// thresholds and view→primary mapping a view change in the new epoch
+	// cannot validate against: the certificate would be discarded, a null
+	// batch re-proposed over a sequence number some replica already
+	// executed, and the group would split. So drop all in-flight work
+	// above the reconfiguration point and requeue its requests; the
+	// pipeline re-proposes them under the new epoch. No execution is
+	// lost: executing any dropped instance would have required executing
+	// this reconfiguration first, which triggers this same fence on every
+	// honest replica.
+	for seq, in := range r.log {
+		if seq <= r.lastExec {
+			continue
+		}
+		r.requeueInstance(in)
+		delete(r.log, seq)
+	}
+	// Rewind the proposal counter past the dropped instances so the
+	// primary reuses their sequence numbers; leaving a gap would stall
+	// execution forever at the first unproposed number.
+	r.seq = r.lastExec
+	// A view change volunteered under the old epoch can never complete —
+	// peers in the new epoch discard old-epoch VIEW-CHANGE messages — yet
+	// inViewChange would keep this replica from voting, which the new
+	// epoch's tighter quorums cannot afford. Executing the
+	// reconfiguration IS progress, so the suspicion is withdrawn; if the
+	// primary truly is faulty the progress timer re-raises it under the
+	// new epoch.
+	r.inViewChange = false
 	r.updateStats(func(s *ReplicaStats) { s.Reconfigs++ })
 	r.ins.reconfigs.Inc()
 	r.trace.Emit(metrics.Event{
@@ -514,12 +647,19 @@ func (r *Replica) applyReconfig(op ReconfigOp) []byte {
 	})
 	r.cfg.Logf("replica %d: epoch %d membership %v", r.cfg.ID, next.Epoch, next.Replicas)
 
-	// Take an immediate checkpoint so peers that missed this instance can
-	// fetch a state that already includes the new membership: the joiner
-	// needs it after an ADD, and after a REMOVE it is the fastest signal
-	// to any replica still at the old epoch (the vote carries the new
-	// epoch, which triggers its state transfer).
-	r.takeCheckpoint(r.lastExec)
+	// Checkpoint at this seq so peers that missed this instance can fetch
+	// a state that already includes the new membership: the joiner needs
+	// it after an ADD, and after a REMOVE it is the fastest signal to any
+	// replica still at the old epoch (the vote carries the new epoch,
+	// which triggers its state transfer). Deferred to executeReady rather
+	// than taken here: this code runs mid-request, before executeRequest
+	// records the reconfig's own reply, so a snapshot taken now and the
+	// interval checkpoint taken after execution would broadcast two
+	// DIFFERENT digests at the same seq — honest votes split between
+	// them, and with an equivocating member in the group neither digest
+	// reaches quorum, jamming the window (observed under the corrupt-state
+	// chaos attack).
+	r.ckptDue = true
 	if !op.Add && op.Replica == r.cfg.ID {
 		// This replica was removed: it stops participating (the control
 		// plane will power it off). Entering joining mode silences it.

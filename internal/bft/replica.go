@@ -137,9 +137,18 @@ type instance struct {
 	digest     Digest
 	prepares   map[transport.NodeID]Digest
 	commits    map[transport.NodeID]Digest
-	prepared   bool
-	committed  bool
-	executed   bool
+	// prepareMsgs keeps the signed prepare messages matching the
+	// instance's digest: together with the signed pre-prepare they form
+	// the prepared certificate carried in view changes.
+	prepareMsgs map[transport.NodeID]*Message
+	// cert is the prepared certificate snapshotted the moment the
+	// prepared predicate fired (see preparedCert): a later new-view
+	// re-proposal rebinds prePrepare to a newer view, but the signed
+	// prepares on hand prove preparedness in the view they were cast.
+	cert      *PreparedProof
+	prepared  bool
+	committed bool
+	executed  bool
 	// startedAt stamps pre-prepare acceptance; execution observes the
 	// difference as this instance's commit latency.
 	startedAt time.Time
@@ -183,7 +192,19 @@ type Replica struct {
 	// moved past our window (see onCheckpoint).
 	ckptAhead map[transport.NodeID]uint64
 	lastSnap  []byte // snapshot at lowWater, for state transfer
-	joining   bool
+	// lastCkptVote is this replica's newest signed checkpoint vote. It
+	// survives checkpoint garbage collection so a straggler whose quorum
+	// votes were lost in transit can be answered long after the fact —
+	// without it, a replica stuck one stability round behind can exhaust
+	// its proposal window and wedge permanently (see onCheckpoint).
+	lastCkptVote *Message
+	// ckptDue defers a reconfiguration's checkpoint to the end of the
+	// executing batch. applyReconfig runs mid-request: snapshotting there
+	// would exclude the reconfig request's own reply record (written by
+	// executeRequest after applyReconfig returns), producing a digest no
+	// interval checkpoint at the same seq could ever match.
+	ckptDue bool
+	joining bool
 
 	// View change state.
 	viewChanges  map[uint64]map[transport.NodeID]*Message
@@ -195,6 +216,10 @@ type Replica struct {
 	// State transfer state.
 	stReplies  map[transport.NodeID]*Message
 	epochProbe uint64 // highest epoch a state transfer was triggered for
+	// epochClaims records, per member, the highest future epoch it
+	// claimed; f+1 distinct claimants are needed before state transfer
+	// is triggered (see noteEpochClaim).
+	epochClaims map[transport.NodeID]uint64
 
 	// Request authentication (see verify.go). verified is loop-owned;
 	// verifyJobs feeds the worker pool and is nil until Start.
@@ -208,10 +233,47 @@ type Replica struct {
 	inbox  chan *Message
 
 	// Observability (mutex-guarded; read from outside the loop).
-	statMu sync.Mutex
-	stats  ReplicaStats
-	ins    replicaInstruments
-	trace  *metrics.Tracer
+	statMu    sync.Mutex
+	stats     ReplicaStats
+	execTrace []ExecRecord
+	ins       replicaInstruments
+	trace     *metrics.Tracer
+}
+
+// ExecRecord pairs an executed sequence number with the digest of the
+// batch executed there, plus the epoch and view the replica held at
+// execution time. The Byzantine chaos harness cross-checks the traces
+// of honest replicas pairwise: two honest replicas must never execute
+// different batches at the same sequence number — and when they do, the
+// epoch/view context says which fork each side was on.
+type ExecRecord struct {
+	Seq    uint64
+	Digest Digest
+	Epoch  uint64
+	View   uint64
+}
+
+// execTraceCap bounds the in-memory execution trace.
+const execTraceCap = 8192
+
+// ExecTrace returns a copy of the replica's bounded execution trace
+// (most recent execTraceCap entries, oldest first).
+func (r *Replica) ExecTrace() []ExecRecord {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return append([]ExecRecord(nil), r.execTrace...)
+}
+
+func (r *Replica) recordExec(seq uint64, digest Digest) {
+	r.statMu.Lock()
+	r.execTrace = append(r.execTrace, ExecRecord{
+		Seq: seq, Digest: digest,
+		Epoch: r.membership.Epoch, View: r.view,
+	})
+	if len(r.execTrace) > execTraceCap {
+		r.execTrace = r.execTrace[len(r.execTrace)-execTraceCap:]
+	}
+	r.statMu.Unlock()
 }
 
 // ReplicaStats exposes coarse counters for tests and monitoring.
@@ -226,6 +288,11 @@ type ReplicaStats struct {
 	LastExecuted    uint64
 	MembershipSize  int
 	PendingRequests int
+	// LowWater and SeqHead bound the proposal window: proposals stop
+	// when SeqHead reaches LowWater+WindowSize, so a stuck LowWater
+	// (checkpoint that never stabilizes) is a liveness smoking gun.
+	LowWater uint64
+	SeqHead  uint64
 	// LogInstances and CheckpointStates size the in-memory protocol
 	// state; checkpoint garbage collection must keep both bounded.
 	LogInstances     int
@@ -253,6 +320,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		ckptAhead:   make(map[transport.NodeID]uint64),
 		viewChanges: make(map[uint64]map[transport.NodeID]*Message),
 		stReplies:   make(map[transport.NodeID]*Message),
+		epochClaims: make(map[transport.NodeID]uint64),
 		joining:     cfg.Joining,
 		verified:    newVerdictCache(4096),
 		ctx:         ctx,
@@ -288,6 +356,8 @@ func (r *Replica) updateStats(f func(*ReplicaStats)) {
 	r.stats.PendingRequests = len(r.pending)
 	r.stats.LogInstances = len(r.log)
 	r.stats.CheckpointStates = len(r.ckpts)
+	r.stats.LowWater = r.lowWater
+	r.stats.SeqHead = r.seq
 	r.statMu.Unlock()
 }
 
@@ -368,12 +438,13 @@ func (r *Replica) dispatch(msg *Message) {
 	// from other epochs, so without this a replica that missed a
 	// reconfiguration would never learn it is behind — the group splits
 	// into epoch camps that cannot hear each other and, if neither camp
-	// is a quorum, wedges forever. Any authenticated member claiming a
-	// higher epoch triggers one state transfer per observed epoch value.
+	// is a quorum, wedges forever. A member claiming a higher epoch
+	// registers a claim; f+1 distinct claimants trigger state transfer
+	// (see noteEpochClaim).
 	if msg.Epoch > r.membership.Epoch && r.membership.Contains(msg.From) {
-		r.maybeEpochSync(msg.Epoch)
+		r.noteEpochClaim(msg.From, msg.Epoch)
 	}
-	if msg.Type >= MsgRequest && msg.Type <= MsgStateReply {
+	if msg.Type >= MsgRequest && msg.Type <= MsgCatchUp {
 		r.ins.msgIn[msg.Type].Inc()
 	}
 	switch msg.Type {
@@ -388,11 +459,20 @@ func (r *Replica) dispatch(msg *Message) {
 		if !r.prePrepareAdmissible(msg) {
 			return
 		}
+		// Capture the claimed sender's key on the loop (membership is
+		// loop-owned) so the pool can verify the replica signature too.
+		msg.repSigKey = r.membership.Keys[msg.From]
 		if !r.ensureAuth(msg) {
 			return // offloaded; re-enters the inbox with verdicts
 		}
 		r.onPrePrepare(msg)
 	case MsgPrepare:
+		if pub, ok := r.membership.Keys[msg.From]; ok {
+			msg.repSigKey = pub
+		}
+		if !r.ensureAuth(msg) {
+			return // offloaded; re-enters the inbox with verdicts
+		}
 		r.onPrepare(msg)
 	case MsgCommit:
 		r.onCommit(msg)
@@ -406,6 +486,8 @@ func (r *Replica) dispatch(msg *Message) {
 		r.onStateRequest(msg)
 	case MsgStateReply:
 		r.onStateReply(msg)
+	case MsgCatchUp:
+		r.onCatchUp(msg)
 	default:
 		r.cfg.Logf("replica %d: unknown message type %v from %d", r.cfg.ID, msg.Type, msg.From)
 	}
@@ -459,12 +541,40 @@ func (r *Replica) inst(seq uint64) *instance {
 	in, ok := r.log[seq]
 	if !ok {
 		in = &instance{
-			prepares: make(map[transport.NodeID]Digest),
-			commits:  make(map[transport.NodeID]Digest),
+			prepares:    make(map[transport.NodeID]Digest),
+			commits:     make(map[transport.NodeID]Digest),
+			prepareMsgs: make(map[transport.NodeID]*Message),
 		}
 		r.log[seq] = in
 	}
 	return in
+}
+
+// noteEpochClaim records a member's claim of a higher epoch and triggers
+// epoch state transfer once f+1 distinct members agree we are behind.
+// A single claimant must never be believed: messages reaching dispatch
+// are not yet signature-checked, and even an authenticated claim from one
+// Byzantine member could otherwise pin epochProbe at a huge value and
+// keep the replica in perpetual state-transfer noise. f+1 distinct
+// claimants guarantee at least one honest replica really is ahead; the
+// smallest claimed epoch is the conservatively proven target.
+func (r *Replica) noteEpochClaim(from transport.NodeID, epoch uint64) {
+	if prev := r.epochClaims[from]; epoch > prev {
+		r.epochClaims[from] = epoch
+	}
+	count := 0
+	var minClaim uint64
+	for id, e := range r.epochClaims {
+		if e > r.membership.Epoch && r.membership.Contains(id) {
+			count++
+			if minClaim == 0 || e < minClaim {
+				minClaim = e
+			}
+		}
+	}
+	if count >= r.membership.F()+1 {
+		r.maybeEpochSync(minClaim)
+	}
 }
 
 // fromMember checks the sender is a current group member.
@@ -546,9 +656,10 @@ func (r *Replica) restoreSnapshot(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("bft: replica %d snapshot decode: %w", r.cfg.ID, err)
 	}
-	if err := r.cfg.App.Restore(snap.AppState); err != nil {
-		return fmt.Errorf("bft: replica %d app restore: %w", r.cfg.ID, err)
-	}
+	// Validate everything before mutating anything: a corrupted snapshot
+	// that decodes but carries a bogus membership must not leave the
+	// replica with its application state overwritten and its protocol
+	// state intact — restore is all-or-nothing.
 	keys := make(map[transport.NodeID]ed25519.PublicKey, len(snap.Members))
 	ids := make([]transport.NodeID, 0, len(snap.Members))
 	for _, m := range snap.Members {
@@ -560,6 +671,9 @@ func (r *Replica) restoreSnapshot(data []byte) error {
 		return err
 	}
 	mem.Epoch = snap.Epoch
+	if err := r.cfg.App.Restore(snap.AppState); err != nil {
+		return fmt.Errorf("bft: replica %d app restore: %w", r.cfg.ID, err)
+	}
 	r.membership = mem
 	r.lastExec = snap.LastExec
 	r.seq = snap.LastExec
@@ -567,6 +681,7 @@ func (r *Replica) restoreSnapshot(data []byte) error {
 	r.log = make(map[uint64]*instance)
 	r.ckpts = make(map[uint64]*checkpointState)
 	r.ckptAhead = make(map[transport.NodeID]uint64)
+	r.epochClaims = make(map[transport.NodeID]uint64)
 	r.clients = make(map[transport.NodeID]*clientRecord)
 	for _, ce := range snap.Clients {
 		r.clients[ce.ID] = &clientRecord{lastSeq: ce.LastSeq}

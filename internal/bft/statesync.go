@@ -18,6 +18,11 @@ func (r *Replica) requestStateTransfer() {
 	})
 	r.stReplies = make(map[transport.NodeID]*Message)
 	req := &Message{Type: MsgStateRequest, SeqNo: r.lastExec, Epoch: r.membership.Epoch}
+	// Signed once and reused: servers authenticate requesters before
+	// spending snapshot work on them. From must be set before Sign (send
+	// re-stamps it with the same id).
+	req.From = r.cfg.ID
+	req.Sign(r.cfg.Key)
 	for _, id := range r.cfg.Membership.Replicas {
 		if id != r.cfg.ID {
 			r.send(id, req)
@@ -59,6 +64,16 @@ func (r *Replica) maybeEpochSync(epoch uint64) {
 //     whose quorum has since dissolved (e.g. the removed replica was
 //     powered off before a new checkpoint stabilized).
 func (r *Replica) onStateRequest(msg *Message) {
+	// Authenticate the requester before spending any snapshot work:
+	// encoding a fresh snapshot is expensive, and an unauthenticated
+	// request would otherwise be a free amplification lever (tiny request
+	// in, multi-KB snapshot out). Boot-or-current membership is the right
+	// scope for *serving*: a removed replica legitimately asks for the
+	// state that proves its removal. (Counting toward the restore quorum
+	// is stricter — see verifyStateReply.)
+	if !r.verifyStateRequest(msg) {
+		return
+	}
 	if msg.Epoch < r.membership.Epoch && msg.SeqNo < r.lastExec {
 		snap, err := r.encodeSnapshot()
 		if err != nil {
@@ -131,6 +146,18 @@ func (r *Replica) onStateReply(msg *Message) {
 	}
 	if err := r.restoreSnapshot(best.Snapshot); err != nil {
 		r.cfg.Logf("replica %d: state restore failed: %v", r.cfg.ID, err)
+		// Every voucher of a snapshot that fails restore is lying — an
+		// honest replica's snapshot always decodes — so evict the whole
+		// poisoned group and retry: the progress timer re-issues the
+		// state request, and the f+1 quorum re-forms from honest peers.
+		bad := key{best.SnapSeqNo, sha256.Sum256(best.Snapshot)}
+		for _, id := range ids {
+			m, ok := r.stReplies[id]
+			if ok && (key{m.SnapSeqNo, sha256.Sum256(m.Snapshot)}) == bad {
+				delete(r.stReplies, id)
+			}
+		}
+		r.armProgressTimer()
 		return
 	}
 	r.stReplies = make(map[transport.NodeID]*Message)
@@ -145,16 +172,50 @@ func (r *Replica) onStateReply(msg *Message) {
 	})
 	r.cfg.Logf("replica %d: state transfer to seq %d (epoch %d, joining=%v->%v)",
 		r.cfg.ID, r.lastExec, r.membership.Epoch, wasJoining, r.joining)
+	if !r.joining {
+		// Vote for the checkpoint at the restore point. A replica that
+		// arrives here by transfer never executed this seq, so it would
+		// otherwise never vote at it — yet it holds the f+1-vouched
+		// snapshot, which is exactly what a vote attests to. Freshly
+		// swapped-in members are the common case: without this vote, a
+		// post-reconfig group of n=3f+1 can be left with only 2f honest
+		// voters at the reconfig checkpoint (the removed member is powered
+		// off, the joiner silent), and one vote-garbling attacker then
+		// jams every straggler's window until it relents.
+		vote := &Message{
+			Type:        MsgCheckpoint,
+			SeqNo:       r.lastExec,
+			Epoch:       r.membership.Epoch,
+			StateDigest: sha256.Sum256(best.Snapshot),
+			LastStable:  r.lowWater,
+		}
+		vote.From = r.cfg.ID
+		vote.Sign(r.cfg.Key)
+		r.lastCkptVote = vote
+		r.broadcast(vote)
+	}
 	if r.joining {
 		// Still not a member: keep polling until the ADD executes.
 		r.armProgressTimer()
 	}
 }
 
-// verifyStateReply authenticates the snapshot sender: it must be a member
-// of either the boot configuration or the restored current membership,
-// with a valid signature.
+// verifyStateReply authenticates a snapshot voucher against the CURRENT
+// membership only. Boot-configuration keys deliberately do NOT count:
+// a replica is removed from the membership precisely because it is
+// suspected compromised, and accepting its signature here would hand the
+// adversary one of the f+1 vouchers it needs to feed us fabricated state
+// (one removed-but-boot member plus one compromised current member beats
+// f=1). A joining replica's current membership IS the boot configuration
+// until its first restore, so bootstrap is unaffected.
 func (r *Replica) verifyStateReply(msg *Message) bool {
+	pub, ok := r.membership.Keys[msg.From]
+	return ok && msg.VerifySig(pub)
+}
+
+// verifyStateRequest authenticates a state requester: boot or current
+// membership, with a valid signature.
+func (r *Replica) verifyStateRequest(msg *Message) bool {
 	if pub, ok := r.membership.Keys[msg.From]; ok && msg.VerifySig(pub) {
 		return true
 	}

@@ -46,6 +46,13 @@ func (r *Replica) onProgressTimeout() {
 		// not completed: keep retrying it alongside the view change.
 		r.requestStateTransfer()
 	}
+	// A checkpoint of ours that never stabilized means our proposal
+	// window may be jammed: re-advertise the vote. Peers whose stable
+	// point is ahead answer with their own (onCheckpoint), re-supplying
+	// the quorum votes we lost.
+	if r.lastCkptVote != nil && r.lastCkptVote.SeqNo > r.lowWater {
+		r.broadcast(r.lastCkptVote)
+	}
 	// Re-drive catch-up before escalating: re-broadcast our votes for
 	// instances we hold but cannot execute yet. Peers that executed them
 	// answer a stale prepare directly with their own votes (the catch-up
@@ -64,15 +71,18 @@ func (r *Replica) onProgressTimeout() {
 		in := r.log[seq]
 		pm := &Message{
 			Type:        MsgPrepare,
+			From:        r.cfg.ID,
 			View:        r.view,
 			SeqNo:       seq,
 			Epoch:       r.membership.Epoch,
 			BatchDigest: in.digest,
 		}
+		pm.Sign(r.cfg.Key)
 		r.broadcast(pm)
 		if in.prepared {
 			cm := *pm
 			cm.Type = MsgCommit
+			cm.Sig = nil // commit votes are unsigned
 			r.broadcast(&cm)
 		}
 	}
@@ -106,6 +116,14 @@ func (r *Replica) startViewChange(newView uint64) {
 	var proofs []PreparedProof
 	for seq, in := range r.log {
 		if seq > r.lowWater && in.prepared && in.prePrepare != nil {
+			if in.cert != nil {
+				proofs = append(proofs, *in.cert)
+				continue
+			}
+			// No certificate on hand (the instance prepared through
+			// catch-up votes from mixed views). Carried anyway: honest
+			// validators will discard it, but if the batch committed
+			// anywhere, some honest replica holds the full certificate.
 			proofs = append(proofs, PreparedProof{
 				View:        in.prePrepare.View,
 				SeqNo:       seq,
@@ -152,7 +170,24 @@ func (r *Replica) onViewChange(msg *Message) {
 	if r.joining || !r.fromMember(msg) || !r.verifySigned(msg) {
 		return
 	}
+	// Straggler rescue, second channel: VIEW-CHANGE advertises LastStable,
+	// and during the stall a window-jammed replica causes, view changes
+	// are the one message type guaranteed to keep flowing — every honest
+	// replica's progress timer fires. Answering here (same rule as
+	// onCheckpoint: only senders strictly behind our stable point) heals
+	// the jam within one timeout round instead of waiting for checkpoint
+	// re-advertisement to find an up-to-date peer.
+	if msg.Epoch == r.membership.Epoch && msg.LastStable < r.lowWater && r.lastCkptVote != nil {
+		r.send(msg.From, r.lastCkptVote)
+	}
 	if msg.NewView <= r.view {
+		return
+	}
+	// Epoch freshness: a view change signed in an earlier membership
+	// configuration must not count toward this epoch's quorum — replayed
+	// stale view changes could otherwise assemble a NEW-VIEW whose
+	// proofs predate a reconfiguration.
+	if msg.Epoch != r.membership.Epoch {
 		return
 	}
 	r.recordViewChange(msg)
@@ -191,18 +226,30 @@ func (r *Replica) maybeNewView(newView uint64) {
 		return
 	}
 	byFrom := r.viewChanges[newView]
-	if len(byFrom) < r.membership.Quorum() {
-		return
-	}
 	if r.cfg.Fault == FaultSilent {
 		return
 	}
+	// Only view changes from the current epoch count: stale recorded
+	// ones (from before a reconfiguration executed) would make peers
+	// reject the whole NEW-VIEW.
 	vcs := make([]Message, 0, len(byFrom))
 	for _, vc := range byFrom {
-		vcs = append(vcs, *vc)
+		if vc.Epoch == r.membership.Epoch {
+			vcs = append(vcs, *vc)
+		}
+	}
+	if len(vcs) < r.membership.Quorum() {
+		return
 	}
 	sort.Slice(vcs, func(i, j int) bool { return vcs[i].From < vcs[j].From })
-	prePrepares := buildNewViewProposals(newView, r.membership.Epoch, vcs)
+	prePrepares := buildNewViewProposals(newView, r.membership.Epoch, vcs, r.membership)
+	// Sign each re-proposal: peers install these as the instances'
+	// pre-prepares, and unsigned ones could never anchor the prepared
+	// certificates of later view changes.
+	for i := range prePrepares {
+		prePrepares[i].From = r.cfg.ID
+		prePrepares[i].Sign(r.cfg.Key)
+	}
 	nv := &Message{
 		Type:        MsgNewView,
 		NewView:     newView,
@@ -218,16 +265,25 @@ func (r *Replica) maybeNewView(newView uint64) {
 
 // buildNewViewProposals computes the deterministic set O of re-proposals
 // from a quorum of view changes: for every sequence number above the
-// maximum stable checkpoint for which some view change carries a prepared
-// proof, re-propose the proof from the highest view; gaps up to the
-// largest such sequence number are filled with null (empty) batches.
-func buildNewViewProposals(newView, epoch uint64, vcs []Message) []Message {
+// maximum stable checkpoint for which some view change carries a VALID
+// prepared proof, re-propose the proof from the highest view; gaps up to
+// the largest such sequence number are filled with null (empty) batches.
+// Proof validity is certificate-grade (validPreparedProof): the proof's
+// own word is worthless, since any single Byzantine member could
+// otherwise fabricate a high-view proof binding an arbitrary batch —
+// or a null one — to a sequence number honest replicas already executed
+// differently.
+func buildNewViewProposals(newView, epoch uint64, vcs []Message, mem *Membership) []Message {
 	stable := maxStable(vcs)
 	best := make(map[uint64]PreparedProof)
 	maxSeq := stable
 	for _, vc := range vcs {
-		for _, p := range vc.Prepared {
+		for i := range vc.Prepared {
+			p := vc.Prepared[i]
 			if p.SeqNo <= stable {
+				continue
+			}
+			if !validPreparedProof(&p, mem) {
 				continue
 			}
 			if cur, ok := best[p.SeqNo]; !ok || p.View > cur.View {
@@ -261,6 +317,153 @@ func buildNewViewProposals(newView, epoch uint64, vcs []Message) []Message {
 	return out
 }
 
+// validPreparedProof checks a view change's prepared claim against its
+// embedded certificate: the batch must match the claimed digest, the
+// pre-prepare must be the claimed view's primary's signed proposal for
+// exactly this (view, seq, digest), and quorum-1 distinct non-primary
+// members (2f at n=3f+1; one more during the reconfiguration window's
+// n=3f+2) must have signed matching prepares — the primary's pre-prepare
+// is its own vote, so the certificate proves a full prepare quorum.
+// Counting is lenient — unknown or invalid prepares are skipped, not
+// fatal — so a Byzantine sender cannot poison an otherwise-sufficient
+// certificate by appending garbage.
+func validPreparedProof(p *PreparedProof, mem *Membership) bool {
+	if p.Batch == nil || p.Batch.Digest() != p.BatchDigest {
+		return false
+	}
+	pp := p.PrePrepare
+	if pp == nil || pp.Type != MsgPrePrepare || pp.View != p.View ||
+		pp.SeqNo != p.SeqNo || pp.BatchDigest != p.BatchDigest {
+		return false
+	}
+	primary := mem.Primary(p.View)
+	pub, ok := mem.Keys[primary]
+	if !ok || pp.From != primary || !pp.VerifySig(pub) {
+		return false
+	}
+	distinct := make(map[transport.NodeID]bool)
+	for i := range p.Prepares {
+		pm := &p.Prepares[i]
+		if pm.Type != MsgPrepare || pm.View != p.View ||
+			pm.SeqNo != p.SeqNo || pm.BatchDigest != p.BatchDigest {
+			continue
+		}
+		if pm.From == primary || distinct[pm.From] {
+			continue
+		}
+		key, isMember := mem.Keys[pm.From]
+		if !isMember || !pm.VerifySig(key) {
+			continue
+		}
+		distinct[pm.From] = true
+	}
+	return len(distinct) >= mem.Quorum()-1
+}
+
+// preparedCert snapshots the prepared certificate for an instance at the
+// moment its prepared predicate fires: the signed pre-prepare plus every
+// signed prepare from non-primary members matching the instance's view
+// and digest, in deterministic (sender) order. A same-view prepare
+// quorum always yields at least quorum-1 such prepares — every voter
+// besides the primary contributed a signed message (the primary's vote
+// is its pre-prepare, and our own prepare is recorded when cast).
+func (r *Replica) preparedCert(seq uint64, in *instance) *PreparedProof {
+	if in.prePrepare == nil {
+		return nil
+	}
+	proof := &PreparedProof{
+		View:        in.prePrepare.View,
+		SeqNo:       seq,
+		BatchDigest: in.digest,
+		Batch:       in.batch,
+		PrePrepare:  in.prePrepare,
+	}
+	primary := r.membership.Primary(in.prePrepare.View)
+	froms := make([]transport.NodeID, 0, len(in.prepareMsgs))
+	for from := range in.prepareMsgs {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, from := range froms {
+		pm := in.prepareMsgs[from]
+		if from == primary || pm.View != in.prePrepare.View || pm.BatchDigest != in.digest {
+			continue
+		}
+		proof.Prepares = append(proof.Prepares, *pm)
+	}
+	return proof
+}
+
+// onCatchUp installs a prepared certificate received from a caught-up
+// peer (the responder in onPrepare). The certificate is the same
+// evidence a view change carries — a signed pre-prepare plus quorum-1
+// signed same-view prepares — so it is validated with validPreparedProof
+// and trusted on its own merits, not on the sender's word. This is the
+// straggler's escape hatch: a replica whose pre-prepare is from a view
+// the group has moved past can never re-assemble a same-view prepare
+// quorum locally (prepares from other views are filtered), and during
+// the reconfiguration window's n=3f+2 quorums the group cannot make the
+// progress that would otherwise heal it via checkpoint state transfer —
+// every honest replica is needed, including the straggler.
+func (r *Replica) onCatchUp(msg *Message) {
+	if r.joining || !r.fromMember(msg) {
+		return
+	}
+	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
+		return
+	}
+	if len(msg.Prepared) != 1 {
+		return
+	}
+	p := msg.Prepared[0]
+	if p.SeqNo != msg.SeqNo || p.PrePrepare == nil || p.PrePrepare.Epoch != r.membership.Epoch {
+		return
+	}
+	in := r.inst(msg.SeqNo)
+	if in.executed {
+		return
+	}
+	if in.prepared && in.digest == p.BatchDigest {
+		return // already hold equivalent evidence
+	}
+	if in.prePrepare != nil && in.digest != p.BatchDigest {
+		// A conflicting certificate supersedes our proposal only from a
+		// strictly higher view — unless we never prepared ours, in which
+		// case a same-view certificate proves the quorum went the other
+		// way (an equivocating primary fed us the minority variant).
+		if p.View < in.prePrepare.View {
+			return
+		}
+		if p.View == in.prePrepare.View && in.prepared {
+			return
+		}
+	}
+	if !validPreparedProof(&p, r.membership) {
+		return
+	}
+	// Authenticate the re-learned requests; in the honest case this is
+	// all verdict-cache hits.
+	if !r.verifyBatchCached(p.Batch) {
+		return
+	}
+	in.prePrepare = p.PrePrepare
+	in.batch = p.Batch
+	in.digest = p.BatchDigest
+	in.prepared = true
+	cert := p
+	in.cert = &cert
+	in.commits[r.cfg.ID] = in.digest
+	cm := &Message{
+		Type:        MsgCommit,
+		View:        r.view,
+		SeqNo:       msg.SeqNo,
+		Epoch:       r.membership.Epoch,
+		BatchDigest: in.digest,
+	}
+	r.broadcast(cm)
+	r.checkCommitted(msg.SeqNo)
+}
+
 func maxStable(vcs []Message) uint64 {
 	var out uint64
 	for _, vc := range vcs {
@@ -279,6 +482,12 @@ func (r *Replica) onNewView(msg *Message) {
 	if msg.From != r.membership.Primary(msg.NewView) || !r.verifySigned(msg) {
 		return
 	}
+	// Epoch freshness: a NEW-VIEW replayed from an earlier membership
+	// configuration must not install a view whose re-proposals predate a
+	// reconfiguration.
+	if msg.Epoch != r.membership.Epoch {
+		return
+	}
 	// Verify the quorum of view changes it carries.
 	if len(msg.NewViewMsgs) < r.membership.Quorum() {
 		return
@@ -286,7 +495,7 @@ func (r *Replica) onNewView(msg *Message) {
 	seen := make(map[transport.NodeID]bool)
 	for i := range msg.NewViewMsgs {
 		vc := &msg.NewViewMsgs[i]
-		if vc.Type != MsgViewChange || vc.NewView != msg.NewView || seen[vc.From] {
+		if vc.Type != MsgViewChange || vc.NewView != msg.NewView || vc.Epoch != msg.Epoch || seen[vc.From] {
 			return
 		}
 		pub, ok := r.membership.Keys[vc.From]
@@ -295,8 +504,9 @@ func (r *Replica) onNewView(msg *Message) {
 		}
 		seen[vc.From] = true
 	}
+	ppub := r.membership.Keys[msg.From]
 	// Recompute O and require it to match what the primary proposed.
-	want := buildNewViewProposals(msg.NewView, r.membership.Epoch, msg.NewViewMsgs)
+	want := buildNewViewProposals(msg.NewView, r.membership.Epoch, msg.NewViewMsgs, r.membership)
 	if len(want) != len(msg.PrePrepares) {
 		return
 	}
@@ -304,6 +514,14 @@ func (r *Replica) onNewView(msg *Message) {
 		got := msg.PrePrepares[i]
 		if got.SeqNo != want[i].SeqNo || got.BatchDigest != want[i].BatchDigest ||
 			got.View != msg.NewView || got.Batch == nil || got.Batch.Digest() != got.BatchDigest {
+			return
+		}
+		// The re-proposals must carry the new primary's own signature:
+		// they become the installed instances' pre-prepares, anchoring
+		// the prepared certificates of any later view change. (The
+		// NEW-VIEW signature does not cover this field, so a relayer
+		// could otherwise strip or corrupt the signatures in transit.)
+		if got.From != msg.From || !got.VerifySig(ppub) {
 			return
 		}
 		// Authenticate the re-proposed requests. In the honest case every
@@ -348,6 +566,11 @@ func (r *Replica) installNewView(newView uint64, prePrepares []Message, stable u
 			continue
 		}
 		if d, ok := proposed[seq]; !ok || in.digest != d {
+			// The superseded batch's requests go back to pending: the
+			// clients still want them ordered, and if every replica that
+			// held them discards them here, only client retransmission
+			// would ever revive them.
+			r.requeueInstance(in)
 			delete(r.log, seq)
 		}
 	}
@@ -390,8 +613,16 @@ func (r *Replica) installNewView(newView uint64, prePrepares []Message, stable u
 		// skips this check for instances that were prepared coming in.
 		r.checkCommitted(pp.SeqNo)
 	}
-	if r.seq < maxSeq {
-		r.seq = maxSeq
+	// Re-anchor the proposal counter to the reconciled log: above maxSeq
+	// nothing with a pre-prepare survived the reconciliation (executed
+	// instances are all at or below lastExec). Only ever raising the
+	// counter leaves phantoms — if a previous view change had advanced it
+	// over instances this one just deleted, the primary would count
+	// nonexistent in-flight instances against PipelineDepth and, with the
+	// pipeline "full" of ghosts, never propose again.
+	r.seq = maxSeq
+	if r.seq < r.lastExec {
+		r.seq = r.lastExec
 	}
 	if stable > r.lastExec {
 		// The group's stable state is ahead of us.

@@ -8,6 +8,7 @@
 package controlplane
 
 import (
+	"bytes"
 	"context"
 	"crypto/ed25519"
 	"crypto/rand"
@@ -52,6 +53,27 @@ type ChaosConfig struct {
 	// BombProb is the chance a fresh critical shared CVE is published
 	// before a round (default 0.6) — the trigger that makes swaps happen.
 	BombProb float64
+
+	// ByzFaults enables Byzantine attacker replicas: rounds randomly turn
+	// f current members Byzantine by intercepting their outgoing traffic
+	// with their own signing keys (bft.Attacker) — equivocating
+	// proposals, stale-vote replay, corrupted state snapshots, or a
+	// censoring primary, cycling through the four kinds. Byzantine rounds
+	// suppress the silent-replica and link-loss faults so the total
+	// faulty count stays within the f the protocol tolerates; while the
+	// attack runs the harness probes liveness (a censoring primary must
+	// be demoted by view change) and reply integrity, and afterwards it
+	// cross-checks every replica's execution trace for safety.
+	ByzFaults bool
+	// ByzProb is the per-round probability of a Byzantine round when
+	// ByzFaults is on (default 0.5). The Byzantine dice use their own rng
+	// stream, so enabling attacks does not perturb the dataset, fault, or
+	// swap-decision schedule of the same seed.
+	ByzProb float64
+	// ForceByzRounds lists rounds (0-based) that deterministically get an
+	// attack, so short runs exercise every attack kind regardless of the
+	// dice.
+	ForceByzRounds []int
 	// ForceBootFailRounds lists rounds (0-based) that deterministically
 	// get both a CVE bomb and an all-images boot-failure policy, so runs
 	// exercise the rollback path regardless of the dice.
@@ -113,6 +135,7 @@ func (c *ChaosConfig) fill() {
 	def(&c.LinkLossProb, 0.2)
 	def(&c.BombProb, 0.6)
 	def(&c.ControllerKillProb, 0.35)
+	def(&c.ByzProb, 0.5)
 	if c.CatchUpTimeout <= 0 {
 		c.CatchUpTimeout = 2500 * time.Millisecond
 	}
@@ -158,6 +181,19 @@ type ChaosReport struct {
 	// Violation (the execution plane must not depend on the control
 	// plane for liveness).
 	DownProbes, DownProbeErrs int
+	// ByzRounds counts rounds that ran with attacker replicas installed.
+	ByzRounds int
+	// ByzSchedule records one "r<round>:<kind>@<nodes>" entry per
+	// Byzantine round; identically-seeded runs must produce identical
+	// schedules.
+	ByzSchedule []string
+	// ByzStats aggregates what the attackers actually did across the run
+	// (a schedule full of idle attackers proves nothing).
+	ByzStats bft.AttackerStats
+	// ByzProbes and ByzProbeErrs tally the liveness/integrity probes
+	// issued while attacks were live. A probe that cannot complete — or
+	// that reads back a forged value — is a Violation.
+	ByzProbes, ByzProbeErrs int
 	// Generation is the final controller's recovery generation
 	// (0 = the bootstrap controller survived the whole run).
 	Generation int
@@ -188,6 +224,9 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	// shift the main schedule (dataset, faults, swap decisions) of a
 	// given seed — runs with and without kills stay comparable.
 	killRng := mrand.New(mrand.NewSource(cfg.Seed ^ 0x6b696c6c))
+	// The Byzantine dice likewise get their own stream ("byza"), keeping
+	// the main schedule comparable with and without attacks.
+	byzRng := mrand.New(mrand.NewSource(cfg.Seed ^ 0x62797a61))
 
 	ds, err := feeds.GenerateDataset(feeds.GenConfig{
 		Seed:  cfg.Seed,
@@ -210,9 +249,13 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		return base.Add(time.Duration(simDays.Load())*24*time.Hour + time.Since(start))
 	}
 
-	// Register the load workers, the controller-down probe, and the final
-	// liveness probe as clients.
+	// Register the load workers, the controller-down probe, the Byzantine
+	// liveness probe (when enabled), and the final liveness probe as
+	// clients.
 	probes := cfg.ClientWorkers + 2
+	if cfg.ByzFaults {
+		probes++
+	}
 	clientKeys := make(map[transport.NodeID]ed25519.PublicKey, probes)
 	clientPrivs := make(map[transport.NodeID]ed25519.PrivateKey, probes)
 	for i := 0; i < probes; i++ {
@@ -314,6 +357,18 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		defer downCl.Close()
 	}
 
+	// The Byzantine probe client: proves liveness and reply integrity
+	// while attacker replicas are live.
+	var byzCl *bft.Client
+	if cfg.ByzFaults {
+		byzID := transport.ClientIDBase + transport.NodeID(cfg.ClientWorkers+2)
+		byzCl, err = ctrl.ServiceClient(byzID, clientPrivs[byzID])
+		if err != nil {
+			return nil, err
+		}
+		defer byzCl.Close()
+	}
+
 	// Client load: closed-loop KVS writers/readers that track the
 	// membership as it changes. Their errors are expected under faults
 	// and only tallied.
@@ -363,6 +418,30 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	for _, r := range cfg.ForceBootFailRounds {
 		forced[r] = true
 	}
+	forcedByz := make(map[int]bool, len(cfg.ForceByzRounds))
+	for _, r := range cfg.ForceByzRounds {
+		forcedByz[r] = true
+	}
+	// Attackers armed for the current round; cleared (and their actions
+	// folded into the report) by disarmByz on every exit path.
+	type armedAttacker struct {
+		id  transport.NodeID
+		atk *bft.Attacker
+	}
+	var attackers []armedAttacker
+	disarmByz := func() {
+		for _, aa := range attackers {
+			net.Intercept(aa.id, nil)
+			st := aa.atk.Stats()
+			report.ByzStats.Intercepted += st.Intercepted
+			report.ByzStats.Equivocated += st.Equivocated
+			report.ByzStats.Replayed += st.Replayed
+			report.ByzStats.Corrupted += st.Corrupted
+			report.ByzStats.Censored += st.Censored
+		}
+		attackers = nil
+	}
+	defer disarmByz()
 	allImages := func() map[string]bool {
 		m := make(map[string]bool)
 		for _, os := range catalog.Deployable() {
@@ -409,13 +488,46 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			}
 			faulty = true
 		}
+		// 1b. Maybe turn f members Byzantine for the round. The kinds
+		// cycle deterministically so every attack class gets exercised.
+		// Byzantine replicas count against the same f budget as crash
+		// faults, so a Byzantine round suppresses the silent-replica and
+		// link-loss faults below: safety and liveness are only promised
+		// for at most f simultaneous faulty members.
+		byzKind := bft.AttackEquivocate
+		if cfg.ByzFaults && (forcedByz[round] || byzRng.Float64() < cfg.ByzProb) {
+			if mem := cur.Membership(); mem != nil && mem.F() > 0 {
+				byzKind = bft.AttackKind(report.ByzRounds % 4)
+				perm := byzRng.Perm(len(mem.Replicas))
+				var ids []transport.NodeID
+				for i := 0; i < mem.F(); i++ {
+					id := mem.Replicas[perm[i]]
+					key, kerr := cur.builder.PrivateKey(id)
+					if kerr != nil {
+						report.Violations = append(report.Violations,
+							fmt.Sprintf("round %d: no key for attacker %d: %v", round, id, kerr))
+						continue
+					}
+					atk := bft.NewAttacker(id, key, byzKind, byzRng.Int63())
+					net.Intercept(id, atk.Intercept)
+					attackers = append(attackers, armedAttacker{id, atk})
+					ids = append(ids, id)
+				}
+				if len(attackers) > 0 {
+					report.ByzRounds++
+					report.ByzSchedule = append(report.ByzSchedule,
+						fmt.Sprintf("r%d:%s@%v", round, byzKind, ids))
+					faulty = true
+				}
+			}
+		}
 		members := cur.Status().Members
-		if len(members) > 0 && rng.Float64() < cfg.SilentProb {
+		if len(attackers) == 0 && len(members) > 0 && rng.Float64() < cfg.SilentProb {
 			isolated = members[rng.Intn(len(members))]
 			net.Isolate(isolated)
 			faulty = true
 		}
-		if len(members) > 1 && rng.Float64() < cfg.LinkLossProb {
+		if len(attackers) == 0 && len(members) > 1 && rng.Float64() < cfg.LinkLossProb {
 			cutA = members[rng.Intn(len(members))]
 			cutB = members[rng.Intn(len(members))]
 			if cutA != cutB {
@@ -506,6 +618,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			// Clear the injected faults before recovery, like a restart
 			// that outlives the transient failure, then bring up the
 			// successor from the shared WAL and the surviving plant.
+			disarmByz()
 			cur.SetFaultPolicy(nil)
 			ltuMode.Store(int32(ltuHealthy))
 			if isolated >= 0 {
@@ -535,7 +648,57 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			report.Reconfigs++
 		}
 
-		// 4. Clear transient faults and verify the invariants held.
+		// 3b. While the attack is still live, prove liveness and reply
+		// integrity: the group must order fresh commands with f members
+		// Byzantine — a censoring primary in particular must have been
+		// demoted by view change — and the probe client must read back
+		// the true value, never a forged reply (it needs f+1 matching
+		// replies, and only the f attackers lie).
+		if len(attackers) > 0 && byzCl != nil {
+			if m := cur.Membership(); m != nil {
+				byzCl.UpdateMembership(m.Replicas, m.Keys)
+			}
+			report.ByzProbes++
+			key := fmt.Sprintf("byz-r%d", round)
+			val := []byte(fmt.Sprintf("v%d", round))
+			want := append([]byte("VAL"), val...)
+			putOp, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: key, Value: val})
+			getOp, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpGet, Key: key})
+			ictx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			_, perr := byzCl.Invoke(ictx, putOp)
+			cancel()
+			var res []byte
+			if perr == nil {
+				ictx, cancel = context.WithTimeout(ctx, 5*time.Second)
+				res, perr = byzCl.Invoke(ictx, getOp)
+				cancel()
+			}
+			switch {
+			case perr != nil:
+				report.ByzProbeErrs++
+				report.Violations = append(report.Violations,
+					fmt.Sprintf("round %d: no progress under %s attack: %v", round, byzKind, perr))
+				// Forensics: a stalled probe means some replica is holding
+				// the quorum hostage — dump where each one stands.
+				for id, st := range replicaStats(cur) {
+					cfg.Logf("chaos: round %d: replica %d: epoch %d view %d lastExec %d low %d head %d log %d ckpts %d pending %d vcs %d xfers %d",
+						round, id, st.CurrentEpoch, st.CurrentView, st.LastExecuted,
+						st.LowWater, st.SeqHead, st.LogInstances, st.CheckpointStates,
+						st.PendingRequests, st.ViewChanges, st.StateTransfers)
+				}
+			case !bytes.Equal(res, want):
+				report.ByzProbeErrs++
+				report.Violations = append(report.Violations,
+					fmt.Sprintf("round %d: %s attack forged a reply: got %q want %q", round, byzKind, res, want))
+			}
+		}
+
+		// 4. Clear transient faults and verify the invariants held. After
+		// a Byzantine round, also cross-check every replica's execution
+		// trace: no two replicas may have executed different commands at
+		// the same sequence number, no matter what the attackers sent.
+		byzRound := len(attackers) > 0
+		disarmByz()
 		cur.SetFaultPolicy(nil)
 		ltuMode.Store(int32(ltuHealthy))
 		if isolated >= 0 {
@@ -543,6 +706,11 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		}
 		if cutA >= 0 {
 			net.Heal(cutA, cutB)
+		}
+		if byzRound {
+			for _, v := range checkExecTraces(cur) {
+				report.Violations = append(report.Violations, fmt.Sprintf("round %d: %s", round, v))
+			}
 		}
 		checkRound(fmt.Sprintf("round %d", round))
 	}
@@ -557,6 +725,11 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	stopLoad()
 	wg.Wait()
 	checkRound("final")
+	if cfg.ByzFaults {
+		for _, v := range checkExecTraces(ctrlP.Load()) {
+			report.Violations = append(report.Violations, fmt.Sprintf("final: %s", v))
+		}
+	}
 
 	// Closing liveness probe: the service must still order requests
 	// through the final membership.
@@ -592,6 +765,81 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// checkExecTraces is the Byzantine safety cross-check: it collects every
+// running replica's recent execution trace and verifies that no two
+// replicas executed different command batches at the same sequence
+// number. The attackers only control compromised replicas' *sends*, so
+// every replica's own trace is trustworthy evidence of what it executed.
+// replicaStats snapshots every running replica's protocol position for
+// liveness forensics.
+func replicaStats(c *Controller) map[transport.NodeID]bft.ReplicaStats {
+	c.mu.Lock()
+	reps := make(map[transport.NodeID]*bft.Replica, len(c.nodes))
+	for id, slot := range c.nodes {
+		if slot == nil || slot.node == nil {
+			continue
+		}
+		if r := slot.node.Replica(); r != nil {
+			reps[id] = r
+		}
+	}
+	c.mu.Unlock()
+	out := make(map[transport.NodeID]bft.ReplicaStats, len(reps))
+	for id, r := range reps {
+		out[id] = r.Stats()
+	}
+	return out
+}
+
+func checkExecTraces(c *Controller) []string {
+	c.mu.Lock()
+	reps := make(map[transport.NodeID]*bft.Replica, len(c.nodes))
+	for id, slot := range c.nodes {
+		if slot == nil || slot.node == nil {
+			continue
+		}
+		if r := slot.node.Replica(); r != nil {
+			reps[id] = r
+		}
+	}
+	c.mu.Unlock()
+
+	ids := make([]transport.NodeID, 0, len(reps))
+	for id := range reps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var v []string
+	nullDigest := (&bft.Batch{}).Digest()
+	kind := func(d bft.Digest) string {
+		if d == nullDigest {
+			return "null"
+		}
+		return fmt.Sprintf("%x", d[:4])
+	}
+	first := make(map[uint64]bft.ExecRecord)   // seq -> first record seen
+	owner := make(map[uint64]transport.NodeID) // seq -> replica that set it
+	for _, id := range ids {
+		for _, rec := range reps[id].ExecTrace() {
+			if prev, ok := first[rec.Seq]; ok {
+				if prev.Digest != rec.Digest {
+					v = append(v, fmt.Sprintf(
+						"SAFETY: replicas %d and %d executed different batches at seq %d "+
+							"(%d: batch %s at epoch %d view %d; %d: batch %s at epoch %d view %d)",
+						owner[rec.Seq], id, rec.Seq,
+						owner[rec.Seq], kind(prev.Digest), prev.Epoch, prev.View,
+						id, kind(rec.Digest), rec.Epoch, rec.View))
+				}
+				continue
+			}
+			first[rec.Seq] = rec
+			owner[rec.Seq] = id
+		}
+	}
+	return v
 }
 
 // checkInvariants verifies the chaos safety conditions against the

@@ -144,6 +144,20 @@ func (b *Builder) publicKeyLocked(node transport.NodeID) (ed25519.PublicKey, err
 	return pub, nil
 }
 
+// PrivateKey returns (minting if necessary) the signing key of a node.
+// The chaos harness uses it to arm Byzantine attacker replicas with
+// their own credentials: a compromised replica signs its forged traffic
+// with its real key, so nothing it emits is detectable by signature
+// checking alone.
+func (b *Builder) PrivateKey(node transport.NodeID) (ed25519.PrivateKey, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.publicKeyLocked(node); err != nil {
+		return nil, err
+	}
+	return b.keys[node], nil
+}
+
 // Node is one execution-plane machine: an LTU-drivable slot that can host
 // one replica at a time.
 type Node struct {

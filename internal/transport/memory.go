@@ -34,12 +34,13 @@ type Memory struct {
 	cfg   MemoryConfig
 	stats counters
 
-	mu        sync.Mutex
-	endpoints map[NodeID]*memEndpoint
-	cut       map[[2]NodeID]bool
-	rng       *rand.Rand
-	closed    bool
-	wg        sync.WaitGroup
+	mu           sync.Mutex
+	endpoints    map[NodeID]*memEndpoint
+	cut          map[[2]NodeID]bool
+	interceptors map[NodeID]SendInterceptor
+	rng          *rand.Rand
+	closed       bool
+	wg           sync.WaitGroup
 }
 
 // NewMemory builds an in-memory network.
@@ -48,10 +49,11 @@ func NewMemory(cfg MemoryConfig) *Memory {
 		cfg.QueueDepth = 4096
 	}
 	m := &Memory{
-		cfg:       cfg,
-		endpoints: make(map[NodeID]*memEndpoint),
-		cut:       make(map[[2]NodeID]bool),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cfg:          cfg,
+		endpoints:    make(map[NodeID]*memEndpoint),
+		cut:          make(map[[2]NodeID]bool),
+		interceptors: make(map[NodeID]SendInterceptor),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
 	}
 	m.stats.init(cfg.Metrics, "transport.memory")
 	return m
@@ -124,6 +126,20 @@ func (m *Memory) Rejoin(id NodeID) {
 	}
 }
 
+// Intercept installs fn as the per-sender payload interceptor for id:
+// every Send from id first passes through fn, and whatever payloads it
+// returns are delivered in the original's place. fn runs outside the
+// network lock. A nil fn removes the hook.
+func (m *Memory) Intercept(id NodeID, fn SendInterceptor) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fn == nil {
+		delete(m.interceptors, id)
+		return
+	}
+	m.interceptors[id] = fn
+}
+
 func link(a, b NodeID) [2]NodeID {
 	if a > b {
 		a, b = b, a
@@ -154,8 +170,27 @@ func (m *Memory) Close() error {
 // ID implements Endpoint.
 func (ep *memEndpoint) ID() NodeID { return ep.id }
 
-// Send implements Endpoint.
+// Send implements Endpoint. If a SendInterceptor is installed for this
+// sender, the payload is rewritten (outside the network lock) before
+// normal cut/loss/delay handling applies to each resulting payload.
 func (ep *memEndpoint) Send(to NodeID, payload []byte) error {
+	m := ep.net
+	m.mu.Lock()
+	fn := m.interceptors[ep.id]
+	m.mu.Unlock()
+	if fn == nil {
+		return ep.sendOne(to, payload)
+	}
+	var first error
+	for _, p := range fn(to, payload) {
+		if err := ep.sendOne(to, p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (ep *memEndpoint) sendOne(to NodeID, payload []byte) error {
 	m := ep.net
 	st := &m.stats
 	m.mu.Lock()

@@ -34,6 +34,15 @@ type Envelope struct {
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
 
+// SendInterceptor rewrites one node's outbound traffic: given the
+// destination and the payload about to leave, it returns the payloads
+// actually handed to the network — the original to pass through, none
+// to censor the send, or several to equivocate or inject extras. It is
+// the hook the Byzantine chaos harness uses to turn a correct replica's
+// endpoint into an attacker's. Implementations must be safe for
+// concurrent use and must not call back into the network.
+type SendInterceptor func(to NodeID, payload []byte) [][]byte
+
 // Endpoint is one node's connection to the network.
 type Endpoint interface {
 	// ID returns the node this endpoint belongs to.
