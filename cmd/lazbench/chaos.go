@@ -24,15 +24,20 @@ import (
 // cleanly. With byzFaults, rounds additionally turn f members into
 // attacker replicas — equivocation, stale-vote replay, corrupted state
 // snapshots, censoring primaries — and the run also asserts that no two
-// replicas diverged and no forged reply was accepted.
-func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults, byzFaults bool, walPath string) error {
+// replicas diverged and no forged reply was accepted. With wanProfile,
+// the execution plane runs under that netem condition profile — latency,
+// loss, reordering, bandwidth caps — with scheduled partition episodes
+// (symmetric, asymmetric, isolating) that must each end in a post-heal
+// commit; the replicas switch to adaptive progress timeouts to survive
+// the conditions.
+func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults, byzFaults bool, walPath, wanProfile string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
 	reg := metrics.NewRegistry()
 	tr := metrics.NewTracer(16384)
-	fmt.Printf("== chaos: %d monitor rounds, seed %d, controller faults %v, byzantine faults %v ==\n",
-		rounds, seed, controllerFaults, byzFaults)
+	fmt.Printf("== chaos: %d monitor rounds, seed %d, controller faults %v, byzantine faults %v, wan %q ==\n",
+		rounds, seed, controllerFaults, byzFaults, wanProfile)
 	rep, err := controlplane.RunChaos(ctx, controlplane.ChaosConfig{
 		Rounds:        rounds,
 		Seed:          seed,
@@ -45,6 +50,7 @@ func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults, byzFa
 		// Force the first four eligible rounds Byzantine so even short
 		// runs cycle through every attack kind.
 		ForceByzRounds: []int{0, 1, 2, 3},
+		WANProfile:     wanProfile,
 		WALPath:        walPath,
 		Metrics:        reg,
 		Trace:          tr,
@@ -75,6 +81,12 @@ func chaosRun(rounds int, seed int64, metricsOut string, controllerFaults, byzFa
 		fmt.Printf("byzantine       %d attack rounds, %d/%d in-attack probes served, actions %+v\n",
 			rep.ByzRounds, rep.ByzProbes-rep.ByzProbeErrs, rep.ByzProbes, rep.ByzStats)
 		fmt.Printf("  schedule      %v\n", rep.ByzSchedule)
+	}
+	if wanProfile != "" {
+		fmt.Printf("wan             %d partition episodes, %d/%d post-heal probes served\n",
+			rep.WANRounds, rep.WANProbes-rep.WANProbeErrs, rep.WANProbes)
+		fmt.Printf("  schedule      %v\n", rep.WANSchedule)
+		fmt.Printf("  netem         %+v\n", rep.Netem)
 	}
 	fmt.Printf("transport       %+v\n", rep.Net)
 	fmt.Printf("final config    %v (epoch %d, members %v)\n",

@@ -14,19 +14,24 @@
 //	lazbench ablation        risk-metric ablations + threshold sweep
 //	lazbench leader          leader-placement analysis (paper §9)
 //	lazbench net             real-transport micro-run + frame/drop counters
-//	lazbench chaos [-rounds N] [-metrics-out F] [-controller-faults] [-byz-faults] [-wal F]
+//	lazbench chaos [-rounds N] [-metrics-out F] [-controller-faults] [-byz-faults] [-wal F] [-wan P]
 //	                         control-plane chaos run: swaps under faults;
 //	                         -controller-faults also kills and WAL-recovers the
 //	                         controller mid-swap (-wal backs it with a file WAL);
 //	                         -byz-faults turns f members into attacker replicas
 //	                         (equivocation, replay, corrupted state, censoring
-//	                         primary) and asserts safety and liveness throughout
-//	lazbench perf [-out F] [-sweep] [-baseline F]
+//	                         primary) and asserts safety and liveness throughout;
+//	                         -wan runs the whole thing under a netem profile
+//	                         (lan|wan|flaky|geo3) with scheduled partition episodes
+//	                         that must each end in a post-heal commit
+//	lazbench perf [-out F] [-sweep] [-baseline F] [-wan P1,P2]
 //	                         live-cluster throughput, commit-latency and swap-stage
 //	                         quantiles (baseline JSON written to -out, default
-//	                         BENCH_pr8.json); -sweep adds a batch-size × pipeline-depth
-//	                         grid, -baseline fails the run if ops/s regresses more than
-//	                         30% below a checked-in baseline artifact
+//	                         BENCH_pr9.json); -sweep adds a batch-size × pipeline-depth
+//	                         grid, -wan adds a static-vs-adaptive progress-timeout
+//	                         comparison per named netem profile, -baseline fails the
+//	                         run if ops/s regresses more than 30% below a checked-in
+//	                         baseline artifact measured at the same configuration
 //	lazbench metrics         instrumented micro-run; prints the registry snapshot as JSON
 //	lazbench all             everything above (except ablations, chaos, perf and metrics)
 //
@@ -56,8 +61,9 @@ func run(args []string) error {
 	ctrlFaults := fs.Bool("controller-faults", false, "chaos: kill and WAL-recover the controller mid-swap")
 	byzFaults := fs.Bool("byz-faults", false, "chaos: turn f members into Byzantine attacker replicas per round")
 	walPath := fs.String("wal", "", "chaos: back the control plane with a file WAL at this path")
+	wan := fs.String("wan", "", "netem profile: chaos takes one name, perf a comma-separated list (lan|wan|flaky|geo3)")
 	metricsOut := fs.String("metrics-out", "", "write the perf/chaos metrics baseline JSON to this file")
-	out := fs.String("out", "BENCH_pr8.json", "perf baseline artifact path (-metrics-out overrides)")
+	out := fs.String("out", "BENCH_pr9.json", "perf baseline artifact path (-metrics-out overrides)")
 	sweep := fs.Bool("sweep", false, "perf: also sweep batch size × pipeline depth")
 	baseline := fs.String("baseline", "", "perf: fail if ops/s drops >30% below this baseline JSON")
 	if len(args) == 0 {
@@ -83,14 +89,14 @@ func run(args []string) error {
 		"leader":   func(int, int64) error { return leaderPlacement() },
 		"net":      func(int, int64) error { return netStats() },
 		"chaos": func(_ int, s int64) error {
-			return chaosRun(*rounds, s, *metricsOut, *ctrlFaults, *byzFaults, *walPath)
+			return chaosRun(*rounds, s, *metricsOut, *ctrlFaults, *byzFaults, *walPath, *wan)
 		},
 		"perf": func(_ int, s int64) error {
 			path := *out
 			if *metricsOut != "" {
 				path = *metricsOut
 			}
-			return perfCmd(s, path, *sweep, *baseline)
+			return perfCmd(s, path, *sweep, *baseline, *wan)
 		},
 		"metrics": func(_ int, s int64) error { return metricsCmd(s) },
 	}

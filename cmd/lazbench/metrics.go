@@ -15,6 +15,7 @@ import (
 	"lazarus/internal/bft/bfttest"
 	"lazarus/internal/controlplane"
 	"lazarus/internal/metrics"
+	"lazarus/internal/netem"
 	"lazarus/internal/transport"
 )
 
@@ -25,15 +26,22 @@ import (
 // fault-free control-plane run, and the full registry snapshot for
 // everything else.
 type benchSummary struct {
-	Tool            string                               `json:"tool"`
-	Seed            int64                                `json:"seed"`
-	LoadSeconds     float64                              `json:"load_seconds"`
-	Workers         int                                  `json:"workers"`
+	Tool        string  `json:"tool"`
+	Seed        int64   `json:"seed"`
+	LoadSeconds float64 `json:"load_seconds"`
+	Workers     int     `json:"workers"`
+	// BatchSize and PipelineDepth pin the main load phase's replica
+	// configuration (0 = replica default). Baseline comparisons are only
+	// meaningful between runs measured at the same (batch, depth,
+	// workers) shape — checkBaseline refuses to compare across shapes.
+	BatchSize       int                                  `json:"batch_size"`
+	PipelineDepth   int                                  `json:"pipeline_depth"`
 	Ops             uint64                               `json:"ops"`
 	OpErrors        uint64                               `json:"op_errors"`
 	OpsPerSec       float64                              `json:"ops_per_sec"`
 	CommitLatencyUS metrics.HistogramSnapshot            `json:"commit_latency_us"`
 	Sweep           []sweepPoint                         `json:"sweep,omitempty"`
+	WAN             []wanPoint                           `json:"wan,omitempty"`
 	SwapStagesUS    map[string]metrics.HistogramSnapshot `json:"swap_stages_us"`
 	SwapTotalUS     metrics.HistogramSnapshot            `json:"swap_total_us"`
 	SwapOutcomes    map[string]int64                     `json:"swap_outcomes"`
@@ -54,26 +62,65 @@ type sweepPoint struct {
 	P95US         int64   `json:"p95_us"`
 }
 
+// wanPoint is one cell of the netem-profile × timeout-mode grid: the
+// same load run under the named WAN conditions with static vs adaptive
+// progress timeouts. Adaptive must strictly reduce view changes — a
+// static timer tuned for the in-memory fabric fires spuriously at WAN
+// latency, and every spurious firing stalls the pipeline for a view
+// change.
+type wanPoint struct {
+	Profile          string  `json:"profile"`
+	Adaptive         bool    `json:"adaptive"`
+	Workers          int     `json:"workers"`
+	Ops              uint64  `json:"ops"`
+	OpErrors         uint64  `json:"op_errors"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	P50US            int64   `json:"p50_us"`
+	P95US            int64   `json:"p95_us"`
+	ViewChanges      int64   `json:"view_changes"`
+	ProgressTimeouts int64   `json:"progress_timeouts"`
+	TimeoutBackoffs  int64   `json:"timeout_backoffs"`
+}
+
 // loadOpts tunes one closed-loop load run.
 type loadOpts struct {
 	workers       int
 	dur           time.Duration
 	batchSize     int // 0 = replica default
 	pipelineDepth int // 0 = replica default
+	// wanProfile, when non-empty, wraps the cluster network in the named
+	// netem profile, seeded with seed; adaptive and viewChangeTimeout
+	// then pick the replicas' progress-timeout mode.
+	wanProfile        string
+	seed              int64
+	adaptive          bool
+	viewChangeTimeout time.Duration
 }
 
 // loadPhase runs a 4-replica in-process cluster with closed-loop KVS
 // clients reporting into reg/tr, and returns (ops, errors).
 func loadPhase(ctx context.Context, reg *metrics.Registry, tr *metrics.Tracer, lo loadOpts) (uint64, uint64, error) {
 	workers, dur := lo.workers, lo.dur
-	c, err := bfttest.Launch(func(transport.NodeID) bft.Application { return kvs.New() }, bfttest.Options{
-		Clients:       workers,
-		BatchDelay:    time.Millisecond,
-		BatchSize:     lo.batchSize,
-		PipelineDepth: lo.pipelineDepth,
-		Metrics:       reg,
-		Trace:         tr,
-	})
+	opts := bfttest.Options{
+		Clients:           workers,
+		BatchDelay:        time.Millisecond,
+		BatchSize:         lo.batchSize,
+		PipelineDepth:     lo.pipelineDepth,
+		ViewChangeTimeout: lo.viewChangeTimeout,
+		AdaptiveTimeout:   lo.adaptive,
+		Metrics:           reg,
+		Trace:             tr,
+	}
+	if lo.wanProfile != "" {
+		prof, err := netem.ByName(lo.wanProfile)
+		if err != nil {
+			return 0, 0, err
+		}
+		opts.NetWrap = func(m *transport.Memory) transport.Network {
+			return netem.Wrap(m, netem.Config{Profile: prof, Seed: lo.seed, Metrics: reg})
+		}
+	}
+	c, err := bfttest.Launch(func(transport.NodeID) bft.Application { return kvs.New() }, opts)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -209,9 +256,71 @@ func sweepGrid(ctx context.Context, seed int64) ([]sweepPoint, error) {
 	return points, nil
 }
 
+// wanGrid measures the same closed-loop load under each named netem
+// profile twice — static progress timeouts, then adaptive — with an
+// aggressive base ViewChangeTimeout so the static timer provably fires
+// under WAN latency. One fresh cluster and registry per cell.
+func wanGrid(ctx context.Context, seed int64, profiles []string) ([]wanPoint, error) {
+	const (
+		workers = 4
+		cellDur = 2500 * time.Millisecond
+		// Aggressive for a WAN on purpose: below the ~40ms propose→execute
+		// chain at continental RTTs, so a static progress timer misfires
+		// on ordinary pipelined load. The adaptive controller starts from
+		// the same base and must learn its way out.
+		baseTimeout = 30 * time.Millisecond
+	)
+	var points []wanPoint
+	fmt.Printf("-- wan: profile x timeout mode, %d closed-loop clients, %v per cell, %v base timeout --\n",
+		workers, cellDur, baseTimeout)
+	fmt.Printf("%8s %9s %10s %9s %9s %8s %9s %9s\n",
+		"profile", "timeouts", "ops/sec", "p50(us)", "p95(us)", "vchanges", "ptimeouts", "backoffs")
+	for _, name := range profiles {
+		for _, adaptive := range []bool{false, true} {
+			reg := metrics.NewRegistry()
+			tr := metrics.NewTracer(4096)
+			ops, opErrs, err := loadPhase(ctx, reg, tr, loadOpts{
+				workers: workers, dur: cellDur,
+				wanProfile: name, seed: seed,
+				adaptive: adaptive, viewChangeTimeout: baseTimeout,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("wan %s adaptive=%v: %w", name, adaptive, err)
+			}
+			snap := reg.Snapshot()
+			lat := snap.Histograms["bft.commit_latency_us"]
+			pt := wanPoint{
+				Profile: name, Adaptive: adaptive, Workers: workers,
+				Ops: ops, OpErrors: opErrs,
+				OpsPerSec: float64(ops) / cellDur.Seconds(),
+				P50US:     lat.P50, P95US: lat.P95,
+				ViewChanges:      snap.Counters["bft.view_changes"],
+				ProgressTimeouts: snap.Counters["bft.progress_timeouts"],
+				TimeoutBackoffs:  snap.Counters["bft.timeout_backoffs"],
+			}
+			points = append(points, pt)
+			mode := "static"
+			if adaptive {
+				mode = "adaptive"
+			}
+			fmt.Printf("%8s %9s %10.0f %9d %9d %8d %9d %9d\n",
+				name, mode, pt.OpsPerSec, pt.P50US, pt.P95US,
+				pt.ViewChanges, pt.ProgressTimeouts, pt.TimeoutBackoffs)
+		}
+	}
+	return points, nil
+}
+
 // checkBaseline compares the measured throughput against a checked-in
 // baseline artifact and fails on a >30% regression — noisy CI runners
-// get headroom, a real fast-path regression does not.
+// get headroom, a real fast-path regression does not. The comparison is
+// pinned to matching configurations: ops/s measured at different
+// (batch, depth, workers) shapes are different experiments, and
+// comparing them produces phantom regressions (that is exactly how the
+// PR6→PR8 baseline "drop" read as a 2× loss — see DESIGN.md §11). When
+// the main phases differ in shape, the baseline's sweep grid is
+// searched for a cell matching the current shape; if none exists the
+// check is skipped with instructions to regenerate.
 func checkBaseline(path string, cur *benchSummary) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -221,22 +330,46 @@ func checkBaseline(path string, cur *benchSummary) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	floor := 0.7 * base.OpsPerSec
-	if cur.OpsPerSec < floor {
-		return fmt.Errorf("throughput regression: %.0f ops/s is below 70%% of the %s baseline (%.0f ops/s)",
-			cur.OpsPerSec, path, base.OpsPerSec)
+	shape := func(batch, depth, workers int) string {
+		return fmt.Sprintf("batch=%d depth=%d workers=%d", batch, depth, workers)
 	}
-	fmt.Printf("baseline check  %.0f ops/s >= %.0f (70%% of %s's %.0f)\n",
-		cur.OpsPerSec, floor, path, base.OpsPerSec)
+	curShape := shape(cur.BatchSize, cur.PipelineDepth, cur.Workers)
+	baseShape := shape(base.BatchSize, base.PipelineDepth, base.Workers)
+	baseOps := base.OpsPerSec
+	against := fmt.Sprintf("%s main phase (%s)", path, baseShape)
+	if baseShape != curShape {
+		fmt.Printf("baseline config delta: current %s vs %s %s\n", curShape, path, baseShape)
+		found := false
+		for _, pt := range base.Sweep {
+			if pt.BatchSize == cur.BatchSize && pt.PipelineDepth == cur.PipelineDepth && pt.Workers == cur.Workers {
+				baseOps, found = pt.OpsPerSec, true
+				against = fmt.Sprintf("%s sweep cell (%s)", path, curShape)
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("baseline check  skipped: %s has no measurement at %s; regenerate it with `lazbench perf -sweep -out %s`\n",
+				path, curShape, path)
+			return nil
+		}
+	}
+	floor := 0.7 * baseOps
+	if cur.OpsPerSec < floor {
+		return fmt.Errorf("throughput regression: %.0f ops/s is below 70%% of %s (%.0f ops/s)",
+			cur.OpsPerSec, against, baseOps)
+	}
+	fmt.Printf("baseline check  %.0f ops/s >= %.0f (70%% of %s %.0f)\n",
+		cur.OpsPerSec, floor, against, baseOps)
 	return nil
 }
 
 // perfCmd measures the live stack: closed-loop KVS throughput and
 // commit-latency quantiles on a real cluster, optionally the batch ×
-// pipeline sweep, then swap-stage timings from a fault-free
-// control-plane loop. The machine-readable baseline goes to metricsOut
-// (BENCH_pr8.json schema; see DESIGN.md).
-func perfCmd(seed int64, metricsOut string, sweep bool, baselinePath string) error {
+// pipeline sweep and the WAN static-vs-adaptive timeout grid, then
+// swap-stage timings from a fault-free control-plane loop. The
+// machine-readable baseline goes to metricsOut (BENCH_pr9.json schema;
+// see DESIGN.md).
+func perfCmd(seed int64, metricsOut string, sweep bool, baselinePath, wanProfiles string) error {
 	const (
 		workers = 3
 		loadDur = 3 * time.Second
@@ -260,12 +393,19 @@ func perfCmd(seed int64, metricsOut string, sweep bool, baselinePath string) err
 			return err
 		}
 	}
+	var wanPoints []wanPoint
+	if wanProfiles != "" {
+		if wanPoints, err = wanGrid(ctx, seed, strings.Split(wanProfiles, ",")); err != nil {
+			return err
+		}
+	}
 	if err := swapPhase(ctx, reg, tr, seed, rounds); err != nil {
 		return err
 	}
 
 	sum := summarize(reg, tr, seed, loadDur, workers, ops, opErrs)
 	sum.Sweep = sweepPoints
+	sum.WAN = wanPoints
 	lat := sum.CommitLatencyUS
 	fmt.Printf("throughput      %.0f ops/sec (%d ops, %d errors)\n", sum.OpsPerSec, sum.Ops, sum.OpErrors)
 	fmt.Printf("commit latency  p50 %dus  p95 %dus  p99 %dus  (n=%d, mean %.0fus)\n",

@@ -40,6 +40,14 @@ type Options struct {
 	ViewChangeTimeout time.Duration
 	// NetConfig shapes the in-memory network.
 	NetConfig transport.MemoryConfig
+	// NetWrap, when set, wraps the in-memory network before replicas and
+	// clients take endpoints from it — e.g. a netem layer imposing WAN
+	// latency, loss and partitions. The wrapper owns shutdown of the
+	// inner network.
+	NetWrap func(*transport.Memory) transport.Network
+	// AdaptiveTimeout switches replicas to RTT-tracking progress
+	// timeouts (see bft.ReplicaConfig.AdaptiveTimeout).
+	AdaptiveTimeout bool
 	// Fault assigns Byzantine behaviour per replica (nil = all correct).
 	Fault func(id transport.NodeID) bft.FaultMode
 	// Metrics, when set, is shared by the network and every replica, so
@@ -51,7 +59,10 @@ type Options struct {
 
 // Cluster is a running in-process BFT deployment.
 type Cluster struct {
-	Net        *transport.Memory
+	Net *transport.Memory
+	// Wrapped is the network replicas and clients actually use: the
+	// NetWrap result when set, otherwise Net itself.
+	Wrapped    transport.Network
 	Membership *bft.Membership
 	Replicas   map[transport.NodeID]*bft.Replica
 	Apps       map[transport.NodeID]bft.Application
@@ -91,6 +102,10 @@ func Launch(appFactory AppFactory, opts Options) (*Cluster, error) {
 		pubs:       make(map[transport.NodeID]ed25519.PublicKey),
 		clientKeys: make(map[transport.NodeID]ed25519.PublicKey),
 		clientPriv: make(map[transport.NodeID]ed25519.PrivateKey),
+	}
+	c.Wrapped = c.Net
+	if opts.NetWrap != nil {
+		c.Wrapped = opts.NetWrap(c.Net)
 	}
 	var err error
 	if c.ctrlPub, c.ctrlPriv, err = ed25519.GenerateKey(rand.Reader); err != nil {
@@ -146,7 +161,7 @@ func (c *Cluster) AddReplica(id transport.NodeID, joining bool) (*bft.Replica, e
 		Key:                c.keys[id],
 		Membership:         c.Membership,
 		App:                app,
-		Net:                c.Net,
+		Net:                c.Wrapped,
 		ClientKeys:         c.clientKeys,
 		ControllerKey:      c.ctrlPub,
 		BatchSize:          c.opts.BatchSize,
@@ -155,6 +170,7 @@ func (c *Cluster) AddReplica(id transport.NodeID, joining bool) (*bft.Replica, e
 		VerifyWorkers:      c.opts.VerifyWorkers,
 		CheckpointInterval: c.opts.CheckpointInterval,
 		ViewChangeTimeout:  c.opts.ViewChangeTimeout,
+		AdaptiveTimeout:    c.opts.AdaptiveTimeout,
 		Joining:            joining,
 		Fault:              fault,
 		Metrics:            c.opts.Metrics,
@@ -189,7 +205,7 @@ func (c *Cluster) Client(i int) (*bft.Client, error) {
 		Replicas:       c.Membership.Replicas,
 		ReplicaKeys:    c.pubs,
 		F:              c.Membership.F(),
-		Net:            c.Net,
+		Net:            c.Wrapped,
 		RequestTimeout: 500 * time.Millisecond,
 		MaxAttempts:    12,
 	})
@@ -204,7 +220,7 @@ func (c *Cluster) Controller() (*bft.Client, error) {
 		Replicas:       c.Membership.Replicas,
 		ReplicaKeys:    c.pubs,
 		F:              c.Membership.F(),
-		Net:            c.Net,
+		Net:            c.Wrapped,
 		RequestTimeout: 600 * time.Millisecond,
 		MaxAttempts:    12,
 	})
@@ -215,10 +231,12 @@ func (c *Cluster) Controller() (*bft.Client, error) {
 // actually moved traffic, or for spotting silent drops in benchmarks.
 func (c *Cluster) NetStats() transport.Stats { return c.Net.Stats() }
 
-// Stop shuts every replica and the network down.
+// Stop shuts every replica and the network down. Closing Wrapped
+// closes the inner network too (wrappers own inner shutdown), and when
+// no wrapper is installed Wrapped is the inner network itself.
 func (c *Cluster) Stop() {
 	for _, r := range c.Replicas {
 		r.Stop()
 	}
-	c.Net.Close()
+	c.Wrapped.Close()
 }

@@ -28,6 +28,12 @@ type ClientConfig struct {
 	RequestTimeout time.Duration
 	// MaxAttempts bounds retransmissions before giving up (default 8).
 	MaxAttempts int
+	// RetryBackoff is the pause before the second attempt, doubling per
+	// attempt up to RetryBackoffMax (defaults RequestTimeout/8 and
+	// RequestTimeout). Backing off keeps an open-loop surge of timed-out
+	// clients from hammering a group that is merely slow — retransmitting
+	// at full rate into a congested WAN is how load surges wedge it.
+	RetryBackoff, RetryBackoffMax time.Duration
 	// ReplicaKeys maps replicas to their public keys. When non-empty,
 	// Invoke discards any reply whose signature does not verify against
 	// the sender's key — membership filtering alone lets anything able to
@@ -66,6 +72,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = cfg.RequestTimeout / 8
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = cfg.RequestTimeout
 	}
 	ep, err := cfg.Net.Endpoint(cfg.ID)
 	if err != nil {
@@ -145,11 +157,33 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	}
 
 	votes := make(map[transport.NodeID][]byte)
+	backoff := c.cfg.RetryBackoff
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for _, id := range replicas {
+		if attempt > 0 {
+			// Exponential backoff between attempts (see RetryBackoff).
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+			if backoff > c.cfg.RetryBackoffMax {
+				backoff = c.cfg.RetryBackoffMax
+			}
+		}
+		// Rotate which replica is contacted first on each attempt. The
+		// request still reaches every replica, but ordering starts at the
+		// first frame to arrive at the primary — and when the primary (or
+		// the link to it) is the reason we are retrying, leading with a
+		// different replica means some backup holds the request and its
+		// progress timer, not just ours, drives the view change.
+		for i := range replicas {
+			id := replicas[(i+attempt)%len(replicas)]
 			if err := c.ep.Send(id, payload); err != nil {
 				// Dead replicas are expected during reconfiguration.
 				continue

@@ -37,6 +37,16 @@ type replicaInstruments struct {
 	verifyCacheHits *metrics.Counter
 	verifyOffloaded *metrics.Counter
 
+	// progressTimeouts counts unproductive progress-timer firings;
+	// timeoutBackoffs counts the ones that raised the adaptive backoff
+	// level; retransmitVotes counts stuck instances whose votes the
+	// timeout re-broadcast; requestForwards counts pending requests
+	// re-forwarded to the primary.
+	progressTimeouts *metrics.Counter
+	timeoutBackoffs  *metrics.Counter
+	retransmitVotes  *metrics.Counter
+	requestForwards  *metrics.Counter
+
 	// msgIn counts inbound protocol messages per type, indexed by MsgType.
 	msgIn [MsgCatchUp + 1]*metrics.Counter
 }
@@ -55,6 +65,10 @@ func newReplicaInstruments(reg *metrics.Registry) replicaInstruments {
 		verifyOps:        reg.Counter("bft.verify_ops"),
 		verifyCacheHits:  reg.Counter("bft.verify_cache_hits"),
 		verifyOffloaded:  reg.Counter("bft.verify_offloaded"),
+		progressTimeouts: reg.Counter("bft.progress_timeouts"),
+		timeoutBackoffs:  reg.Counter("bft.timeout_backoffs"),
+		retransmitVotes:  reg.Counter("bft.retransmit_votes"),
+		requestForwards:  reg.Counter("bft.request_forwards"),
 	}
 	for t := MsgRequest; t <= MsgCatchUp; t++ {
 		ri.msgIn[t] = reg.Counter("bft.msg_in." + strings.ToLower(t.String()))

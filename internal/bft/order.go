@@ -481,6 +481,10 @@ func (r *Replica) executeReady() {
 		if !in.startedAt.IsZero() {
 			durUS := time.Since(in.startedAt).Microseconds() //lazlint:allow wallclock(commit-latency metric; observability only)
 			r.ins.commitLatencyUS.Observe(durUS)
+			// The same measurement feeds the adaptive progress timer:
+			// propose→execute is the consensus round trip the timer
+			// waits out. Inert when AdaptiveTimeout is off.
+			r.toctl.observe(time.Duration(durUS) * time.Microsecond)
 			r.trace.Emit(metrics.Event{
 				Type: metrics.EvConsensusExecuted, Node: int64(r.cfg.ID),
 				Seq: next, Epoch: r.membership.Epoch, View: r.view, DurUS: durUS,
@@ -496,7 +500,10 @@ func (r *Replica) executeReady() {
 	// Progress was made: disarm, and if work remains start a fresh
 	// timeout (PBFT resets the progress timer whenever execution
 	// advances; without the reset, sustained load turns the timer into
-	// a spurious view-change generator).
+	// a spurious view-change generator). Execution also decays one
+	// timeout-backoff level: the suspicion behind the last unproductive
+	// timeout is being disproven.
+	r.toctl.progress()
 	r.disarmProgressTimer()
 	if len(r.pending) > 0 {
 		r.armProgressTimer()

@@ -69,7 +69,19 @@ type ReplicaConfig struct {
 	// WindowSize is L, the log window (default 2K).
 	WindowSize uint64
 	// ViewChangeTimeout is the request-progress timer (default 300ms).
+	// With AdaptiveTimeout it is only the pre-sample base; afterwards the
+	// timer tracks measured consensus round trips.
 	ViewChangeTimeout time.Duration
+	// AdaptiveTimeout switches the progress timer from the static
+	// ViewChangeTimeout constant to a measured-RTT base with exponential
+	// backoff on consecutive timeouts and decay on progress (see
+	// timeoutCtl). Off by default: deterministic tests pin exact timer
+	// behaviour, and the perf harness compares both modes.
+	AdaptiveTimeout bool
+	// TimeoutMin and TimeoutMax clamp the adaptive timer (defaults
+	// ViewChangeTimeout/4 and 8×ViewChangeTimeout). Ignored when
+	// AdaptiveTimeout is off.
+	TimeoutMin, TimeoutMax time.Duration
 	// Joining marks a replica that starts outside the group and must
 	// state-transfer in after a reconfiguration adds it.
 	Joining bool
@@ -119,6 +131,12 @@ func (c *ReplicaConfig) fill() error {
 	}
 	if c.ViewChangeTimeout <= 0 {
 		c.ViewChangeTimeout = 300 * time.Millisecond
+	}
+	if c.TimeoutMin <= 0 {
+		c.TimeoutMin = c.ViewChangeTimeout / 4
+	}
+	if c.TimeoutMax <= 0 {
+		c.TimeoutMax = 8 * c.ViewChangeTimeout
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -212,6 +230,8 @@ type Replica struct {
 	vcTarget     uint64 // highest view this replica volunteered for
 	vcTimer      *time.Timer
 	vcArmed      bool
+	// toctl drives the progress-timer duration (static or adaptive).
+	toctl timeoutCtl
 
 	// State transfer state.
 	stReplies  map[transport.NodeID]*Message
@@ -329,6 +349,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		ins:         newReplicaInstruments(cfg.Metrics),
 		trace:       cfg.Trace,
 	}
+	r.toctl = newTimeoutCtl(cfg.AdaptiveTimeout, cfg.ViewChangeTimeout, cfg.TimeoutMin, cfg.TimeoutMax)
 	r.vcTimer = time.NewTimer(time.Hour)
 	if !r.vcTimer.Stop() {
 		<-r.vcTimer.C

@@ -14,7 +14,7 @@ func (r *Replica) armProgressTimer() {
 	if r.vcArmed {
 		return
 	}
-	r.vcTimer.Reset(r.cfg.ViewChangeTimeout)
+	r.vcTimer.Reset(r.toctl.timeout())
 	r.vcArmed = true
 }
 
@@ -40,6 +40,13 @@ func (r *Replica) onProgressTimeout() {
 	}
 	if r.cfg.Fault == FaultSilent {
 		return
+	}
+	// The timer fired unproductively: back the next one off (adaptive
+	// mode) so a network merely slower than the estimate gets a longer
+	// second chance before the next escalation.
+	r.ins.progressTimeouts.Inc()
+	if r.toctl.onTimeout() {
+		r.ins.timeoutBackoffs.Inc()
 	}
 	if r.epochProbe > r.membership.Epoch {
 		// A member advertised a higher epoch and our state transfer has
@@ -67,8 +74,17 @@ func (r *Replica) onProgressTimeout() {
 		}
 	}
 	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	// Bounded: each entry re-broadcast here costs up to two n-wide
+	// fan-outs, and a deep pipeline stalled by a partition could hold
+	// WindowSize instances. Retransmitting them all would flood the very
+	// link that is struggling; the oldest few are the ones blocking
+	// in-order execution, so they carry all the healing power anyway.
+	if len(stuck) > retransmitInstanceCap {
+		stuck = stuck[:retransmitInstanceCap]
+	}
 	for _, seq := range stuck {
 		in := r.log[seq]
+		r.ins.retransmitVotes.Inc()
 		pm := &Message{
 			Type:        MsgPrepare,
 			From:        r.cfg.ID,
@@ -84,6 +100,26 @@ func (r *Replica) onProgressTimeout() {
 			cm.Type = MsgCommit
 			cm.Sig = nil // commit votes are unsigned
 			r.broadcast(&cm)
+		}
+	}
+	// Re-forward the oldest pending (never-ordered) requests to the
+	// current primary. A request a backup holds can sit unordered for
+	// benign reasons on a lossy network — the client's frame to the
+	// primary was dropped while ours arrived — and without forwarding,
+	// the only retransmission path is the client's own retry, which on a
+	// WAN round trip costs far more than a replica-to-primary hop.
+	// Requests self-authenticate (client-signed), so the primary treats a
+	// forwarded copy exactly like a direct submission. Bounded like the
+	// vote retransmission, and pointless when we are the primary.
+	if primary := r.membership.Primary(r.view); primary != r.cfg.ID {
+		n := len(r.pending)
+		if n > retransmitRequestCap {
+			n = retransmitRequestCap
+		}
+		for i := 0; i < n; i++ {
+			req := r.pending[i]
+			r.send(primary, &Message{Type: MsgRequest, Request: &req})
+			r.ins.requestForwards.Inc()
 		}
 	}
 	// Escalate past an incomplete view change: if we already volunteered

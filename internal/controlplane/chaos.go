@@ -26,6 +26,7 @@ import (
 	"lazarus/internal/feeds"
 	"lazarus/internal/ltu"
 	"lazarus/internal/metrics"
+	"lazarus/internal/netem"
 	"lazarus/internal/osint"
 	"lazarus/internal/transport"
 )
@@ -98,6 +99,17 @@ type ChaosConfig struct {
 	// tails, checksums). Empty keeps the WAL in memory.
 	WALPath string
 
+	// WANProfile, when non-empty, wraps the execution-plane network in
+	// the named netem profile (see netem.Names): per-link latency, loss,
+	// reordering and bandwidth caps, plus scheduled partition episodes —
+	// symmetric splits, asymmetric mutes and node isolations cycling per
+	// the profile's PartitionProb. Partition dice roll on their own rng
+	// stream ("wan\0"), so enabling WAN conditions does not perturb the
+	// fault or swap-decision schedule of the same seed. WAN runs switch
+	// the replicas to adaptive progress timeouts; every partitioned round
+	// must reach a post-heal commit or it is a Violation.
+	WANProfile string
+
 	// CatchUpTimeout and SwapStageTimeout override the controller's
 	// defaults (chaos wants short ones; defaults 2.5s and 2s).
 	CatchUpTimeout, SwapStageTimeout time.Duration
@@ -136,11 +148,25 @@ func (c *ChaosConfig) fill() {
 	def(&c.BombProb, 0.6)
 	def(&c.ControllerKillProb, 0.35)
 	def(&c.ByzProb, 0.5)
+	// Swap stages drive consensus operations whose latency scales with
+	// the network: the LAN-tuned 2s stage deadline aborts healthy swaps
+	// under continental RTTs (and a timing-dependent abort makes the swap
+	// history diverge between identically-seeded runs), so WAN runs get
+	// defaults with real headroom. The margin is deliberately generous —
+	// a swap landing right after a censoring-primary round waits out the
+	// backed-off view-change demotion before its reconfig can commit, and
+	// a shared CI box stretches every one of those latencies further.
 	if c.CatchUpTimeout <= 0 {
 		c.CatchUpTimeout = 2500 * time.Millisecond
+		if c.WANProfile != "" {
+			c.CatchUpTimeout = 20 * time.Second
+		}
 	}
 	if c.SwapStageTimeout <= 0 {
 		c.SwapStageTimeout = 2 * time.Second
+		if c.WANProfile != "" {
+			c.SwapStageTimeout = 15 * time.Second
+		}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -194,6 +220,18 @@ type ChaosReport struct {
 	// issued while attacks were live. A probe that cannot complete — or
 	// that reads back a forged value — is a Violation.
 	ByzProbes, ByzProbeErrs int
+	// WANRounds counts rounds that opened a partition episode;
+	// WANSchedule records one "r<round>:<desc>" entry per episode —
+	// identically-seeded runs must produce identical schedules.
+	WANRounds   int
+	WANSchedule []string
+	// WANProbes and WANProbeErrs tally the post-heal liveness probes. A
+	// partitioned round whose heal is not followed by a commit is a
+	// Violation.
+	WANProbes, WANProbeErrs int
+	// Netem is the condition layer's frame/drop/delay telemetry
+	// (zero unless WANProfile was set).
+	Netem netem.Stats
 	// Generation is the final controller's recovery generation
 	// (0 = the bootstrap controller survived the whole run).
 	Generation int
@@ -227,6 +265,18 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	// The Byzantine dice likewise get their own stream ("byza"), keeping
 	// the main schedule comparable with and without attacks.
 	byzRng := mrand.New(mrand.NewSource(cfg.Seed ^ 0x62797a61))
+	// The WAN partition dice get their own stream ("wan\0") for the same
+	// reason: a run with -wan keeps the fault/swap schedule of the plain
+	// run with that seed.
+	wanRng := mrand.New(mrand.NewSource(cfg.Seed ^ 0x77616e00))
+
+	var wanProf *netem.Profile
+	if cfg.WANProfile != "" {
+		var err error
+		if wanProf, err = netem.ByName(cfg.WANProfile); err != nil {
+			return nil, err
+		}
+	}
 
 	ds, err := feeds.GenerateDataset(feeds.GenConfig{
 		Seed:  cfg.Seed,
@@ -237,8 +287,19 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		return nil, err
 	}
 
+	// The memory network stays in `net` for the fault injectors
+	// (Intercept/Isolate/Cut act on real queues); the controller and every
+	// replica/client endpoint go through `cnet`, which is the netem
+	// wrapper when a WAN profile is set. Closing the wrapper closes the
+	// inner network too.
 	net := transport.NewMemory(transport.MemoryConfig{Seed: cfg.Seed, Metrics: cfg.Metrics})
-	defer net.Close()
+	var cnet transport.Network = net
+	var wnet *netem.Network
+	if wanProf != nil {
+		wnet = netem.Wrap(net, netem.Config{Profile: wanProf, Seed: cfg.Seed, Metrics: cfg.Metrics})
+		cnet = wnet
+	}
+	defer cnet.Close()
 
 	// Hybrid clock: simulated days advance when intel is published, real
 	// time keeps flowing so catch-up deadlines expire on the wall clock.
@@ -249,13 +310,11 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		return base.Add(time.Duration(simDays.Load())*24*time.Hour + time.Since(start))
 	}
 
-	// Register the load workers, the controller-down probe, the Byzantine
-	// liveness probe (when enabled), and the final liveness probe as
-	// clients.
-	probes := cfg.ClientWorkers + 2
-	if cfg.ByzFaults {
-		probes++
-	}
+	// Register the load workers plus the probe identities as clients. The
+	// probe ids are fixed offsets past the workers: +1 controller-down,
+	// +2 Byzantine, +3 post-heal WAN, +4 final liveness — registered
+	// unconditionally so enabling a fault class never renumbers the rest.
+	probes := cfg.ClientWorkers + 4
 	clientKeys := make(map[transport.NodeID]ed25519.PublicKey, probes)
 	clientPrivs := make(map[transport.NodeID]ed25519.PrivateKey, probes)
 	for i := 0; i < probes; i++ {
@@ -295,7 +354,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			Seed:         cfg.Seed,
 			Clock:        clock,
 			InitialVulns: vulns,
-			Net:          net,
+			Net:          cnet,
 			App:          func() bft.Application { return kvs.New() },
 			ClientKeys:   clientKeys,
 			LTUSecret:    []byte("chaos-ltu-secret"),
@@ -306,6 +365,10 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 				// Chaos runs exercise the pipelined fast path: swap-history
 				// replay must stay deterministic with instances in flight.
 				rc.PipelineDepth = 4
+				// WAN conditions need RTT-tracking timeouts: the 200ms
+				// static timer above is tuned for the in-memory fabric and
+				// fires spuriously under continental latency.
+				rc.AdaptiveTimeout = wanProf != nil
 			},
 			CatchUpTimeout:   cfg.CatchUpTimeout,
 			SwapStageTimeout: cfg.SwapStageTimeout,
@@ -367,6 +430,18 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			return nil, err
 		}
 		defer byzCl.Close()
+	}
+
+	// The post-heal probe client: proves every partition episode ends in
+	// recovered commit liveness.
+	var wanCl *bft.Client
+	if wanProf != nil {
+		wanID := transport.ClientIDBase + transport.NodeID(cfg.ClientWorkers+3)
+		wanCl, err = ctrl.ServiceClient(wanID, clientPrivs[wanID])
+		if err != nil {
+			return nil, err
+		}
+		defer wanCl.Close()
 	}
 
 	// Client load: closed-loop KVS writers/readers that track the
@@ -537,6 +612,43 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 				cutA, cutB = -1, -1
 			}
 		}
+		// 1c. Maybe open a WAN partition episode: apply the drawn shape,
+		// hold it long enough for the progress timers to take the strain,
+		// heal, and demand a post-heal commit before the round proceeds.
+		// Byzantine rounds are exempt — a partition on top of f attackers
+		// exceeds what the protocol promises to survive. The episode runs
+		// before MonitorRound so a quorum-denying cut never overlaps a
+		// staged swap (that failure mode is the swap engine's own timeout
+		// path, already exercised by the boot/LTU faults).
+		if wnet != nil && len(attackers) == 0 && len(members) > 1 &&
+			wanRng.Float64() < wanProf.PartitionProb {
+			ep := netem.DrawPartition(wanRng, members, report.WANRounds)
+			wnet.Apply(ep)
+			report.WANRounds++
+			report.WANSchedule = append(report.WANSchedule, fmt.Sprintf("r%d:%s", round, ep.Desc))
+			faulty = true
+			hold := time.Duration(400+wanRng.Intn(400)) * time.Millisecond
+			select {
+			case <-ctx.Done():
+			case <-time.After(hold):
+			}
+			wnet.Revert(ep)
+			if wanCl != nil {
+				if m := cur.Membership(); m != nil {
+					wanCl.UpdateMembership(m.Replicas, m.Keys)
+				}
+				report.WANProbes++
+				op, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: fmt.Sprintf("wan-r%d", round), Value: []byte("healed")})
+				ictx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				_, perr := wanCl.Invoke(ictx, op)
+				cancel()
+				if perr != nil {
+					report.WANProbeErrs++
+					report.Violations = append(report.Violations,
+						fmt.Sprintf("round %d: no commit after healing %s: %v", round, ep.Desc, perr))
+				}
+			}
+		}
 		if faulty {
 			report.FaultRounds++
 		}
@@ -659,17 +771,24 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 				byzCl.UpdateMembership(m.Replicas, m.Keys)
 			}
 			report.ByzProbes++
+			// Demoting a censoring primary takes several progress-timer
+			// firings; under WAN conditions those timers run at RTT-scaled,
+			// backed-off values, so the probe deadline scales with them.
+			probeTimeout := 5 * time.Second
+			if wanProf != nil {
+				probeTimeout = 20 * time.Second
+			}
 			key := fmt.Sprintf("byz-r%d", round)
 			val := []byte(fmt.Sprintf("v%d", round))
 			want := append([]byte("VAL"), val...)
 			putOp, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpPut, Key: key, Value: val})
 			getOp, _ := kvs.EncodeOp(kvs.Op{Kind: kvs.OpGet, Key: key})
-			ictx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			ictx, cancel := context.WithTimeout(ctx, probeTimeout)
 			_, perr := byzCl.Invoke(ictx, putOp)
 			cancel()
 			var res []byte
 			if perr == nil {
-				ictx, cancel = context.WithTimeout(ctx, 5*time.Second)
+				ictx, cancel = context.WithTimeout(ctx, probeTimeout)
 				res, perr = byzCl.Invoke(ictx, getOp)
 				cancel()
 			}
@@ -750,6 +869,9 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	report.Stats = fin.SwapStats()
 	report.History = fin.SwapHistory()
 	report.Net = net.Stats()
+	if wnet != nil {
+		report.Netem = wnet.NetemStats()
+	}
 	report.Final = fin.Status()
 	report.Census = fin.Census()
 	report.ClientOps = ops.Load()

@@ -203,6 +203,65 @@ func TestChaosByzantineScheduleReplays(t *testing.T) {
 	}
 }
 
+// TestChaosWANScheduleReplays pins the netem partition schedule to its
+// seed, with Byzantine rounds enabled so the two fault schedulers
+// interleave: identically-configured runs must open the same partition
+// shapes in the same rounds, arm the same attackers, and every heal
+// must be followed by a commit (post-heal liveness is a Violation
+// check inside RunChaos).
+func TestChaosWANScheduleReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs take tens of seconds")
+	}
+	if raceEnabled {
+		t.Skip("two full chaos runs exceed the race-mode package budget; determinism is asserted in the plain pass")
+	}
+	run := func() ([]string, []string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+		defer cancel()
+		report, err := RunChaos(ctx, ChaosConfig{
+			Rounds:         10,
+			Seed:           1,
+			ClientWorkers:  0,
+			BootFailProb:   -1,
+			BootStallProb:  -1,
+			LTUFailProb:    -1,
+			SilentProb:     -1,
+			LinkLossProb:   -1,
+			BombProb:       -1,
+			ByzFaults:      true,
+			ByzProb:        0.4,
+			ForceByzRounds: []int{1},
+			WANProfile:     "flaky",
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("RunChaos: %v", err)
+		}
+		for _, v := range report.Violations {
+			t.Errorf("invariant violation: %s", v)
+		}
+		if report.WANProbes != report.WANRounds {
+			t.Errorf("%d partition episodes but %d post-heal probes", report.WANRounds, report.WANProbes)
+		}
+		if report.Netem.Frames == 0 || report.Netem.DropsLink == 0 {
+			t.Errorf("flaky profile moved no conditioned traffic: %+v", report.Netem)
+		}
+		return report.WANSchedule, report.ByzSchedule
+	}
+	wan1, byz1 := run()
+	wan2, byz2 := run()
+	if len(wan1) < 2 {
+		t.Fatalf("partition schedule too short to mean anything: %v", wan1)
+	}
+	if fmt.Sprint(wan1) != fmt.Sprint(wan2) {
+		t.Errorf("partition schedules diverged between identically-seeded runs:\n%v\n%v", wan1, wan2)
+	}
+	if fmt.Sprint(byz1) != fmt.Sprint(byz2) {
+		t.Errorf("byzantine schedules diverged between identically-seeded runs:\n%v\n%v", byz1, byz2)
+	}
+}
+
 func TestChaosRunDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos run takes tens of seconds")

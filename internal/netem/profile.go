@@ -1,0 +1,207 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"lazarus/internal/transport"
+)
+
+// LinkClass is the condition set of one directed link.
+type LinkClass struct {
+	// BaseDelay is the minimum one-way latency; Jitter adds a uniform
+	// [0,Jitter) component per frame.
+	BaseDelay, Jitter time.Duration
+	// DropRate, DupRate and ReorderRate are per-frame probabilities.
+	DropRate, DupRate, ReorderRate float64
+	// ReorderDelay is the extra delay a reordered frame incurs (it
+	// arrives behind frames sent after it).
+	ReorderDelay time.Duration
+	// BandwidthBPS caps the link's throughput in bytes/second (0 =
+	// unlimited); frames queue behind the bytes already serializing.
+	BandwidthBPS int64
+}
+
+// Profile names a set of link conditions plus how aggressively the chaos
+// harness schedules partitions under it.
+type Profile struct {
+	// Name is the identifier used by -wan flags.
+	Name string
+	// Description is one line for docs and reports.
+	Description string
+	// Link returns the condition class of directed link src→dst.
+	Link func(src, dst transport.NodeID) LinkClass
+	// PartitionProb is the per-round probability that the chaos harness
+	// opens a partition episode under this profile.
+	PartitionProb float64
+}
+
+// uniform builds a Link function giving every directed link the same
+// class.
+func uniform(c LinkClass) func(src, dst transport.NodeID) LinkClass {
+	return func(src, dst transport.NodeID) LinkClass { return c }
+}
+
+// region maps a node to one of three geographic regions, deterministic
+// in the node id. Clients land in regions too (ClientIDBase keeps their
+// ids disjoint from replicas, not their regions — a client is as remote
+// as any replica).
+func region(id transport.NodeID) int { return int(id) % 3 }
+
+// Profiles is the named-profile registry.
+var Profiles = map[string]*Profile{
+	"lan": {
+		Name:        "lan",
+		Description: "one switch: 200µs±100µs, lossless",
+		Link: uniform(LinkClass{
+			BaseDelay: 200 * time.Microsecond,
+			Jitter:    100 * time.Microsecond,
+		}),
+		PartitionProb: 0,
+	},
+	"wan": {
+		Name:        "wan",
+		Description: "continental WAN: 15ms±5ms, 0.5% loss, 0.1% dup, 2% reorder(+10ms), 8MB/s",
+		Link: uniform(LinkClass{
+			BaseDelay:    15 * time.Millisecond,
+			Jitter:       5 * time.Millisecond,
+			DropRate:     0.005,
+			DupRate:      0.001,
+			ReorderRate:  0.02,
+			ReorderDelay: 10 * time.Millisecond,
+			BandwidthBPS: 8 << 20,
+		}),
+		PartitionProb: 0.2,
+	},
+	"flaky": {
+		Name:        "flaky",
+		Description: "congested last mile: 5ms±10ms, 5% loss, 1% dup, 5% reorder(+20ms)",
+		Link: uniform(LinkClass{
+			BaseDelay:    5 * time.Millisecond,
+			Jitter:       10 * time.Millisecond,
+			DropRate:     0.05,
+			DupRate:      0.01,
+			ReorderRate:  0.05,
+			ReorderDelay: 20 * time.Millisecond,
+		}),
+		PartitionProb: 0.35,
+	},
+	"geo3": {
+		Name:        "geo3",
+		Description: "three regions (node%3): intra 1ms±0.5ms clean, cross 8–26ms±3ms asymmetric, 1% loss",
+		Link: func(src, dst transport.NodeID) LinkClass {
+			rs, rd := region(src), region(dst)
+			if rs == rd {
+				return LinkClass{
+					BaseDelay: time.Millisecond,
+					Jitter:    500 * time.Microsecond,
+				}
+			}
+			// Asymmetric on purpose: src→dst and dst→src get different
+			// base delays, so even the fault-free geo3 world exercises
+			// one-way-skewed timing.
+			return LinkClass{
+				BaseDelay:    time.Duration(5+3*rs+7*rd) * time.Millisecond,
+				Jitter:       3 * time.Millisecond,
+				DropRate:     0.01,
+				ReorderRate:  0.01,
+				ReorderDelay: 5 * time.Millisecond,
+			}
+		},
+		PartitionProb: 0.3,
+	},
+}
+
+// ByName resolves a profile name.
+func ByName(name string) (*Profile, error) {
+	if p, ok := Profiles[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("netem: unknown profile %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists the registered profiles, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Profiles))
+	for name := range Profiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Partition is one scheduled episode, expressed as the directed edges it
+// blocks. Building it as explicit edges keeps asymmetric cuts first
+// class: an edge [a,b] silences a's frames toward b and nothing else.
+type Partition struct {
+	// Kind is "sym", "asym" or "iso" (for schedules and reports).
+	Kind string
+	// Desc renders the episode for deterministic schedule strings.
+	Desc string
+	// Edges are the directed [src,dst] pairs blocked while open.
+	Edges [][2]transport.NodeID
+}
+
+// SymmetricSplit partitions members into members[:k] and members[k:],
+// blocking both directions across the cut.
+func SymmetricSplit(members []transport.NodeID, k int) *Partition {
+	p := &Partition{Kind: "sym"}
+	for _, a := range members[:k] {
+		for _, b := range members[k:] {
+			p.Edges = append(p.Edges, [2]transport.NodeID{a, b}, [2]transport.NodeID{b, a})
+		}
+	}
+	p.Desc = fmt.Sprintf("sym[%v|%v]", members[:k], members[k:])
+	return p
+}
+
+// AsymmetricMute blocks mute's outbound edges toward every other member:
+// mute still hears the group, the group no longer hears mute — the "A
+// hears B, B doesn't hear A" case.
+func AsymmetricMute(members []transport.NodeID, mute transport.NodeID) *Partition {
+	p := &Partition{Kind: "asym", Desc: fmt.Sprintf("mute[%d]", mute)}
+	for _, b := range members {
+		if b != mute {
+			p.Edges = append(p.Edges, [2]transport.NodeID{mute, b})
+		}
+	}
+	return p
+}
+
+// IsolateNode blocks both directions between node and every other
+// member (primary-isolating when node is the current primary).
+func IsolateNode(members []transport.NodeID, node transport.NodeID) *Partition {
+	p := &Partition{Kind: "iso", Desc: fmt.Sprintf("iso[%d]", node)}
+	for _, b := range members {
+		if b != node {
+			p.Edges = append(p.Edges, [2]transport.NodeID{node, b}, [2]transport.NodeID{b, node})
+		}
+	}
+	return p
+}
+
+// DrawPartition deterministically picks the episode'th partition over
+// members from rng: episodes cycle symmetric split → asymmetric mute →
+// isolation, each over rng-chosen nodes. One rng draw per call keeps the
+// stream position independent of the kind chosen.
+func DrawPartition(rng *rand.Rand, members []transport.NodeID, episode int) *Partition {
+	if len(members) < 2 {
+		return &Partition{Kind: "none", Desc: "none"}
+	}
+	pick := rng.Intn(len(members))
+	switch episode % 3 {
+	case 0:
+		k := len(members) / 2
+		if k == 0 {
+			k = 1
+		}
+		return SymmetricSplit(members, k)
+	case 1:
+		return AsymmetricMute(members, members[pick])
+	default:
+		return IsolateNode(members, members[pick])
+	}
+}

@@ -282,6 +282,7 @@ func (ep *tcpEndpoint) Send(to NodeID, payload []byte) error {
 	}
 	select {
 	case pw.queue <- Envelope{From: ep.id, To: to, Payload: payload}:
+		pw.wake()
 		return nil
 	case <-ep.closed:
 		return ErrClosed
@@ -313,6 +314,7 @@ func (ep *tcpEndpoint) writer(to NodeID) (*peerWriter, error) {
 		addr:  addr,
 		ep:    ep,
 		queue: make(chan Envelope, ep.net.cfg.SendQueueDepth),
+		kick:  make(chan struct{}, 1),
 		mac:   hmac.New(sha256.New, ep.net.cfg.Secret),
 		// Jitter must come from a writer-local seeded source, not the
 		// global math/rand: the chaos harness replays whole runs from one
@@ -333,10 +335,14 @@ func (ep *tcpEndpoint) writer(to NodeID) (*peerWriter, error) {
 // timeout, writes under a per-frame deadline and re-dials with capped
 // exponential backoff plus jitter.
 type peerWriter struct {
-	to      NodeID
-	addr    string
-	ep      *tcpEndpoint
-	queue   chan Envelope
+	to    NodeID
+	addr  string
+	ep    *tcpEndpoint
+	queue chan Envelope
+	// kick (capacity 1) lets Send cut a redial backoff short: fresh
+	// traffic toward a peer we are backing off from is the signal that
+	// the link may have healed (see sleep).
+	kick    chan struct{}
 	mac     hash.Hash  // frame authenticator; used only by the run goroutine
 	scratch []byte     // frame encode buffer; reused across frames by run
 	rng     *rand.Rand // jitter source; used only by the run goroutine
@@ -432,18 +438,53 @@ func jitterSeed(seed int64, self, to NodeID) int64 {
 	return seed ^ int64(self)<<32 ^ int64(to)
 }
 
-// sleep waits the backoff plus up to 50% jitter, or returns false if the
-// endpoint closes first.
+// wake nudges a writer that may be sleeping out a redial backoff.
+// Non-blocking: a pending nudge is as good as two.
+func (pw *peerWriter) wake() {
+	select {
+	case pw.kick <- struct{}{}:
+	default:
+	}
+}
+
+// sleep waits out the redial backoff plus up to 50% jitter, returning
+// false if the endpoint closes first. A fresh Send (wake) cuts the wait
+// short once a minimum of RedialBackoff has elapsed: on a flapping link
+// the traffic that resumes after the link heals should trigger an
+// immediate redial instead of sleeping out the full capped backoff,
+// while the floor keeps steady traffic toward a genuinely dead peer
+// from turning the backoff into a dial storm (at most one dial per
+// RedialBackoff either way).
 func (pw *peerWriter) sleep(d time.Duration) bool {
 	d += time.Duration(pw.rng.Int63n(int64(d)/2 + 1))
-	t := time.NewTimer(d)
-	defer t.Stop()
+	// Drain a stale nudge: sends already queued when the dial failed are
+	// not evidence the link healed since.
+	select {
+	case <-pw.kick:
+	default:
+	}
+	floor := pw.ep.net.cfg.RedialBackoff
+	if floor > d {
+		floor = d
+	}
+	t := time.NewTimer(floor)
 	select {
 	case <-t.C:
-		return true
 	case <-pw.ep.closed:
+		t.Stop()
 		return false
 	}
+	if rest := d - floor; rest > 0 {
+		t2 := time.NewTimer(rest)
+		defer t2.Stop()
+		select {
+		case <-t2.C:
+		case <-pw.kick: // fresh traffic: try the dial now
+		case <-pw.ep.closed:
+			return false
+		}
+	}
+	return true
 }
 
 func (pw *peerWriter) current() net.Conn {

@@ -37,11 +37,19 @@ func TestJitterSeedDeterministic(t *testing.T) {
 }
 
 // TestPeerWriterSleepJitterBounds drives sleep() directly: the waited
-// duration includes up to 50% jitter, and a closing endpoint aborts the
-// wait immediately.
+// duration includes up to 50% jitter, a wake() cuts the wait short but
+// never below the RedialBackoff floor, and a closing endpoint aborts
+// the wait immediately.
 func TestPeerWriterSleepJitterBounds(t *testing.T) {
-	ep := &tcpEndpoint{closed: make(chan struct{})}
-	pw := &peerWriter{ep: ep, rng: rand.New(rand.NewSource(jitterSeed(1, 0, 1)))}
+	ep := &tcpEndpoint{
+		net:    &TCP{cfg: TCPConfig{RedialBackoff: 10 * time.Millisecond}},
+		closed: make(chan struct{}),
+	}
+	pw := &peerWriter{
+		ep:   ep,
+		kick: make(chan struct{}, 1),
+		rng:  rand.New(rand.NewSource(jitterSeed(1, 0, 1))),
+	}
 
 	start := time.Now()
 	if !pw.sleep(10 * time.Millisecond) {
@@ -49,6 +57,27 @@ func TestPeerWriterSleepJitterBounds(t *testing.T) {
 	}
 	if waited := time.Since(start); waited < 10*time.Millisecond {
 		t.Errorf("slept %v, want at least the base backoff 10ms", waited)
+	}
+
+	// A wake cuts a long backoff short, but not below the floor — and a
+	// nudge already pending when sleep starts is stale and gets drained
+	// rather than trusted, so this one must wait out the floor too.
+	pw.wake()
+	pw.wake() // idempotent: a pending nudge is as good as two
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		pw.wake()
+	}()
+	start = time.Now()
+	if !pw.sleep(10 * time.Second) {
+		t.Fatal("woken sleep returned false with the endpoint open")
+	}
+	waited := time.Since(start)
+	if waited < 10*time.Millisecond {
+		t.Errorf("woken sleep waited %v, want at least the 10ms floor", waited)
+	}
+	if waited > 5*time.Second {
+		t.Errorf("woken sleep waited %v, want the wake to cut the 10s backoff short", waited)
 	}
 
 	close(ep.closed)
