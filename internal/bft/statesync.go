@@ -114,7 +114,7 @@ func (r *Replica) onStateReply(msg *Message) {
 	if !r.verifyStateReply(msg) {
 		return
 	}
-	r.stReplies[msg.From] = msg
+	r.stReplies[msg.From] = msg //lazlint:allow epoch-guard(state transfer is the cross-epoch recovery path: a replica fetching a snapshot is precisely the one whose local epoch is stale; freshness comes from f+1 matching snapshot digests, not epoch equality)
 	// Count matching (seq, digest) pairs, scanning replies in sorted
 	// sender order: if two snapshot groups ever tie at the same seq,
 	// which one gets restored must not depend on map iteration order.

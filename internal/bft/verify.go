@@ -48,11 +48,13 @@ func (c *verdictCache) add(d Digest) {
 	if _, ok := c.cur[d]; ok {
 		return
 	}
-	c.cur[d] = struct{}{}
+	// Rotate the generations before inserting so the size bound
+	// dominates every insert: cur never exceeds cap entries.
 	if len(c.cur) >= c.cap {
 		c.prev = c.cur
 		c.cur = make(map[Digest]struct{}, c.cap)
 	}
+	c.cur[d] = struct{}{}
 }
 
 // numAuthReqs returns how many client requests the message carries that

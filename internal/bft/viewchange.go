@@ -192,9 +192,33 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.maybeNewView(newView)
 }
 
+// vcTrackCap bounds how many distinct future views accumulate vote
+// tables at once. NewView is attacker-chosen: without a cap, one
+// Byzantine member spraying view-change votes for ever-higher views
+// allocates a map per view forever. Honest escalation concentrates on
+// the few views just above the current one, so under pressure we keep
+// the *lowest* tracked views — the ones that can actually be installed
+// next — and shed the farthest-future ones.
+const vcTrackCap = 32
+
 func (r *Replica) recordViewChange(vc *Message) {
 	byFrom, ok := r.viewChanges[vc.NewView]
 	if !ok {
+		if len(r.viewChanges) >= vcTrackCap {
+			var maxNV uint64
+			for nv := range r.viewChanges {
+				if nv > maxNV {
+					maxNV = nv
+				}
+			}
+			// Our own vote must always land (dropping it would stall our
+			// own escalation); anyone else's vote for the farthest view
+			// yet is the one shed.
+			if vc.NewView >= maxNV && vc.From != r.cfg.ID {
+				return
+			}
+			delete(r.viewChanges, maxNV)
+		}
 		byFrom = make(map[transport.NodeID]*Message)
 		r.viewChanges[vc.NewView] = byFrom
 	}
@@ -455,23 +479,30 @@ func (r *Replica) onCatchUp(msg *Message) {
 	if p.SeqNo != msg.SeqNo || p.PrePrepare == nil || p.PrePrepare.Epoch != r.membership.Epoch {
 		return
 	}
-	in := r.inst(msg.SeqNo)
-	if in.executed {
-		return
-	}
-	if in.prepared && in.digest == p.BatchDigest {
-		return // already hold equivalent evidence
-	}
-	if in.prePrepare != nil && in.digest != p.BatchDigest {
-		// A conflicting certificate supersedes our proposal only from a
-		// strictly higher view — unless we never prepared ours, in which
-		// case a same-view certificate proves the quorum went the other
-		// way (an equivocating primary fed us the minority variant).
-		if p.View < in.prePrepare.View {
+	// Read the instance WITHOUT creating it: the certificate has not
+	// been validated yet, and r.inst would grow the log on the say-so of
+	// any member — a garbage CATCH-UP per in-window sequence number
+	// would allocate agreement state that no valid certificate backs
+	// (the PR 7 reply-cache bug class, resurfaced in the log).
+	in := r.log[msg.SeqNo]
+	if in != nil {
+		if in.executed {
 			return
 		}
-		if p.View == in.prePrepare.View && in.prepared {
-			return
+		if in.prepared && in.digest == p.BatchDigest {
+			return // already hold equivalent evidence
+		}
+		if in.prePrepare != nil && in.digest != p.BatchDigest {
+			// A conflicting certificate supersedes our proposal only from a
+			// strictly higher view — unless we never prepared ours, in which
+			// case a same-view certificate proves the quorum went the other
+			// way (an equivocating primary fed us the minority variant).
+			if p.View < in.prePrepare.View {
+				return
+			}
+			if p.View == in.prePrepare.View && in.prepared {
+				return
+			}
 		}
 	}
 	if !validPreparedProof(&p, r.membership) {
@@ -482,6 +513,7 @@ func (r *Replica) onCatchUp(msg *Message) {
 	if !r.verifyBatchCached(p.Batch) {
 		return
 	}
+	in = r.inst(msg.SeqNo)
 	in.prePrepare = p.PrePrepare
 	in.batch = p.Batch
 	in.digest = p.BatchDigest

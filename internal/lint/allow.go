@@ -18,23 +18,84 @@ const allowPrefix = "lazlint:allow"
 
 var allowRE = regexp.MustCompile(`^([a-z][a-z0-9-]*)\((.*)\)$`)
 
-// allowIndex maps file -> line -> suppressed rule names.
-type allowIndex map[string]map[int]map[string]bool
+// allowDirective is one parsed, well-formed suppression with its usage
+// state: a directive that survives a run without suppressing anything is
+// stale and reported by the suppression audit (a suppression whose
+// finding is gone documents a hazard that no longer exists — or worse,
+// masks the next real finding that appears on its line).
+type allowDirective struct {
+	rule string
+	pos  token.Position
+	used bool
+}
+
+// allowIndex holds every well-formed directive across the whole run,
+// indexed by file and line for suppression lookups.
+type allowIndex struct {
+	byLoc map[string]map[int][]*allowDirective
+	all   []*allowDirective
+}
+
+func newAllowIndex() *allowIndex {
+	return &allowIndex{byLoc: map[string]map[int][]*allowDirective{}}
+}
+
+func (ai *allowIndex) add(d *allowDirective) {
+	lines := ai.byLoc[d.pos.Filename]
+	if lines == nil {
+		lines = map[int][]*allowDirective{}
+		ai.byLoc[d.pos.Filename] = lines
+	}
+	lines[d.pos.Line] = append(lines[d.pos.Line], d)
+	ai.all = append(ai.all, d)
+}
 
 // suppresses reports whether a finding of rule at pos is covered by a
-// directive on the same line or the line above.
-func (ai allowIndex) suppresses(rule string, pos token.Position) bool {
-	lines := ai[pos.Filename]
+// directive on the same line or the line above, marking any matching
+// directive as used.
+func (ai *allowIndex) suppresses(rule string, pos token.Position) bool {
+	lines := ai.byLoc[pos.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
+	hit := false
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.rule == rule {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
 }
 
-// collectAllows scans a package's comments for allow directives,
-// returning the index plus findings for malformed ones.
-func collectAllows(p *Package) (allowIndex, []Finding) {
-	idx := allowIndex{}
+// stale reports every directive whose rule actually ran this invocation
+// yet suppressed nothing. Directives for rules outside the selected set
+// are skipped: a narrowed -rules run must not condemn suppressions it
+// never exercised.
+func (ai *allowIndex) stale(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range ai.all {
+		if d.used || !ran[d.rule] {
+			continue
+		}
+		f := Finding{
+			Rule: "stale-directive",
+			Pos:  d.pos,
+			Message: "//lazlint:allow " + d.rule + "(...) suppresses nothing; " +
+				"remove the directive or restore the justification it documents",
+		}
+		f.normalize()
+		out = append(out, f)
+	}
+	return out
+}
+
+// collectAllows scans a package's comments for allow directives, adding
+// well-formed ones to the index and returning findings for malformed
+// ones.
+func collectAllows(ai *allowIndex, p *Package) []Finding {
 	var bad []Finding
 	known := map[string]bool{}
 	for _, name := range RuleNames() {
@@ -67,17 +128,9 @@ func collectAllows(p *Package) (allowIndex, []Finding) {
 						"directive for %q has no reason; suppressions must be justified", rule))
 					continue
 				}
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx[pos.Filename] = lines
-				}
-				if lines[pos.Line] == nil {
-					lines[pos.Line] = map[string]bool{}
-				}
-				lines[pos.Line][rule] = true
+				ai.add(&allowDirective{rule: rule, pos: pos})
 			}
 		}
 	}
-	return idx, bad
+	return bad
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // Finding is one rule violation at one source position.
@@ -54,6 +55,16 @@ type Rule interface {
 	Check(p *Package) []Finding
 }
 
+// ProgramRule is an interprocedural rule: instead of one package at a
+// time it sees the whole loaded program (call graph plus per-function
+// summaries, see program.go). RunRules builds the Program lazily, once,
+// when any selected rule implements this interface.
+type ProgramRule interface {
+	Rule
+	// CheckProgram analyzes the whole program.
+	CheckProgram(prog *Program) []Finding
+}
+
 // Rules returns the full lazlint suite in reporting order.
 func Rules() []Rule {
 	return []Rule{
@@ -63,6 +74,12 @@ func Rules() []Rule {
 		ruleLockedBlocking{},
 		ruleNakedGoroutine{},
 		ruleUncheckedVerify{},
+		ruleAuthBeforeUse{},
+		ruleDigestBlindTally{},
+		ruleEpochGuard{},
+		ruleRemoteMap{},
+		ruleLockOrder{},
+		ruleStaleDirective{},
 	}
 }
 
@@ -76,6 +93,47 @@ func RuleNames() []string {
 	return names
 }
 
+// SelectRules resolves a comma-separated rule-name list (the CLI's
+// -rules flag) against the suite. An empty spec selects every rule.
+func SelectRules(spec string) ([]Rule, error) {
+	all := Rules()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	byName := map[string]Rule{}
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []Rule
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		seen[name] = true
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ruleStaleDirective is the suppression audit. It has no Check of its
+// own: RunRules tracks which //lazlint:allow directives actually
+// suppressed a finding and, when this rule is selected, reports the ones
+// that suppressed nothing (restricted to directives naming rules that
+// ran, so narrowed -rules invocations stay quiet).
+type ruleStaleDirective struct{}
+
+func (ruleStaleDirective) Name() string { return "stale-directive" }
+func (ruleStaleDirective) Doc() string {
+	return "//lazlint:allow directives must still suppress a live finding"
+}
+func (ruleStaleDirective) Check(p *Package) []Finding { return nil }
+
 // Run checks every package with every rule, applies allow directives and
 // returns the surviving findings sorted by position.
 func Run(pkgs []*Package) []Finding {
@@ -86,17 +144,44 @@ func Run(pkgs []*Package) []Finding {
 // isolation through it).
 func RunRules(pkgs []*Package, rules []Rule) []Finding {
 	var out []Finding
+	allows := newAllowIndex()
 	for _, p := range pkgs {
-		allows, bad := collectAllows(p)
-		out = append(out, bad...)
-		for _, r := range rules {
-			for _, f := range r.Check(p) {
-				f.normalize()
-				if allows.suppresses(r.Name(), f.Pos) {
-					continue
-				}
-				out = append(out, f)
+		out = append(out, collectAllows(allows, p)...)
+	}
+	var prog *Program
+	auditStale := false
+	ran := map[string]bool{}
+	for _, r := range rules {
+		if _, ok := r.(ruleStaleDirective); ok {
+			auditStale = true
+			continue
+		}
+		ran[r.Name()] = true
+		var fs []Finding
+		if pr, ok := r.(ProgramRule); ok {
+			if prog == nil {
+				prog = BuildProgram(pkgs)
 			}
+			fs = pr.CheckProgram(prog)
+		} else {
+			for _, p := range pkgs {
+				fs = append(fs, r.Check(p)...)
+			}
+		}
+		for _, f := range fs {
+			f.normalize()
+			if allows.suppresses(r.Name(), f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	if auditStale {
+		for _, f := range allows.stale(ran) {
+			if allows.suppresses("stale-directive", f.Pos) {
+				continue
+			}
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,158 @@
+package lint
+
+// auth-before-use mechanizes the PR 7 incident: the replica served
+// cached replies and created protocol-log state for messages whose
+// signatures had not been checked yet, so a non-member could burn
+// replica memory and read the reply cache. The invariant: in an inbox
+// handler (an on<X> method taking *Message), no receiver-state mutation
+// and no network send may precede the first signature verification on
+// the handler's path. "Verification" is any call that transitively
+// reaches ed25519.Verify / (*Message).VerifySig — the interprocedural
+// summary lets the check live in verify.go while the mutation lives in
+// order.go. Handlers for deliberately unsigned traffic (commit votes
+// ride the authenticated transport envelope) carry an allow directive
+// that documents exactly that design decision.
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+type ruleAuthBeforeUse struct{}
+
+func (ruleAuthBeforeUse) Name() string { return "auth-before-use" }
+func (ruleAuthBeforeUse) Doc() string {
+	return "message handlers must verify authenticity before mutating replica state or sending"
+}
+func (ruleAuthBeforeUse) Check(p *Package) []Finding { return nil }
+
+func (ruleAuthBeforeUse) CheckProgram(prog *Program) []Finding {
+	var out []Finding
+	for _, fi := range prog.SortedFuncs() {
+		if !pathHasSuffix(fi.Pkg.Path, "internal/bft") {
+			continue
+		}
+		if _, ok := fi.isHandler(); !ok {
+			continue
+		}
+		events := handlerEvents(prog, fi)
+		firstVerify := token.NoPos
+		for _, ev := range events {
+			if ev.verify {
+				firstVerify = ev.pos
+				break
+			}
+		}
+		if firstVerify == token.NoPos {
+			for _, ev := range events {
+				if ev.protected {
+					out = append(out, finding(fi.Pkg.Fset, ev.pos, "auth-before-use",
+						"handler %s %s but never verifies the message's signature; authenticate before acting",
+						fi.Obj.Name(), ev.what))
+					break // one finding per unverified handler
+				}
+			}
+			continue
+		}
+		for _, ev := range events {
+			if ev.pos >= firstVerify {
+				break
+			}
+			if ev.protected {
+				out = append(out, finding(fi.Pkg.Fset, ev.pos, "auth-before-use",
+					"handler %s %s before its first signature verification; move the check above this access",
+					fi.Obj.Name(), ev.what))
+			}
+		}
+	}
+	return out
+}
+
+// handlerEvent is one position-ordered occurrence inside a handler body
+// that the handler rules care about.
+type handlerEvent struct {
+	pos       token.Pos
+	verify    bool   // a call that transitively verifies a signature
+	protected bool   // mutates receiver state or sends on the network
+	epochCmp  bool   // compares message epoch/view against local state
+	what      string // description for findings
+}
+
+// handlerEvents walks a handler body once and returns its events in
+// source order. Source order approximates dominance: Lazarus handlers
+// are straight-line guard chains (`if !ok { return }`), so a check that
+// appears textually earlier genuinely dominates later statements.
+func handlerEvents(prog *Program, fi *FuncInfo) []handlerEvent {
+	var events []handlerEvent
+	ti := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(ti, n)
+			if callee == nil {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 &&
+					rootedIn(ti, n.Args[0], fi.RecvDerived) {
+					events = append(events, handlerEvent{pos: n.Pos(), protected: true, what: "mutates replica state"})
+				}
+				return true
+			}
+			switch callee.Name() {
+			case "Verify", "VerifySig":
+				events = append(events, handlerEvent{pos: n.Pos(), verify: true})
+				return true
+			}
+			info := prog.FuncOf(callee)
+			if info != nil && info.Verifies {
+				events = append(events, handlerEvent{pos: n.Pos(), verify: true})
+				return true
+			}
+			recvRooted := false
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				recvRooted = usesAny(ti, sel.X, fi.RecvDerived)
+			}
+			if info != nil && recvRooted {
+				switch {
+				case info.MutatesRecv:
+					events = append(events, handlerEvent{pos: n.Pos(), protected: true,
+						what: "mutates replica state (via " + callee.Name() + ")"})
+				case info.SendsNet:
+					events = append(events, handlerEvent{pos: n.Pos(), protected: true,
+						what: "sends on the network (via " + callee.Name() + ")"})
+				}
+			}
+			if info != nil && info.ComparesMsgState {
+				for _, arg := range n.Args {
+					if usesAny(ti, arg, fi.MsgDerived) {
+						events = append(events, handlerEvent{pos: n.Pos(), epochCmp: true})
+						break
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, bare := lhs.(*ast.Ident); bare {
+					continue
+				}
+				if rootedIn(ti, lhs, fi.RecvDerived) {
+					events = append(events, handlerEvent{pos: lhs.Pos(), protected: true, what: "mutates replica state"})
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, bare := n.X.(*ast.Ident); !bare && rootedIn(ti, n.X, fi.RecvDerived) {
+				events = append(events, handlerEvent{pos: n.Pos(), protected: true, what: "mutates replica state"})
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if comparesMsgField(ti, n, fi.MsgDerived) {
+					events = append(events, handlerEvent{pos: n.Pos(), epochCmp: true})
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}

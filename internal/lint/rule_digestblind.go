@@ -1,0 +1,177 @@
+package lint
+
+// digest-blind-tally mechanizes the PR 6 bug: prepare/commit quorums
+// were counted as "distinct senders seen" without requiring that the
+// senders voted for the SAME batch digest, so f equivocating votes for
+// digest A plus honest votes for digest B reached 2f+1 and certified a
+// batch no quorum agreed on. The invariant: a comparison of
+// len(sender-keyed map) against a quorum-shaped expression
+// (…Quorum()/…F() arithmetic), in a function where a Digest value is in
+// play, is only safe when every insertion into that map is dominated by
+// a digest-equality filter. Counts that are digest-free by design
+// (f+1 distinct checkpoint claimants prove the group moved on,
+// regardless of which digest each claims) carry an allow directive.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+type ruleDigestBlindTally struct{}
+
+func (ruleDigestBlindTally) Name() string { return "digest-blind-tally" }
+func (ruleDigestBlindTally) Doc() string {
+	return "quorum tallies keyed by sender must filter or key votes by the voted digest"
+}
+func (ruleDigestBlindTally) Check(p *Package) []Finding { return nil }
+
+func (ruleDigestBlindTally) CheckProgram(prog *Program) []Finding {
+	var out []Finding
+	for _, fi := range prog.SortedFuncs() {
+		out = append(out, checkDigestBlind(fi)...)
+	}
+	return out
+}
+
+func checkDigestBlind(fi *FuncInfo) []Finding {
+	ti := fi.Pkg.Info
+
+	// The rule only applies where a digest is actually in play: a tally
+	// that never sees a Digest (view-change liveness counts, reply
+	// votes) has nothing to key by.
+	mentionsDigest := false
+	type insert struct {
+		mapExpr string
+		pos     token.Pos
+	}
+	type tally struct {
+		mapExpr string
+		pos     token.Pos
+	}
+	var inserts []insert
+	var tallies []tally
+	var digestCmps []token.Pos
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if e, ok := n.(ast.Expr); ok && isDigestType(ti.TypeOf(e)) {
+				mentionsDigest = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok || !senderKeyedMap(ti.TypeOf(ix.X)) {
+					continue
+				}
+				inserts = append(inserts, insert{mapExpr: types.ExprString(ix.X), pos: lhs.Pos()})
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ:
+				if isDigestType(ti.TypeOf(n.X)) || isDigestType(ti.TypeOf(n.Y)) {
+					digestCmps = append(digestCmps, n.Pos())
+				}
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				for i, side := range []ast.Expr{n.X, n.Y} {
+					m := lenOfSenderMap(ti, side)
+					if m == "" {
+						continue
+					}
+					other := n.Y
+					if i == 1 {
+						other = n.X
+					}
+					if quorumShaped(ti, other) {
+						tallies = append(tallies, tally{mapExpr: m, pos: n.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if !mentionsDigest || len(tallies) == 0 {
+		return nil
+	}
+	sort.Slice(digestCmps, func(i, j int) bool { return digestCmps[i] < digestCmps[j] })
+
+	var out []Finding
+	for _, t := range tallies {
+		guarded := false
+		sawInsert := false
+		for _, in := range inserts {
+			if in.mapExpr != t.mapExpr {
+				continue
+			}
+			sawInsert = true
+			// Dominated (source-order) by a digest-equality filter?
+			ok := false
+			for _, cp := range digestCmps {
+				if cp < in.pos {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				guarded = false
+				break
+			}
+			guarded = true
+		}
+		if sawInsert && guarded {
+			continue
+		}
+		out = append(out, finding(fi.Pkg.Fset, t.pos, "digest-blind-tally",
+			"quorum compare counts distinct senders in %s without tallying the voted digest; key or filter the votes by digest",
+			t.mapExpr))
+	}
+	return out
+}
+
+// senderKeyedMap reports whether t is a map keyed by a node-identity
+// type (named NodeID, here or in any fixture).
+func senderKeyedMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return ok && isNamedType(m.Key(), "NodeID")
+}
+
+// lenOfSenderMap returns the printed map expression when e is
+// len(<sender-keyed map>), else "".
+func lenOfSenderMap(ti *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return ""
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return ""
+	}
+	if !senderKeyedMap(ti.TypeOf(call.Args[0])) {
+		return ""
+	}
+	return types.ExprString(call.Args[0])
+}
+
+// quorumShaped reports whether the expression derives from a quorum
+// threshold: it contains a call to something named Quorum or F.
+func quorumShaped(ti *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if f := calleeFunc(ti, call); f != nil && (f.Name() == "Quorum" || f.Name() == "F") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,63 @@
+package lint
+
+// epoch-guard mechanizes the PR 8/PR 9 incident class: a handler that
+// acts on a message without first relating the message's epoch/view to
+// the replica's own lets stale-configuration traffic (a retired replica,
+// a pre-reconfiguration view-change) mutate current-epoch state. The
+// invariant: an inbox handler in internal/bft that mutates Replica state
+// must, before its first mutation, compare the message's Epoch, View or
+// NewView field against local state — either inline or by calling a
+// helper whose summary says it performs such a comparison on a
+// message-derived argument. Handlers that are cross-epoch BY DESIGN
+// (checkpoint tallies drive straggler state transfer; state replies ARE
+// the recovery path; client requests carry no epoch) each carry an allow
+// directive recording that justification.
+
+import (
+	"go/token"
+	"strings"
+)
+
+type ruleEpochGuard struct{}
+
+func (ruleEpochGuard) Name() string { return "epoch-guard" }
+func (ruleEpochGuard) Doc() string {
+	return "bft message handlers must compare message epoch/view with local state before mutating"
+}
+func (ruleEpochGuard) Check(p *Package) []Finding { return nil }
+
+func (ruleEpochGuard) CheckProgram(prog *Program) []Finding {
+	var out []Finding
+	for _, fi := range prog.SortedFuncs() {
+		if !pathHasSuffix(fi.Pkg.Path, "internal/bft") {
+			continue
+		}
+		if _, ok := fi.isHandler(); !ok {
+			continue
+		}
+		events := handlerEvents(prog, fi)
+		firstCmp := token.NoPos
+		for _, ev := range events {
+			if ev.epochCmp {
+				firstCmp = ev.pos
+				break
+			}
+		}
+		for _, ev := range events {
+			if !ev.protected || !strings.HasPrefix(ev.what, "mutates") {
+				continue
+			}
+			if firstCmp == token.NoPos {
+				out = append(out, finding(fi.Pkg.Fset, ev.pos, "epoch-guard",
+					"handler %s mutates replica state but never compares the message's epoch/view against local state",
+					fi.Obj.Name()))
+			} else if ev.pos < firstCmp {
+				out = append(out, finding(fi.Pkg.Fset, ev.pos, "epoch-guard",
+					"handler %s mutates replica state before its first epoch/view comparison; guard the mutation",
+					fi.Obj.Name()))
+			}
+			break // one finding per handler: the first unguarded mutation
+		}
+	}
+	return out
+}

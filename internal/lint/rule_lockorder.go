@@ -1,0 +1,346 @@
+package lint
+
+// lock-order builds the whole-repo lock-acquisition graph and reports
+// cycles. Nodes are lock *classes* — a struct field path like
+// "lazarus/internal/bft.Replica.statMu" or a package-level mutex — so
+// two instances of the same struct map to one node. Edges are added
+// when a lock is taken while another is held, either directly in one
+// body or through a call: if f holds A and calls g, f may acquire
+// everything g (transitively) acquires while holding A. Any cycle in
+// that graph is a potential deadlock given the right interleaving;
+// self-edges are excluded because same-class/different-instance nesting
+// (parent locks child) is a common sound pattern the class abstraction
+// cannot split. This extends the locked-blocking rule's flow tracking
+// (PR 4) across function and package boundaries.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+type ruleLockOrder struct{}
+
+func (ruleLockOrder) Name() string { return "lock-order" }
+func (ruleLockOrder) Doc() string {
+	return "the whole-repo lock-acquisition graph must be cycle-free"
+}
+func (ruleLockOrder) Check(p *Package) []Finding { return nil }
+
+func (ruleLockOrder) CheckProgram(prog *Program) []Finding {
+	type edge struct {
+		from, to string
+		pos      token.Pos
+		fset     *token.FileSet
+	}
+	var edges []edge
+	type heldCall struct {
+		held   []string
+		callee *types.Func
+		pos    token.Pos
+		fset   *token.FileSet
+	}
+	var heldCalls []heldCall
+	direct := map[*FuncInfo]map[string]bool{}
+
+	funcs := prog.SortedFuncs()
+	for _, fi := range funcs {
+		events := lockEvents(fi)
+		held := map[string]bool{}
+		acquired := map[string]bool{}
+		for _, ev := range events {
+			switch ev.kind {
+			case lockEvtLock:
+				for _, h := range sortedKeys(held) {
+					if h != ev.class {
+						edges = append(edges, edge{from: h, to: ev.class, pos: ev.pos, fset: fi.Pkg.Fset})
+					}
+				}
+				held[ev.class] = true
+				acquired[ev.class] = true
+			case lockEvtUnlock:
+				if !ev.deferred {
+					delete(held, ev.class) // deferred unlocks hold to return
+				}
+			case lockEvtCall:
+				if len(held) > 0 {
+					heldCalls = append(heldCalls, heldCall{held: sortedKeys(held), callee: ev.callee, pos: ev.pos, fset: fi.Pkg.Fset})
+				}
+			}
+		}
+		direct[fi] = acquired
+	}
+
+	// Transitive acquire sets over the call graph.
+	trans := map[*FuncInfo]map[string]bool{}
+	for fi, acq := range direct {
+		t := map[string]bool{}
+		for c := range acq {
+			t[c] = true
+		}
+		trans[fi] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			for _, cs := range fi.Calls {
+				callee := prog.FuncOf(cs.Callee)
+				if callee == nil {
+					continue
+				}
+				for c := range trans[callee] {
+					if !trans[fi][c] {
+						trans[fi][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, hc := range heldCalls {
+		callee := prog.FuncOf(hc.callee)
+		if callee == nil {
+			continue
+		}
+		for _, to := range sortedKeys(trans[callee]) {
+			for _, from := range hc.held {
+				if from != to {
+					edges = append(edges, edge{from: from, to: to, pos: hc.pos, fset: hc.fset})
+				}
+			}
+		}
+	}
+
+	// Keep the first edge per (from, to) for deterministic reporting.
+	graph := map[string]map[string]edge{}
+	for _, e := range edges {
+		if graph[e.from] == nil {
+			graph[e.from] = map[string]edge{}
+		}
+		if old, ok := graph[e.from][e.to]; !ok || e.pos < old.pos {
+			graph[e.from][e.to] = e
+		}
+	}
+
+	adj := map[string][]string{}
+	for from, tos := range graph {
+		for to := range tos {
+			adj[from] = append(adj[from], to)
+		}
+		sort.Strings(adj[from])
+	}
+
+	var out []Finding
+	for _, scc := range lockSCCs(adj) {
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		var parts []string
+		first := edge{}
+		for _, from := range scc {
+			for _, to := range adj[from] {
+				if !inSCC[to] {
+					continue
+				}
+				e := graph[from][to]
+				if first.fset == nil || e.pos < first.pos {
+					first = e
+				}
+				p := e.fset.Position(e.pos)
+				parts = append(parts, fmt.Sprintf("%s -> %s (%s:%d)", from, to, p.Filename, p.Line))
+			}
+		}
+		f := Finding{
+			Rule: "lock-order",
+			Pos:  first.fset.Position(first.pos),
+			Message: fmt.Sprintf("potential deadlock: lock-acquisition cycle among {%s}: %s; acquire these locks in one global order",
+				strings.Join(scc, ", "), strings.Join(parts, ", ")),
+		}
+		f.normalize()
+		out = append(out, f)
+	}
+	return out
+}
+
+const (
+	lockEvtLock = iota
+	lockEvtUnlock
+	lockEvtCall
+)
+
+type lockEvt struct {
+	kind     int
+	class    string
+	callee   *types.Func
+	pos      token.Pos
+	deferred bool
+}
+
+// lockEvents extracts the position-ordered lock/unlock/call events from
+// a function body. Function literals are skipped: a goroutine body does
+// not run under the spawner's locks (the locked-blocking rule already
+// polices what happens inside the critical section itself).
+func lockEvents(fi *FuncInfo) []lockEvt {
+	ti := fi.Pkg.Info
+	var events []lockEvt
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.CallExpr:
+			callee := calleeFunc(ti, n)
+			if callee == nil {
+				return true
+			}
+			if cls, isLock, ok := mutexOp(ti, n, callee); ok {
+				if cls == "" {
+					return true // local mutex: no cross-function ordering
+				}
+				kind := lockEvtUnlock
+				if isLock {
+					kind = lockEvtLock
+				}
+				events = append(events, lockEvt{kind: kind, class: cls, pos: n.Pos(), deferred: deferredCalls[n]})
+				return true
+			}
+			events = append(events, lockEvt{kind: lockEvtCall, callee: callee, pos: n.Pos()})
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex Lock/Unlock
+// (including promoted methods of embedded mutexes), returning the lock
+// class, whether it acquires, and whether it is a mutex op at all.
+func mutexOp(ti *types.Info, call *ast.CallExpr, callee *types.Func) (class string, isLock, ok bool) {
+	var acquire bool
+	switch callee.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || typePkgPath(sig.Recv().Type()) != "sync" {
+		return "", false, false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	return lockClass(ti, sel.X), acquire, true
+}
+
+// lockClass names the lock an expression denotes: the innermost named
+// type plus the trailing field path ("pkg.Replica.statMu"), a
+// package-level variable ("pkg.registryMu"), or "" for locals.
+func lockClass(ti *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.StarExpr:
+		return lockClass(ti, e.X)
+	case *ast.SelectorExpr:
+		if base := typeName(ti.TypeOf(e.X)); base != "" {
+			return base + "." + e.Sel.Name
+		}
+		if inner := lockClass(ti, e.X); inner != "" {
+			return inner + "." + e.Sel.Name
+		}
+		return ""
+	case *ast.Ident:
+		obj := ti.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		if v, okVar := obj.(*types.Var); okVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// Embedded mutex promoted through a named struct value.
+		if base := typeName(obj.Type()); base != "" && !isMutex(obj.Type()) {
+			return base + ".(embedded)"
+		}
+		return ""
+	}
+	return ""
+}
+
+// lockSCCs returns the strongly connected components of size >= 2 in
+// deterministic order (Tarjan over sorted adjacency). Only multi-node
+// components matter: a self-edge never forms (same-class nesting is
+// filtered at edge creation), so size-1 components are cycle-free.
+func lockSCCs(adj map[string][]string) [][]string {
+	nodes := map[string]bool{}
+	for from, tos := range adj {
+		nodes[from] = true
+		for _, to := range tos {
+			nodes[to] = true
+		}
+	}
+	order := sortedKeys(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) >= 2 {
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

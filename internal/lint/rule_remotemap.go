@@ -1,0 +1,327 @@
+package lint
+
+// unbounded-remote-map mechanizes the PR 8/PR 9 memory-exhaustion class:
+// any map or slice on the Replica that grows under a remote-controlled
+// key is a pre-authentication (or even post-authentication, for a
+// Byzantine member) resource-exhaustion lever unless some path bound
+// dominates the insert. The invariant, by key type:
+//
+//   - NodeID keys need a membership check (Contains / Keys lookup)
+//     before the insert: the map is then bounded by |membership|.
+//   - integer keys (sequence numbers, view numbers) need a two-sided
+//     window comparison on the key, a call to a window helper
+//     (inWindow-shaped summary), or an explicit len() cap.
+//   - digest and other unbounded key spaces need a len() cap.
+//
+// The analysis is one-level interprocedural: an insert keyed by a
+// parameter (r.inst's seq, recordViewChange's vc) is judged at each call
+// site that passes a message-derived argument, where the caller's guards
+// count. Call sites passing locally built values are cold and need no
+// guard.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type ruleRemoteMap struct{}
+
+func (ruleRemoteMap) Name() string { return "unbounded-remote-map" }
+func (ruleRemoteMap) Doc() string {
+	return "replica maps/slices must not grow unboundedly under remote-controlled keys"
+}
+func (ruleRemoteMap) Check(p *Package) []Finding { return nil }
+
+// guard kinds required per key type.
+const (
+	guardMembership = "membership"
+	guardWindow     = "window/cap"
+	guardCap        = "cap"
+)
+
+func (ruleRemoteMap) CheckProgram(prog *Program) []Finding {
+	facts := map[*FuncInfo]*rmFacts{}
+	factsOf := func(fi *FuncInfo) *rmFacts {
+		f := facts[fi]
+		if f == nil {
+			f = gatherRMFacts(prog, fi)
+			facts[fi] = f
+		}
+		return f
+	}
+
+	var out []Finding
+	for _, fi := range prog.SortedFuncs() {
+		if !pathHasSuffix(fi.Pkg.Path, "internal/bft") {
+			continue
+		}
+		f := factsOf(fi)
+		for _, ins := range f.inserts {
+			if factsOf(fi).guardedBefore(ins.guard, ins.keyStr, ins.pos) {
+				continue
+			}
+			if ins.hot {
+				out = append(out, finding(fi.Pkg.Fset, ins.pos, "unbounded-remote-map",
+					"%s grows under remote-controlled key with no %s guard on this path; bound it",
+					ins.container, ins.guard))
+				continue
+			}
+			if ins.paramIdx < 0 {
+				continue // key not remote-controllable
+			}
+			// Judge each call site that feeds the parameter something
+			// message-derived; the caller's guards before the call count.
+			for _, cs := range fi.Callers {
+				caller := cs.Caller
+				if !pathHasSuffix(caller.Pkg.Path, "internal/bft") || ins.paramIdx >= len(cs.Call.Args) {
+					continue
+				}
+				arg := cs.Call.Args[ins.paramIdx]
+				if !usesAny(caller.Pkg.Info, arg, caller.MsgDerived) {
+					continue // locally built value: cold call site
+				}
+				if factsOf(caller).guardedBefore(ins.guard, types.ExprString(arg), cs.Call.Pos()) {
+					continue
+				}
+				out = append(out, finding(fi.Pkg.Fset, ins.pos, "unbounded-remote-map",
+					"%s grows under remote-controlled key via unguarded call from %s; add a %s guard there or a cap here",
+					ins.container, caller.Obj.Name(), ins.guard))
+				break // one finding per insert site
+			}
+		}
+	}
+	return out
+}
+
+// rmInsert is one growth site of a receiver-rooted container.
+type rmInsert struct {
+	container string // printed container expression
+	keyStr    string // printed key expression (window matching)
+	guard     string // required guard kind
+	pos       token.Pos
+	hot       bool // key is message-derived in this very function's handler
+	paramIdx  int  // parameter the key derives from, -1 if none
+}
+
+// rmCmp is one ordered comparison (window-guard half).
+type rmCmp struct {
+	exprStr string
+	lower   bool
+	pos     token.Pos
+}
+
+// rmFacts is the per-function guard/insert inventory.
+type rmFacts struct {
+	fi          *FuncInfo
+	inserts     []rmInsert
+	membership  []token.Pos // Contains/Keys/ChecksMembership-callee events
+	caps        []token.Pos // len(<recv-rooted>) ordered comparisons
+	cmps        []rmCmp     // ordered comparisons for window matching
+	windowCalls []struct {
+		pos  token.Pos
+		args []string
+	}
+}
+
+// guardedBefore reports whether a guard of the required kind dominates
+// (source order) the given position; keyStr scopes window comparisons to
+// the key ("msg.SeqNo" matches comparisons on msg.SeqNo or deeper).
+func (f *rmFacts) guardedBefore(kind, keyStr string, pos token.Pos) bool {
+	capBefore := func() bool {
+		for _, p := range f.caps {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+	switch kind {
+	case guardMembership:
+		for _, p := range f.membership {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	case guardCap:
+		return capBefore()
+	case guardWindow:
+		if capBefore() {
+			return true
+		}
+		match := func(s string) bool {
+			return s == keyStr || len(s) > len(keyStr) && s[:len(keyStr)] == keyStr && s[len(keyStr)] == '.'
+		}
+		var lower, upper bool
+		for _, c := range f.cmps {
+			if c.pos < pos && match(c.exprStr) {
+				if c.lower {
+					lower = true
+				} else {
+					upper = true
+				}
+			}
+		}
+		if lower && upper {
+			return true
+		}
+		for _, wc := range f.windowCalls {
+			if wc.pos >= pos {
+				continue
+			}
+			for _, a := range wc.args {
+				if match(a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func gatherRMFacts(prog *Program, fi *FuncInfo) *rmFacts {
+	f := &rmFacts{fi: fi}
+	ti := fi.Pkg.Info
+	_, isHandler := fi.isHandler()
+
+	msgParamIdx, plainParams := -1, map[types.Object]int{}
+	for i, o := range fi.Params {
+		if isNamedType(o.Type(), "Message") {
+			if msgParamIdx < 0 {
+				msgParamIdx = i
+			}
+		} else {
+			plainParams[o] = i
+		}
+	}
+
+	classify := func(key ast.Expr) (hot bool, paramIdx int, ok bool) {
+		if usesAny(ti, key, fi.MsgDerived) {
+			return isHandler, msgParamIdx, true
+		}
+		for o, idx := range plainParams {
+			if usesAny(ti, key, map[types.Object]bool{o: true}) {
+				return false, idx, true
+			}
+		}
+		return false, -1, false
+	}
+
+	addInsert := func(container, keyStr, guard string, pos token.Pos, key ast.Expr) {
+		hot, idx, remote := classify(key)
+		if !remote {
+			return
+		}
+		f.inserts = append(f.inserts, rmInsert{
+			container: container, keyStr: keyStr, guard: guard, pos: pos, hot: hot, paramIdx: idx,
+		})
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(ti, n)
+			if callee == nil {
+				return true
+			}
+			if callee.Name() == "Contains" {
+				f.membership = append(f.membership, n.Pos())
+			}
+			if ci := prog.FuncOf(callee); ci != nil {
+				if ci.ChecksMembership {
+					f.membership = append(f.membership, n.Pos())
+				}
+				if ci.TwoSidedParam {
+					args := make([]string, 0, len(n.Args))
+					for _, a := range n.Args {
+						args = append(args, types.ExprString(a))
+					}
+					f.windowCalls = append(f.windowCalls, struct {
+						pos  token.Pos
+						args []string
+					}{n.Pos(), args})
+				}
+			}
+		case *ast.IndexExpr:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && sel.Sel.Name == "Keys" {
+				f.membership = append(f.membership, n.Pos())
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				for i, side := range []ast.Expr{n.X, n.Y} {
+					if isLenOfRecvRooted(ti, side, fi.RecvDerived) {
+						f.caps = append(f.caps, n.Pos())
+					}
+					// X < Y: X has an upper bound; Y a lower bound
+					// (inverted for the Y side below).
+					lower := i == 1
+					if n.Op == token.GTR || n.Op == token.GEQ {
+						lower = !lower
+					}
+					f.cmps = append(f.cmps, rmCmp{exprStr: types.ExprString(ast.Unparen(side)), lower: lower, pos: n.Pos()})
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && rootedIn(ti, ix.X, fi.RecvDerived) {
+					container := types.ExprString(ix.X)
+					guard := guardForKey(ti.TypeOf(ix.Index))
+					addInsert(container, types.ExprString(ast.Unparen(ix.Index)), guard, lhs.Pos(), ix.Index)
+					continue
+				}
+				// Slice growth: x = append(x, elems...) with a
+				// receiver-rooted destination and a remote element.
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil || !rootedIn(ti, lhs, fi.RecvDerived) {
+					continue
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 1 {
+						for _, el := range call.Args[1:] {
+							addInsert(types.ExprString(lhs), types.ExprString(el), guardCap, lhs.Pos(), el)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// guardForKey picks the required guard kind from the key's type.
+func guardForKey(t types.Type) string {
+	switch {
+	case isNamedType(t, "NodeID"):
+		return guardMembership
+	case isDigestType(t):
+		return guardCap
+	}
+	if t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return guardWindow
+		}
+	}
+	return guardCap
+}
+
+// isLenOfRecvRooted reports whether e is len(<receiver-rooted expr>).
+func isLenOfRecvRooted(ti *types.Info, e ast.Expr, recvDerived map[types.Object]bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return false
+	}
+	return rootedIn(ti, call.Args[0], recvDerived)
+}

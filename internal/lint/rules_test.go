@@ -392,3 +392,456 @@ func f() {}
 `)}, nil)
 	wantFindings(t, got, "bad-directive", 3, 4, 5)
 }
+
+// ---- interprocedural rules (PR 10) ----
+
+func TestAuthBeforeUse(t *testing.T) {
+	got := runRule(t, ruleAuthBeforeUse{}, "fix1/internal/bft", `package bft
+
+type NodeID int
+
+type Message struct {
+	From NodeID
+	View uint64
+	Sig  []byte
+}
+
+func (m *Message) VerifySig(pub []byte) bool { return len(m.Sig) > 0 }
+
+type Replica struct {
+	seen map[NodeID]uint64
+	view uint64
+}
+
+// Mutation precedes the check.
+func (r *Replica) onEarly(msg *Message) {
+	r.seen[msg.From] = msg.View
+	if !msg.VerifySig(nil) {
+		return
+	}
+}
+
+// No check anywhere on the path.
+func (r *Replica) onNever(msg *Message) {
+	r.seen[msg.From] = msg.View
+}
+
+// Clean: verification dominates the mutation.
+func (r *Replica) onGuarded(msg *Message) {
+	if !msg.VerifySig(nil) {
+		return
+	}
+	r.seen[msg.From] = msg.View
+}
+
+// The check and the mutation live in helpers: only the interprocedural
+// summaries can relate them.
+func (r *Replica) note(msg *Message)         { r.seen[msg.From] = msg.View }
+func (r *Replica) authed(msg *Message) bool  { return msg.VerifySig(nil) }
+
+func (r *Replica) onHelperBad(msg *Message) {
+	r.note(msg)
+}
+
+// Clean interprocedural variant.
+func (r *Replica) onHelperGood(msg *Message) {
+	if !r.authed(msg) {
+		return
+	}
+	r.note(msg)
+}
+`)
+	wantFindings(t, got, "auth-before-use", 20, 28, 45)
+}
+
+func TestAuthBeforeUseSuppressed(t *testing.T) {
+	got := runRule(t, ruleAuthBeforeUse{}, "fix2/internal/bft", `package bft
+
+type NodeID int
+
+type Message struct {
+	From NodeID
+	View uint64
+}
+
+type Replica struct{ seen map[NodeID]uint64 }
+
+func (r *Replica) onUnsigned(msg *Message) {
+	r.seen[msg.From] = msg.View //lazlint:allow auth-before-use(votes are envelope-authenticated in this fixture)
+}
+`)
+	wantFindings(t, got, "auth-before-use")
+}
+
+func TestEpochGuard(t *testing.T) {
+	got := runRule(t, ruleEpochGuard{}, "fix3/internal/bft", `package bft
+
+type NodeID int
+
+type Message struct {
+	From NodeID
+	View uint64
+}
+
+type Replica struct {
+	seen map[NodeID]uint64
+	view uint64
+}
+
+// No epoch/view comparison anywhere.
+func (r *Replica) onStale(msg *Message) {
+	r.seen[msg.From] = msg.View
+}
+
+// Mutation precedes the comparison.
+func (r *Replica) onLate(msg *Message) {
+	r.seen[msg.From] = msg.View
+	if msg.View != r.view {
+		return
+	}
+}
+
+// Clean: inline comparison first.
+func (r *Replica) onFresh(msg *Message) {
+	if msg.View != r.view {
+		return
+	}
+	r.seen[msg.From] = msg.View
+}
+
+// Clean: the comparison lives in a helper with a message argument.
+func (r *Replica) fresh(msg *Message) bool { return msg.View == r.view }
+
+func (r *Replica) onFreshHelper(msg *Message) {
+	if !r.fresh(msg) {
+		return
+	}
+	r.seen[msg.From] = msg.View
+}
+
+// Clean: reads only, nothing to guard.
+func (r *Replica) onRead(msg *Message) uint64 {
+	return r.seen[msg.From]
+}
+`)
+	wantFindings(t, got, "epoch-guard", 17, 22)
+}
+
+func TestEpochGuardSuppressed(t *testing.T) {
+	got := runRule(t, ruleEpochGuard{}, "fix4/internal/bft", `package bft
+
+type NodeID int
+
+type Message struct {
+	From  NodeID
+	SeqNo uint64
+}
+
+type Replica struct{ ahead map[NodeID]uint64 }
+
+func (r *Replica) onCkpt(msg *Message) {
+	r.ahead[msg.From] = msg.SeqNo //lazlint:allow epoch-guard(checkpoints tally cross-epoch by design in this fixture)
+}
+`)
+	wantFindings(t, got, "epoch-guard")
+}
+
+func TestDigestBlindTally(t *testing.T) {
+	got := runRule(t, ruleDigestBlindTally{}, "fix5/internal/bft", `package bft
+
+type NodeID int
+type Digest [32]byte
+
+type Membership struct{ n int }
+
+func (m *Membership) Quorum() int { return 2*m.n/3 + 1 }
+func (m *Membership) F() int      { return m.n / 3 }
+
+type Message struct {
+	From NodeID
+	D    Digest
+}
+
+type Replica struct {
+	votes map[NodeID]bool
+	mem   *Membership
+	d     Digest
+}
+
+// A digest is in play (stored) but the quorum counts bare senders.
+func (r *Replica) blind(msg *Message) bool {
+	r.d = msg.D
+	r.votes[msg.From] = true
+	return len(r.votes) >= r.mem.Quorum()
+}
+
+// Clean: every insert is dominated by a digest-equality filter.
+func (r *Replica) filtered(msg *Message) bool {
+	if msg.D != r.d {
+		return false
+	}
+	r.votes[msg.From] = true
+	return len(r.votes) >= r.mem.Quorum()
+}
+
+// Clean: no digest in scope — a liveness count of distinct members.
+func (r *Replica) liveness(from NodeID) bool {
+	r.votes[from] = true
+	return len(r.votes) > r.mem.F()
+}
+`)
+	wantFindings(t, got, "digest-blind-tally", 26)
+}
+
+func TestDigestBlindTallySuppressed(t *testing.T) {
+	got := runRule(t, ruleDigestBlindTally{}, "fix6/internal/bft", `package bft
+
+type NodeID int
+type Digest [32]byte
+
+type Membership struct{ n int }
+
+func (m *Membership) F() int { return m.n / 3 }
+
+type Replica struct {
+	ahead map[NodeID]uint64
+	mem   *Membership
+	d     Digest
+}
+
+func (r *Replica) claims(from NodeID, d Digest) bool {
+	r.d = d
+	r.ahead[from] = 1
+	return len(r.ahead) > r.mem.F() //lazlint:allow digest-blind-tally(distinct claimants suffice in this fixture)
+}
+`)
+	wantFindings(t, got, "digest-blind-tally")
+}
+
+func TestUnboundedRemoteMap(t *testing.T) {
+	got := runRule(t, ruleRemoteMap{}, "fix7/internal/bft", `package bft
+
+type NodeID int
+type Digest [32]byte
+
+type Membership struct{ ids map[NodeID]bool }
+
+func (m *Membership) Contains(id NodeID) bool { return m.ids[id] }
+
+type Message struct {
+	From  NodeID
+	SeqNo uint64
+	D     Digest
+}
+
+type Replica struct {
+	mem    *Membership
+	byFrom map[NodeID]uint64
+	log    map[uint64]bool
+	seen   map[Digest]bool
+	queue  []uint64
+	low    uint64
+}
+
+// NodeID key with no membership guard.
+func (r *Replica) onA(msg *Message) {
+	r.byFrom[msg.From] = msg.SeqNo
+}
+
+// Clean: membership guard dominates.
+func (r *Replica) onB(msg *Message) {
+	if !r.mem.Contains(msg.From) {
+		return
+	}
+	r.byFrom[msg.From] = msg.SeqNo
+}
+
+// Integer key with no window.
+func (r *Replica) onC(msg *Message) {
+	r.log[msg.SeqNo] = true
+}
+
+// Clean: two-sided window on the key.
+func (r *Replica) onD(msg *Message) {
+	if msg.SeqNo <= r.low || msg.SeqNo > r.low+64 {
+		return
+	}
+	r.log[msg.SeqNo] = true
+}
+
+// The insert lives in a helper; the guard lives at the call site.
+func (r *Replica) inWindow(seq uint64) bool { return seq > r.low && seq <= r.low+64 }
+func (r *Replica) put(seq uint64)           { r.log[seq] = true }
+
+func (r *Replica) onE(msg *Message) {
+	if !r.inWindow(msg.SeqNo) {
+		return
+	}
+	r.put(msg.SeqNo)
+}
+
+// One unguarded remote caller is enough to condemn the helper's insert.
+func (r *Replica) onF(msg *Message) {
+	r.put(msg.SeqNo)
+}
+
+// Digest key and slice append, both uncapped.
+func (r *Replica) onG(msg *Message) {
+	r.seen[msg.D] = true
+	r.queue = append(r.queue, msg.SeqNo)
+}
+
+// Clean: a cap guard dominates both growth sites.
+func (r *Replica) onH(msg *Message) {
+	if len(r.seen) >= 1024 {
+		return
+	}
+	r.seen[msg.D] = true
+	r.queue = append(r.queue, msg.SeqNo)
+}
+`)
+	wantFindings(t, got, "unbounded-remote-map", 27, 40, 53, 69, 70)
+}
+
+func TestUnboundedRemoteMapSuppressed(t *testing.T) {
+	got := runRule(t, ruleRemoteMap{}, "fix8/internal/bft", `package bft
+
+type NodeID int
+
+type Message struct {
+	From  NodeID
+	SeqNo uint64
+}
+
+type Replica struct{ byFrom map[NodeID]uint64 }
+
+func (r *Replica) onA(msg *Message) {
+	r.byFrom[msg.From] = msg.SeqNo //lazlint:allow unbounded-remote-map(bounded elsewhere in this fixture)
+}
+`)
+	wantFindings(t, got, "unbounded-remote-map")
+}
+
+func TestLockOrder(t *testing.T) {
+	got := runRule(t, ruleLockOrder{}, "fix9/locks", `package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type S struct {
+	a *A
+	b *B
+}
+
+func (s *S) lockAB() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+}
+
+// Opposite order through a call: B held, then a helper takes A.
+func (s *S) lockBA() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	s.lockA()
+}
+
+func (s *S) lockA() {
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+}
+`)
+	wantFindings(t, got, "lock-order", 16)
+}
+
+func TestLockOrderClean(t *testing.T) {
+	got := runRule(t, ruleLockOrder{}, "fix10/locks", `package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type S struct {
+	a *A
+	b *B
+}
+
+// Consistent order everywhere: A before B.
+func (s *S) lockAB() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+}
+
+func (s *S) lockABviaCall() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.lockB()
+}
+
+func (s *S) lockB() {
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+`)
+	wantFindings(t, got, "lock-order")
+}
+
+func TestLockOrderSuppressed(t *testing.T) {
+	got := runRule(t, ruleLockOrder{}, "fix11/locks", `package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type S struct {
+	a *A
+	b *B
+}
+
+func (s *S) lockAB() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock() //lazlint:allow lock-order(fixture: the cycle is intentional)
+	defer s.b.mu.Unlock()
+}
+
+func (s *S) lockBA() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	s.a.mu.Lock()
+}
+`)
+	wantFindings(t, got, "lock-order")
+}
+
+func TestStaleDirective(t *testing.T) {
+	src := `package bft
+
+import "time"
+
+func now() time.Time {
+	return time.Now() //lazlint:allow wallclock(live: suppresses the finding on this line)
+}
+
+func pure(x int) int {
+	return x + 1 //lazlint:allow wallclock(stale: nothing to suppress here)
+}
+`
+	// With the audit enabled, the dead directive is reported.
+	got := RunRules([]*Package{testPkg(t, "fix12/internal/bft", src)},
+		[]Rule{ruleWallClock{}, ruleStaleDirective{}})
+	wantFindings(t, got, "stale-directive", 10)
+
+	// A narrowed run that never exercises wallclock must stay quiet:
+	// it cannot tell a live suppression from a dead one.
+	got = RunRules([]*Package{testPkg(t, "fix13/internal/bft", src)},
+		[]Rule{ruleStaleDirective{}})
+	wantFindings(t, got, "stale-directive")
+}
